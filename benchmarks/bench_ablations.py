@@ -1,0 +1,13 @@
+"""Benchmarks for the design-choice ablations."""
+
+import pytest
+
+from repro.experiments.ablations import ABLATIONS
+
+
+@pytest.mark.parametrize("name", sorted(ABLATIONS))
+def test_ablation(benchmark, name):
+    result = benchmark.pedantic(ABLATIONS[name], args=("small",), rounds=1)
+    print()
+    result.print_table()
+    assert result.rows

@@ -1,0 +1,9 @@
+"""Benchmark + regeneration of Figure 3 (app performance vs deflation)."""
+
+from benchmarks.helpers import run_and_print
+
+
+def test_fig03_app_perf(benchmark):
+    result = benchmark(run_and_print, "fig03")
+    at_50 = next(r for r in result.rows if abs(r["deflation_pct"] - 50) < 1)
+    assert at_50["Memcached"] > at_50["SpecJBB"]

@@ -1,0 +1,14 @@
+"""Benchmark + regeneration of Figure 5 (CPU deflation feasibility)."""
+
+from benchmarks.helpers import clear_experiment_caches, run_and_print
+
+
+def test_fig05_cpu_feasibility(benchmark):
+    result = benchmark.pedantic(
+        run_and_print,
+        args=("fig05",),
+        setup=clear_experiment_caches,
+        rounds=3,
+    )
+    at_50 = next(r for r in result.rows if abs(r["deflation_pct"] - 50) < 1)
+    assert at_50["median"] <= 0.30

@@ -1,0 +1,13 @@
+"""Benchmark + regeneration of fig08 (feasibility analysis)."""
+
+from benchmarks.helpers import clear_experiment_caches, run_and_print
+
+
+def test_fig08_by_peak(benchmark):
+    result = benchmark.pedantic(
+        run_and_print,
+        args=("fig08",),
+        setup=clear_experiment_caches,
+        rounds=3,
+    )
+    assert result.rows

@@ -1,0 +1,13 @@
+"""Benchmark + regeneration of fig11 (feasibility analysis)."""
+
+from benchmarks.helpers import clear_experiment_caches, run_and_print
+
+
+def test_fig11_disk(benchmark):
+    result = benchmark.pedantic(
+        run_and_print,
+        args=("fig11",),
+        setup=clear_experiment_caches,
+        rounds=3,
+    )
+    assert result.rows

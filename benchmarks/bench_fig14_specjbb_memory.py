@@ -1,0 +1,10 @@
+"""Benchmark + regeneration of Figure 14 (transparent vs hybrid memory
+deflation for SpecJBB)."""
+
+from benchmarks.helpers import run_and_print
+
+
+def test_fig14_specjbb_memory(benchmark):
+    result = benchmark(run_and_print, "fig14")
+    rows = {r["deflation_pct"]: r for r in result.rows}
+    assert rows[30.0]["hybrid_rt"] < rows[30.0]["transparent_rt"]

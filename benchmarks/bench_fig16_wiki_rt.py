@@ -1,0 +1,9 @@
+"""Benchmark + regeneration of Figure 16 (Wikipedia RT vs CPU deflation)."""
+
+from benchmarks.helpers import run_and_print
+
+
+def test_fig16_wiki_rt(benchmark):
+    result = benchmark.pedantic(run_and_print, args=("fig16",), rounds=1)
+    rows = {r["deflation_pct"]: r for r in result.rows}
+    assert rows[50]["mean_rt_s"] < 1.5 * rows[0]["mean_rt_s"]

@@ -1,0 +1,9 @@
+"""Benchmark + regeneration of Figure 17 (% Wikipedia requests served)."""
+
+from benchmarks.helpers import run_and_print
+
+
+def test_fig17_wiki_served(benchmark):
+    result = benchmark.pedantic(run_and_print, args=("fig17",), rounds=1)
+    rows = {r["deflation_pct"]: r["served_pct"] for r in result.rows}
+    assert rows[70] > 98

@@ -1,0 +1,9 @@
+"""Benchmark + regeneration of Figure 18 (social-network RT percentiles)."""
+
+from benchmarks.helpers import run_and_print
+
+
+def test_fig18_socialnet(benchmark):
+    result = benchmark.pedantic(run_and_print, args=("fig18",), rounds=1)
+    rows = {r["deflation_pct"]: r for r in result.rows}
+    assert rows[65]["p99_ms"] > rows[0]["p99_ms"]

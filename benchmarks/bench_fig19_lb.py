@@ -1,0 +1,9 @@
+"""Benchmark + regeneration of Figure 19 (deflation-aware load balancing)."""
+
+from benchmarks.helpers import run_and_print
+
+
+def test_fig19_lb(benchmark):
+    result = benchmark.pedantic(run_and_print, args=("fig19",), rounds=1)
+    rows = {r["deflation_pct"]: r for r in result.rows}
+    assert rows[80]["aware_p90_s"] < rows[80]["vanilla_p90_s"]

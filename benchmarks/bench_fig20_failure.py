@@ -1,0 +1,12 @@
+"""Benchmark + regeneration of Figure 20 (failure probability vs OC)."""
+
+from benchmarks.helpers import clear_experiment_caches, run_and_print
+
+
+def test_fig20_failure(benchmark):
+    result = benchmark.pedantic(
+        run_and_print, args=("fig20",), setup=clear_experiment_caches, rounds=1
+    )
+    top = max(r["overcommit_pct"] for r in result.rows)
+    row = next(r for r in result.rows if r["overcommit_pct"] == top)
+    assert row["proportional_failure"] < row["preemption_failure"]

@@ -1,0 +1,12 @@
+"""Benchmark + regeneration of Figure 22 (revenue increase vs OC)."""
+
+from benchmarks.helpers import clear_experiment_caches, run_and_print
+
+
+def test_fig22_revenue(benchmark):
+    result = benchmark.pedantic(
+        run_and_print, args=("fig22",), setup=clear_experiment_caches, rounds=1
+    )
+    top = max(r["overcommit_pct"] for r in result.rows)
+    row = next(r for r in result.rows if r["overcommit_pct"] == top)
+    assert row["priority_increase_pct"] > row["static_increase_pct"]

@@ -1,0 +1,37 @@
+"""Micro-benchmarks of the trace-driven cluster simulator and placement."""
+
+import numpy as np
+import pytest
+
+from repro.core.placement import vectorized_cosine_scores
+from repro.simulator.cluster_sim import ClusterSimConfig, ClusterSimulator
+from repro.traces.azure import AzureTraceConfig, synthesize_azure_trace
+
+
+@pytest.mark.parametrize("n_servers", [64, 1024])
+def test_vectorized_placement_scoring(benchmark, n_servers):
+    rng = np.random.default_rng(3)
+    availability = rng.uniform(0, 1, size=(n_servers, 4))
+    demand = np.array([0.2, 0.3, 0.0, 0.0])
+    scores = benchmark(vectorized_cosine_scores, demand, availability)
+    assert scores.shape == (n_servers,)
+
+
+@pytest.mark.parametrize("policy", ["proportional", "priority", "deterministic", "preemption"])
+def test_cluster_replay(benchmark, policy):
+    traces = synthesize_azure_trace(AzureTraceConfig(n_vms=300, seed=6))
+    config = ClusterSimConfig(n_servers=8, policy=policy)
+
+    def run():
+        return ClusterSimulator(traces, config).run()
+
+    result = benchmark.pedantic(run, rounds=3)
+    assert result.n_placed > 0
+
+
+def test_trace_synthesis(benchmark):
+    def run():
+        return synthesize_azure_trace(AzureTraceConfig(n_vms=500, seed=9))
+
+    traces = benchmark.pedantic(run, rounds=3)
+    assert len(traces) == 500

@@ -1,0 +1,36 @@
+"""Micro-benchmarks of the processor-sharing network engine.
+
+Event throughput bounds how long the application experiments take; the
+single-station case doubles as a regression guard on the wake-dedup logic
+(naive rescheduling is quadratic under overload).
+"""
+
+import pytest
+
+from repro.queueing.ps_server import PSServer
+from repro.traces.workload_gen import make_request_trace
+
+
+@pytest.mark.parametrize("rho", [0.5, 0.9, 1.5])
+def test_ps_server_event_throughput(benchmark, rho):
+    wl = make_request_trace(
+        rate_per_s=100 * rho, duration_s=30, mean_service_s=0.01, seed=1
+    )
+
+    def run():
+        return PSServer(cores=1).simulate(wl, timeout_s=5.0)
+
+    result = benchmark(run)
+    assert result.n_arrived == wl.n_requests
+
+
+def test_socialnet_simulation_throughput(benchmark):
+    from repro.microsim.app import SocialNetworkApp
+
+    app = SocialNetworkApp(seed=2)
+
+    def run():
+        return app.simulate(rate_per_s=300, duration_s=5, deflation=0.3, seed=2)
+
+    result = benchmark.pedantic(run, rounds=3)
+    assert result.n_completed > 0

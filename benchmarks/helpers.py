@@ -1,0 +1,32 @@
+"""Shared helpers for the figure benchmarks.
+
+Each ``bench_figXX`` file regenerates one paper figure under
+pytest-benchmark and prints the reproduced series, so
+``pytest benchmarks/ --benchmark-only`` both times the pipelines and emits
+the same rows the paper reports.
+
+Heavier experiments cache intermediate artifacts (traces, sweeps) via
+``functools.lru_cache``; benchmarks clear those caches in setup so each
+round measures the real pipeline, not a dictionary lookup.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.registry import EXPERIMENTS
+
+
+def run_and_print(figure_id: str, scale: str = "small"):
+    """Run one experiment and print its table (used inside benchmarks)."""
+    result = EXPERIMENTS[figure_id](scale)
+    print()
+    result.print_table()
+    return result
+
+
+def clear_experiment_caches() -> None:
+    """Drop all cached traces/sweeps so a benchmark round is end-to-end."""
+    from repro.experiments import alibaba_feasibility, azure_feasibility, cluster_sweep
+
+    azure_feasibility.feasibility_trace.cache_clear()
+    alibaba_feasibility.container_trace.cache_clear()
+    cluster_sweep.cluster_sweep.cache_clear()

@@ -1,0 +1,54 @@
+"""Compare cluster deflation policies against the preemption status quo.
+
+Run with::
+
+    python examples/cluster_policy_comparison.py
+
+Replays one synthetic Azure-style trace at increasing overcommitment under
+all three deflation policies plus the preemption baseline, and prints the
+three cluster-level metrics the paper evaluates: failure probability
+(Fig 20), throughput loss (Fig 21), and revenue (Fig 22).
+"""
+
+from repro.simulator import overcommitment_sweep
+from repro.traces import AzureTraceConfig, synthesize_azure_trace
+
+POLICIES = ("proportional", "priority", "deterministic", "preemption")
+LEVELS = (0.0, 0.2, 0.4, 0.6)
+
+
+def main() -> None:
+    traces = synthesize_azure_trace(AzureTraceConfig(n_vms=600, seed=8))
+    print(f"trace: {len(traces)} VMs, horizon {traces.horizon()} five-minute intervals")
+    sweep = overcommitment_sweep(traces, levels=LEVELS, policies=POLICIES)
+
+    print("\nfailure probability (deflatable VMs):")
+    header = "  OC%   " + "".join(f"{p:>15}" for p in POLICIES)
+    print(header)
+    for i, oc in enumerate(LEVELS):
+        row = f"  {100 * oc:<5.0f}"
+        for p in POLICIES:
+            row += f"{100 * sweep.points[p][i].result.failure_probability:>14.2f}%"
+        print(row)
+
+    print("\nthroughput loss (deflatable VMs):")
+    print(header)
+    for i, oc in enumerate(LEVELS):
+        row = f"  {100 * oc:<5.0f}"
+        for p in POLICIES:
+            row += f"{100 * sweep.points[p][i].result.throughput_loss:>14.2f}%"
+        print(row)
+
+    print("\nrevenue-per-server increase vs static@OC=0 (priority deflation):")
+    for pricing in ("static", "priority", "allocation"):
+        series = sweep.revenue_increase("priority", pricing)
+        cells = "  ".join(f"{oc:.0f}%:{v:+.0f}%" for oc, v in series)
+        print(f"  {pricing:>11}: {cells}")
+
+    print("\ntakeaway: deflation (any policy) nearly eliminates failures that")
+    print("preemption suffers, at single-digit throughput cost; priorities cut")
+    print("that cost by an order of magnitude and double revenue.")
+
+
+if __name__ == "__main__":
+    main()

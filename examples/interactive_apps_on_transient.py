@@ -1,0 +1,47 @@
+"""The paper's headline story: interactive apps survive on transient servers.
+
+Run with::
+
+    python examples/interactive_apps_on_transient.py
+
+Simulates the two interactive applications from the paper's evaluation —
+the multi-tier Wikipedia replica and the 30-microservice social network —
+at increasing deflation, showing that both absorb ~50% resource reclamation
+with negligible user-visible impact (which preemption could never offer).
+"""
+
+from repro.apps import (
+    WikipediaConfig,
+    run_deflation_point,
+    run_socialnet_point,
+)
+
+
+def wikipedia_story() -> None:
+    print("=== Wikipedia (multi-tier, 30 cores, 800 req/s) ===")
+    cfg = WikipediaConfig(duration_s=10.0)
+    base = run_deflation_point(cfg, 0, seed=4)
+    print(f"  undeflated: mean {base.mean_rt:.2f}s, p99 {base.percentiles[99]:.1f}s")
+    for pct in (50, 70, 90):
+        p = run_deflation_point(cfg, pct, seed=4)
+        print(f"  deflated {pct}% ({p.cores:.0f} cores): mean {p.mean_rt:.2f}s "
+              f"({p.mean_rt / base.mean_rt:.1f}x), served {100 * p.served_fraction:.1f}%")
+    print("  -> even a 50-70% CPU reclamation is invisible to users;")
+    print("     a preemption would have been a full outage.")
+
+
+def socialnet_story() -> None:
+    print("\n=== social network (30 microservices, 500 req/s) ===")
+    base = run_socialnet_point(0, duration_s=10.0, seed=4)
+    print(f"  undeflated: median {base.median_ms:.1f}ms, p99 {base.p99_ms:.0f}ms")
+    for pct in (30, 50, 65):
+        p = run_socialnet_point(pct, duration_s=10.0, seed=4)
+        print(f"  deflated {pct}%: median {p.median_ms:.1f}ms, p99 {p.p99_ms:.0f}ms "
+              f"(bottleneck rho {p.bottleneck_rho:.2f})")
+    print("  -> microservices tolerate 50%; past the knee the fan-out")
+    print("     amplifies queueing, so policies should stop short of it.")
+
+
+if __name__ == "__main__":
+    wikipedia_story()
+    socialnet_story()

@@ -1,0 +1,78 @@
+"""Quickstart: deflatable VMs on one server, then a small cluster.
+
+Run with::
+
+    python examples/quickstart.py
+
+Demonstrates the core public API:
+
+* declare deflatable / on-demand VMs (:class:`repro.VMSpec`),
+* host them under a deflation policy (:class:`repro.LocalDeflationController`),
+* watch deflation and reinflation happen as pressure comes and goes,
+* place VMs across a cluster with deflation-aware placement.
+"""
+
+from repro import ResourceVector, VMSpec, get_policy, on_demand_spec
+from repro.cluster import make_uniform_cluster
+from repro.core import LocalDeflationController
+
+
+def single_server_demo() -> None:
+    print("=== single server: proportional deflation ===")
+    capacity = ResourceVector(cpu=48, memory_mb=128 * 1024, disk_mbps=2000, net_mbps=10_000)
+    controller = LocalDeflationController(capacity, get_policy("proportional"))
+
+    web = VMSpec(
+        capacity=ResourceVector(cpu=16, memory_mb=32 * 1024, disk_mbps=500, net_mbps=1000),
+        priority=0.4,
+        min_fraction=0.1,
+    )
+    cache = VMSpec(
+        capacity=ResourceVector(cpu=24, memory_mb=64 * 1024, disk_mbps=500, net_mbps=1000),
+        priority=0.6,
+        min_fraction=0.1,
+    )
+    controller.place(web)
+    controller.place(cache)
+    print(f"committed: {controller.committed()}")
+    print(f"no pressure yet; web allocation = {controller.allocation_of(web.vm_id)}")
+
+    # An on-demand VM arrives and pushes the server into overcommitment:
+    # the two deflatable VMs shrink proportionally to make room.
+    big = on_demand_spec(ResourceVector(cpu=24, memory_mb=64 * 1024, disk_mbps=500, net_mbps=1000))
+    controller.place(big)
+    print("after on-demand arrival (pressure!):")
+    for vm_id, fracs in controller.deflation_summary().items():
+        print(f"  {vm_id}: cpu deflated {100 * fracs['cpu']:.0f}%, "
+              f"memory deflated {100 * fracs['memory_mb']:.0f}%")
+
+    # The on-demand VM leaves; survivors reinflate automatically.
+    controller.remove(big.vm_id)
+    print(f"after departure, web allocation = {controller.allocation_of(web.vm_id)}")
+
+
+def cluster_demo() -> None:
+    print("\n=== cluster: deflation-aware placement ===")
+    capacity = ResourceVector(cpu=48, memory_mb=128 * 1024, disk_mbps=2000, net_mbps=10_000)
+    cluster = make_uniform_cluster(n_servers=4, capacity=capacity, policy=get_policy("priority"))
+
+    placed = 0
+    for i in range(14):
+        spec = VMSpec(
+            capacity=ResourceVector(cpu=16, memory_mb=32 * 1024, disk_mbps=200, net_mbps=500),
+            priority=0.2 + 0.2 * (i % 4),
+            deflatable=True,
+        )
+        decision = cluster.request_vm(spec)
+        placed += 1
+        print(f"  {spec.vm_id} (priority {spec.priority:.1f}) -> {decision.server_id}")
+    stats = cluster.stats()
+    print(f"placed {placed} VMs on {stats.n_servers} servers; "
+          f"cluster overcommitment = {100 * stats.overcommitment:.0f}%")
+    cluster.verify_invariants()
+    print("all allocation invariants hold")
+
+
+if __name__ == "__main__":
+    single_server_demo()
+    cluster_demo()

@@ -1,0 +1,5 @@
+"""Legacy shim so `pip install -e . --no-use-pep517` works without the
+`wheel` package (this environment is offline)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,59 @@
+"""repro — reproduction of "Cloud-scale VM Deflation for Running Interactive
+Applications On Transient Servers" (Fuerst, Ali-Eldin, Shenoy, Sharma;
+HPDC 2020).
+
+The package is organised as:
+
+* :mod:`repro.core` — the paper's contribution: deflation policies
+  (Eqs. 1–4, deterministic), deflation-aware placement, the VM model, and
+  the slack/linear/knee performance model.
+* :mod:`repro.hypervisor` — simulated KVM/libvirt/cgroups substrate with
+  transparent, explicit (hotplug) and hybrid deflation mechanisms.
+* :mod:`repro.cluster` — the centralized cluster manager and per-server
+  integration.
+* :mod:`repro.simulator` — trace-driven discrete-event cluster simulation
+  (failure probability, throughput loss, revenue).
+* :mod:`repro.traces` — Azure-like and Alibaba-like trace synthesizers.
+* :mod:`repro.feasibility` — the Section 3 deflation-feasibility analysis.
+* :mod:`repro.queueing` / :mod:`repro.microsim` — processor-sharing and
+  service-graph simulators behind the application studies.
+* :mod:`repro.apps` — Wikipedia, social-network, SpecJBB, Memcached and
+  kernel-compile harnesses.
+* :mod:`repro.loadbalancer` — vanilla and deflation-aware weighted
+  round-robin load balancing.
+* :mod:`repro.pricing` — static, priority and allocation-based pricing.
+* :mod:`repro.experiments` — one module per paper figure plus a CLI runner.
+"""
+
+from repro.core import (
+    DeflationPolicy,
+    DeterministicPolicy,
+    LocalDeflationController,
+    PerfProfile,
+    PriorityPolicy,
+    ProportionalPolicy,
+    ResourceVector,
+    VMAllocation,
+    VMClass,
+    VMSpec,
+    get_policy,
+    on_demand_spec,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DeflationPolicy",
+    "DeterministicPolicy",
+    "LocalDeflationController",
+    "PerfProfile",
+    "PriorityPolicy",
+    "ProportionalPolicy",
+    "ResourceVector",
+    "VMAllocation",
+    "VMClass",
+    "VMSpec",
+    "get_policy",
+    "on_demand_spec",
+    "__version__",
+]

@@ -1,0 +1,57 @@
+"""Application harnesses: Wikipedia, social network, SpecJBB, Memcached,
+kernel compile."""
+
+from repro.apps.kcompile import KcompileConfig, kcompile_curve, kcompile_throughput, makespan
+from repro.apps.memcached import (
+    MemcachedConfig,
+    che_hit_rate,
+    memcached_curve,
+    memcached_throughput,
+    zipf_weights,
+)
+from repro.apps.socialnet import (
+    FIG18_DEFLATION_PCT,
+    SocialNetPoint,
+    run_socialnet_point,
+    run_socialnet_sweep,
+)
+from repro.apps.specjbb import (
+    FIG14_DEFLATION_PCT,
+    SpecJBBConfig,
+    SpecJBBPoint,
+    run_specjbb_point,
+    run_specjbb_sweep,
+)
+from repro.apps.wikipedia import (
+    FIG16_DEFLATION_PCT,
+    WikipediaConfig,
+    WikipediaPoint,
+    run_deflation_point,
+    run_deflation_sweep,
+)
+
+__all__ = [
+    "KcompileConfig",
+    "kcompile_curve",
+    "kcompile_throughput",
+    "makespan",
+    "MemcachedConfig",
+    "che_hit_rate",
+    "memcached_curve",
+    "memcached_throughput",
+    "zipf_weights",
+    "FIG18_DEFLATION_PCT",
+    "SocialNetPoint",
+    "run_socialnet_point",
+    "run_socialnet_sweep",
+    "FIG14_DEFLATION_PCT",
+    "SpecJBBConfig",
+    "SpecJBBPoint",
+    "run_specjbb_point",
+    "run_specjbb_sweep",
+    "FIG16_DEFLATION_PCT",
+    "WikipediaConfig",
+    "WikipediaPoint",
+    "run_deflation_point",
+    "run_deflation_sweep",
+]

@@ -1,0 +1,67 @@
+"""Social-network microservice application harness (Figure 18).
+
+Wraps :class:`repro.microsim.SocialNetworkApp` into the paper's experiment:
+500 req/s, 22 of 30 microservices deflated by 0/30/50/60/65%, reporting
+median, 90th and 99th percentile response times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.feasibility.stats import percentile_summary
+from repro.microsim.app import SocialNetworkApp
+
+#: The paper's Figure 18 x-axis.
+FIG18_DEFLATION_PCT: tuple[int, ...] = (0, 30, 50, 60, 65)
+
+
+@dataclass(frozen=True)
+class SocialNetPoint:
+    deflation_pct: float
+    median_ms: float
+    p90_ms: float
+    p99_ms: float
+    served_fraction: float
+    bottleneck_rho: float
+
+
+def run_socialnet_point(
+    deflation_pct: float,
+    rate_per_s: float = 500.0,
+    duration_s: float = 20.0,
+    seed: int = 0,
+) -> SocialNetPoint:
+    """One Figure 18 bar group: latency percentiles at one deflation level."""
+    app = SocialNetworkApp(seed=seed)
+    result = app.simulate(
+        rate_per_s=rate_per_s,
+        duration_s=duration_s,
+        deflation=deflation_pct / 100.0,
+        seed=seed,
+    )
+    pct = (
+        percentile_summary(result.response_times, (50, 90, 99))
+        if result.response_times.size
+        else {50: float("nan"), 90: float("nan"), 99: float("nan")}
+    )
+    return SocialNetPoint(
+        deflation_pct=deflation_pct,
+        median_ms=1000 * pct[50],
+        p90_ms=1000 * pct[90],
+        p99_ms=1000 * pct[99],
+        served_fraction=result.served_fraction,
+        bottleneck_rho=app.bottleneck_utilization(rate_per_s, deflation_pct / 100.0),
+    )
+
+
+def run_socialnet_sweep(
+    levels_pct: tuple[int, ...] = FIG18_DEFLATION_PCT,
+    rate_per_s: float = 500.0,
+    duration_s: float = 20.0,
+    seed: int = 0,
+) -> list[SocialNetPoint]:
+    return [
+        run_socialnet_point(pct, rate_per_s=rate_per_s, duration_s=duration_s, seed=seed)
+        for pct in levels_pct
+    ]

@@ -1,0 +1,17 @@
+"""Cluster management: servers, centralized manager, three-step placement."""
+
+from repro.cluster.manager import (
+    ClusterManager,
+    ClusterStats,
+    PlacementDecision,
+    make_uniform_cluster,
+)
+from repro.cluster.server import Server
+
+__all__ = [
+    "ClusterManager",
+    "ClusterStats",
+    "PlacementDecision",
+    "make_uniform_cluster",
+    "Server",
+]

@@ -1,0 +1,175 @@
+"""Centralized cluster manager: the paper's three-step VM placement.
+
+Section 6: "New VMs are placed on servers using a three-step approach.
+First, the centralized cluster manager finds the 'best' server for the VM
+based on the VM size and utilizations of all servers.  The second step
+involves the server computing the deflation required to accommodate the new
+VM.  If this violates any resource constraint, then the server rejects the
+VM.  Finally, the actual deflation is performed and the VM is launched."
+
+The manager walks the placement strategy's ranked server list so a rejection
+in step 2 falls through to the next-best server; if every candidate rejects,
+the VM is refused at admission control (the partitioned-cluster downside the
+paper calls out in Section 5.2.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.server import Server
+from repro.core.placement import (
+    CosineBestFit,
+    PlacementStrategy,
+    filter_partition,
+    partition_for_priority,
+)
+from repro.core.vm import VMAllocation, VMSpec
+from repro.errors import AdmissionRejected, PlacementError
+
+
+@dataclass
+class PlacementDecision:
+    vm_id: str
+    server_id: str
+    allocation: VMAllocation
+    candidates_tried: int
+
+
+@dataclass
+class ClusterStats:
+    n_servers: int
+    n_vms: int
+    committed_cpu: float
+    capacity_cpu: float
+    admissions: int
+    rejections: int
+
+    @property
+    def overcommitment(self) -> float:
+        """Committed/capacity - 1 (0 = exactly full, negative = headroom)."""
+        if self.capacity_cpu <= 0:
+            return 0.0
+        return self.committed_cpu / self.capacity_cpu - 1.0
+
+
+class ClusterManager:
+    """Owns the global placement state of a deflation-enabled cluster."""
+
+    def __init__(
+        self,
+        servers: list[Server],
+        strategy: PlacementStrategy | None = None,
+        partitioned: bool = False,
+    ) -> None:
+        if not servers:
+            raise PlacementError("cluster needs at least one server")
+        ids = [s.server_id for s in servers]
+        if len(set(ids)) != len(ids):
+            raise PlacementError("duplicate server ids")
+        self.servers: dict[str, Server] = {s.server_id: s for s in servers}
+        self.strategy = strategy if strategy is not None else CosineBestFit()
+        self.partitioned = partitioned
+        self._vm_to_server: dict[str, str] = {}
+        self._admissions = 0
+        self._rejections = 0
+
+    # -- placement --------------------------------------------------------------
+
+    def request_vm(self, spec: VMSpec) -> PlacementDecision:
+        """Admit a VM via three-step placement, or raise AdmissionRejected."""
+        snapshots = [s.snapshot() for s in self.servers.values()]
+        if self.partitioned and spec.deflatable:
+            label = partition_for_priority(spec.priority)
+            snapshots = filter_partition(snapshots, label)
+        elif self.partitioned:
+            snapshots = filter_partition(snapshots, "on-demand")
+        if not snapshots:
+            self._rejections += 1
+            raise AdmissionRejected(f"no servers in partition for {spec.vm_id}")
+
+        # Step 1: centralized ranking by fitness.  Deflatable VMs may start
+        # deflated, so feasibility is judged against their minimum demand.
+        min_demand = spec.min_allocation if spec.deflatable else spec.capacity
+        try:
+            ranked = self.strategy.rank(spec.capacity, snapshots, min_demand=min_demand)
+        except PlacementError:
+            self._rejections += 1
+            raise AdmissionRejected(f"no server can host {spec.vm_id}") from None
+
+        # Steps 2-3: first server that passes its local check launches the VM.
+        for tried, snap in enumerate(ranked, start=1):
+            server = self.servers[snap.server_id]
+            if not server.can_accommodate(spec):
+                continue
+            alloc = server.launch(spec)
+            self._vm_to_server[spec.vm_id] = server.server_id
+            self._admissions += 1
+            return PlacementDecision(
+                vm_id=spec.vm_id,
+                server_id=server.server_id,
+                allocation=alloc,
+                candidates_tried=tried,
+            )
+        self._rejections += 1
+        raise AdmissionRejected(f"all candidate servers rejected {spec.vm_id}")
+
+    def terminate_vm(self, vm_id: str) -> None:
+        """Remove a VM; its server reinflates the survivors."""
+        try:
+            server_id = self._vm_to_server.pop(vm_id)
+        except KeyError:
+            raise PlacementError(f"unknown VM {vm_id}") from None
+        self.servers[server_id].terminate(vm_id)
+
+    def locate(self, vm_id: str) -> str:
+        try:
+            return self._vm_to_server[vm_id]
+        except KeyError:
+            raise PlacementError(f"unknown VM {vm_id}") from None
+
+    # -- reporting ---------------------------------------------------------------
+
+    def stats(self) -> ClusterStats:
+        committed = sum(s.controller.committed().cpu for s in self.servers.values())
+        capacity = sum(s.capacity.cpu for s in self.servers.values())
+        return ClusterStats(
+            n_servers=len(self.servers),
+            n_vms=len(self._vm_to_server),
+            committed_cpu=committed,
+            capacity_cpu=capacity,
+            admissions=self._admissions,
+            rejections=self._rejections,
+        )
+
+    def verify_invariants(self) -> None:
+        for server in self.servers.values():
+            server.controller.verify_invariants()
+
+
+def make_uniform_cluster(
+    n_servers: int,
+    capacity,
+    policy=None,
+    partitioned: bool = False,
+    partition_labels: list[str] | None = None,
+    with_hypervisor: bool = False,
+) -> ClusterManager:
+    """Build a homogeneous cluster (the paper's 48-core/128 GB servers)."""
+    if n_servers < 1:
+        raise PlacementError("need >= 1 server")
+    servers = []
+    for i in range(n_servers):
+        label = None
+        if partition_labels is not None:
+            label = partition_labels[i % len(partition_labels)]
+        servers.append(
+            Server(
+                server_id=f"server-{i}",
+                capacity=capacity,
+                policy=policy,
+                partition=label,
+                with_hypervisor=with_hypervisor,
+            )
+        )
+    return ClusterManager(servers, partitioned=partitioned)

@@ -1,0 +1,99 @@
+"""A physical server: capacity + local deflation controller (+ hypervisor).
+
+Combines the pieces of Figure 1's per-server stack: the local deflation
+controller decides *how much* each resident VM gets (Section 5 policies) and
+the hypervisor mechanisms (Section 4) enact those allocations on domains.
+The hypervisor binding is optional — the trace-driven simulator uses bare
+controllers for speed, while the integration tests and examples run the full
+stack.
+"""
+
+from __future__ import annotations
+
+from repro.core.controller import DeflationEvent, LocalDeflationController
+from repro.core.deflation import DeflationPolicy
+from repro.core.placement import ServerSnapshot
+from repro.core.resources import ResourceVector
+from repro.core.vm import VMAllocation, VMSpec
+from repro.errors import PlacementError
+from repro.hypervisor.libvirt_api import HypervisorConnection
+
+
+class Server:
+    """One cluster node hosting VMs under a deflation policy."""
+
+    def __init__(
+        self,
+        server_id: str,
+        capacity: ResourceVector,
+        policy: DeflationPolicy | None = None,
+        partition: str | None = None,
+        with_hypervisor: bool = False,
+    ) -> None:
+        self.server_id = server_id
+        self.capacity = capacity
+        self.partition = partition
+        self.controller = LocalDeflationController(
+            capacity=capacity, policy=policy, server_id=server_id
+        )
+        self.hypervisor: HypervisorConnection | None = None
+        if with_hypervisor:
+            self.hypervisor = HypervisorConnection(
+                ncpus=capacity.cpu, memory_mb=capacity.memory_mb, hostname=server_id
+            )
+            self.controller.subscribe(self._apply_to_hypervisor)
+
+    # -- hypervisor wiring -------------------------------------------------------
+
+    def _apply_to_hypervisor(self, event: DeflationEvent) -> None:
+        """Enact a controller decision through the (simulated) libvirt API."""
+        assert self.hypervisor is not None
+        if event.vm_id in self.hypervisor:
+            self.hypervisor.set_allocation(event.vm_id, event.new_allocation)
+
+    # -- placement protocol (steps 2 and 3 of Section 6) ---------------------------
+
+    def can_accommodate(self, spec: VMSpec) -> bool:
+        """Step 2: local constraint check, possibly requiring deflation."""
+        return self.controller.can_accommodate(spec)
+
+    def launch(self, spec: VMSpec) -> VMAllocation:
+        """Step 3: perform the deflation and launch the VM."""
+        alloc = self.controller.place(spec)
+        if self.hypervisor is not None:
+            domain = self.hypervisor.create_domain(spec.vm_id, spec.capacity)
+            del domain  # effective allocation is driven via events below
+            self.hypervisor.set_allocation(spec.vm_id, alloc.current)
+        return alloc
+
+    def terminate(self, vm_id: str) -> VMAllocation:
+        alloc = self.controller.remove(vm_id)
+        if self.hypervisor is not None and vm_id in self.hypervisor:
+            self.hypervisor.destroy_domain(vm_id)
+        return alloc
+
+    def hosts(self, vm_id: str) -> bool:
+        return vm_id in self.controller.vms
+
+    # -- reporting -------------------------------------------------------------------
+
+    def snapshot(self) -> ServerSnapshot:
+        """State summary for the centralized placement step."""
+        return ServerSnapshot(
+            server_id=self.server_id,
+            capacity=self.capacity,
+            used=self.controller.used(),
+            deflatable=self.controller.deflatable_headroom(),
+            overcommitment=self.controller.overcommitment(),
+            partition=self.partition,
+        )
+
+    def utilization(self) -> float:
+        """Committed CPU as a fraction of capacity (can exceed 1)."""
+        if self.capacity.cpu <= 0:
+            raise PlacementError("server has no CPU capacity")
+        return self.controller.committed().cpu / self.capacity.cpu
+
+    def __repr__(self) -> str:
+        n = len(self.controller.vms)
+        return f"Server({self.server_id!r}, vms={n}, util={self.utilization():.2f})"

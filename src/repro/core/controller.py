@@ -1,0 +1,243 @@
+"""Per-server local deflation controller.
+
+Section 6 of the paper: "local deflation controllers ... run on each server.
+These local controllers control the deflation of VMs by responding to
+resource pressure, by implementing the proportional deflation policies".
+
+The controller owns the authoritative allocation state of every resident VM.
+Whenever membership changes (VM placed or terminated) it *rebalances*: for
+each resource dimension it computes the server's required reclaim
+
+    ``R[r] = max(0, sum_i M_i[r] - C[r])``
+
+and asks the configured :class:`~repro.core.deflation.DeflationPolicy` for
+fresh target allocations of the deflatable VMs.  Because policies recompute
+from capacity, a departure automatically reinflates the remaining VMs
+("running the proportional deflation backwards", Section 5.1.3).
+
+Deflation changes are reported to registered observers — the paper's
+notification channel toward application managers and load balancers
+(Figure 1).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.deflation import DeflationPolicy, ProportionalPolicy
+from repro.core.resources import (
+    NUM_RESOURCES,
+    RESOURCE_KINDS,
+    ResourceVector,
+    sum_vectors,
+)
+from repro.core.vm import VMAllocation, VMSpec
+from repro.errors import DeflationError, PlacementError
+
+
+@dataclass(frozen=True)
+class DeflationEvent:
+    """Notification that one VM's allocation changed."""
+
+    vm_id: str
+    old_allocation: ResourceVector
+    new_allocation: ResourceVector
+
+    @property
+    def is_deflation(self) -> bool:
+        return self.new_allocation.total() < self.old_allocation.total()
+
+
+@dataclass
+class RebalanceReport:
+    """Result of one controller rebalance pass."""
+
+    events: list[DeflationEvent] = field(default_factory=list)
+    satisfied: bool = True
+    required: ResourceVector = field(default_factory=ResourceVector.zeros)
+
+
+Observer = Callable[[DeflationEvent], None]
+
+
+class LocalDeflationController:
+    """Manages allocations of all VMs resident on a single server."""
+
+    def __init__(
+        self,
+        capacity: ResourceVector,
+        policy: DeflationPolicy | None = None,
+        server_id: str = "server-0",
+    ) -> None:
+        self.capacity = capacity
+        self.policy = policy if policy is not None else ProportionalPolicy()
+        self.server_id = server_id
+        self._vms: dict[str, VMAllocation] = {}
+        self._observers: list[Observer] = []
+
+    # -- membership ------------------------------------------------------------
+
+    @property
+    def vms(self) -> dict[str, VMAllocation]:
+        return dict(self._vms)
+
+    def subscribe(self, observer: Observer) -> None:
+        """Register a deflation-notification observer (e.g. a load balancer)."""
+        self._observers.append(observer)
+
+    def committed(self) -> ResourceVector:
+        """Sum of undeflated capacities of all resident VMs."""
+        return sum_vectors(a.spec.capacity for a in self._vms.values())
+
+    def used(self) -> ResourceVector:
+        """Sum of current (possibly deflated) allocations."""
+        return sum_vectors(a.current for a in self._vms.values())
+
+    def deflatable_headroom(self) -> ResourceVector:
+        """Resources still reclaimable from resident deflatable VMs."""
+        return sum_vectors(
+            a.headroom for a in self._vms.values() if a.spec.deflatable
+        )
+
+    def overcommitment(self) -> ResourceVector:
+        """Per-resource committed/capacity ratio (>1 means overcommitted)."""
+        ratio = self.committed().fraction_of(self.capacity)
+        return ResourceVector.from_array(ratio)
+
+    def can_accommodate(self, spec: VMSpec) -> bool:
+        """Step 2 of the paper's three-step placement: local feasibility.
+
+        The new VM fits if, for every resource, committed + demand can be
+        brought within capacity by deflating the (existing + new, when the
+        new VM is itself deflatable) pool under the configured policy.
+        """
+        caps, mins, prios = self._policy_arrays(extra=spec if spec.deflatable else None)
+        committed = self.committed() + spec.capacity
+        over = committed.as_array() - self.capacity.as_array()
+        for r in range(NUM_RESOURCES):
+            if over[r] <= 1e-9:
+                continue
+            reclaimable = self.policy.max_reclaimable(caps[:, r], mins[:, r], prios)
+            if over[r] > reclaimable + 1e-6:
+                return False
+        return True
+
+    def place(self, spec: VMSpec) -> VMAllocation:
+        """Admit a VM and rebalance; raises :class:`PlacementError` if it
+        cannot fit even with maximal deflation."""
+        if spec.vm_id in self._vms:
+            raise PlacementError(f"duplicate VM id {spec.vm_id}")
+        if not self.can_accommodate(spec):
+            raise PlacementError(
+                f"server {self.server_id} cannot accommodate {spec.vm_id}"
+            )
+        alloc = VMAllocation(spec=spec)
+        self._vms[spec.vm_id] = alloc
+        self.rebalance()
+        return alloc
+
+    def remove(self, vm_id: str) -> VMAllocation:
+        """Terminate a VM and rebalance (reinflating survivors)."""
+        try:
+            alloc = self._vms.pop(vm_id)
+        except KeyError:
+            raise PlacementError(f"unknown VM id {vm_id}") from None
+        self.rebalance()
+        return alloc
+
+    # -- rebalancing -----------------------------------------------------------
+
+    def required_reclaim(self) -> ResourceVector:
+        """Per-resource pressure: how much must currently be reclaimed."""
+        over = self.committed().as_array() - self.capacity.as_array()
+        return ResourceVector.from_array(np.maximum(over, 0.0))
+
+    def _policy_arrays(
+        self, extra: VMSpec | None = None
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(capacities, minimums, priorities) matrices over deflatable VMs.
+
+        Shapes: (n, NUM_RESOURCES), (n, NUM_RESOURCES), (n,).
+        """
+        specs = [a.spec for a in self._vms.values() if a.spec.deflatable]
+        if extra is not None:
+            specs = specs + [extra]
+        n = len(specs)
+        caps = np.zeros((n, NUM_RESOURCES))
+        mins = np.zeros((n, NUM_RESOURCES))
+        prios = np.ones(n)
+        for i, spec in enumerate(specs):
+            caps[i] = spec.capacity.as_array()
+            mins[i] = spec.min_allocation.as_array()
+            prios[i] = spec.priority
+        return caps, mins, prios
+
+    def rebalance(self) -> RebalanceReport:
+        """Recompute all deflatable allocations under current pressure."""
+        report = RebalanceReport(required=self.required_reclaim())
+        deflatable = [a for a in self._vms.values() if a.spec.deflatable]
+        if not deflatable:
+            report.satisfied = report.required.is_zero(tol=1e-6)
+            return report
+
+        caps, mins, prios = self._policy_arrays()
+        required = report.required.as_array()
+        new_alloc = caps.copy()
+        for r in range(NUM_RESOURCES):
+            result = self.policy.target_allocations(
+                caps[:, r], mins[:, r], prios, float(required[r])
+            )
+            new_alloc[:, r] = result.allocations
+            if not result.satisfied:
+                report.satisfied = False
+
+        for i, alloc in enumerate(deflatable):
+            old = alloc.current
+            target = ResourceVector.from_array(new_alloc[i])
+            if old == target:
+                continue
+            alloc.set_allocation(target)
+            event = DeflationEvent(alloc.spec.vm_id, old, target)
+            report.events.append(event)
+            for obs in self._observers:
+                obs(event)
+        return report
+
+    # -- introspection ----------------------------------------------------------
+
+    def allocation_of(self, vm_id: str) -> ResourceVector:
+        try:
+            return self._vms[vm_id].current
+        except KeyError:
+            raise PlacementError(f"unknown VM id {vm_id}") from None
+
+    def deflation_summary(self) -> dict[str, dict[str, float]]:
+        """Per-VM, per-resource deflation fractions — handy for debugging."""
+        out: dict[str, dict[str, float]] = {}
+        for vm_id, alloc in self._vms.items():
+            fracs = alloc.deflation_fractions
+            out[vm_id] = dict(zip(RESOURCE_KINDS, fracs))
+        return out
+
+    def verify_invariants(self) -> None:
+        """Raise if any controller invariant is violated (used by tests)."""
+        for alloc in self._vms.values():
+            if not alloc.current.fits_within(alloc.spec.capacity, tol=1e-6):
+                raise DeflationError(f"{alloc.spec.vm_id} allocated above capacity")
+            if alloc.spec.deflatable:
+                if not alloc.current.dominates(alloc.spec.min_allocation, tol=1e-6):
+                    raise DeflationError(f"{alloc.spec.vm_id} below minimum allocation")
+            elif alloc.current != alloc.spec.capacity:
+                raise DeflationError(f"on-demand VM {alloc.spec.vm_id} was deflated")
+        used = self.used().as_array()
+        cap = self.capacity.as_array()
+        committed = self.committed().as_array()
+        # The server may be oversubscribed in committed terms, but actual
+        # allocations must fit in physical capacity whenever the policy could
+        # satisfy the pressure.
+        for r in range(NUM_RESOURCES):
+            if used[r] > cap[r] + 1e-6 and committed[r] <= cap[r] + 1e-6:
+                raise DeflationError("allocations exceed capacity without pressure")

@@ -1,0 +1,272 @@
+"""Server-level deflation policies (Section 5.1 of the paper).
+
+All three policy families — proportional (Eqs. 1/2), priority-weighted
+proportional (Eqs. 3/4) and deterministic — are implemented over plain NumPy
+arrays so the cluster simulator can evaluate thousands of deflation events
+cheaply.  A policy answers one question per resource dimension:
+
+    given per-VM capacities ``M_i``, minimum allocations ``m_i``, priorities
+    ``pi_i`` and a total amount ``R`` that must be reclaimed on this server,
+    what is each deflatable VM's new target allocation?
+
+Design note — *recompute-from-capacity semantics*: policies always compute
+target allocations from the full capacities and the server's **current total
+required reclaim**, not incrementally from the previous allocation.  Under
+this formulation reinflation (Section 5.1.3, "run the proportional deflation
+backwards") falls out automatically: when a VM departs, the required reclaim
+drops and the recomputed targets are higher.  It also makes
+deflate-then-reinflate exactly idempotent, which the property tests verify.
+
+The proportional-family solver handles the clamping the paper leaves
+implicit: the closed forms of Eqs. 1–4 can push an individual VM below zero
+(or below ``m_i``) when priorities are heterogeneous, so we solve the
+equivalent water-filling problem ``sum_i clip(b_i - alpha * w_i, 0, cap_i)
+= R`` for the level ``alpha`` by bisection, which preserves the papers'
+weighting exactly whenever the unclamped solution is feasible.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import DeflationError
+
+_BISECT_ITERS = 80
+_TOL = 1e-9
+
+
+def _validate_inputs(
+    capacities: np.ndarray, minimums: np.ndarray, priorities: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    caps = np.asarray(capacities, dtype=np.float64)
+    mins = np.asarray(minimums, dtype=np.float64)
+    prios = np.asarray(priorities, dtype=np.float64)
+    if caps.shape != mins.shape or caps.shape != prios.shape:
+        raise DeflationError("capacities, minimums and priorities must have equal shapes")
+    if np.any(caps < -_TOL):
+        raise DeflationError("capacities must be non-negative")
+    if np.any(mins < -_TOL) or np.any(mins > caps + 1e-6):
+        raise DeflationError("minimums must satisfy 0 <= m_i <= M_i")
+    if np.any(prios <= 0.0) or np.any(prios > 1.0):
+        raise DeflationError("priorities must be in (0, 1]")
+    return caps, np.minimum(mins, caps), prios
+
+
+def _waterfill_reclaim(
+    base: np.ndarray, weight: np.ndarray, cap: np.ndarray, amount: float
+) -> np.ndarray:
+    """Solve sum_i clip(base_i - alpha * weight_i, 0, cap_i) = amount for alpha.
+
+    Returns the per-VM reclaim amounts ``x_i``.  The clipped sum is monotone
+    non-increasing in alpha, so bisection converges unconditionally.  Callers
+    guarantee ``0 <= amount <= sum(cap)``.
+    """
+    if amount <= _TOL:
+        return np.zeros_like(base)
+    total_cap = float(cap.sum())
+    if amount >= total_cap - _TOL:
+        return cap.copy()
+
+    def clipped_sum(alpha: float) -> float:
+        return float(np.clip(base - alpha * weight, 0.0, cap).sum())
+
+    # Bracket: alpha low enough that everything is at cap, high enough that
+    # everything is at zero.
+    wpos = weight[weight > 0]
+    wmin = float(wpos.min()) if wpos.size else 1.0
+    lo = float((base - cap).min() / max(wmin, _TOL)) - 1.0
+    hi = float(base.max() / max(wmin, _TOL)) + 1.0
+    for _ in range(_BISECT_ITERS):
+        mid = 0.5 * (lo + hi)
+        if clipped_sum(mid) > amount:
+            lo = mid
+        else:
+            hi = mid
+    x = np.clip(base - hi * weight, 0.0, cap)
+    # Remove the last drops of bisection error by scaling inside the caps.
+    total = float(x.sum())
+    if total > _TOL:
+        x = np.minimum(x * (amount / total), cap)
+    return x
+
+
+@dataclass(frozen=True)
+class DeflationResult:
+    """Outcome of a policy evaluation for one resource dimension."""
+
+    allocations: np.ndarray  # new target allocation per VM
+    reclaimed: np.ndarray  # capacity - allocation, per VM
+    satisfied: bool  # True if total reclaimed >= requested amount
+
+    @property
+    def total_reclaimed(self) -> float:
+        return float(self.reclaimed.sum())
+
+
+class DeflationPolicy(abc.ABC):
+    """Common interface for the server-level deflation policies."""
+
+    #: Short machine-readable name, used by experiment harnesses.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def max_reclaimable(
+        self, capacities: np.ndarray, minimums: np.ndarray, priorities: np.ndarray
+    ) -> float:
+        """Upper bound of what this policy can reclaim from the given pool."""
+
+    @abc.abstractmethod
+    def target_allocations(
+        self,
+        capacities: np.ndarray,
+        minimums: np.ndarray,
+        priorities: np.ndarray,
+        required: float,
+    ) -> DeflationResult:
+        """Compute per-VM target allocations reclaiming >= ``required`` total.
+
+        ``required <= 0`` means no pressure: all VMs return to full capacity
+        (this is how reinflation is expressed).  If the pool cannot yield
+        ``required`` even at maximum deflation, the policy deflates maximally
+        and flags ``satisfied=False`` — the caller (cluster manager) treats
+        that as a reclamation failure (Figure 20).
+        """
+
+    # Convenience wrapper shared by all policies.
+    def _finalize(
+        self, capacities: np.ndarray, reclaim: np.ndarray, required: float
+    ) -> DeflationResult:
+        reclaim = np.minimum(reclaim, capacities)
+        allocations = capacities - reclaim
+        satisfied = float(reclaim.sum()) >= required - 1e-6
+        return DeflationResult(allocations=allocations, reclaimed=reclaim, satisfied=satisfied)
+
+
+class ProportionalPolicy(DeflationPolicy):
+    """Eq. 1 (and Eq. 2 when minimum allocations are set).
+
+    Every deflatable VM is deflated in proportion to its deflatable pool
+    ``M_i - m_i``, which avoids excessively deflating small VMs.
+    """
+
+    name = "proportional"
+
+    def max_reclaimable(self, capacities, minimums, priorities) -> float:
+        caps, mins, _ = _validate_inputs(capacities, minimums, priorities)
+        return float((caps - mins).sum())
+
+    def target_allocations(self, capacities, minimums, priorities, required) -> DeflationResult:
+        caps, mins, _ = _validate_inputs(capacities, minimums, priorities)
+        pool = caps - mins
+        if required <= _TOL or caps.size == 0:
+            return self._finalize(caps, np.zeros_like(caps), max(required, 0.0))
+        total = float(pool.sum())
+        if total <= _TOL:
+            return self._finalize(caps, np.zeros_like(caps), required)
+        frac = min(required / total, 1.0)
+        return self._finalize(caps, pool * frac, required)
+
+
+class PriorityPolicy(DeflationPolicy):
+    """Eqs. 3/4: weighted proportional deflation with priority-derived floors.
+
+    The minimum allocation of VM *i* is ``max(m_i, pi_i * M_i)`` (Section
+    5.1.2 suggests ``m_i = pi_i * M_i``), and the reclaim is weighted by
+    ``pi_i * (M_i - m_i^eff)`` so low-priority VMs absorb more of the
+    pressure.  The clamped water-filling solver keeps every VM inside
+    ``[m_i^eff, M_i]`` while preserving the total.
+    """
+
+    name = "priority"
+
+    def __init__(self, priority_floor: bool = True) -> None:
+        #: When True (Eq. 4) the priority also sets the minimum allocation;
+        #: when False (Eq. 3) only user-provided minimums apply.
+        self.priority_floor = priority_floor
+
+    def _effective_min(self, caps: np.ndarray, mins: np.ndarray, prios: np.ndarray) -> np.ndarray:
+        if self.priority_floor:
+            return np.maximum(mins, prios * caps)
+        return mins
+
+    def max_reclaimable(self, capacities, minimums, priorities) -> float:
+        caps, mins, prios = _validate_inputs(capacities, minimums, priorities)
+        eff_min = self._effective_min(caps, mins, prios)
+        return float((caps - eff_min).sum())
+
+    def target_allocations(self, capacities, minimums, priorities, required) -> DeflationResult:
+        caps, mins, prios = _validate_inputs(capacities, minimums, priorities)
+        if required <= _TOL or caps.size == 0:
+            return self._finalize(caps, np.zeros_like(caps), max(required, 0.0))
+        eff_min = self._effective_min(caps, mins, prios)
+        pool = caps - eff_min
+        total = float(pool.sum())
+        if total <= _TOL:
+            return self._finalize(caps, np.zeros_like(caps), required)
+        if required >= total - _TOL:
+            return self._finalize(caps, pool, required)
+        # Water-fill with weight pi_i * pool_i: the literal Eq. 3/4 solution
+        # whenever it is interior, clamped otherwise.  Low priority => low
+        # weight appears in `base - alpha*weight`?  We want low pi to receive
+        # *more* reclaim, so weight the *retained* share by pi: x_i(alpha) =
+        # pool_i - alpha * pi_i * pool_i.
+        x = _waterfill_reclaim(base=pool, weight=prios * pool, cap=pool, amount=required)
+        return self._finalize(caps, x, required)
+
+
+class DeterministicPolicy(DeflationPolicy):
+    """Section 5.1.3: binary deflation in increasing priority order.
+
+    A VM is either at 100% of its allocation or at ``pi_i * M_i``; VMs are
+    deflated in decreasing deflatability (i.e. increasing ``pi_i``) until the
+    requested amount is covered.  Because deflation is all-or-nothing the
+    policy may overshoot ``required``; the overshoot is reported via
+    ``reclaimed``.
+    """
+
+    name = "deterministic"
+
+    def max_reclaimable(self, capacities, minimums, priorities) -> float:
+        caps, mins, prios = _validate_inputs(capacities, minimums, priorities)
+        floor = np.maximum(mins, prios * caps)
+        return float((caps - floor).sum())
+
+    def target_allocations(self, capacities, minimums, priorities, required) -> DeflationResult:
+        caps, mins, prios = _validate_inputs(capacities, minimums, priorities)
+        reclaim = np.zeros_like(caps)
+        if required <= _TOL or caps.size == 0:
+            return self._finalize(caps, reclaim, max(required, 0.0))
+        floor = np.maximum(mins, prios * caps)
+        yields = caps - floor
+        # Deflate lowest-priority VMs first; break ties by larger yield so we
+        # touch fewer VMs (stable for reproducibility).
+        order = np.lexsort((-yields, prios))
+        got = 0.0
+        for idx in order:
+            if got >= required - _TOL:
+                break
+            reclaim[idx] = yields[idx]
+            got += float(yields[idx])
+        return self._finalize(caps, reclaim, required)
+
+
+#: Registry used by the simulator CLI and the benchmarks.
+POLICIES: dict[str, DeflationPolicy] = {
+    "proportional": ProportionalPolicy(),
+    "priority": PriorityPolicy(priority_floor=True),
+    "priority-eq3": PriorityPolicy(priority_floor=False),
+    "deterministic": DeterministicPolicy(),
+}
+
+
+def get_policy(name: str) -> DeflationPolicy:
+    """Look a policy up by name, raising a helpful error on typos."""
+    try:
+        return POLICIES[name]
+    except KeyError:
+        raise DeflationError(
+            f"unknown policy {name!r}; available: {sorted(POLICIES)}"
+        ) from None

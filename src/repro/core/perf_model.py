@@ -1,0 +1,150 @@
+"""Abstract application-performance-under-deflation model.
+
+Section 3.1 / Figure 2 of the paper models an application's normalized
+performance as a function of the deflation fraction with three regions:
+
+* **slack** — reclaiming unused resources: performance stays at 1.0;
+* **linear** — performance degrades (sub- or super-linearly) from 1.0 down to
+  the knee;
+* **post-knee** — performance "drops precipitously", i.e. allocated resources
+  no longer sustain satisfactory service.
+
+Figure 3 instantiates the model for three applications (SpecJBB — no slack;
+kernel compile — modest slack; Memcached — large slack).  The profiles below
+are calibrated to those curves and are reused by the cluster policies, the
+pricing experiments, and the examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ResourceError
+
+ArrayLike = "np.ndarray | float"
+
+
+@dataclass(frozen=True)
+class PerfProfile:
+    """Piecewise slack/linear/knee performance curve.
+
+    Parameters
+    ----------
+    slack:
+        Deflation fraction below which performance is unaffected.
+    knee:
+        Deflation fraction at which the precipitous region begins.
+    knee_perf:
+        Normalized performance at the knee.
+    gamma:
+        Shape exponent of the middle region. 1.0 = linear; >1 = sub-linear
+        degradation (performance holds up, then catches down near the knee);
+        <1 = super-linear (inelastic applications).
+    floor:
+        Residual performance as deflation approaches 100% (a fully deflated
+        VM makes essentially no progress).
+    name:
+        Human-readable label used by the experiment harnesses.
+    """
+
+    slack: float
+    knee: float
+    knee_perf: float
+    gamma: float = 1.0
+    floor: float = 0.02
+    name: str = "generic"
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.slack < self.knee <= 1.0):
+            raise ResourceError(f"require 0 <= slack < knee <= 1, got {self.slack}, {self.knee}")
+        if not (0.0 < self.knee_perf <= 1.0):
+            raise ResourceError(f"knee_perf must be in (0, 1], got {self.knee_perf}")
+        if self.gamma <= 0:
+            raise ResourceError(f"gamma must be positive, got {self.gamma}")
+        if not (0.0 <= self.floor <= self.knee_perf):
+            raise ResourceError("floor must be in [0, knee_perf]")
+
+    def performance(self, deflation):
+        """Normalized performance (1.0 = undeflated) at a deflation fraction.
+
+        Accepts scalars or NumPy arrays; deflation is clipped into [0, 1].
+        """
+        d = np.clip(np.asarray(deflation, dtype=np.float64), 0.0, 1.0)
+        out = np.ones_like(d)
+
+        # Middle region: smooth power-law descent from 1.0 to knee_perf.
+        mid = (d > self.slack) & (d <= self.knee)
+        if np.any(mid):
+            t = (d[mid] - self.slack) / (self.knee - self.slack)
+            out[mid] = 1.0 - (1.0 - self.knee_perf) * t**self.gamma
+
+        # Post-knee region: precipitous quadratic fall from knee_perf to floor.
+        post = d > self.knee
+        if np.any(post):
+            span = max(1.0 - self.knee, 1e-12)
+            t = (d[post] - self.knee) / span
+            out[post] = self.knee_perf - (self.knee_perf - self.floor) * (
+                1.0 - (1.0 - t) ** 2
+            )
+
+        out = np.maximum(out, self.floor)
+        if np.isscalar(deflation) or np.ndim(deflation) == 0:
+            return float(out)
+        return out
+
+    def slowdown(self, deflation):
+        """Response-time multiplier: 1 / performance."""
+        perf = self.performance(deflation)
+        return 1.0 / perf
+
+    def max_safe_deflation(self, min_performance: float) -> float:
+        """Largest deflation fraction that keeps performance >= the target.
+
+        Solved numerically on a fine grid — the curve is monotone
+        non-increasing, so the last grid point above the target is correct to
+        grid resolution (1e-4).
+        """
+        if not (0.0 < min_performance <= 1.0):
+            raise ResourceError("min_performance must be in (0, 1]")
+        grid = np.linspace(0.0, 1.0, 10_001)
+        perf = self.performance(grid)
+        ok = perf >= min_performance
+        if not ok[0]:
+            return 0.0
+        return float(grid[np.nonzero(ok)[0][-1]])
+
+
+# ---------------------------------------------------------------------------
+# Profiles calibrated against Figure 3 (uniform all-resource deflation) and
+# the Wikipedia/microservice observations in Section 7.2.
+# ---------------------------------------------------------------------------
+
+#: SpecJBB 2015: "not exhibiting any slack at all" (Fig. 3); roughly linear
+#: decline, falling off a cliff past ~75% deflation.
+SPECJBB = PerfProfile(slack=0.0, knee=0.75, knee_perf=0.35, gamma=1.0, name="SpecJBB")
+
+#: Kernel compile: small slack, then a near-linear throughput decline (it is
+#: CPU-bound, so performance tracks allocated cycles closely).
+KCOMPILE = PerfProfile(slack=0.10, knee=0.80, knee_perf=0.30, gamma=0.95, name="Kcompile")
+
+#: Memcached: large slack (over-provisioned memory/CPU), sub-linear impact
+#: until deep deflation (Section 3.2.2 calls it resilient).
+MEMCACHED = PerfProfile(slack=0.35, knee=0.88, knee_perf=0.50, gamma=1.3, name="Memcached")
+
+#: A well-architected multi-tier web service, per the Wikipedia experiment
+#: (Fig. 16: flat response times until ~70% CPU deflation).
+WEB_MULTITIER = PerfProfile(slack=0.50, knee=0.90, knee_perf=0.45, gamma=1.5, name="Wikipedia")
+
+#: Communication/coordination-heavy microservice application (Fig. 18: flat
+#: to 50%, then degrades abruptly).
+MICROSERVICE = PerfProfile(slack=0.45, knee=0.62, knee_perf=0.30, gamma=1.1, name="SocialNetwork")
+
+#: Map used by examples and the figure-3 experiment.
+FIG3_PROFILES: tuple[PerfProfile, ...] = (SPECJBB, KCOMPILE, MEMCACHED)
+
+ALL_PROFILES: dict[str, PerfProfile] = {
+    p.name: p
+    for p in (SPECJBB, KCOMPILE, MEMCACHED, WEB_MULTITIER, MICROSERVICE)
+}

@@ -1,0 +1,224 @@
+"""Multi-dimensional resource vectors.
+
+The paper treats a VM's demand and a server's capacity as four-dimensional
+vectors — CPU cores, memory, disk bandwidth, and network bandwidth — and all
+deflation policies and the placement fitness function (Section 5.2) operate on
+these vectors.  :class:`ResourceVector` is a small, NumPy-backed value type:
+cheap to construct, supports elementwise arithmetic, and exposes the cosine
+fitness used for deflation-aware placement.
+
+Units are fixed by convention: ``cpu`` in cores (fractional allowed — the
+transparent mechanism can multiplex at fine grain), ``memory_mb`` in MiB,
+``disk_mbps`` and ``net_mbps`` in MB/s.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from typing import Union
+
+import numpy as np
+
+from repro.errors import ResourceError
+
+#: Order of the resource dimensions inside the backing array.
+RESOURCE_KINDS: tuple[str, ...] = ("cpu", "memory_mb", "disk_mbps", "net_mbps")
+
+#: Number of resource dimensions.
+NUM_RESOURCES: int = len(RESOURCE_KINDS)
+
+_Scalar = Union[int, float]
+
+
+class ResourceVector:
+    """A fixed-dimension vector of resource quantities.
+
+    Instances are immutable by convention: every arithmetic operation returns
+    a new vector.  The backing array is float64 so fractional CPU allocations
+    (cgroup shares) are representable.
+    """
+
+    __slots__ = ("_v",)
+
+    def __init__(
+        self,
+        cpu: _Scalar = 0.0,
+        memory_mb: _Scalar = 0.0,
+        disk_mbps: _Scalar = 0.0,
+        net_mbps: _Scalar = 0.0,
+    ) -> None:
+        self._v = np.array(
+            [float(cpu), float(memory_mb), float(disk_mbps), float(net_mbps)],
+            dtype=np.float64,
+        )
+
+    # -- construction helpers -------------------------------------------------
+
+    @classmethod
+    def from_array(cls, arr: Iterable[float]) -> "ResourceVector":
+        """Build a vector from any 4-element iterable (no copy validation)."""
+        a = np.asarray(list(arr) if not isinstance(arr, np.ndarray) else arr, dtype=np.float64)
+        if a.shape != (NUM_RESOURCES,):
+            raise ResourceError(f"expected {NUM_RESOURCES} components, got shape {a.shape}")
+        rv = cls.__new__(cls)
+        rv._v = a.copy()
+        return rv
+
+    @classmethod
+    def zeros(cls) -> "ResourceVector":
+        return cls()
+
+    @classmethod
+    def full(cls, value: _Scalar) -> "ResourceVector":
+        """A vector with every component equal to ``value``."""
+        return cls(value, value, value, value)
+
+    # -- component access ------------------------------------------------------
+
+    @property
+    def cpu(self) -> float:
+        return float(self._v[0])
+
+    @property
+    def memory_mb(self) -> float:
+        return float(self._v[1])
+
+    @property
+    def disk_mbps(self) -> float:
+        return float(self._v[2])
+
+    @property
+    def net_mbps(self) -> float:
+        return float(self._v[3])
+
+    def as_array(self) -> np.ndarray:
+        """Return a *copy* of the backing array (callers may mutate it)."""
+        return self._v.copy()
+
+    def component(self, kind: str) -> float:
+        """Look a component up by its name in :data:`RESOURCE_KINDS`."""
+        try:
+            return float(self._v[RESOURCE_KINDS.index(kind)])
+        except ValueError:
+            raise ResourceError(f"unknown resource kind {kind!r}") from None
+
+    def replace(self, **kwargs: _Scalar) -> "ResourceVector":
+        """Return a copy with the named components replaced."""
+        vals = dict(zip(RESOURCE_KINDS, self._v))
+        for key, val in kwargs.items():
+            if key not in vals:
+                raise ResourceError(f"unknown resource kind {key!r}")
+            vals[key] = float(val)
+        return ResourceVector(**vals)
+
+    def __iter__(self) -> Iterator[float]:
+        return iter(self._v.tolist())
+
+    # -- arithmetic ------------------------------------------------------------
+
+    def __add__(self, other: "ResourceVector") -> "ResourceVector":
+        return ResourceVector.from_array(self._v + other._v)
+
+    def __sub__(self, other: "ResourceVector") -> "ResourceVector":
+        return ResourceVector.from_array(self._v - other._v)
+
+    def __mul__(self, scalar: _Scalar) -> "ResourceVector":
+        return ResourceVector.from_array(self._v * float(scalar))
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, scalar: _Scalar) -> "ResourceVector":
+        return ResourceVector.from_array(self._v / float(scalar))
+
+    def __neg__(self) -> "ResourceVector":
+        return ResourceVector.from_array(-self._v)
+
+    def scale_by(self, other: "ResourceVector") -> "ResourceVector":
+        """Elementwise (Hadamard) product — useful for fractional deflation."""
+        return ResourceVector.from_array(self._v * other._v)
+
+    def elementwise_min(self, other: "ResourceVector") -> "ResourceVector":
+        return ResourceVector.from_array(np.minimum(self._v, other._v))
+
+    def elementwise_max(self, other: "ResourceVector") -> "ResourceVector":
+        return ResourceVector.from_array(np.maximum(self._v, other._v))
+
+    def clamp_nonnegative(self) -> "ResourceVector":
+        return ResourceVector.from_array(np.maximum(self._v, 0.0))
+
+    def fraction_of(self, other: "ResourceVector") -> np.ndarray:
+        """Per-component ratio self/other, with 0/0 defined as 1 (no demand)."""
+        out = np.ones(NUM_RESOURCES)
+        nz = other._v > 0
+        out[nz] = self._v[nz] / other._v[nz]
+        return out
+
+    # -- comparisons -----------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ResourceVector):
+            return NotImplemented
+        return bool(np.array_equal(self._v, other._v))
+
+    def __hash__(self) -> int:
+        return hash(self._v.tobytes())
+
+    def fits_within(self, other: "ResourceVector", tol: float = 1e-9) -> bool:
+        """True if every component of self is <= the matching one of other."""
+        return bool(np.all(self._v <= other._v + tol))
+
+    def dominates(self, other: "ResourceVector", tol: float = 1e-9) -> bool:
+        """True if every component of self is >= the matching one of other."""
+        return bool(np.all(self._v + tol >= other._v))
+
+    def is_nonnegative(self, tol: float = 1e-9) -> bool:
+        return bool(np.all(self._v >= -tol))
+
+    def is_zero(self, tol: float = 1e-9) -> bool:
+        return bool(np.all(np.abs(self._v) <= tol))
+
+    def any_positive(self, tol: float = 1e-9) -> bool:
+        return bool(np.any(self._v > tol))
+
+    # -- aggregates ------------------------------------------------------------
+
+    def norm(self) -> float:
+        return float(np.linalg.norm(self._v))
+
+    def total(self) -> float:
+        return float(self._v.sum())
+
+    def max_component(self) -> float:
+        return float(self._v.max())
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{k}={v:g}" for k, v in zip(RESOURCE_KINDS, self._v))
+        return f"ResourceVector({parts})"
+
+
+def cosine_fitness(demand: ResourceVector, availability: ResourceVector, eps: float = 1e-12) -> float:
+    """Cosine-similarity fitness between a demand and an availability vector.
+
+    This is the placement fitness from Section 5.2 of the paper (following
+    Tetris [Grandl et al.]): ``fitness(D, A) = A·D / (|A| |D|)``.  When the
+    availability vector is all-zero the paper adds a small epsilon rather than
+    dividing by zero; we mirror that so fully-loaded servers score ~0 instead
+    of raising.
+    """
+    a = availability.as_array()
+    d = demand.as_array()
+    na = float(np.linalg.norm(a))
+    nd = float(np.linalg.norm(d))
+    if nd < eps:
+        raise ResourceError("demand vector must be non-zero for fitness computation")
+    if na < eps:
+        na = eps
+    return float(np.dot(a, d) / (na * nd))
+
+
+def sum_vectors(vectors: Iterable[ResourceVector]) -> ResourceVector:
+    """Sum an iterable of resource vectors (zeros when empty)."""
+    acc = np.zeros(NUM_RESOURCES)
+    for vec in vectors:
+        acc += vec.as_array()
+    return ResourceVector.from_array(acc)

@@ -1,0 +1,170 @@
+"""VM model: specifications, priority classes, and allocation state.
+
+The paper's cluster hosts two pools of VMs (Section 5): non-deflatable
+high-priority ("on-demand") VMs and deflatable low-priority VMs.  Deflatable
+VMs carry a priority level ``pi in (0, 1]`` which controls both how much they
+can be deflated (Eqs. 3/4, deterministic policy) and how they are priced
+(Section 5.2.2).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+
+from repro.core.resources import ResourceVector
+from repro.errors import ResourceError
+
+
+class VMClass(enum.Enum):
+    """Workload class labels, mirroring the Azure trace categories."""
+
+    INTERACTIVE = "interactive"
+    DELAY_INSENSITIVE = "delay-insensitive"
+    UNKNOWN = "unknown"
+
+
+#: The four priority levels used for the cluster simulations (Section 7.1.2
+#: determines priorities from the 95th-percentile CPU usage and uses 4 levels).
+PRIORITY_LEVELS: tuple[float, ...] = (0.2, 0.4, 0.6, 0.8)
+
+_vm_counter = itertools.count()
+
+
+def _next_vm_id() -> str:
+    return f"vm-{next(_vm_counter)}"
+
+
+@dataclass(frozen=True)
+class VMSpec:
+    """Immutable description of a VM as submitted to the cluster.
+
+    Attributes
+    ----------
+    capacity:
+        The undeflated allocation ``M_i`` — what the user paid for.
+    deflatable:
+        False for on-demand VMs, which are never deflated or preempted.
+    priority:
+        ``pi in (0, 1]``.  Lower values mean lower priority and higher
+        deflatability.  On-demand VMs conventionally carry priority 1.0.
+    min_fraction:
+        The per-resource minimum allocation expressed as a fraction of
+        capacity; ``m_i = min_fraction * M_i`` (Eq. 2).  0 means the VM may be
+        deflated arbitrarily.
+    vm_class:
+        Azure-style workload class, used by the trace-driven experiments.
+    """
+
+    capacity: ResourceVector
+    deflatable: bool = True
+    priority: float = 0.5
+    min_fraction: float = 0.0
+    vm_class: VMClass = VMClass.UNKNOWN
+    vm_id: str = field(default_factory=_next_vm_id)
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.priority <= 1.0):
+            raise ResourceError(f"priority must be in (0, 1], got {self.priority}")
+        if not (0.0 <= self.min_fraction <= 1.0):
+            raise ResourceError(f"min_fraction must be in [0, 1], got {self.min_fraction}")
+        if not self.capacity.is_nonnegative() or not self.capacity.any_positive():
+            raise ResourceError("VM capacity must be non-negative and non-zero")
+
+    @property
+    def min_allocation(self) -> ResourceVector:
+        """``m_i``: the floor below which this VM must never be deflated."""
+        return self.capacity * self.min_fraction
+
+    @property
+    def deflatable_amount(self) -> ResourceVector:
+        """``M_i - m_i``: how much can at most be reclaimed from this VM."""
+        return self.capacity - self.min_allocation
+
+
+def on_demand_spec(capacity: ResourceVector, vm_class: VMClass = VMClass.UNKNOWN) -> VMSpec:
+    """Convenience constructor for a non-deflatable on-demand VM."""
+    return VMSpec(capacity=capacity, deflatable=False, priority=1.0, vm_class=vm_class)
+
+
+def priority_from_p95(p95_cpu_utilization: float) -> float:
+    """Map a 95th-percentile CPU utilization (0..1) to one of 4 priority levels.
+
+    Section 7.1.2: "We determine VM priorities based on their 95-th percentile
+    CPU usage and use 4 priority levels."  Higher peak usage means the VM
+    tolerates deflation worse, so it is assigned a higher priority (less
+    deflation under Eqs. 3/4).
+    """
+    if not (0.0 <= p95_cpu_utilization <= 1.0):
+        raise ResourceError(f"p95 utilization must be in [0, 1], got {p95_cpu_utilization}")
+    if p95_cpu_utilization < 0.33:
+        return PRIORITY_LEVELS[0]
+    if p95_cpu_utilization < 0.66:
+        return PRIORITY_LEVELS[1]
+    if p95_cpu_utilization < 0.80:
+        return PRIORITY_LEVELS[2]
+    return PRIORITY_LEVELS[3]
+
+
+@dataclass
+class VMAllocation:
+    """Mutable runtime allocation state of a placed VM.
+
+    ``current`` always satisfies ``min_allocation <= current <= capacity``
+    componentwise; the deflation policies guarantee this and the class
+    enforces it as a last line of defence.
+    """
+
+    spec: VMSpec
+    current: ResourceVector = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.current is None:
+            self.current = self.spec.capacity
+
+    def set_allocation(self, new_allocation: ResourceVector, rel_tol: float = 1e-6) -> None:
+        """Apply a new allocation, validating the policy invariants.
+
+        The tolerance is *relative to capacity* per component: memory is
+        measured in MB, so an absolute epsilon meaningful for CPU cores
+        would be uselessly strict there.
+        """
+        low = self.spec.min_allocation
+        high = self.spec.capacity
+        tol_vec = high * rel_tol + ResourceVector.full(1e-9)
+        if not new_allocation.dominates(low - tol_vec, tol=0.0):
+            raise ResourceError(
+                f"{self.spec.vm_id}: allocation {new_allocation} below minimum {low}"
+            )
+        if not new_allocation.fits_within(high + tol_vec, tol=0.0):
+            raise ResourceError(
+                f"{self.spec.vm_id}: allocation {new_allocation} above capacity {high}"
+            )
+        # Snap into the legal box to keep floating-point drift from
+        # accumulating across repeated deflate/reinflate cycles.
+        self.current = new_allocation.elementwise_max(low).elementwise_min(high)
+
+    @property
+    def deflation_fractions(self) -> "ResourceVector":
+        """Per-resource deflation as a fraction of capacity (0 = undeflated)."""
+        frac = 1.0 - self.current.fraction_of(self.spec.capacity)
+        return ResourceVector.from_array(frac.clip(0.0, 1.0))
+
+    @property
+    def cpu_deflation(self) -> float:
+        return float(self.deflation_fractions.cpu)
+
+    @property
+    def is_deflated(self) -> bool:
+        return self.deflation_fractions.any_positive(tol=1e-9)
+
+    @property
+    def reclaimed(self) -> ResourceVector:
+        """Resources currently reclaimed from this VM."""
+        return (self.spec.capacity - self.current).clamp_nonnegative()
+
+    @property
+    def headroom(self) -> ResourceVector:
+        """Resources that could still be reclaimed before hitting ``m_i``."""
+        return (self.current - self.spec.min_allocation).clamp_nonnegative()

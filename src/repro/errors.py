@@ -1,0 +1,47 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by the library derives from :class:`ReproError` so callers
+can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class ResourceError(ReproError):
+    """Invalid resource arithmetic (negative capacity, dimension mismatch)."""
+
+
+class DeflationError(ReproError):
+    """A deflation request could not be satisfied.
+
+    Raised when a policy is asked to reclaim more than the deflatable pool can
+    yield, or when a mechanism is driven outside its safe operating range.
+    """
+
+
+class PlacementError(ReproError):
+    """No server can host a VM, even after maximal deflation."""
+
+
+class AdmissionRejected(PlacementError):
+    """The cluster manager rejected the VM at admission control."""
+
+
+class HotplugError(ReproError):
+    """A hotplug/unplug operation failed outright (vs. partial completion)."""
+
+
+class DomainStateError(ReproError):
+    """An operation was attempted on a domain in an incompatible state."""
+
+
+class SimulationError(ReproError):
+    """Internal inconsistency detected by the discrete-event simulator."""
+
+
+class TraceError(ReproError):
+    """Malformed or inconsistent trace data."""

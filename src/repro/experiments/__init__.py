@@ -1,0 +1,9 @@
+"""Per-figure experiment harnesses and the CLI runner.
+
+Import :data:`repro.experiments.registry.EXPERIMENTS` for programmatic
+access, or run ``python -m repro.experiments <figure-id>``.
+"""
+
+from repro.experiments.base import SCALES, ExperimentResult, check_scale
+
+__all__ = ["SCALES", "ExperimentResult", "check_scale"]

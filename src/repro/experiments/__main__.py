@@ -1,0 +1,7 @@
+"""Entry point for ``python -m repro.experiments``."""
+
+import sys
+
+from repro.experiments.runner import main
+
+sys.exit(main())

@@ -1,0 +1,19 @@
+"""Shared machinery for the Alibaba-trace feasibility figures (9-12)."""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.experiments.base import check_scale
+from repro.traces.alibaba import AlibabaTraceConfig, synthesize_alibaba_trace
+from repro.traces.schema import ContainerTraceSet
+
+_SCALE_N = {"small": 300, "full": 1500}
+
+
+@lru_cache(maxsize=4)
+def container_trace(scale: str, seed: int = 23) -> ContainerTraceSet:
+    check_scale(scale)
+    return synthesize_alibaba_trace(
+        AlibabaTraceConfig(n_containers=_SCALE_N[scale], seed=seed)
+    )

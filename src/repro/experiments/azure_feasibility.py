@@ -1,0 +1,62 @@
+"""Shared machinery for the Azure-trace feasibility figures (5, 6, 7, 8).
+
+All four figures are deflation sweeps of the same CPU-utilization
+population, differing only in how VMs are grouped.  The trace is synthesized
+once per (scale, seed) and cached for the process lifetime so the four
+experiments and their benchmarks stay consistent and fast.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.experiments.base import ExperimentResult, check_scale
+from repro.feasibility.analysis import DeflationSweepResult, deflation_sweep
+from repro.traces.azure import AzureTraceConfig, synthesize_azure_trace
+from repro.traces.schema import VMTraceSet
+
+SWEEP_LEVELS = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9)
+
+_SCALE_N_VMS = {"small": 600, "full": 4000}
+
+
+@lru_cache(maxsize=4)
+def feasibility_trace(scale: str, seed: int = 17) -> VMTraceSet:
+    check_scale(scale)
+    return synthesize_azure_trace(AzureTraceConfig(n_vms=_SCALE_N_VMS[scale], seed=seed))
+
+
+def sweep_to_rows(
+    result: ExperimentResult, label: str, sweep: DeflationSweepResult
+) -> None:
+    """Append one group's boxplot rows to an experiment result."""
+    for row in sweep.as_table():
+        result.add_row(group=label, **row)
+
+
+def grouped_experiment(
+    figure_id: str,
+    title: str,
+    groups: dict[str, list],
+    notes: str = "",
+) -> ExperimentResult:
+    result = ExperimentResult(
+        figure_id=figure_id,
+        title=title,
+        columns=[
+            "group",
+            "deflation_pct",
+            "whisker_lo",
+            "q1",
+            "median",
+            "q3",
+            "whisker_hi",
+            "mean",
+        ],
+        notes=notes,
+    )
+    for label, series in groups.items():
+        if not series:
+            continue
+        sweep_to_rows(result, label, deflation_sweep(series, SWEEP_LEVELS))
+    return result

@@ -1,0 +1,80 @@
+"""Common infrastructure for the per-figure experiment harnesses.
+
+Every experiment module exposes ``run(scale) -> ExperimentResult``.  Results
+are printable tables whose rows mirror the series in the paper's figure, so
+``python -m repro.experiments fig20`` regenerates Figure 20's data.
+
+Two scales are supported: ``small`` keeps runtimes suitable for CI and the
+pytest-benchmark harness; ``full`` uses populations closer to the paper's
+(within laptop reach — the real Azure dataset has 2M VMs, which neither we
+nor the paper's simulations replay in full).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+
+SCALES = ("small", "full")
+
+
+@dataclass
+class ExperimentResult:
+    """A reproduced figure: metadata plus printable rows."""
+
+    figure_id: str
+    title: str
+    columns: list[str]
+    rows: list[dict] = field(default_factory=list)
+    notes: str = ""
+
+    def add_row(self, **values) -> None:
+        self.rows.append(values)
+
+    def format_table(self) -> str:
+        """Plain-text table of the figure's series."""
+        widths = {c: max(len(c), 12) for c in self.columns}
+        header = "  ".join(c.ljust(widths[c]) for c in self.columns)
+        lines = [f"== {self.figure_id}: {self.title} ==", header, "-" * len(header)]
+        for row in self.rows:
+            cells = []
+            for c in self.columns:
+                v = row.get(c, "")
+                if isinstance(v, float):
+                    cells.append(f"{v:.4g}".ljust(widths[c]))
+                else:
+                    cells.append(str(v).ljust(widths[c]))
+            lines.append("  ".join(cells))
+        if self.notes:
+            lines.append(f"note: {self.notes}")
+        return "\n".join(lines)
+
+    def print_table(self) -> None:
+        print(self.format_table())
+
+    def series(self, x: str, y: str) -> list[tuple]:
+        """Extract one (x, y) series from the rows."""
+        return [(r[x], r[y]) for r in self.rows if x in r and y in r]
+
+    def to_csv(self, path) -> None:
+        """Write the rows to a CSV file (one column per configured column).
+
+        Downstream plotting scripts consume these; the CSV mirrors the
+        printed table exactly.
+        """
+        import csv
+        from pathlib import Path
+
+        path = Path(path)
+        with path.open("w", newline="") as fh:
+            writer = csv.DictWriter(fh, fieldnames=self.columns, extrasaction="ignore")
+            writer.writeheader()
+            for row in self.rows:
+                writer.writerow(row)
+
+
+def check_scale(scale: str) -> str:
+    if scale not in SCALES:
+        raise ReproError(f"scale must be one of {SCALES}, got {scale!r}")
+    return scale

@@ -1,0 +1,30 @@
+"""Shared overcommitment sweep for Figures 20-22.
+
+One trace, one (policy x overcommitment) grid, cached per scale so the three
+figures (failure probability, throughput, revenue) and their benchmarks
+reuse identical runs — as in the paper, which evaluates all three metrics
+from the same simulations.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.experiments.base import check_scale
+from repro.simulator.metrics import OvercommitSweep, overcommitment_sweep
+from repro.traces.azure import AzureTraceConfig, synthesize_azure_trace
+
+OC_LEVELS = (0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7)
+OC_LEVELS_SMALL = (0.0, 0.2, 0.4, 0.6, 0.7)
+
+_SCALE_N_VMS = {"small": 500, "full": 2500}
+
+
+@lru_cache(maxsize=4)
+def cluster_sweep(scale: str, partitioned: bool = False, seed: int = 31) -> OvercommitSweep:
+    check_scale(scale)
+    traces = synthesize_azure_trace(
+        AzureTraceConfig(n_vms=_SCALE_N_VMS[scale], seed=seed)
+    )
+    levels = OC_LEVELS_SMALL if scale == "small" else OC_LEVELS
+    return overcommitment_sweep(traces, levels=levels, partitioned=partitioned)

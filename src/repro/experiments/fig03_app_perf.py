@@ -1,0 +1,30 @@
+"""Figure 3: application performance under uniform all-resource deflation.
+
+Three applications (SpecJBB, Kcompile, Memcached) deflated 0-100%, showing
+normalized performance; SpecJBB has no slack, Memcached the most.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.perf_model import FIG3_PROFILES
+from repro.experiments.base import ExperimentResult, check_scale
+
+
+def run(scale: str = "small") -> ExperimentResult:
+    check_scale(scale)
+    levels = np.arange(0, 100, 5 if scale == "small" else 2) / 100.0
+    result = ExperimentResult(
+        figure_id="fig03",
+        title="Normalized performance vs. deflation (all resources)",
+        columns=["deflation_pct"] + [p.name for p in FIG3_PROFILES],
+        notes="slack/linear/knee profiles calibrated to the paper's curves",
+    )
+    curves = {p.name: p.performance(levels) for p in FIG3_PROFILES}
+    for i, d in enumerate(levels):
+        result.add_row(
+            deflation_pct=float(100 * d),
+            **{name: float(curve[i]) for name, curve in curves.items()},
+        )
+    return result

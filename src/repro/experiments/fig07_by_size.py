@@ -1,0 +1,26 @@
+"""Figure 7: CPU-deflation feasibility split by VM memory size.
+
+The paper finds VM size has *no* direct correlation with deflatability —
+all three size buckets behave alike.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.azure_feasibility import feasibility_trace, grouped_experiment
+from repro.experiments.base import ExperimentResult, check_scale
+
+SIZE_LABELS = ("small(<=2GB)", "medium(<=8GB)", "large(>8GB)")
+
+
+def run(scale: str = "small") -> ExperimentResult:
+    check_scale(scale)
+    traces = feasibility_trace(scale)
+    groups = {
+        label: [r.cpu_util for r in traces.by_size_class(label)] for label in SIZE_LABELS
+    }
+    return grouped_experiment(
+        figure_id="fig07",
+        title="P(CPU usage > deflated allocation) by VM memory size",
+        groups=groups,
+        notes="paper: no correlation between VM size and deflatability",
+    )

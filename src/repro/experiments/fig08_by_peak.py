@@ -1,0 +1,26 @@
+"""Figure 8: CPU-deflation feasibility split by 95th-percentile CPU usage.
+
+Higher peak loads mean greater impact when deflated; below-80%-peak VMs
+have enough slack for up to ~20% deflation with minimal impact.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.azure_feasibility import feasibility_trace, grouped_experiment
+from repro.experiments.base import ExperimentResult, check_scale
+
+PEAK_LABELS = ("p95<33%", "33%<=p95<66%", "66%<=p95<80%", "p95>=80%")
+
+
+def run(scale: str = "small") -> ExperimentResult:
+    check_scale(scale)
+    traces = feasibility_trace(scale)
+    groups = {
+        label: [r.cpu_util for r in traces.by_peak_class(label)] for label in PEAK_LABELS
+    }
+    return grouped_experiment(
+        figure_id="fig08",
+        title="P(CPU usage > deflated allocation) by p95 CPU usage",
+        groups=groups,
+        notes="paper: peak load is a coarse indicator of deflatability",
+    )

@@ -1,0 +1,56 @@
+"""Experiment registry: figure id -> runner."""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.errors import ReproError
+from repro.experiments import (
+    fig03_app_perf,
+    fig05_cpu_feasibility,
+    fig06_by_class,
+    fig07_by_size,
+    fig08_by_peak,
+    fig09_memory,
+    fig10_membw,
+    fig11_disk,
+    fig12_network,
+    fig14_specjbb_memory,
+    fig16_wiki_rt,
+    fig17_wiki_served,
+    fig18_socialnet,
+    fig19_lb,
+    fig20_failure,
+    fig21_throughput,
+    fig22_revenue,
+)
+from repro.experiments.base import ExperimentResult
+
+EXPERIMENTS: dict[str, Callable[[str], ExperimentResult]] = {
+    "fig03": fig03_app_perf.run,
+    "fig05": fig05_cpu_feasibility.run,
+    "fig06": fig06_by_class.run,
+    "fig07": fig07_by_size.run,
+    "fig08": fig08_by_peak.run,
+    "fig09": fig09_memory.run,
+    "fig10": fig10_membw.run,
+    "fig11": fig11_disk.run,
+    "fig12": fig12_network.run,
+    "fig14": fig14_specjbb_memory.run,
+    "fig16": fig16_wiki_rt.run,
+    "fig17": fig17_wiki_served.run,
+    "fig18": fig18_socialnet.run,
+    "fig19": fig19_lb.run,
+    "fig20": fig20_failure.run,
+    "fig21": fig21_throughput.run,
+    "fig22": fig22_revenue.run,
+}
+
+
+def get_experiment(figure_id: str) -> Callable[[str], ExperimentResult]:
+    try:
+        return EXPERIMENTS[figure_id]
+    except KeyError:
+        raise ReproError(
+            f"unknown experiment {figure_id!r}; available: {sorted(EXPERIMENTS)}"
+        ) from None

@@ -1,0 +1,45 @@
+"""CLI: regenerate the paper's figures.
+
+Usage::
+
+    python -m repro.experiments fig20           # one figure, small scale
+    python -m repro.experiments all --scale full
+    repro-experiments fig16 fig17
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.base import SCALES
+from repro.experiments.registry import EXPERIMENTS, get_experiment
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the evaluation figures of the VM-deflation paper.",
+    )
+    parser.add_argument(
+        "figures",
+        nargs="+",
+        help=f"figure ids ({', '.join(sorted(EXPERIMENTS))}) or 'all'",
+    )
+    parser.add_argument("--scale", choices=SCALES, default="small")
+    args = parser.parse_args(argv)
+
+    ids = sorted(EXPERIMENTS) if "all" in args.figures else args.figures
+    for figure_id in ids:
+        runner = get_experiment(figure_id)
+        start = time.perf_counter()
+        result = runner(args.scale)
+        elapsed = time.perf_counter() - start
+        result.print_table()
+        print(f"[{figure_id} regenerated in {elapsed:.1f}s at scale={args.scale}]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,31 @@
+"""Section 3 feasibility analysis: underallocation sweeps and statistics."""
+
+from repro.feasibility.analysis import (
+    DEFAULT_DEFLATION_LEVELS,
+    DeflationSweepResult,
+    deflation_sweep,
+    grouped_deflation_sweep,
+    max_safe_deflation_per_vm,
+    throughput_loss,
+    underallocation_fraction,
+    underallocation_fractions_bulk,
+    underallocation_series,
+    utilization_summary,
+)
+from repro.feasibility.stats import BoxStats, boxplot_stats, percentile_summary
+
+__all__ = [
+    "DEFAULT_DEFLATION_LEVELS",
+    "DeflationSweepResult",
+    "deflation_sweep",
+    "grouped_deflation_sweep",
+    "max_safe_deflation_per_vm",
+    "throughput_loss",
+    "underallocation_fraction",
+    "underallocation_fractions_bulk",
+    "underallocation_series",
+    "utilization_summary",
+    "BoxStats",
+    "boxplot_stats",
+    "percentile_summary",
+]

@@ -1,0 +1,173 @@
+"""Deflation feasibility analysis (Section 3.2 of the paper).
+
+The central quantity: for a utilization series ``u(t)`` (fraction of the
+*allocated* resource) and a deflation level ``d``, the VM is *underallocated*
+whenever ``u(t) > 1 - d`` — its usage exceeds the deflated allocation.  The
+analysis reports, per VM, the fraction of its lifetime spent underallocated
+(Figures 5–12), and, for throughput, the area of the usage curve above the
+allocation (Figure 4):
+
+    total underallocation = sum_t max(0, u(t) - a(t))
+
+which the paper identifies with the decrease in application throughput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.feasibility.stats import BoxStats, boxplot_stats
+
+#: The deflation levels swept in the paper's feasibility figures.
+DEFAULT_DEFLATION_LEVELS: tuple[float, ...] = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9)
+
+
+def underallocation_fraction(utilization: np.ndarray, deflation: float) -> float:
+    """Fraction of intervals where usage exceeds the deflated allocation."""
+    if not (0.0 <= deflation < 1.0):
+        raise TraceError(f"deflation must be in [0, 1), got {deflation}")
+    u = np.asarray(utilization, dtype=np.float64)
+    if u.size == 0:
+        raise TraceError("empty utilization series")
+    return float(np.mean(u > (1.0 - deflation) + 1e-12))
+
+
+def underallocation_fractions_bulk(
+    series_list: list[np.ndarray], deflation: float
+) -> np.ndarray:
+    """Per-VM underallocation fractions for one deflation level."""
+    return np.array([underallocation_fraction(s, deflation) for s in series_list])
+
+
+def underallocation_series(
+    utilization: np.ndarray, allocation: np.ndarray
+) -> tuple[np.ndarray, float, float]:
+    """Figure 4's quantities for a time-varying allocation.
+
+    Returns ``(overflow_series, total_underallocation, time_underallocated)``
+    where ``overflow_series[t] = max(0, u(t) - a(t))``, the total is its sum
+    (the throughput decrease) and the time is the fraction of intervals with
+    positive overflow.
+    """
+    u = np.asarray(utilization, dtype=np.float64)
+    a = np.asarray(allocation, dtype=np.float64)
+    if u.shape != a.shape:
+        raise TraceError("utilization and allocation series must align")
+    overflow = np.maximum(0.0, u - a)
+    time_frac = float(np.mean(overflow > 1e-12)) if u.size else 0.0
+    return overflow, float(overflow.sum()), time_frac
+
+
+def throughput_loss(utilization: np.ndarray, allocation: np.ndarray) -> float:
+    """Lost work as a fraction of demanded work (Section 7.4.2).
+
+    "The loss in throughput only occurs when a VM is deflated below its CPU
+    usage, and is proportional to the total underutilization (area under the
+    curve of Figure 4)."
+    """
+    u = np.asarray(utilization, dtype=np.float64)
+    overflow, total_under, _ = underallocation_series(u, allocation)
+    demanded = float(u.sum())
+    if demanded <= 0.0:
+        return 0.0
+    return total_under / demanded
+
+
+@dataclass(frozen=True)
+class DeflationSweepResult:
+    """Boxplot statistics of underallocation time at each deflation level."""
+
+    levels: tuple[float, ...]
+    stats: tuple[BoxStats, ...]
+
+    def medians(self) -> np.ndarray:
+        return np.array([s.median for s in self.stats])
+
+    def means(self) -> np.ndarray:
+        return np.array([s.mean for s in self.stats])
+
+    def as_table(self) -> list[dict[str, float]]:
+        """Rows suitable for printing: one per deflation level."""
+        return [
+            {
+                "deflation_pct": 100 * lvl,
+                "whisker_lo": s.whisker_lo,
+                "q1": s.q1,
+                "median": s.median,
+                "q3": s.q3,
+                "whisker_hi": s.whisker_hi,
+                "mean": s.mean,
+            }
+            for lvl, s in zip(self.levels, self.stats)
+        ]
+
+
+def deflation_sweep(
+    series_list: list[np.ndarray],
+    levels: tuple[float, ...] = DEFAULT_DEFLATION_LEVELS,
+) -> DeflationSweepResult:
+    """Sweep deflation levels over a population of utilization series.
+
+    This is the computation behind Figures 5, 6, 7, 8 (CPU), 9 (memory),
+    11 (disk) and 12 (network): for each level, the distribution over VMs of
+    the fraction of time spent above the deflated allocation.
+    """
+    if not series_list:
+        raise TraceError("need at least one utilization series")
+    stats = tuple(
+        boxplot_stats(underallocation_fractions_bulk(series_list, lvl)) for lvl in levels
+    )
+    return DeflationSweepResult(levels=tuple(levels), stats=stats)
+
+
+def grouped_deflation_sweep(
+    groups: dict[str, list[np.ndarray]],
+    levels: tuple[float, ...] = DEFAULT_DEFLATION_LEVELS,
+) -> dict[str, DeflationSweepResult]:
+    """Per-group sweeps, e.g. by workload class (Fig 6), size (Fig 7), or
+    peak utilization (Fig 8)."""
+    out: dict[str, DeflationSweepResult] = {}
+    for label, series in groups.items():
+        if series:
+            out[label] = deflation_sweep(series, levels)
+    return out
+
+
+def utilization_summary(series_list: list[np.ndarray]) -> BoxStats:
+    """Distribution of raw utilization values pooled over all series.
+
+    Used for Figure 10 (memory bandwidth), where the paper reports the mean
+    and maximum utilization rather than an underallocation sweep.
+    """
+    if not series_list:
+        raise TraceError("need at least one series")
+    pooled = np.concatenate([np.asarray(s, dtype=np.float64) for s in series_list])
+    return boxplot_stats(pooled)
+
+
+def max_safe_deflation_per_vm(
+    series_list: list[np.ndarray],
+    tolerance: float = 0.01,
+    levels: np.ndarray | None = None,
+) -> np.ndarray:
+    """Largest deflation keeping each VM underallocated <= ``tolerance``.
+
+    Quantifies "slack" per VM: how far can we deflate with (almost) no time
+    above the allocation.  Returns one value per series.
+    """
+    if levels is None:
+        levels = np.linspace(0.0, 0.95, 96)
+    out = np.zeros(len(series_list))
+    for i, series in enumerate(series_list):
+        u = np.asarray(series, dtype=np.float64)
+        best = 0.0
+        for lvl in levels:
+            if float(np.mean(u > (1.0 - lvl) + 1e-12)) <= tolerance:
+                best = float(lvl)
+            else:
+                break
+        out[i] = best
+    return out

@@ -1,0 +1,58 @@
+"""Summary statistics for the feasibility figures (box plots, percentiles)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import TraceError
+
+
+@dataclass(frozen=True)
+class BoxStats:
+    """The five-number summary plus mean, matching a matplotlib boxplot."""
+
+    median: float
+    q1: float
+    q3: float
+    whisker_lo: float
+    whisker_hi: float
+    mean: float
+    n: int
+
+    def as_row(self) -> tuple[float, ...]:
+        return (self.whisker_lo, self.q1, self.median, self.q3, self.whisker_hi)
+
+
+def boxplot_stats(values: np.ndarray) -> BoxStats:
+    """Compute Tukey boxplot statistics (1.5*IQR whiskers, clipped to data)."""
+    arr = np.asarray(values, dtype=np.float64).ravel()
+    if arr.size == 0:
+        raise TraceError("cannot summarize an empty sample")
+    q1, med, q3 = np.percentile(arr, [25, 50, 75])
+    iqr = q3 - q1
+    lo_bound = q1 - 1.5 * iqr
+    hi_bound = q3 + 1.5 * iqr
+    inside = arr[(arr >= lo_bound) & (arr <= hi_bound)]
+    # Degenerate distributions (all identical) keep whiskers at the value.
+    whisker_lo = float(inside.min()) if inside.size else float(arr.min())
+    whisker_hi = float(inside.max()) if inside.size else float(arr.max())
+    return BoxStats(
+        median=float(med),
+        q1=float(q1),
+        q3=float(q3),
+        whisker_lo=whisker_lo,
+        whisker_hi=whisker_hi,
+        mean=float(arr.mean()),
+        n=int(arr.size),
+    )
+
+
+def percentile_summary(values: np.ndarray, percentiles=(50, 90, 95, 99)) -> dict[int, float]:
+    """Named percentiles of a sample, used by the latency experiments."""
+    arr = np.asarray(values, dtype=np.float64).ravel()
+    if arr.size == 0:
+        raise TraceError("cannot summarize an empty sample")
+    values_out = np.percentile(arr, list(percentiles))
+    return {int(p): float(v) for p, v in zip(percentiles, values_out)}

@@ -1,0 +1,46 @@
+"""Simulated hypervisor substrate: cgroups, guest OS, hotplug, mechanisms."""
+
+from repro.hypervisor.cgroups import (
+    CFS_PERIOD_US,
+    BlkioController,
+    CGroup,
+    CGroupManager,
+    CpuController,
+    MemoryController,
+    NetController,
+)
+from repro.hypervisor.domain import Domain, DomainConfig, DomainState
+from repro.hypervisor.guest import (
+    MEMORY_BLOCK_MB,
+    MIN_ONLINE_VCPUS,
+    GuestMemoryProfile,
+    GuestOS,
+)
+from repro.hypervisor.hotplug import ExplicitMechanism, HotplugOutcome
+from repro.hypervisor.hybrid import MECHANISMS, HybridMechanism, HybridReport
+from repro.hypervisor.libvirt_api import HypervisorConnection
+from repro.hypervisor.multiplex import TransparentMechanism
+
+__all__ = [
+    "CFS_PERIOD_US",
+    "BlkioController",
+    "CGroup",
+    "CGroupManager",
+    "CpuController",
+    "MemoryController",
+    "NetController",
+    "Domain",
+    "DomainConfig",
+    "DomainState",
+    "MEMORY_BLOCK_MB",
+    "MIN_ONLINE_VCPUS",
+    "GuestMemoryProfile",
+    "GuestOS",
+    "ExplicitMechanism",
+    "HotplugOutcome",
+    "MECHANISMS",
+    "HybridMechanism",
+    "HybridReport",
+    "HypervisorConnection",
+    "TransparentMechanism",
+]

@@ -1,0 +1,163 @@
+"""Simulated Linux cgroup controllers.
+
+The paper's transparent deflation mechanism (Section 4.2) runs each KVM VM
+inside a cgroup and adjusts:
+
+* CPU — CFS bandwidth control (``cpu.cfs_quota_us`` / ``cpu.cfs_period_us``)
+  and ``cpu.shares``;
+* memory — ``memory.limit_in_bytes`` (we track MB for readability);
+* block I/O — ``blkio.throttle.{read,write}_bps_device``;
+* network — a net-class rate limit (the paper uses libvirt's bandwidth API).
+
+This module models the *control surface and its semantics*, not kernel
+internals: limits clamp the effective resources a domain can use, and the
+memory controller reports how much of the charged memory no longer fits under
+the limit (i.e. what the kernel would push to swap) so application models can
+charge a swap penalty.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ResourceError
+
+#: Default CFS period in microseconds, as on stock Linux.
+CFS_PERIOD_US = 100_000
+
+
+@dataclass
+class CpuController:
+    """CFS bandwidth + shares for one cgroup."""
+
+    ncpus_host: float
+    shares: int = 1024
+    quota_us: int = -1  # -1 = unlimited, like the kernel default
+    period_us: int = CFS_PERIOD_US
+
+    def set_limit_cores(self, cores: float) -> None:
+        """Cap the cgroup at ``cores`` worth of CPU via quota/period."""
+        if cores < 0:
+            raise ResourceError(f"cpu limit must be >= 0, got {cores}")
+        if cores >= self.ncpus_host:
+            self.quota_us = -1
+        else:
+            self.quota_us = int(round(cores * self.period_us))
+
+    def limit_cores(self) -> float:
+        """The effective core cap (host core count when unlimited)."""
+        if self.quota_us < 0:
+            return self.ncpus_host
+        return self.quota_us / self.period_us
+
+    def set_shares(self, shares: int) -> None:
+        if shares < 2:  # kernel minimum
+            raise ResourceError(f"cpu.shares must be >= 2, got {shares}")
+        self.shares = shares
+
+
+@dataclass
+class MemoryController:
+    """memory.limit_in_bytes semantics, tracked in MB."""
+
+    limit_mb: float = float("inf")
+    usage_mb: float = 0.0
+
+    def set_limit_mb(self, limit_mb: float) -> None:
+        if limit_mb <= 0:
+            raise ResourceError(f"memory limit must be > 0, got {limit_mb}")
+        self.limit_mb = limit_mb
+
+    def charge(self, usage_mb: float) -> float:
+        """Record the guest's memory footprint; return MB pushed to swap.
+
+        The kernel reclaims/charges pages against the limit; anything the
+        workload touches beyond the limit is effectively swapped.
+        """
+        if usage_mb < 0:
+            raise ResourceError("usage must be >= 0")
+        self.usage_mb = usage_mb
+        return max(0.0, usage_mb - self.limit_mb)
+
+    @property
+    def swapped_mb(self) -> float:
+        return max(0.0, self.usage_mb - self.limit_mb)
+
+
+@dataclass
+class BlkioController:
+    """blkio.throttle read/write byte-per-second caps, tracked in MB/s."""
+
+    read_mbps: float = float("inf")
+    write_mbps: float = float("inf")
+
+    def set_throttle(self, read_mbps: float | None = None, write_mbps: float | None = None) -> None:
+        if read_mbps is not None:
+            if read_mbps <= 0:
+                raise ResourceError("blkio read throttle must be > 0")
+            self.read_mbps = read_mbps
+        if write_mbps is not None:
+            if write_mbps <= 0:
+                raise ResourceError("blkio write throttle must be > 0")
+            self.write_mbps = write_mbps
+
+    def effective_mbps(self) -> float:
+        """Combined bandwidth cap used by the single-dimension disk model."""
+        return min(self.read_mbps, self.write_mbps)
+
+
+@dataclass
+class NetController:
+    """Network rate limit (libvirt ``<bandwidth>`` / tc class), MB/s."""
+
+    rate_mbps: float = float("inf")
+
+    def set_rate(self, rate_mbps: float) -> None:
+        if rate_mbps <= 0:
+            raise ResourceError("net rate must be > 0")
+        self.rate_mbps = rate_mbps
+
+
+@dataclass
+class CGroup:
+    """One VM's cgroup: the four controllers the deflation system drives."""
+
+    name: str
+    cpu: CpuController
+    memory: MemoryController = field(default_factory=MemoryController)
+    blkio: BlkioController = field(default_factory=BlkioController)
+    net: NetController = field(default_factory=NetController)
+
+
+class CGroupManager:
+    """Flat registry of per-VM cgroups on one host."""
+
+    def __init__(self, ncpus_host: float) -> None:
+        if ncpus_host <= 0:
+            raise ResourceError("host must have > 0 CPUs")
+        self.ncpus_host = float(ncpus_host)
+        self._groups: dict[str, CGroup] = {}
+
+    def create(self, name: str) -> CGroup:
+        if name in self._groups:
+            raise ResourceError(f"cgroup {name!r} already exists")
+        group = CGroup(name=name, cpu=CpuController(ncpus_host=self.ncpus_host))
+        self._groups[name] = group
+        return group
+
+    def get(self, name: str) -> CGroup:
+        try:
+            return self._groups[name]
+        except KeyError:
+            raise ResourceError(f"no cgroup named {name!r}") from None
+
+    def destroy(self, name: str) -> None:
+        if name not in self._groups:
+            raise ResourceError(f"no cgroup named {name!r}")
+        del self._groups[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._groups
+
+    def __len__(self) -> int:
+        return len(self._groups)

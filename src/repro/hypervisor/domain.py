@@ -1,0 +1,149 @@
+"""VM domains: lifecycle plus the effective-resource computation.
+
+A :class:`Domain` combines the pieces a real KVM/libvirt host would have for
+one VM: a static configuration (maximum resources), a simulated guest kernel
+(:class:`~repro.hypervisor.guest.GuestOS`) for the explicit mechanisms, and a
+cgroup (:class:`~repro.hypervisor.cgroups.CGroup`) for the transparent ones.
+
+The *effective* resources — what the VM's applications can actually use —
+are the meet of the two layers: e.g. CPU is limited both by how many vCPUs
+the guest has online (hotplug) and by the cgroup quota (multiplexing).  The
+application models read these effective values, which is how mechanism
+choices (transparent vs. hybrid, Figure 14) translate into performance.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+from repro.core.resources import ResourceVector
+from repro.errors import DomainStateError, ResourceError
+from repro.hypervisor.cgroups import CGroup
+from repro.hypervisor.guest import GuestMemoryProfile, GuestOS
+
+
+class DomainState(enum.Enum):
+    DEFINED = "defined"
+    RUNNING = "running"
+    SHUTOFF = "shutoff"
+
+
+@dataclass(frozen=True)
+class DomainConfig:
+    """Static (maximum) resource configuration of a domain."""
+
+    name: str
+    max_vcpus: int
+    max_memory_mb: float
+    disk_mbps: float = 500.0
+    net_mbps: float = 1000.0
+
+    def __post_init__(self) -> None:
+        if self.max_vcpus < 1:
+            raise ResourceError("domain needs >= 1 vCPU")
+        if self.max_memory_mb <= 0:
+            raise ResourceError("domain needs > 0 memory")
+
+    @classmethod
+    def from_capacity(cls, name: str, capacity: ResourceVector) -> "DomainConfig":
+        """Derive a config from a capacity vector (vCPUs rounded up)."""
+        return cls(
+            name=name,
+            max_vcpus=max(1, math.ceil(capacity.cpu)),
+            max_memory_mb=capacity.memory_mb,
+            disk_mbps=capacity.disk_mbps or 500.0,
+            net_mbps=capacity.net_mbps or 1000.0,
+        )
+
+    def capacity_vector(self) -> ResourceVector:
+        return ResourceVector(
+            cpu=self.max_vcpus,
+            memory_mb=self.max_memory_mb,
+            disk_mbps=self.disk_mbps,
+            net_mbps=self.net_mbps,
+        )
+
+
+class Domain:
+    """A single VM on a host."""
+
+    def __init__(
+        self,
+        config: DomainConfig,
+        cgroup: CGroup,
+        memory_profile: GuestMemoryProfile | None = None,
+    ) -> None:
+        self.config = config
+        self.cgroup = cgroup
+        self.state = DomainState.DEFINED
+        self.guest: GuestOS | None = None
+        self._pending_profile = memory_profile
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def start(self) -> None:
+        if self.state == DomainState.RUNNING:
+            raise DomainStateError(f"domain {self.config.name} already running")
+        self.guest = GuestOS(
+            total_vcpus=self.config.max_vcpus,
+            total_memory_mb=self.config.max_memory_mb,
+            memory_profile=self._pending_profile,
+        )
+        self.state = DomainState.RUNNING
+
+    def destroy(self) -> None:
+        if self.state != DomainState.RUNNING:
+            raise DomainStateError(f"domain {self.config.name} is not running")
+        self.guest = None
+        self.state = DomainState.SHUTOFF
+
+    def _require_running(self) -> GuestOS:
+        if self.state != DomainState.RUNNING or self.guest is None:
+            raise DomainStateError(f"domain {self.config.name} is not running")
+        return self.guest
+
+    # -- effective resources -------------------------------------------------------
+
+    def effective_cpu(self) -> float:
+        """Cores usable by the guest: min(online vCPUs, cgroup quota)."""
+        guest = self._require_running()
+        return min(float(guest.online_vcpus), self.cgroup.cpu.limit_cores())
+
+    def effective_memory_mb(self) -> float:
+        """Memory usable by the guest: min(plugged, cgroup limit)."""
+        guest = self._require_running()
+        return min(guest.plugged_memory_mb, self.cgroup.memory.limit_mb)
+
+    def effective_disk_mbps(self) -> float:
+        return min(self.config.disk_mbps, self.cgroup.blkio.effective_mbps())
+
+    def effective_net_mbps(self) -> float:
+        return min(self.config.net_mbps, self.cgroup.net.rate_mbps)
+
+    def effective_resources(self) -> ResourceVector:
+        return ResourceVector(
+            cpu=self.effective_cpu(),
+            memory_mb=self.effective_memory_mb(),
+            disk_mbps=self.effective_disk_mbps(),
+            net_mbps=self.effective_net_mbps(),
+        )
+
+    def swapped_memory_mb(self) -> float:
+        """Memory the hypervisor must swap for this domain.
+
+        The guest keeps touching its RSS + surviving page cache; whatever
+        does not fit under the *hypervisor* memory limit is swapped.  Guest-
+        cooperative (hotplug) reclamation shrinks the touched set first,
+        which is exactly why hybrid deflation performs better (Figure 14).
+        """
+        guest = self._require_running()
+        touched = guest.touched_memory_mb()
+        return max(0.0, touched - self.cgroup.memory.limit_mb)
+
+    def deflation_fraction_cpu(self) -> float:
+        return 1.0 - self.effective_cpu() / self.config.max_vcpus
+
+    def deflation_fraction_memory(self) -> float:
+        return 1.0 - self.effective_memory_mb() / self.config.max_memory_mb

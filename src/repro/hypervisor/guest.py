@@ -1,0 +1,176 @@
+"""Guest operating-system model.
+
+Explicit deflation (Section 4.3) is guest-visible: CPU and memory hot-unplug
+requests travel through the QEMU guest agent into the guest kernel, which
+cooperates — rescheduling threads off offlined vCPUs, freeing page cache, and
+returning memory blocks.  Crucially, the guest only honours an unplug when it
+is *safe*: "if the guest kernel cannot safely unplug the requested amount of
+memory, the hot unplug operation is allowed to return unfinished".
+
+The model tracks the memory breakdown the paper's hybrid mechanism depends
+on: resident set (RSS, incl. the application working set), page cache, and
+free memory.  The hot-unplug safety threshold for memory is the current RSS
+(Section 4.4: "we presume that it is safe to unplug as long as the VM has
+more memory than the current RSS value"); the CPU threshold is one online
+vCPU.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import HotplugError, ResourceError
+
+#: Memory hotplug granularity — Linux memory blocks are 128 MB on x86-64.
+MEMORY_BLOCK_MB = 128
+
+#: Minimum online vCPUs: cpu0 is not hot-removable on x86.
+MIN_ONLINE_VCPUS = 1
+
+
+@dataclass
+class GuestMemoryProfile:
+    """Workload-dependent memory behaviour inside the guest.
+
+    Attributes
+    ----------
+    rss_mb:
+        Resident set of all processes (heap, stacks, code).  For JVM-style
+        services this includes over-allocated heap.
+    working_set_mb:
+        The genuinely hot subset of the RSS; touching less than this per
+        interval stalls the application.  ``working_set_mb <= rss_mb``.
+    page_cache_mb:
+        Reclaimable file-backed cache ("modern OSes aggressively use
+        unallocated RAM for caching and buffering", Section 3.2.2).
+    """
+
+    rss_mb: float
+    working_set_mb: float
+    page_cache_mb: float
+
+    def __post_init__(self) -> None:
+        if self.working_set_mb > self.rss_mb + 1e-9:
+            raise ResourceError("working set cannot exceed RSS")
+        if min(self.rss_mb, self.working_set_mb, self.page_cache_mb) < 0:
+            raise ResourceError("memory profile components must be >= 0")
+
+
+class GuestOS:
+    """State machine for one guest kernel's view of its resources."""
+
+    def __init__(
+        self,
+        total_vcpus: int,
+        total_memory_mb: float,
+        memory_profile: GuestMemoryProfile | None = None,
+    ) -> None:
+        if total_vcpus < MIN_ONLINE_VCPUS:
+            raise ResourceError(f"guest needs >= {MIN_ONLINE_VCPUS} vCPU")
+        if total_memory_mb < MEMORY_BLOCK_MB:
+            raise ResourceError(f"guest needs >= {MEMORY_BLOCK_MB} MB")
+        self.total_vcpus = int(total_vcpus)
+        self.online_vcpus = int(total_vcpus)
+        self.total_memory_mb = float(total_memory_mb)
+        self.plugged_memory_mb = float(total_memory_mb)
+        if memory_profile is None:
+            # A conservative default: half the memory resident, a quarter hot,
+            # a quarter in page cache.
+            memory_profile = GuestMemoryProfile(
+                rss_mb=total_memory_mb * 0.5,
+                working_set_mb=total_memory_mb * 0.25,
+                page_cache_mb=total_memory_mb * 0.25,
+            )
+        self.memory = memory_profile
+
+    # -- CPU hotplug -----------------------------------------------------------
+
+    def offline_vcpus(self, count: int) -> int:
+        """Take up to ``count`` vCPUs offline; returns how many succeeded.
+
+        The guest refuses to go below :data:`MIN_ONLINE_VCPUS`.  Partial
+        success mirrors real guests under load.
+        """
+        if count < 0:
+            raise HotplugError("cannot offline a negative number of vCPUs")
+        removable = max(0, self.online_vcpus - MIN_ONLINE_VCPUS)
+        done = min(count, removable)
+        self.online_vcpus -= done
+        return done
+
+    def online_vcpus_add(self, count: int) -> int:
+        """Bring vCPUs back online, bounded by the domain's total."""
+        if count < 0:
+            raise HotplugError("cannot online a negative number of vCPUs")
+        addable = self.total_vcpus - self.online_vcpus
+        done = min(count, addable)
+        self.online_vcpus += done
+        return done
+
+    # -- memory hotplug ----------------------------------------------------------
+
+    def memory_unplug_threshold_mb(self) -> float:
+        """The safety floor for hot-unplug: current RSS, block-aligned up.
+
+        Below this the guest would have to swap its own resident pages, so
+        the kernel declines (Section 4.4 uses the RSS as the hotplug
+        threshold)."""
+        blocks = math.ceil(max(self.memory.rss_mb, MEMORY_BLOCK_MB) / MEMORY_BLOCK_MB)
+        return blocks * MEMORY_BLOCK_MB
+
+    def unplug_memory(self, amount_mb: float) -> float:
+        """Offline up to ``amount_mb`` of memory; returns MB actually removed.
+
+        Removal happens in whole memory blocks, never below the safety
+        threshold.  The guest frees page cache as blocks disappear —
+        explicit deflation "allows them to return unused pages, shrink
+        caches" (Section 4.3).
+        """
+        if amount_mb < 0:
+            raise HotplugError("cannot unplug a negative amount of memory")
+        floor = self.memory_unplug_threshold_mb()
+        removable = max(0.0, self.plugged_memory_mb - floor)
+        granted = min(amount_mb, removable)
+        blocks = math.floor(granted / MEMORY_BLOCK_MB)
+        granted = blocks * MEMORY_BLOCK_MB
+        if granted <= 0:
+            return 0.0
+        self.plugged_memory_mb -= granted
+        self._shrink_caches()
+        return granted
+
+    def plug_memory(self, amount_mb: float) -> float:
+        """Hot-add memory back (block-granular), bounded by the domain max."""
+        if amount_mb < 0:
+            raise HotplugError("cannot plug a negative amount of memory")
+        addable = self.total_memory_mb - self.plugged_memory_mb
+        granted = min(amount_mb, addable)
+        blocks = math.floor(granted / MEMORY_BLOCK_MB)
+        granted = blocks * MEMORY_BLOCK_MB
+        self.plugged_memory_mb += granted
+        return granted
+
+    def _shrink_caches(self) -> None:
+        """Drop page cache that no longer fits after an unplug."""
+        available_for_cache = max(0.0, self.plugged_memory_mb - self.memory.rss_mb)
+        if self.memory.page_cache_mb > available_for_cache:
+            self.memory = GuestMemoryProfile(
+                rss_mb=self.memory.rss_mb,
+                working_set_mb=self.memory.working_set_mb,
+                page_cache_mb=available_for_cache,
+            )
+
+    # -- workload-facing accounting ----------------------------------------------
+
+    def touched_memory_mb(self) -> float:
+        """Memory the guest actively uses: RSS plus whatever cache survives."""
+        return min(
+            self.plugged_memory_mb,
+            self.memory.rss_mb + self.memory.page_cache_mb,
+        )
+
+    def set_memory_profile(self, profile: GuestMemoryProfile) -> None:
+        """Update the workload's memory behaviour (e.g. load change)."""
+        self.memory = profile
+        self._shrink_caches()

@@ -1,0 +1,119 @@
+"""Explicit (guest-visible) deflation via CPU/memory hot-unplug.
+
+Section 4.3: hotplug commands travel through the QEMU guest agent into the
+guest kernel, so the guest knows the change is deflation, not a hardware
+failure, and can cooperate (rebalance threads, drop caches, return pages).
+Explicit deflation is coarse-grained — whole vCPUs, whole memory blocks —
+and bounded by a safety threshold below which the guest refuses to unplug.
+NIC and disk unplug are unsafe, so those resources are always handled by the
+transparent mechanism.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import HotplugError
+from repro.hypervisor.domain import Domain
+from repro.hypervisor.guest import MEMORY_BLOCK_MB, MIN_ONLINE_VCPUS
+
+
+@dataclass(frozen=True)
+class HotplugOutcome:
+    """Result of one hot(un)plug attempt.
+
+    ``requested`` and ``achieved`` are in resource units (vCPUs or MB).  A
+    shortfall is *not* an error — the paper lets unfinished unplugs return
+    partially, with the transparent layer taking up the slack.
+    """
+
+    requested: float
+    achieved: float
+
+    @property
+    def shortfall(self) -> float:
+        return max(0.0, self.requested - self.achieved)
+
+    @property
+    def complete(self) -> bool:
+        return self.shortfall <= 1e-9
+
+
+class ExplicitMechanism:
+    """QEMU-agent-style hotplug driver for one domain."""
+
+    name = "explicit"
+
+    def __init__(self, domain: Domain) -> None:
+        self.domain = domain
+
+    # -- thresholds -----------------------------------------------------------
+
+    def cpu_unplug_threshold(self) -> int:
+        """Minimum online vCPUs the guest will keep."""
+        return MIN_ONLINE_VCPUS
+
+    def memory_unplug_threshold_mb(self) -> float:
+        """Guest-reported safety floor (its current RSS, block-aligned)."""
+        guest = self.domain._require_running()
+        return guest.memory_unplug_threshold_mb()
+
+    # -- CPU -------------------------------------------------------------------
+
+    def set_online_vcpus(self, target_vcpus: int) -> HotplugOutcome:
+        """Unplug/plug vCPUs toward an integral target.
+
+        Fractional targets are a caller bug: hotplug "can only be done in
+        coarse-grained units — it is not possible to unplug 1.5 vCPUs".
+        """
+        if target_vcpus != int(target_vcpus):
+            raise HotplugError("vCPU hotplug targets must be integral")
+        target = int(target_vcpus)
+        if target < 1:
+            raise HotplugError("cannot unplug all vCPUs")
+        guest = self.domain._require_running()
+        target = min(target, self.domain.config.max_vcpus)
+        current = guest.online_vcpus
+        if target < current:
+            removed = guest.offline_vcpus(current - target)
+            return HotplugOutcome(requested=current - target, achieved=removed)
+        if target > current:
+            added = guest.online_vcpus_add(target - current)
+            return HotplugOutcome(requested=target - current, achieved=added)
+        return HotplugOutcome(requested=0, achieved=0)
+
+    # -- memory ------------------------------------------------------------------
+
+    def set_memory_mb(self, target_mb: float) -> HotplugOutcome:
+        """Unplug/plug memory toward a target, block-granular, threshold-safe.
+
+        The achieved amount may be lower than requested when the guest's RSS
+        floor intervenes; callers combine with transparent limits (hybrid).
+        """
+        if target_mb <= 0:
+            raise HotplugError("memory target must be > 0")
+        guest = self.domain._require_running()
+        target = min(target_mb, self.domain.config.max_memory_mb)
+        current = guest.plugged_memory_mb
+        if target < current:
+            want = current - target
+            got = guest.unplug_memory(want)
+            return HotplugOutcome(requested=want, achieved=got)
+        if target > current:
+            want = target - current
+            got = guest.plug_memory(want)
+            return HotplugOutcome(requested=want, achieved=got)
+        return HotplugOutcome(requested=0.0, achieved=0.0)
+
+    # -- convenience ----------------------------------------------------------------
+
+    def round_up_vcpus(self, cores: float) -> int:
+        """Coarsen a fractional CPU target to the hotplug grid (Fig. 13
+        ``round_up``)."""
+        return max(MIN_ONLINE_VCPUS, math.ceil(cores - 1e-9))
+
+    def round_up_memory_mb(self, memory_mb: float) -> float:
+        """Coarsen a memory target up to a whole number of blocks."""
+        blocks = math.ceil(max(memory_mb, MEMORY_BLOCK_MB) / MEMORY_BLOCK_MB - 1e-9)
+        return blocks * MEMORY_BLOCK_MB

@@ -1,0 +1,98 @@
+"""Hybrid deflation — the paper's Figure 13 pseudo-code:
+
+.. code-block:: python
+
+    def deflate_hybrid(target):
+        hotplug_val = max(get_hp_threshold(), round_up(target))
+        deflate_hotplug(hotplug_val)
+        deflate_multiplexing(target)
+
+Explicit (guest-cooperative) deflation runs first, down to whichever is
+higher of the safety threshold and the coarse-grained rounding of the
+target; the transparent layer then closes the remaining fine-grained gap.
+If the hotplug under-delivers (the guest refused part of the unplug), the
+multiplexing step still lands the VM exactly on the target — "the
+multiplexing-based CPU deflation takes up the slack" — so the *effective*
+allocation equals the policy's target regardless of guest cooperation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.resources import ResourceVector
+from repro.hypervisor.domain import Domain
+from repro.hypervisor.hotplug import ExplicitMechanism, HotplugOutcome
+from repro.hypervisor.multiplex import TransparentMechanism
+
+
+@dataclass(frozen=True)
+class HybridReport:
+    """What each layer contributed during one hybrid deflation."""
+
+    cpu_hotplug: HotplugOutcome
+    memory_hotplug: HotplugOutcome
+    effective: ResourceVector
+
+
+class HybridMechanism:
+    """Combines explicit and transparent deflation for one domain."""
+
+    name = "hybrid"
+
+    def __init__(self, domain: Domain) -> None:
+        self.domain = domain
+        self.explicit = ExplicitMechanism(domain)
+        self.transparent = TransparentMechanism(domain)
+
+    def deflate_cpu(self, target_cores: float) -> HotplugOutcome:
+        """Hybrid CPU deflation: unplug whole vCPUs, multiplex the fraction."""
+        hotplug_val = max(
+            self.explicit.cpu_unplug_threshold(),
+            self.explicit.round_up_vcpus(target_cores),
+        )
+        outcome = self.explicit.set_online_vcpus(hotplug_val)
+        self.transparent.set_cpu_limit(max(target_cores, 1e-3))
+        return outcome
+
+    def deflate_memory(self, target_mb: float) -> HotplugOutcome:
+        """Hybrid memory deflation: unplug to max(RSS floor, rounded target),
+        then clamp to the exact target with the cgroup limit."""
+        hotplug_val = max(
+            self.explicit.memory_unplug_threshold_mb(),
+            self.explicit.round_up_memory_mb(target_mb),
+        )
+        outcome = self.explicit.set_memory_mb(hotplug_val)
+        self.transparent.set_memory_limit(max(target_mb, 1.0))
+        return outcome
+
+    def apply(self, target: ResourceVector) -> HybridReport:
+        """Deflate all four resources toward the target allocation.
+
+        Disk and network are always transparent (explicit unplug of NICs and
+        disks is unsafe, Section 4.3).
+        """
+        cfg = self.domain.config
+        cpu = self.deflate_cpu(min(max(target.cpu, 1e-3), cfg.max_vcpus))
+        mem = self.deflate_memory(min(max(target.memory_mb, 1.0), cfg.max_memory_mb))
+        self.transparent.set_disk_limit(min(max(target.disk_mbps, 1e-3), cfg.disk_mbps))
+        self.transparent.set_net_limit(min(max(target.net_mbps, 1e-3), cfg.net_mbps))
+        return HybridReport(
+            cpu_hotplug=cpu,
+            memory_hotplug=mem,
+            effective=self.domain.effective_resources(),
+        )
+
+    def reinflate(self) -> ResourceVector:
+        """Return the domain to its full configuration on both layers."""
+        cfg = self.domain.config
+        self.explicit.set_online_vcpus(cfg.max_vcpus)
+        self.explicit.set_memory_mb(cfg.max_memory_mb)
+        return self.transparent.release()
+
+
+MECHANISMS = {
+    "transparent": TransparentMechanism,
+    "explicit": ExplicitMechanism,
+    "hybrid": HybridMechanism,
+}

@@ -1,0 +1,109 @@
+"""A libvirt-flavoured facade over the simulated hypervisor.
+
+The paper's prototype "uses the libvirt API for running VMs and for dynamic
+resource allocation required for deflation" (Section 6).  This module offers
+the small slice of that API the deflation system needs — open a connection,
+define/start/destroy domains, adjust vCPUs, memory, blkio and network
+bandwidth — backed by the cgroup + guest models, so code written against it
+reads like the real controller would.
+"""
+
+from __future__ import annotations
+
+from repro.core.resources import ResourceVector
+from repro.errors import DomainStateError, ResourceError
+from repro.hypervisor.cgroups import CGroupManager
+from repro.hypervisor.domain import Domain, DomainConfig, DomainState
+from repro.hypervisor.guest import GuestMemoryProfile
+from repro.hypervisor.hybrid import HybridMechanism
+
+
+class HypervisorConnection:
+    """One host's hypervisor endpoint (think ``libvirt.open('qemu:///system')``)."""
+
+    def __init__(self, ncpus: float, memory_mb: float, hostname: str = "host-0") -> None:
+        if memory_mb <= 0:
+            raise ResourceError("host memory must be > 0")
+        self.hostname = hostname
+        self.ncpus = float(ncpus)
+        self.memory_mb = float(memory_mb)
+        self.cgroups = CGroupManager(ncpus_host=ncpus)
+        self._domains: dict[str, Domain] = {}
+        self._mechanisms: dict[str, HybridMechanism] = {}
+
+    # -- domain lifecycle -----------------------------------------------------
+
+    def define_domain(
+        self, config: DomainConfig, memory_profile: GuestMemoryProfile | None = None
+    ) -> Domain:
+        if config.name in self._domains:
+            raise DomainStateError(f"domain {config.name!r} already defined")
+        cgroup = self.cgroups.create(config.name)
+        domain = Domain(config=config, cgroup=cgroup, memory_profile=memory_profile)
+        self._domains[config.name] = domain
+        self._mechanisms[config.name] = HybridMechanism(domain)
+        return domain
+
+    def create_domain(
+        self,
+        name: str,
+        capacity: ResourceVector,
+        memory_profile: GuestMemoryProfile | None = None,
+    ) -> Domain:
+        """define + start in one call, from a capacity vector."""
+        config = DomainConfig.from_capacity(name, capacity)
+        domain = self.define_domain(config, memory_profile)
+        domain.start()
+        return domain
+
+    def lookup(self, name: str) -> Domain:
+        try:
+            return self._domains[name]
+        except KeyError:
+            raise DomainStateError(f"no domain named {name!r}") from None
+
+    def destroy_domain(self, name: str) -> None:
+        domain = self.lookup(name)
+        if domain.state == DomainState.RUNNING:
+            domain.destroy()
+        del self._domains[name]
+        del self._mechanisms[name]
+        self.cgroups.destroy(name)
+
+    def list_domains(self) -> list[str]:
+        return sorted(self._domains)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._domains
+
+    # -- deflation entry points -------------------------------------------------
+
+    def mechanism(self, name: str) -> HybridMechanism:
+        """The hybrid deflation mechanism bound to a domain."""
+        self.lookup(name)
+        return self._mechanisms[name]
+
+    def set_allocation(self, name: str, target: ResourceVector):
+        """Deflate/reinflate a domain to a target allocation (hybrid path)."""
+        return self.mechanism(name).apply(target)
+
+    # -- host accounting -----------------------------------------------------------
+
+    def host_capacity(self) -> ResourceVector:
+        return ResourceVector(cpu=self.ncpus, memory_mb=self.memory_mb,
+                              disk_mbps=float("inf"), net_mbps=float("inf"))
+
+    def total_effective_allocation(self) -> ResourceVector:
+        """Sum of effective allocations of all running domains."""
+        total_cpu = 0.0
+        total_mem = 0.0
+        for domain in self._domains.values():
+            if domain.state == DomainState.RUNNING:
+                total_cpu += domain.effective_cpu()
+                total_mem += domain.effective_memory_mb()
+        return ResourceVector(cpu=total_cpu, memory_mb=total_mem)
+
+    def is_physically_feasible(self) -> bool:
+        """True when effective allocations fit in physical capacity."""
+        eff = self.total_effective_allocation()
+        return eff.cpu <= self.ncpus + 1e-6 and eff.memory_mb <= self.memory_mb + 1e-6

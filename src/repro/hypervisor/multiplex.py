@@ -1,0 +1,72 @@
+"""Transparent (hypervisor-level) deflation via resource multiplexing.
+
+Section 4.2: the hypervisor shrinks what the VM can *use* without telling the
+guest — CPU bandwidth control, memory limits, blkio and network throttles on
+the VM's cgroup.  The guest still sees all its vCPUs and memory; they are
+just slower / partially swapped.  Transparent deflation is fine-grained
+(fractional cores, arbitrary MB) and has no safety threshold, but carries a
+higher performance penalty because the guest cannot adapt.
+"""
+
+from __future__ import annotations
+
+from repro.core.resources import ResourceVector
+from repro.errors import ResourceError
+from repro.hypervisor.domain import Domain
+
+
+class TransparentMechanism:
+    """Drives cgroup knobs to deflate/reinflate one domain transparently."""
+
+    name = "transparent"
+
+    def __init__(self, domain: Domain) -> None:
+        self.domain = domain
+
+    # -- per-resource knobs ---------------------------------------------------
+
+    def set_cpu_limit(self, cores: float) -> None:
+        """Cap usable CPU via CFS quota; fractional values are allowed."""
+        if cores <= 0:
+            raise ResourceError("transparent CPU limit must be > 0")
+        self.domain.cgroup.cpu.set_limit_cores(cores)
+
+    def set_memory_limit(self, memory_mb: float) -> None:
+        """Cap physical memory via memory.limit_in_bytes."""
+        if memory_mb <= 0:
+            raise ResourceError("transparent memory limit must be > 0")
+        self.domain.cgroup.memory.set_limit_mb(memory_mb)
+
+    def set_disk_limit(self, mbps: float) -> None:
+        self.domain.cgroup.blkio.set_throttle(read_mbps=mbps, write_mbps=mbps)
+
+    def set_net_limit(self, mbps: float) -> None:
+        self.domain.cgroup.net.set_rate(mbps)
+
+    # -- vector interface --------------------------------------------------------
+
+    def apply(self, target: ResourceVector) -> ResourceVector:
+        """Deflate the domain to the target allocation (all four resources).
+
+        Returns the effective allocation after the operation.  Targets above
+        the domain's configuration are clamped (reinflation cannot exceed the
+        paid-for maximum).
+        """
+        cfg = self.domain.config
+        self.set_cpu_limit(min(max(target.cpu, 1e-3), cfg.max_vcpus))
+        self.set_memory_limit(min(max(target.memory_mb, 1.0), cfg.max_memory_mb))
+        self.set_disk_limit(min(max(target.disk_mbps, 1e-3), cfg.disk_mbps))
+        self.set_net_limit(min(max(target.net_mbps, 1e-3), cfg.net_mbps))
+        return self.domain.effective_resources()
+
+    def release(self) -> ResourceVector:
+        """Lift all transparent limits (full reinflation of this layer)."""
+        cfg = self.domain.config
+        return self.apply(
+            ResourceVector(
+                cpu=cfg.max_vcpus,
+                memory_mb=cfg.max_memory_mb,
+                disk_mbps=cfg.disk_mbps,
+                net_mbps=cfg.net_mbps,
+            )
+        )

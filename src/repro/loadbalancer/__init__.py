@@ -1,0 +1,27 @@
+"""Load balancing: vanilla and deflation-aware weighted round robin."""
+
+from repro.loadbalancer.cluster import (
+    FIG19_DEFLATION_PCT,
+    LBPoint,
+    WebClusterConfig,
+    run_lb_sweep,
+    run_web_cluster,
+)
+from repro.loadbalancer.haproxy import (
+    DeflationAwareBalancer,
+    WeightedRoundRobin,
+    deflation_aware_weights,
+    vanilla_weights,
+)
+
+__all__ = [
+    "FIG19_DEFLATION_PCT",
+    "LBPoint",
+    "WebClusterConfig",
+    "run_lb_sweep",
+    "run_web_cluster",
+    "DeflationAwareBalancer",
+    "WeightedRoundRobin",
+    "deflation_aware_weights",
+    "vanilla_weights",
+]

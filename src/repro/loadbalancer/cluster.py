@@ -1,0 +1,137 @@
+"""Three-replica web cluster behind a load balancer (Figure 19).
+
+The paper's setup: three Wikipedia replicas (10 vCPUs, 10 GB each) behind
+HAProxy at 200 req/s; two replicas run on deflatable VMs and are deflated
+equally, the third is on-demand.  Vanilla WRR keeps sending each replica a
+third of the traffic; the deflation-aware balancer re-weights by effective
+vCPUs, shifting load to the undeflated replica and cutting tail latency by
+15–40% at 40–80% deflation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.feasibility.stats import percentile_summary
+from repro.loadbalancer.haproxy import WeightedRoundRobin
+from repro.queueing.network import PSNetwork, Visit
+
+#: The paper's Figure 19 x-axis (deflation % of the two deflatable replicas).
+FIG19_DEFLATION_PCT: tuple[int, ...] = (0, 10, 20, 30, 40, 50, 60, 70, 80)
+
+
+@dataclass(frozen=True)
+class WebClusterConfig:
+    replica_cores: float = 10.0
+    n_replicas: int = 3
+    n_deflatable: int = 2
+    request_rate: float = 200.0
+    duration_s: float = 40.0
+    timeout_s: float = 15.0
+    #: Mean per-request CPU demand.  Calibrated so a replica at 80% deflation
+    #: saturates under vanilla equal weighting (the paper's regime).
+    mean_cpu_demand_s: float = 0.045
+    cpu_demand_cv: float = 1.0
+    #: Non-CPU base latency (page transfer etc.), lognormal.
+    base_median_s: float = 0.12
+    base_sigma: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not (0 < self.n_deflatable < self.n_replicas + 1):
+            raise SimulationError("need 0 < n_deflatable <= n_replicas")
+
+
+@dataclass(frozen=True)
+class LBPoint:
+    deflation_pct: float
+    policy: str
+    mean_rt: float
+    p90_rt: float
+    served_fraction: float
+
+
+def _replica_names(cfg: WebClusterConfig) -> list[str]:
+    return [f"replica-{i}" for i in range(cfg.n_replicas)]
+
+
+def run_web_cluster(
+    cfg: WebClusterConfig,
+    deflation_pct: float,
+    deflation_aware: bool,
+    seed: int = 0,
+) -> LBPoint:
+    """Simulate the 3-replica cluster at one deflation level."""
+    if not (0 <= deflation_pct < 100):
+        raise SimulationError("deflation percent must be in [0, 100)")
+    d = deflation_pct / 100.0
+    names = _replica_names(cfg)
+    cores = {
+        name: (
+            max(cfg.replica_cores * (1.0 - d), 0.05)
+            if i < cfg.n_deflatable
+            else cfg.replica_cores
+        )
+        for i, name in enumerate(names)
+    }
+
+    if deflation_aware:
+        weights = dict(cores)  # weights track effective vCPUs
+    else:
+        weights = {name: 1.0 for name in names}
+    balancer = WeightedRoundRobin(weights)
+
+    rng = np.random.default_rng(seed)
+    capacities: dict[str, float] = dict(cores)
+    capacities["delay"] = 1e9  # uncontended base-latency station
+    net = PSNetwork(capacities)
+
+    t = 0.0
+    while True:
+        t += float(rng.exponential(1.0 / cfg.request_rate))
+        if t >= cfg.duration_s:
+            break
+        backend = balancer.pick()
+        demand = float(
+            rng.lognormal(
+                np.log(cfg.mean_cpu_demand_s) - 0.5 * np.log(1 + cfg.cpu_demand_cv**2),
+                np.sqrt(np.log(1 + cfg.cpu_demand_cv**2)),
+            )
+        )
+        base = float(rng.lognormal(np.log(cfg.base_median_s), cfg.base_sigma))
+        plan = (Visit("delay", base), Visit(backend, demand))
+        net.offer(t, plan, deadline=cfg.timeout_s)
+
+    result = net.run()
+    if result.response_times.size:
+        pct = percentile_summary(result.response_times, (90,))
+        p90 = pct[90]
+        mean = result.mean_response
+    else:
+        p90 = float("nan")
+        mean = float("nan")
+    return LBPoint(
+        deflation_pct=deflation_pct,
+        policy="deflation-aware" if deflation_aware else "vanilla",
+        mean_rt=mean,
+        p90_rt=p90,
+        served_fraction=result.served_fraction,
+    )
+
+
+def run_lb_sweep(
+    cfg: WebClusterConfig | None = None,
+    levels_pct: tuple[int, ...] = FIG19_DEFLATION_PCT,
+    seed: int = 0,
+) -> dict[str, list[LBPoint]]:
+    """Figure 19: mean and p90 response times for both balancer policies."""
+    cfg = cfg if cfg is not None else WebClusterConfig()
+    return {
+        policy: [
+            run_web_cluster(cfg, pct, deflation_aware=(policy == "deflation-aware"), seed=seed)
+            for pct in levels_pct
+        ]
+        for policy in ("vanilla", "deflation-aware")
+    }

@@ -1,0 +1,96 @@
+"""Weighted round-robin load balancing, vanilla and deflation-aware.
+
+The paper modifies HAProxy's Weighted Round Robin "by dynamically changing
+the weights assigned to the different servers based on the current deflation
+level, which adjusts the number of requests sent to each server based on the
+'true' resource availability" (Section 6).
+
+We implement the *smooth* WRR algorithm (the one nginx/HAProxy use): it
+spreads picks of the same backend apart instead of bursting them, and it
+honours weight changes immediately — exactly what the deflation-aware
+variant needs when a deflation notification arrives mid-stream.
+"""
+
+from __future__ import annotations
+
+from repro.core.controller import DeflationEvent
+from repro.errors import SimulationError
+
+
+class WeightedRoundRobin:
+    """Smooth WRR over a fixed set of backends with mutable weights."""
+
+    def __init__(self, weights: dict[str, float]) -> None:
+        if not weights:
+            raise SimulationError("need at least one backend")
+        for name, w in weights.items():
+            if w < 0:
+                raise SimulationError(f"negative weight for {name}")
+        if all(w == 0 for w in weights.values()):
+            raise SimulationError("at least one backend must have weight > 0")
+        self._weights = dict(weights)
+        self._current = {name: 0.0 for name in weights}
+
+    @property
+    def weights(self) -> dict[str, float]:
+        return dict(self._weights)
+
+    def set_weight(self, backend: str, weight: float) -> None:
+        if backend not in self._weights:
+            raise SimulationError(f"unknown backend {backend!r}")
+        if weight < 0:
+            raise SimulationError("weight must be >= 0")
+        self._weights[backend] = weight
+
+    def pick(self) -> str:
+        """Select the next backend (smooth WRR step)."""
+        total = sum(self._weights.values())
+        if total <= 0:
+            raise SimulationError("all backend weights are zero")
+        best: str | None = None
+        for name, w in self._weights.items():
+            self._current[name] += w
+            if best is None or self._current[name] > self._current[best]:
+                best = name
+        assert best is not None
+        self._current[best] -= total
+        return best
+
+    def pick_many(self, n: int) -> list[str]:
+        return [self.pick() for _ in range(n)]
+
+
+class DeflationAwareBalancer(WeightedRoundRobin):
+    """WRR whose weights track each backend's effective CPU allocation.
+
+    Wire :meth:`on_deflation` to a
+    :class:`~repro.core.controller.LocalDeflationController` subscription
+    (the paper's hypervisor->load-balancer notification channel, Figure 1)
+    and the weights follow deflation automatically.
+    """
+
+    def __init__(self, backend_cpus: dict[str, float]) -> None:
+        super().__init__(dict(backend_cpus))
+        self._vm_to_backend: dict[str, str] = {name: name for name in backend_cpus}
+
+    def map_vm(self, vm_id: str, backend: str) -> None:
+        """Associate a VM id (as seen in deflation events) with a backend."""
+        if backend not in self.weights:
+            raise SimulationError(f"unknown backend {backend!r}")
+        self._vm_to_backend[vm_id] = backend
+
+    def on_deflation(self, event: DeflationEvent) -> None:
+        backend = self._vm_to_backend.get(event.vm_id)
+        if backend is None:
+            return  # not one of ours
+        self.set_weight(backend, max(event.new_allocation.cpu, 0.0))
+
+
+def vanilla_weights(backends: list[str]) -> dict[str, float]:
+    """Deflation-oblivious HAProxy default: equal static weights."""
+    return {name: 1.0 for name in backends}
+
+
+def deflation_aware_weights(effective_cpus: dict[str, float]) -> dict[str, float]:
+    """Weights proportional to each backend's current (deflated) vCPUs."""
+    return dict(effective_cpus)

@@ -1,0 +1,31 @@
+"""Microservice application simulation (DeathStarBench social network)."""
+
+from repro.microsim.app import (
+    MAX_CORES_PER_SERVICE,
+    MEAN_DEMANDS,
+    MIN_CORES_PER_SERVICE,
+    REQUEST_MIX,
+    SocialNetworkApp,
+)
+from repro.microsim.graph import (
+    SOCIAL_NETWORK_EDGES,
+    SOCIAL_NETWORK_SERVICES,
+    ServiceTier,
+    deflatable_services,
+    services_by_tier,
+    social_network_graph,
+)
+
+__all__ = [
+    "MAX_CORES_PER_SERVICE",
+    "MEAN_DEMANDS",
+    "MIN_CORES_PER_SERVICE",
+    "REQUEST_MIX",
+    "SocialNetworkApp",
+    "SOCIAL_NETWORK_EDGES",
+    "SOCIAL_NETWORK_SERVICES",
+    "ServiceTier",
+    "deflatable_services",
+    "services_by_tier",
+    "social_network_graph",
+]

@@ -1,0 +1,277 @@
+"""Request-level simulation of the social-network microservice application.
+
+Requests follow templates mirroring DeathStarBench's three main operations —
+read-home-timeline, read-user-timeline, compose-post — each a tree of
+service visits with fork-join fan-out, executed on the PS network
+(:mod:`repro.queueing.network`).
+
+Resource configuration follows Section 7.2 of the paper: each microservice
+is capped at 2 cores ("a maximum limit of 2 cores per microservice, and a
+minimum of 0.05 CPUs"); deflation scales the 22 deflatable services'
+capacity by ``1 - d`` (never below the 0.05-core floor), while the eight
+database services keep their full allocation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.microsim.graph import (
+    ServiceTier,
+    deflatable_services,
+    social_network_graph,
+)
+from repro.queueing.network import Fork, NetworkResult, PSNetwork, Visit
+
+#: Per-service CPU cap (cores) and the deflation floor, from the paper.
+MAX_CORES_PER_SERVICE = 2.0
+MIN_CORES_PER_SERVICE = 0.05
+
+#: Mean CPU demand (seconds) per visit, by service.  Calibrated so the
+#: hottest services sit near 30% utilization undeflated at 500 req/s —
+#: comfortable normally, saturating past ~60% deflation (Figure 18's knee).
+MEAN_DEMANDS: dict[str, float] = {
+    "nginx-web": 0.0009,
+    "media-frontend": 0.0010,
+    "api-gateway": 0.0010,
+    "compose-post": 0.0022,
+    "text-service": 0.0012,
+    "user-mention": 0.0008,
+    "url-shorten": 0.0008,
+    "unique-id": 0.0004,
+    "media-service": 0.0015,
+    "user-service": 0.0009,
+    "social-graph": 0.0012,
+    "home-timeline": 0.0024,
+    "user-timeline": 0.0018,
+    "post-storage": 0.0016,
+    "write-home-timeline": 0.0014,
+    "read-post": 0.0010,
+    "follow-service": 0.0008,
+    "recommender": 0.0015,
+    "memcached-post": 0.0003,
+    "memcached-user": 0.0003,
+    "memcached-social": 0.0003,
+    "memcached-timeline": 0.0003,
+    "mongodb-post": 0.0028,
+    "mongodb-user": 0.0022,
+    "mongodb-social": 0.0022,
+    "mongodb-media": 0.0024,
+    "mongodb-url": 0.0018,
+    "redis-home": 0.0005,
+    "redis-user": 0.0005,
+    "rabbitmq": 0.0008,
+}
+
+#: Request mix (fractions) over the three operations.
+REQUEST_MIX: dict[str, float] = {
+    "read-home-timeline": 0.60,
+    "read-user-timeline": 0.30,
+    "compose-post": 0.10,
+}
+
+
+@dataclass
+class SocialNetworkApp:
+    """The deflatable social-network application harness."""
+
+    cache_hit_rate: float = 0.8
+    seed: int = 0
+    graph = None
+
+    def __post_init__(self) -> None:
+        self.graph = social_network_graph()
+        self._deflatable = set(deflatable_services(self.graph))
+        if not (0.0 <= self.cache_hit_rate <= 1.0):
+            raise SimulationError("cache_hit_rate must be in [0, 1]")
+
+    # -- capacity ---------------------------------------------------------------
+
+    def capacities(self, deflation: float) -> dict[str, float]:
+        """Per-service core allocations at a deflation fraction."""
+        if not (0.0 <= deflation < 1.0):
+            raise SimulationError(f"deflation must be in [0, 1), got {deflation}")
+        caps: dict[str, float] = {}
+        for name, data in self.graph.nodes(data=True):
+            cores = MAX_CORES_PER_SERVICE
+            if name in self._deflatable:
+                cores = max(MIN_CORES_PER_SERVICE, cores * (1.0 - deflation))
+            caps[name] = cores
+        return caps
+
+    # -- request templates --------------------------------------------------------
+
+    def _demand(self, rng: np.random.Generator, service: str) -> float:
+        """Sample one visit's CPU demand (exponential around the mean)."""
+        return float(rng.exponential(MEAN_DEMANDS[service]))
+
+    def _post_storage_chain(self, rng) -> tuple:
+        """post-storage consults its memcached; misses go to MongoDB."""
+        steps: list = [Visit("post-storage", self._demand(rng, "post-storage"))]
+        if rng.random() < self.cache_hit_rate:
+            steps.append(Visit("memcached-post", self._demand(rng, "memcached-post")))
+        else:
+            steps.append(Visit("mongodb-post", self._demand(rng, "mongodb-post")))
+        return tuple(steps)
+
+    def _read_home_timeline(self, rng) -> tuple:
+        return (
+            Visit("nginx-web", self._demand(rng, "nginx-web")),
+            Visit("home-timeline", self._demand(rng, "home-timeline")),
+            Fork(
+                branches=(
+                    (Visit("redis-home", self._demand(rng, "redis-home")),),
+                    self._post_storage_chain(rng),
+                    (
+                        Visit("social-graph", self._demand(rng, "social-graph")),
+                        Visit("memcached-social", self._demand(rng, "memcached-social")),
+                    ),
+                )
+            ),
+        )
+
+    def _read_user_timeline(self, rng) -> tuple:
+        cache_or_db = (
+            (Visit("memcached-timeline", self._demand(rng, "memcached-timeline")),)
+            if rng.random() < self.cache_hit_rate
+            else (Visit("mongodb-post", self._demand(rng, "mongodb-post")),)
+        )
+        return (
+            Visit("nginx-web", self._demand(rng, "nginx-web")),
+            Visit("user-timeline", self._demand(rng, "user-timeline")),
+            Fork(
+                branches=(
+                    cache_or_db,
+                    (
+                        Visit("user-service", self._demand(rng, "user-service")),
+                        Visit("memcached-user", self._demand(rng, "memcached-user")),
+                    ),
+                )
+            ),
+        )
+
+    def _compose_post(self, rng) -> tuple:
+        return (
+            Visit("nginx-web", self._demand(rng, "nginx-web")),
+            Visit("compose-post", self._demand(rng, "compose-post")),
+            Visit("unique-id", self._demand(rng, "unique-id")),
+            Fork(
+                branches=(
+                    (
+                        Visit("text-service", self._demand(rng, "text-service")),
+                        Fork(
+                            branches=(
+                                (
+                                    Visit("url-shorten", self._demand(rng, "url-shorten")),
+                                    Visit("mongodb-url", self._demand(rng, "mongodb-url")),
+                                ),
+                                (
+                                    Visit("user-mention", self._demand(rng, "user-mention")),
+                                    Visit("memcached-user", self._demand(rng, "memcached-user")),
+                                ),
+                            )
+                        ),
+                    ),
+                    (
+                        Visit("media-service", self._demand(rng, "media-service")),
+                        Visit("mongodb-media", self._demand(rng, "mongodb-media")),
+                    ),
+                    (
+                        Visit("user-service", self._demand(rng, "user-service")),
+                        Visit("memcached-user", self._demand(rng, "memcached-user")),
+                    ),
+                )
+            ),
+            Fork(
+                branches=(
+                    (
+                        Visit("post-storage", self._demand(rng, "post-storage")),
+                        Visit("mongodb-post", self._demand(rng, "mongodb-post")),
+                    ),
+                    (
+                        Visit("write-home-timeline", self._demand(rng, "write-home-timeline")),
+                        Visit("social-graph", self._demand(rng, "social-graph")),
+                        Visit("redis-home", self._demand(rng, "redis-home")),
+                    ),
+                    (
+                        Visit("user-timeline", self._demand(rng, "user-timeline")),
+                        Visit("rabbitmq", self._demand(rng, "rabbitmq")),
+                    ),
+                )
+            ),
+        )
+
+    def sample_plan(self, rng: np.random.Generator) -> tuple:
+        r = rng.random()
+        if r < REQUEST_MIX["read-home-timeline"]:
+            return self._read_home_timeline(rng)
+        if r < REQUEST_MIX["read-home-timeline"] + REQUEST_MIX["read-user-timeline"]:
+            return self._read_user_timeline(rng)
+        return self._compose_post(rng)
+
+    # -- simulation ----------------------------------------------------------------
+
+    def simulate(
+        self,
+        rate_per_s: float,
+        duration_s: float,
+        deflation: float,
+        timeout_s: float | None = 30.0,
+        seed: int | None = None,
+    ) -> NetworkResult:
+        """Run the application at a deflation level; returns latency metrics."""
+        rng = np.random.default_rng(self.seed if seed is None else seed)
+        net = PSNetwork(self.capacities(deflation))
+        t = 0.0
+        while True:
+            t += float(rng.exponential(1.0 / rate_per_s))
+            if t >= duration_s:
+                break
+            net.offer(t, self.sample_plan(rng), deadline=timeout_s)
+        return net.run()
+
+    def bottleneck_utilization(self, rate_per_s: float, deflation: float) -> float:
+        """Analytic utilization of the hottest station (for tests/examples)."""
+        visit_rates = self._expected_visit_rates(rate_per_s)
+        caps = self.capacities(deflation)
+        rho = 0.0
+        for svc, rate in visit_rates.items():
+            rho = max(rho, rate * MEAN_DEMANDS[svc] / caps[svc])
+        return rho
+
+    def _expected_visit_rates(self, rate_per_s: float) -> dict[str, float]:
+        """Expected per-service arrival rates under the request mix."""
+        h = self.cache_hit_rate
+        mix = REQUEST_MIX
+        rates: dict[str, float] = {name: 0.0 for name in self.graph.nodes}
+        rht, rut, cp = (
+            rate_per_s * mix["read-home-timeline"],
+            rate_per_s * mix["read-user-timeline"],
+            rate_per_s * mix["compose-post"],
+        )
+        rates["nginx-web"] = rht + rut + cp
+        rates["home-timeline"] = rht
+        rates["redis-home"] = rht + cp
+        rates["post-storage"] = rht + cp
+        rates["memcached-post"] = rht * h
+        rates["mongodb-post"] = rht * (1 - h) + rut * (1 - h) + cp
+        rates["social-graph"] = rht + cp
+        rates["memcached-social"] = rht
+        rates["user-timeline"] = rut + cp
+        rates["memcached-timeline"] = rut * h
+        rates["user-service"] = rut + 2 * cp
+        rates["memcached-user"] = rut + 3 * cp
+        rates["compose-post"] = cp
+        rates["unique-id"] = cp
+        rates["text-service"] = cp
+        rates["url-shorten"] = cp
+        rates["mongodb-url"] = cp
+        rates["user-mention"] = cp
+        rates["media-service"] = cp
+        rates["mongodb-media"] = cp
+        rates["write-home-timeline"] = cp
+        rates["rabbitmq"] = cp
+        return rates

@@ -1,0 +1,130 @@
+"""DeathStarBench-style social-network service topology (paper Figure 15).
+
+The application has 30 microservices in three logical classes, matching the
+paper's description: "there are three frontend microservices, 15 logic
+microservices, and 12 backend microservices", of which the 3 frontends, the
+15 logic services, and the 4 memcached backends are deflatable (22 of 30);
+the databases are never deflated.
+
+The topology is a :class:`networkx.DiGraph` whose edges are caller->callee
+relationships; request *templates* (which services a request visits, in what
+order, with what fan-out) live in :mod:`repro.microsim.app`.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import networkx as nx
+
+
+class ServiceTier(enum.Enum):
+    FRONTEND = "frontend"
+    LOGIC = "logic"
+    BACKEND_CACHE = "backend-cache"
+    BACKEND_DB = "backend-db"
+
+
+#: (service name, tier).  3 frontend + 15 logic + 4 cache + 8 db = 30.
+SOCIAL_NETWORK_SERVICES: tuple[tuple[str, ServiceTier], ...] = (
+    # Frontend
+    ("nginx-web", ServiceTier.FRONTEND),
+    ("media-frontend", ServiceTier.FRONTEND),
+    ("api-gateway", ServiceTier.FRONTEND),
+    # Logic
+    ("compose-post", ServiceTier.LOGIC),
+    ("text-service", ServiceTier.LOGIC),
+    ("user-mention", ServiceTier.LOGIC),
+    ("url-shorten", ServiceTier.LOGIC),
+    ("unique-id", ServiceTier.LOGIC),
+    ("media-service", ServiceTier.LOGIC),
+    ("user-service", ServiceTier.LOGIC),
+    ("social-graph", ServiceTier.LOGIC),
+    ("home-timeline", ServiceTier.LOGIC),
+    ("user-timeline", ServiceTier.LOGIC),
+    ("post-storage", ServiceTier.LOGIC),
+    ("write-home-timeline", ServiceTier.LOGIC),
+    ("read-post", ServiceTier.LOGIC),
+    ("follow-service", ServiceTier.LOGIC),
+    ("recommender", ServiceTier.LOGIC),
+    # Backend caches (deflatable)
+    ("memcached-post", ServiceTier.BACKEND_CACHE),
+    ("memcached-user", ServiceTier.BACKEND_CACHE),
+    ("memcached-social", ServiceTier.BACKEND_CACHE),
+    ("memcached-timeline", ServiceTier.BACKEND_CACHE),
+    # Backend stores (never deflated)
+    ("mongodb-post", ServiceTier.BACKEND_DB),
+    ("mongodb-user", ServiceTier.BACKEND_DB),
+    ("mongodb-social", ServiceTier.BACKEND_DB),
+    ("mongodb-media", ServiceTier.BACKEND_DB),
+    ("mongodb-url", ServiceTier.BACKEND_DB),
+    ("redis-home", ServiceTier.BACKEND_DB),
+    ("redis-user", ServiceTier.BACKEND_DB),
+    ("rabbitmq", ServiceTier.BACKEND_DB),
+)
+
+#: Caller -> callee edges (static call graph; templates pick subsets).
+SOCIAL_NETWORK_EDGES: tuple[tuple[str, str], ...] = (
+    ("nginx-web", "home-timeline"),
+    ("nginx-web", "user-timeline"),
+    ("nginx-web", "compose-post"),
+    ("nginx-web", "read-post"),
+    ("media-frontend", "media-service"),
+    ("api-gateway", "compose-post"),
+    ("api-gateway", "follow-service"),
+    ("api-gateway", "recommender"),
+    ("compose-post", "unique-id"),
+    ("compose-post", "text-service"),
+    ("compose-post", "media-service"),
+    ("compose-post", "user-service"),
+    ("compose-post", "post-storage"),
+    ("compose-post", "write-home-timeline"),
+    ("compose-post", "user-timeline"),
+    ("compose-post", "rabbitmq"),
+    ("text-service", "url-shorten"),
+    ("text-service", "user-mention"),
+    ("user-mention", "memcached-user"),
+    ("user-mention", "mongodb-user"),
+    ("url-shorten", "mongodb-url"),
+    ("media-service", "mongodb-media"),
+    ("user-service", "memcached-user"),
+    ("user-service", "mongodb-user"),
+    ("social-graph", "memcached-social"),
+    ("social-graph", "mongodb-social"),
+    ("social-graph", "redis-user"),
+    ("home-timeline", "redis-home"),
+    ("home-timeline", "post-storage"),
+    ("home-timeline", "social-graph"),
+    ("user-timeline", "memcached-timeline"),
+    ("user-timeline", "mongodb-post"),
+    ("post-storage", "memcached-post"),
+    ("post-storage", "mongodb-post"),
+    ("write-home-timeline", "social-graph"),
+    ("write-home-timeline", "redis-home"),
+    ("read-post", "post-storage"),
+    ("follow-service", "social-graph"),
+    ("recommender", "social-graph"),
+    ("recommender", "post-storage"),
+)
+
+
+def social_network_graph() -> nx.DiGraph:
+    """Build the 30-service call graph with tier annotations."""
+    g = nx.DiGraph()
+    for name, tier in SOCIAL_NETWORK_SERVICES:
+        g.add_node(name, tier=tier)
+    g.add_edges_from(SOCIAL_NETWORK_EDGES)
+    return g
+
+
+def deflatable_services(g: nx.DiGraph) -> list[str]:
+    """The 22 services the paper deflates: frontends, logic, memcached."""
+    keep = {ServiceTier.FRONTEND, ServiceTier.LOGIC, ServiceTier.BACKEND_CACHE}
+    return [n for n, d in g.nodes(data=True) if d["tier"] in keep]
+
+
+def services_by_tier(g: nx.DiGraph) -> dict[ServiceTier, list[str]]:
+    out: dict[ServiceTier, list[str]] = {t: [] for t in ServiceTier}
+    for n, d in g.nodes(data=True):
+        out[d["tier"]].append(n)
+    return out

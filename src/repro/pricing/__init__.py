@@ -1,0 +1,23 @@
+"""Pricing models for deflatable VMs: static, priority, allocation-based."""
+
+from repro.pricing.models import (
+    PRICING_MODELS,
+    STATIC_DISCOUNT,
+    AllocationPricing,
+    PricingModel,
+    PriorityPricing,
+    RevenueBreakdown,
+    StaticPricing,
+    get_pricing,
+)
+
+__all__ = [
+    "PRICING_MODELS",
+    "STATIC_DISCOUNT",
+    "AllocationPricing",
+    "PricingModel",
+    "PriorityPricing",
+    "RevenueBreakdown",
+    "StaticPricing",
+    "get_pricing",
+]

@@ -1,0 +1,121 @@
+"""Pricing models for deflatable VMs (Section 5.2.2 of the paper).
+
+Three schemes, all relative to the on-demand unit price:
+
+* **static** — deflatable VMs pay a fixed discount (the paper uses 0.2x,
+  "corresponding to the discounts offered by current transient cloud
+  servers");
+* **priority** — the price equals the priority level ("priority-level 0.5
+  has price 0.5x the on-demand price");
+* **allocation** — pay-for-what-you-get: the bill is proportional to the
+  actual allocation over time ("VMs pay half price when at 50% allocation").
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+
+#: Discount multiplier for static pricing (Section 7.4.3).
+STATIC_DISCOUNT = 0.2
+
+
+class PricingModel(abc.ABC):
+    """Computes revenue for one VM over one accounting interval."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def rate(self, priority: float, allocation_fraction: float) -> float:
+        """Price per (capacity-unit x time-unit), relative to on-demand = 1.
+
+        ``allocation_fraction`` is current/capacity averaged over the
+        interval, in [0, 1].
+        """
+
+    def revenue(
+        self,
+        capacity_units: float,
+        duration: float,
+        priority: float,
+        allocation_fraction: float,
+    ) -> float:
+        """Revenue for a VM of the given size over a duration."""
+        if capacity_units < 0 or duration < 0:
+            raise ReproError("capacity and duration must be >= 0")
+        if not (0.0 <= allocation_fraction <= 1.0 + 1e-9):
+            raise ReproError(f"allocation fraction out of range: {allocation_fraction}")
+        return capacity_units * duration * self.rate(priority, min(allocation_fraction, 1.0))
+
+
+class StaticPricing(PricingModel):
+    """Fixed discount regardless of priority or deflation."""
+
+    name = "static"
+
+    def __init__(self, discount: float = STATIC_DISCOUNT) -> None:
+        if not (0.0 < discount <= 1.0):
+            raise ReproError("discount must be in (0, 1]")
+        self.discount = discount
+
+    def rate(self, priority: float, allocation_fraction: float) -> float:
+        return self.discount
+
+
+class PriorityPricing(PricingModel):
+    """Price equals the VM's priority level."""
+
+    name = "priority"
+
+    def rate(self, priority: float, allocation_fraction: float) -> float:
+        if not (0.0 < priority <= 1.0):
+            raise ReproError(f"priority must be in (0, 1], got {priority}")
+        return priority
+
+
+class AllocationPricing(PricingModel):
+    """Pay for actual allocation: deflated VMs are billed proportionally less.
+
+    The base rate anchors the undeflated price; the paper prices linearly in
+    the allocation, with the undeflated rate matching the static discount so
+    the schemes coincide at zero overcommitment.
+    """
+
+    name = "allocation"
+
+    def __init__(self, base_rate: float = STATIC_DISCOUNT) -> None:
+        if base_rate <= 0:
+            raise ReproError("base rate must be > 0")
+        self.base_rate = base_rate
+
+    def rate(self, priority: float, allocation_fraction: float) -> float:
+        return self.base_rate * allocation_fraction
+
+
+@dataclass(frozen=True)
+class RevenueBreakdown:
+    """Aggregate revenue report for one simulation run."""
+
+    total: float
+    by_vm: dict
+
+    def per_capacity_unit(self, capacity_units: float) -> float:
+        if capacity_units <= 0:
+            raise ReproError("capacity must be > 0")
+        return self.total / capacity_units
+
+
+PRICING_MODELS: dict[str, PricingModel] = {
+    "static": StaticPricing(),
+    "priority": PriorityPricing(),
+    "allocation": AllocationPricing(),
+}
+
+
+def get_pricing(name: str) -> PricingModel:
+    try:
+        return PRICING_MODELS[name]
+    except KeyError:
+        raise ReproError(f"unknown pricing model {name!r}; available: {sorted(PRICING_MODELS)}") from None

@@ -1,0 +1,22 @@
+"""Processor-sharing queueing substrate: network DES + analytic checks."""
+
+from repro.queueing.mm import (
+    erlang_c,
+    mg1_ps_mean_sojourn,
+    mmc_mean_sojourn,
+    mmc_ps_mean_sojourn,
+)
+from repro.queueing.network import Fork, NetworkResult, PSNetwork, Visit
+from repro.queueing.ps_server import PSServer
+
+__all__ = [
+    "erlang_c",
+    "mg1_ps_mean_sojourn",
+    "mmc_mean_sojourn",
+    "mmc_ps_mean_sojourn",
+    "Fork",
+    "NetworkResult",
+    "PSNetwork",
+    "Visit",
+    "PSServer",
+]

@@ -1,0 +1,62 @@
+"""Single multi-core processor-sharing server — a one-station facade.
+
+Models one VM serving an open request stream, with optional per-request
+response-time deadlines (dropped requests model HTTP timeouts, as in the
+paper's Wikipedia experiment: "We set the request time out period to 15
+seconds, and consider that requests that take longer are dropped").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.queueing.network import NetworkResult, PSNetwork, Visit
+from repro.traces.workload_gen import RequestTrace
+
+
+class PSServer:
+    """Convenience wrapper for single-station simulations."""
+
+    STATION = "server"
+
+    def __init__(self, cores: float) -> None:
+        if cores <= 0:
+            raise SimulationError("server needs > 0 cores")
+        self.cores = float(cores)
+
+    def simulate(
+        self,
+        workload: RequestTrace,
+        timeout_s: float | None = None,
+        extra_latency: np.ndarray | None = None,
+    ) -> NetworkResult:
+        """Run the open-loop workload through the PS server.
+
+        ``extra_latency`` (one entry per request) models non-CPU response
+        components — DB waits, network transfer of large pages — that add to
+        the CPU sojourn but do not consume this server's CPU.  It is
+        implemented as a zero-rate visit at an infinite-capacity delay
+        station, so deadlines still apply to the *total* response time.
+        """
+        capacities = {self.STATION: self.cores}
+        use_delay = extra_latency is not None
+        if use_delay:
+            if len(extra_latency) != workload.n_requests:
+                raise SimulationError("extra_latency must align with the workload")
+            capacities["delay"] = float(workload.n_requests + 1)  # never contended
+
+        net = PSNetwork(capacities)
+        for i in range(workload.n_requests):
+            plan: tuple = (Visit(self.STATION, float(workload.service_demands[i])),)
+            if use_delay:
+                plan = (Visit("delay", float(extra_latency[i])),) + plan
+            net.offer(float(workload.arrivals[i]), plan, deadline=timeout_s)
+        return net.run()
+
+    def utilization(self, workload: RequestTrace) -> float:
+        """Offered load as a fraction of capacity (rho)."""
+        duration = workload.duration
+        if duration <= 0:
+            return 0.0
+        return workload.offered_load_cpu_seconds / (self.cores * duration)

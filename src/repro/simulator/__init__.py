@@ -1,0 +1,32 @@
+"""Discrete-event simulation: engine, trace-driven cluster replay, sweeps."""
+
+from repro.simulator.cluster_sim import (
+    ClusterSimConfig,
+    ClusterSimResult,
+    ClusterSimulator,
+    VMOutcome,
+    servers_for_overcommitment,
+)
+from repro.simulator.engine import EventQueue, Simulator
+from repro.simulator.metrics import (
+    DEFAULT_OVERCOMMIT_LEVELS,
+    DEFAULT_POLICIES,
+    OvercommitSweep,
+    SweepPoint,
+    overcommitment_sweep,
+)
+
+__all__ = [
+    "ClusterSimConfig",
+    "ClusterSimResult",
+    "ClusterSimulator",
+    "VMOutcome",
+    "servers_for_overcommitment",
+    "EventQueue",
+    "Simulator",
+    "DEFAULT_OVERCOMMIT_LEVELS",
+    "DEFAULT_POLICIES",
+    "OvercommitSweep",
+    "SweepPoint",
+    "overcommitment_sweep",
+]

@@ -1,0 +1,83 @@
+"""Minimal discrete-event simulation core.
+
+Both simulation layers in this repo — the request-level processor-sharing
+network (:mod:`repro.queueing`) and the trace-driven cluster simulator
+(:mod:`repro.simulator.cluster_sim`) — schedule work on the same primitive: a
+time-ordered event queue with stable FIFO ordering for simultaneous events.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections.abc import Callable
+from typing import Any
+
+from repro.errors import SimulationError
+
+
+class EventQueue:
+    """A priority queue of timestamped events with deterministic tie-breaks.
+
+    Events scheduled at equal times fire in scheduling order (FIFO), which
+    keeps simulations reproducible run-to-run.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, Any]] = []
+        self._counter = itertools.count()
+        self.now = 0.0
+
+    def schedule(self, time: float, payload: Any) -> None:
+        """Add an event; times in the past are a logic error."""
+        if time < self.now - 1e-9:
+            raise SimulationError(
+                f"cannot schedule at {time} before current time {self.now}"
+            )
+        heapq.heappush(self._heap, (time, next(self._counter), payload))
+
+    def pop(self) -> tuple[float, Any]:
+        """Remove and return the next (time, payload), advancing the clock."""
+        if not self._heap:
+            raise SimulationError("event queue is empty")
+        time, _, payload = heapq.heappop(self._heap)
+        self.now = time
+        return time, payload
+
+    def peek_time(self) -> float | None:
+        return self._heap[0][0] if self._heap else None
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+
+class Simulator:
+    """Callback-style wrapper: schedule callables, run until exhaustion."""
+
+    def __init__(self) -> None:
+        self.queue = EventQueue()
+
+    @property
+    def now(self) -> float:
+        return self.queue.now
+
+    def at(self, time: float, fn: Callable[[], None]) -> None:
+        self.queue.schedule(time, fn)
+
+    def after(self, delay: float, fn: Callable[[], None]) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        self.queue.schedule(self.now + delay, fn)
+
+    def run(self, until: float | None = None) -> None:
+        """Process events until the queue drains or the horizon is reached."""
+        while self.queue:
+            next_time = self.queue.peek_time()
+            if until is not None and next_time is not None and next_time > until:
+                self.queue.now = until
+                return
+            _, fn = self.queue.pop()
+            fn()

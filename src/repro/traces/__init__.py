@@ -1,0 +1,52 @@
+"""Trace substrate: Azure/Alibaba synthesizers, schemas, workload generators."""
+
+from repro.traces.alibaba import AlibabaTraceConfig, synthesize_alibaba_trace
+from repro.traces.azure import (
+    SIZE_MENU,
+    AzureTraceConfig,
+    synthesize_azure_trace,
+)
+from repro.traces.io import (
+    load_container_traces,
+    load_vm_traces,
+    save_container_traces,
+    save_vm_traces,
+)
+from repro.traces.schema import (
+    INTERVAL_SECONDS,
+    INTERVALS_PER_DAY,
+    ContainerTraceRecord,
+    ContainerTraceSet,
+    VMTraceRecord,
+    VMTraceSet,
+)
+from repro.traces.workload_gen import (
+    RequestTrace,
+    diurnal_rate,
+    lognormal_service_demands,
+    make_request_trace,
+    poisson_arrivals,
+)
+
+__all__ = [
+    "AlibabaTraceConfig",
+    "synthesize_alibaba_trace",
+    "SIZE_MENU",
+    "AzureTraceConfig",
+    "synthesize_azure_trace",
+    "load_container_traces",
+    "load_vm_traces",
+    "save_container_traces",
+    "save_vm_traces",
+    "INTERVAL_SECONDS",
+    "INTERVALS_PER_DAY",
+    "ContainerTraceRecord",
+    "ContainerTraceSet",
+    "VMTraceRecord",
+    "VMTraceSet",
+    "RequestTrace",
+    "diurnal_rate",
+    "lognormal_service_demands",
+    "make_request_trace",
+    "poisson_arrivals",
+]

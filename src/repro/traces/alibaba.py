@@ -1,0 +1,112 @@
+"""Alibaba-style container trace synthesizer.
+
+The paper uses Alibaba's 2018 cluster trace for the memory/disk/network
+feasibility analysis (Figures 9–12).  Calibration targets, straight from
+Section 3.2.2:
+
+* **memory occupancy** is *high*: "even at 10% memory deflation, the
+  applications would spend more than 70% time underallocated" — over 90% of
+  the services are JVM-based and over-allocate heap;
+* **memory bandwidth** is *tiny*: "the mean memory bandwidth utilization
+  across all containers being less than one-tenth of one percent, while the
+  maximum is only 1%";
+* **disk bandwidth**: "even at a high deflation level of 50%, containers are
+  underallocated less than 1% of the time";
+* **network bandwidth**: "only suffering underallocation 1% of their
+  lifetime" at 70% deflation, and "below 50% deflation, the impact is
+  near-zero".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.traces.schema import (
+    INTERVALS_PER_DAY,
+    ContainerTraceRecord,
+    ContainerTraceSet,
+)
+
+
+@dataclass(frozen=True)
+class AlibabaTraceConfig:
+    n_containers: int = 500
+    horizon_intervals: int = 1 * INTERVALS_PER_DAY
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.n_containers < 1:
+            raise TraceError("n_containers must be >= 1")
+        if self.horizon_intervals < 2:
+            raise TraceError("horizon must be >= 2 intervals")
+
+
+def _memory_series(rng: np.random.Generator, n: int) -> np.ndarray:
+    """JVM-style occupancy: very high (over-allocated heap), small drift.
+
+    Calibrated so that at a 10% deflation threshold most containers are
+    underallocated >70% of the time (Figure 9) — the paper stresses this is
+    heap occupancy, *not* a true measure of need (see Figure 10).
+    """
+    level = rng.uniform(0.88, 0.985)
+    drift = np.cumsum(rng.normal(0.0, 0.0015, size=n))
+    series = level + drift - drift.mean()
+    # Occasional GC / restart dips.
+    n_dips = rng.poisson(0.5 * n / INTERVALS_PER_DAY + 0.1)
+    for _ in range(n_dips):
+        pos = int(rng.integers(0, n))
+        width = int(rng.integers(1, 5))
+        series[pos : pos + width] -= rng.uniform(0.08, 0.25)
+    series += rng.normal(0.0, 0.008, size=n)
+    return np.clip(series, 0.0, 1.0)
+
+
+def _membw_series(rng: np.random.Generator, n: int) -> np.ndarray:
+    """Memory-bus bandwidth: mean ~0.1%, max ~1% (Figure 10)."""
+    base = rng.uniform(0.0002, 0.0015)
+    series = rng.gamma(shape=2.0, scale=base / 2.0, size=n)
+    # Rare activity spikes, still capped near 1%.
+    spikes = rng.random(n) < 0.002
+    series[spikes] += rng.uniform(0.002, 0.008, size=int(spikes.sum()))
+    return np.clip(series, 0.0, 0.01)
+
+
+def _disk_series(rng: np.random.Generator, n: int) -> np.ndarray:
+    """Disk bandwidth: low baseline, rare heavy bursts (<1% above 50%)."""
+    base = rng.uniform(0.01, 0.08)
+    series = rng.gamma(shape=1.5, scale=base / 1.5, size=n)
+    spikes = rng.random(n) < 0.004
+    series[spikes] += rng.uniform(0.3, 0.6, size=int(spikes.sum()))
+    return np.clip(series, 0.0, 1.0)
+
+
+def _net_series(rng: np.random.Generator, n: int) -> np.ndarray:
+    """Network (in+out, normalized): ~1% of time above a 70%-deflated
+    allocation (threshold 0.3), near-zero above 0.5."""
+    base = rng.uniform(0.03, 0.13)
+    diurnal = 0.5 * (1 + np.sin(2 * np.pi * np.arange(n) / INTERVALS_PER_DAY))
+    series = base * (0.6 + 0.8 * diurnal) + rng.normal(0.0, 0.01, size=n)
+    spikes = rng.random(n) < 0.008
+    series[spikes] += rng.uniform(0.1, 0.25, size=int(spikes.sum()))
+    return np.clip(series, 0.0, 1.0)
+
+
+def synthesize_alibaba_trace(config: AlibabaTraceConfig | None = None) -> ContainerTraceSet:
+    """Generate an Alibaba-style container trace set (deterministic per seed)."""
+    cfg = config if config is not None else AlibabaTraceConfig()
+    rng = np.random.default_rng(cfg.seed)
+    n = cfg.horizon_intervals
+    records = [
+        ContainerTraceRecord(
+            container_id=f"alibaba-ct-{i}",
+            mem_util=_memory_series(rng, n),
+            mem_bw_util=_membw_series(rng, n),
+            disk_util=_disk_series(rng, n),
+            net_util=_net_series(rng, n),
+        )
+        for i in range(cfg.n_containers)
+    ]
+    return ContainerTraceSet(records)

@@ -1,0 +1,89 @@
+"""Persistence for trace sets (compressed .npz).
+
+Synthetic traces are cheap to regenerate, but the cluster benchmarks reuse
+one trace across many policy runs; saving it keeps experiments exactly
+comparable and makes runs reproducible from an artifact.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.vm import VMClass
+from repro.errors import TraceError
+from repro.traces.schema import (
+    ContainerTraceRecord,
+    ContainerTraceSet,
+    VMTraceRecord,
+    VMTraceSet,
+)
+
+
+def save_vm_traces(traces: VMTraceSet, path: str | Path) -> None:
+    """Write a VM trace set to a compressed .npz archive."""
+    path = Path(path)
+    payload: dict[str, np.ndarray] = {
+        "vm_ids": np.array([r.vm_id for r in traces], dtype=object),
+        "classes": np.array([r.vm_class.value for r in traces], dtype=object),
+        "cores": np.array([r.cores for r in traces], dtype=np.int64),
+        "memory_mb": np.array([r.memory_mb for r in traces], dtype=np.float64),
+        "starts": np.array([r.start_interval for r in traces], dtype=np.int64),
+    }
+    for i, rec in enumerate(traces):
+        payload[f"util_{i}"] = rec.cpu_util.astype(np.float32)
+    np.savez_compressed(path, **payload, allow_pickle=True)
+
+
+def load_vm_traces(path: str | Path) -> VMTraceSet:
+    """Read a VM trace set produced by :func:`save_vm_traces`."""
+    path = Path(path)
+    if not path.exists():
+        raise TraceError(f"trace file {path} does not exist")
+    with np.load(path, allow_pickle=True) as data:
+        n = data["cores"].size
+        records = [
+            VMTraceRecord(
+                vm_id=str(data["vm_ids"][i]),
+                vm_class=VMClass(str(data["classes"][i])),
+                cores=int(data["cores"][i]),
+                memory_mb=float(data["memory_mb"][i]),
+                start_interval=int(data["starts"][i]),
+                cpu_util=data[f"util_{i}"].astype(np.float64),
+            )
+            for i in range(n)
+        ]
+    return VMTraceSet(records)
+
+
+def save_container_traces(traces: ContainerTraceSet, path: str | Path) -> None:
+    path = Path(path)
+    payload: dict[str, np.ndarray] = {
+        "container_ids": np.array([r.container_id for r in traces], dtype=object),
+    }
+    for i, rec in enumerate(traces):
+        payload[f"mem_{i}"] = rec.mem_util.astype(np.float32)
+        payload[f"membw_{i}"] = rec.mem_bw_util.astype(np.float32)
+        payload[f"disk_{i}"] = rec.disk_util.astype(np.float32)
+        payload[f"net_{i}"] = rec.net_util.astype(np.float32)
+    np.savez_compressed(path, **payload, allow_pickle=True)
+
+
+def load_container_traces(path: str | Path) -> ContainerTraceSet:
+    path = Path(path)
+    if not path.exists():
+        raise TraceError(f"trace file {path} does not exist")
+    with np.load(path, allow_pickle=True) as data:
+        ids = data["container_ids"]
+        records = [
+            ContainerTraceRecord(
+                container_id=str(ids[i]),
+                mem_util=data[f"mem_{i}"].astype(np.float64),
+                mem_bw_util=data[f"membw_{i}"].astype(np.float64),
+                disk_util=data[f"disk_{i}"].astype(np.float64),
+                net_util=data[f"net_{i}"].astype(np.float64),
+            )
+            for i in range(ids.size)
+        ]
+    return ContainerTraceSet(records)

@@ -1,0 +1,96 @@
+"""Request-workload generators for the application-level experiments.
+
+The testbed experiments in Section 7 drive web applications with open-loop
+request generators (a custom Wikipedia generator and wrk2).  These helpers
+produce arrival times and request service demands for the queueing and
+microservice simulators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import TraceError
+
+
+@dataclass(frozen=True)
+class RequestTrace:
+    """Open-loop request workload: arrival times and CPU demands.
+
+    ``arrivals`` are absolute times in seconds (sorted); ``service_demands``
+    are CPU-seconds of work per request on one core.
+    """
+
+    arrivals: np.ndarray
+    service_demands: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.arrivals.shape != self.service_demands.shape:
+            raise TraceError("arrivals and service demands must align")
+        if self.arrivals.size and np.any(np.diff(self.arrivals) < -1e-12):
+            raise TraceError("arrivals must be sorted")
+
+    @property
+    def n_requests(self) -> int:
+        return int(self.arrivals.size)
+
+    @property
+    def duration(self) -> float:
+        return float(self.arrivals[-1]) if self.arrivals.size else 0.0
+
+    @property
+    def offered_load_cpu_seconds(self) -> float:
+        return float(self.service_demands.sum())
+
+
+def poisson_arrivals(rate_per_s: float, duration_s: float, rng: np.random.Generator) -> np.ndarray:
+    """Homogeneous Poisson arrival times over [0, duration)."""
+    if rate_per_s <= 0 or duration_s <= 0:
+        raise TraceError("rate and duration must be > 0")
+    n_expected = rate_per_s * duration_s
+    # Draw a few sigma extra gaps, then trim — avoids a Python loop.
+    n_draw = int(n_expected + 6 * np.sqrt(n_expected) + 16)
+    gaps = rng.exponential(1.0 / rate_per_s, size=n_draw)
+    times = np.cumsum(gaps)
+    return times[times < duration_s]
+
+
+def lognormal_service_demands(
+    n: int, mean_s: float, cv: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Lognormal CPU demands with a target mean and coefficient of variation.
+
+    Web-request costs are heavy-tailed (the Wikipedia generator samples the
+    500 *largest* pages, 0.5–2.2 MB); a lognormal with cv ~1–2 captures that.
+    """
+    if mean_s <= 0 or cv <= 0:
+        raise TraceError("mean and cv must be > 0")
+    sigma2 = np.log(1.0 + cv * cv)
+    mu = np.log(mean_s) - sigma2 / 2.0
+    return rng.lognormal(mean=mu, sigma=np.sqrt(sigma2), size=n)
+
+
+def make_request_trace(
+    rate_per_s: float,
+    duration_s: float,
+    mean_service_s: float,
+    cv: float = 1.0,
+    seed: int = 0,
+) -> RequestTrace:
+    """Poisson arrivals + lognormal demands, the default workload shape."""
+    rng = np.random.default_rng(seed)
+    arrivals = poisson_arrivals(rate_per_s, duration_s, rng)
+    demands = lognormal_service_demands(arrivals.size, mean_service_s, cv, rng)
+    return RequestTrace(arrivals=arrivals, service_demands=demands)
+
+
+def diurnal_rate(
+    t_seconds: np.ndarray, base_rate: float, peak_rate: float, period_s: float = 86_400.0
+) -> np.ndarray:
+    """Sinusoidal diurnal rate profile used by long-horizon examples."""
+    if peak_rate < base_rate:
+        raise TraceError("peak_rate must be >= base_rate")
+    phase = 0.5 * (1 + np.sin(2 * np.pi * np.asarray(t_seconds) / period_s))
+    return base_rate + (peak_rate - base_rate) * phase

@@ -1,0 +1,54 @@
+"""Tests for the kernel-compile (make -j) model."""
+
+import numpy as np
+import pytest
+
+from repro.apps.kcompile import (
+    KcompileConfig,
+    kcompile_curve,
+    kcompile_throughput,
+    makespan,
+)
+from repro.errors import SimulationError
+
+
+class TestMakespan:
+    def test_brent_bound(self):
+        assert makespan(100.0, 10.0, 4) == pytest.approx(35.0)
+
+    def test_more_cores_faster(self):
+        assert makespan(100, 10, 8) < makespan(100, 10, 4)
+
+    def test_span_is_floor(self):
+        assert makespan(100, 10, 10_000) == pytest.approx(10.0, abs=0.1)
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            makespan(100, 10, 0)
+
+
+class TestThroughput:
+    def test_undeflated_is_one(self):
+        assert kcompile_throughput(0.0) == pytest.approx(1.0)
+
+    def test_monotone_decreasing(self):
+        curve = kcompile_curve(np.array([0.0, 0.25, 0.5, 0.75, 0.9]))
+        assert np.all(np.diff(curve) <= 1e-9)
+
+    def test_near_linear_in_mid_range(self):
+        """A CPU-bound build tracks cores closely (Figure 3's middle curve)."""
+        t = kcompile_throughput(0.5)
+        assert 0.45 < t < 0.75  # close to the 0.5 a perfectly linear app gives
+
+    def test_span_softens_the_hit(self):
+        """More serial span = flatter curve (deflation hurts less)."""
+        serial = kcompile_throughput(0.5, KcompileConfig(span_s=2000.0))
+        parallel = kcompile_throughput(0.5, KcompileConfig(span_s=1.0))
+        assert serial > parallel
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            kcompile_throughput(1.0)
+
+    def test_deterministic(self):
+        assert kcompile_throughput(0.3) == kcompile_throughput(0.3)

@@ -1,0 +1,73 @@
+"""Tests for the Memcached LRU/Zipf model."""
+
+import numpy as np
+import pytest
+
+from repro.apps.memcached import (
+    MemcachedConfig,
+    che_hit_rate,
+    memcached_curve,
+    memcached_throughput,
+    zipf_weights,
+)
+from repro.errors import SimulationError
+
+
+class TestZipfWeights:
+    def test_normalized(self):
+        w = zipf_weights(1000, 0.9)
+        assert w.sum() == pytest.approx(1.0)
+
+    def test_decreasing(self):
+        w = zipf_weights(1000, 0.9)
+        assert np.all(np.diff(w) <= 0)
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            zipf_weights(0, 0.9)
+
+
+class TestCheApproximation:
+    def test_empty_cache(self):
+        w = zipf_weights(100, 0.9)
+        assert che_hit_rate(w, 0) == 0.0
+
+    def test_full_cache(self):
+        w = zipf_weights(100, 0.9)
+        assert che_hit_rate(w, 100) == 1.0
+
+    def test_monotone_in_capacity(self):
+        w = zipf_weights(10_000, 0.9)
+        rates = [che_hit_rate(w, c) for c in (100, 1000, 5000)]
+        assert rates == sorted(rates)
+
+    def test_zipf_concentration(self):
+        """10% of keys hold far more than 10% of the hits under Zipf."""
+        w = zipf_weights(10_000, 1.0)
+        assert che_hit_rate(w, 1000) > 0.45
+
+
+class TestThroughputModel:
+    def test_undeflated_is_one(self):
+        assert memcached_throughput(0.0) == pytest.approx(1.0)
+
+    def test_monotone_decreasing(self):
+        d = np.array([0.0, 0.2, 0.4, 0.6, 0.8, 0.95])
+        curve = memcached_curve(d)
+        assert np.all(np.diff(curve) <= 1e-9)
+
+    def test_slack_region(self):
+        """Memcached has large slack (Figure 3): mild deflation is ~free."""
+        assert memcached_throughput(0.2) > 0.85
+
+    def test_deep_deflation_hurts(self):
+        assert memcached_throughput(0.9) < 0.4
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            memcached_throughput(1.0)
+
+    def test_larger_miss_cost_amplifies_loss(self):
+        mild = memcached_throughput(0.6, MemcachedConfig(miss_cost_ratio=2.0))
+        harsh = memcached_throughput(0.6, MemcachedConfig(miss_cost_ratio=40.0))
+        assert harsh < mild

@@ -1,0 +1,47 @@
+"""Tests for the social-network harness (Figure 18 shape)."""
+
+import pytest
+
+from repro.apps.socialnet import (
+    FIG18_DEFLATION_PCT,
+    run_socialnet_point,
+    run_socialnet_sweep,
+)
+
+
+@pytest.fixture(scope="module")
+def points():
+    pts = run_socialnet_sweep(levels_pct=(0, 50, 65), duration_s=6.0, seed=13)
+    return {p.deflation_pct: p for p in pts}
+
+
+class TestShape:
+    def test_fast_when_undeflated(self, points):
+        assert points[0].median_ms < 15
+
+    def test_flat_through_50(self, points):
+        """Paper: the service can be deflated up to 50% without losses."""
+        assert points[50].median_ms < 3 * points[0].median_ms
+        assert points[50].served_fraction > 0.99
+
+    def test_abrupt_beyond_50(self, points):
+        """The degradation past the knee is sharper than Wikipedia's."""
+        assert points[65].p99_ms > 3 * points[50].p99_ms
+
+    def test_tail_amplifies_more_than_median(self, points):
+        med_ratio = points[65].median_ms / points[0].median_ms
+        p99_ratio = points[65].p99_ms / points[0].p99_ms
+        assert p99_ratio > med_ratio
+
+    def test_bottleneck_rho_reported(self, points):
+        assert points[65].bottleneck_rho > 0.8
+
+
+class TestMechanics:
+    def test_default_levels_match_paper(self):
+        assert FIG18_DEFLATION_PCT == (0, 30, 50, 60, 65)
+
+    def test_determinism(self):
+        a = run_socialnet_point(30, duration_s=3.0, seed=5)
+        b = run_socialnet_point(30, duration_s=3.0, seed=5)
+        assert a.median_ms == b.median_ms

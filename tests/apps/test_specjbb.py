@@ -1,0 +1,73 @@
+"""Tests for the SpecJBB memory-deflation study (Figure 14 shape)."""
+
+import pytest
+
+from repro.apps.specjbb import (
+    FIG14_DEFLATION_PCT,
+    SpecJBBConfig,
+    run_specjbb_point,
+    run_specjbb_sweep,
+)
+from repro.errors import SimulationError
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return run_specjbb_sweep(SpecJBBConfig(), levels_pct=(0, 10, 20, 30, 40, 45))
+
+
+class TestFig14Shape:
+    def test_transparent_flat_until_rss(self, sweep):
+        """No serious penalty while the limit stays above the touched set's
+        hot part; flat to ~30%."""
+        trans = {p.deflation_pct: p.normalized_rt for p in sweep["transparent"]}
+        assert trans[0] == pytest.approx(1.0)
+        for pct in (10, 20, 30):
+            assert trans[pct] < 1.15
+
+    def test_transparent_degrades_past_40(self, sweep):
+        trans = {p.deflation_pct: p.normalized_rt for p in sweep["transparent"]}
+        assert trans[45] > 1.3
+        assert trans[45] > trans[30]
+
+    def test_hybrid_10pct_better(self, sweep):
+        """Figure 14: hybrid improves performance by ~10%."""
+        hybrid = {p.deflation_pct: p.normalized_rt for p in sweep["hybrid"]}
+        for pct in (10, 20, 30, 40):
+            assert hybrid[pct] == pytest.approx(0.90, abs=0.03)
+
+    def test_hybrid_beats_transparent_everywhere_deflated(self, sweep):
+        trans = {p.deflation_pct: p.normalized_rt for p in sweep["transparent"]}
+        hybrid = {p.deflation_pct: p.normalized_rt for p in sweep["hybrid"]}
+        for pct in (10, 20, 30, 40, 45):
+            assert hybrid[pct] < trans[pct]
+
+    def test_hybrid_unplugs_memory(self, sweep):
+        hybrid = {p.deflation_pct: p for p in sweep["hybrid"]}
+        assert hybrid[30].hotplugged_out_mb > 0
+
+    def test_transparent_never_unplugs(self, sweep):
+        for p in sweep["transparent"]:
+            assert p.hotplugged_out_mb == 0.0
+
+
+class TestMechanics:
+    def test_swap_accounting(self):
+        cfg = SpecJBBConfig()
+        p = run_specjbb_point(cfg, 45, "transparent")
+        # Limit 8.8 GB < touched 14 GB: several GB swapped.
+        assert p.swapped_mb > 4000
+
+    def test_hybrid_swaps_less(self):
+        cfg = SpecJBBConfig()
+        t = run_specjbb_point(cfg, 45, "transparent")
+        h = run_specjbb_point(cfg, 45, "hybrid")
+        assert h.swapped_mb < t.swapped_mb
+
+    def test_unknown_mechanism(self):
+        with pytest.raises(SimulationError):
+            run_specjbb_point(SpecJBBConfig(), 10, "magic")
+
+    def test_default_levels(self):
+        assert FIG14_DEFLATION_PCT[0] == 0
+        assert FIG14_DEFLATION_PCT[-1] == 45

@@ -1,0 +1,78 @@
+"""Tests for the Wikipedia deflation harness (Figures 16/17 shape)."""
+
+import pytest
+
+from repro.apps.wikipedia import (
+    FIG16_DEFLATION_PCT,
+    WikipediaConfig,
+    run_deflation_point,
+    run_deflation_sweep,
+)
+from repro.errors import SimulationError
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    # Short runs keep the suite fast; shape assertions are robust to that.
+    return WikipediaConfig(duration_s=6.0)
+
+
+@pytest.fixture(scope="module")
+def points(cfg):
+    levels = (0, 50, 70, 90, 97)
+    return {p.deflation_pct: p for p in run_deflation_sweep(cfg, levels, seed=11)}
+
+
+class TestShape:
+    def test_undeflated_mean_in_band(self, points):
+        """Paper: ~0.3 s mean undeflated."""
+        assert 0.15 < points[0].mean_rt < 0.6
+
+    def test_flat_through_50(self, points):
+        assert points[50].mean_rt < 1.3 * points[0].mean_rt
+
+    def test_flat_through_70(self, points):
+        assert points[70].mean_rt < 1.6 * points[0].mean_rt
+
+    def test_degrades_at_90(self, points):
+        assert points[90].mean_rt > 2 * points[0].mean_rt
+
+    def test_served_high_until_70(self, points):
+        for pct in (0, 50, 70):
+            assert points[pct].served_fraction > 0.98
+
+    def test_loss_appears_in_deep_deflation(self, points):
+        """Short runs only expose drops at extreme deflation (the 15 s
+        timeout needs time to bite); at 97% (1 core) the overload is ~6x
+        capacity and loss is unavoidable."""
+        assert points[97].served_fraction < 0.95
+
+    def test_heavy_tail_undeflated(self, points):
+        """Paper: p99 of 6.8 s against a 0.3 s mean."""
+        assert points[0].percentiles[99] > 6 * points[0].mean_rt
+
+    def test_utilization_grows_with_deflation(self, points):
+        utils = [points[p].cpu_utilization for p in (0, 50, 70)]
+        assert utils == sorted(utils)
+
+
+class TestMechanics:
+    def test_cores_mapping(self, cfg):
+        assert cfg.cores_at(0) == 30
+        assert cfg.cores_at(50) == 15
+        assert cfg.cores_at(97) == pytest.approx(1.0, abs=0.11)
+
+    def test_cores_never_below_one(self, cfg):
+        assert cfg.cores_at(99.9) == 1.0
+
+    def test_invalid_deflation(self, cfg):
+        with pytest.raises(SimulationError):
+            cfg.cores_at(100)
+
+    def test_determinism(self, cfg):
+        a = run_deflation_point(cfg, 50, seed=3)
+        b = run_deflation_point(cfg, 50, seed=3)
+        assert a.mean_rt == b.mean_rt
+
+    def test_fig16_levels_match_paper(self):
+        assert FIG16_DEFLATION_PCT == (0, 10, 20, 30, 40, 50, 60, 70, 80, 90, 97)

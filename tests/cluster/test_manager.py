@@ -1,0 +1,125 @@
+"""Tests for the centralized cluster manager (three-step placement)."""
+
+import pytest
+
+from repro.cluster.manager import ClusterManager, make_uniform_cluster
+from repro.cluster.server import Server
+from repro.core.deflation import ProportionalPolicy
+from repro.core.resources import ResourceVector
+from repro.core.vm import VMSpec, on_demand_spec
+from repro.errors import AdmissionRejected, PlacementError
+
+
+def capacity():
+    return ResourceVector(cpu=48, memory_mb=128 * 1024, disk_mbps=2000, net_mbps=10_000)
+
+
+def vm(cpu=16, mem_gb=32, priority=0.5, deflatable=True):
+    return VMSpec(
+        capacity=ResourceVector(cpu, mem_gb * 1024, 100, 200),
+        priority=priority,
+        deflatable=deflatable,
+    )
+
+
+class TestPlacement:
+    def test_spreads_load(self):
+        cluster = make_uniform_cluster(3, capacity())
+        servers = {cluster.request_vm(vm()).server_id for _ in range(3)}
+        assert len(servers) == 3  # availability-driven balancing
+
+    def test_locate_and_terminate(self):
+        cluster = make_uniform_cluster(2, capacity())
+        spec = vm()
+        decision = cluster.request_vm(spec)
+        assert cluster.locate(spec.vm_id) == decision.server_id
+        cluster.terminate_vm(spec.vm_id)
+        with pytest.raises(PlacementError):
+            cluster.locate(spec.vm_id)
+
+    def test_admission_rejection_when_full(self):
+        cluster = make_uniform_cluster(1, capacity())
+        cluster.request_vm(on_demand_spec(ResourceVector(48, 100 * 1024, 100, 100)))
+        with pytest.raises(AdmissionRejected):
+            cluster.request_vm(on_demand_spec(ResourceVector(48, 100 * 1024, 100, 100)))
+        assert cluster.stats().rejections == 1
+
+    def test_placement_with_deflation_when_needed(self):
+        cluster = make_uniform_cluster(1, capacity(), policy=ProportionalPolicy())
+        cluster.request_vm(vm(cpu=40, mem_gb=100))
+        decision = cluster.request_vm(on_demand_spec(ResourceVector(40, 20 * 1024, 100, 100)))
+        assert decision.server_id == "server-0"
+        cluster.verify_invariants()
+
+    def test_overcommitment_stat(self):
+        cluster = make_uniform_cluster(1, capacity())
+        cluster.request_vm(vm(cpu=48, mem_gb=64))
+        cluster.request_vm(vm(cpu=24, mem_gb=32))
+        assert cluster.stats().overcommitment == pytest.approx(0.5)
+
+    def test_step2_rejection_falls_through(self):
+        """A top-ranked server that fails its local check must not kill the
+        placement: the next candidate gets a chance."""
+        # Server A looks attractive (big capacity, empty) but hosts a
+        # non-deflatable VM soon, so we engineer A to be locally infeasible.
+        a = Server("a", ResourceVector(48, 128 * 1024, 2000, 10_000))
+        b = Server("b", ResourceVector(48, 128 * 1024, 2000, 10_000))
+        a.launch(on_demand_spec(ResourceVector(40, 120 * 1024, 100, 100)))
+        cluster = ClusterManager([a, b])
+        decision = cluster.request_vm(on_demand_spec(ResourceVector(20, 64 * 1024, 100, 100)))
+        assert decision.server_id == "b"
+
+
+class TestPartitions:
+    def test_partitioned_placement_respects_pools(self):
+        cluster = make_uniform_cluster(
+            4,
+            capacity(),
+            partitioned=True,
+            partition_labels=["pool-0", "pool-1", "pool-2", "pool-3"],
+        )
+        # priority 0.2 -> pool-0 (server-0); priority 0.8 -> pool-3 (server-3).
+        low = vm(priority=0.2)
+        high = vm(priority=0.8)
+        assert cluster.request_vm(low).server_id == "server-0"
+        assert cluster.request_vm(high).server_id == "server-3"
+
+    def test_full_partition_rejects_despite_other_capacity(self):
+        """The paper's stated downside of partitioning (Section 5.2.1)."""
+        cluster = make_uniform_cluster(
+            2, capacity(), partitioned=True, partition_labels=["pool-0", "pool-3"]
+        )
+        filler = VMSpec(
+            capacity=ResourceVector(48, 128 * 1024, 100, 100),
+            priority=0.2,
+            min_fraction=1.0,  # cannot be deflated at all
+        )
+        cluster.request_vm(filler)
+        with pytest.raises(AdmissionRejected):
+            cluster.request_vm(
+                VMSpec(capacity=ResourceVector(8, 1024, 10, 10), priority=0.2,
+                       min_fraction=1.0)
+            )
+
+    def test_on_demand_goes_to_on_demand_pool(self):
+        cluster = make_uniform_cluster(
+            2, capacity(), partitioned=True, partition_labels=["pool-0", "on-demand"]
+        )
+        decision = cluster.request_vm(on_demand_spec(ResourceVector(8, 1024, 10, 10)))
+        assert decision.server_id == "server-1"
+
+
+class TestConstruction:
+    def test_duplicate_server_ids(self):
+        s = Server("dup", capacity())
+        t = Server("dup", capacity())
+        with pytest.raises(PlacementError):
+            ClusterManager([s, t])
+
+    def test_empty_cluster(self):
+        with pytest.raises(PlacementError):
+            ClusterManager([])
+
+    def test_make_uniform_validation(self):
+        with pytest.raises(PlacementError):
+            make_uniform_cluster(0, capacity())

@@ -1,0 +1,98 @@
+"""Tests for the Server wrapper (controller + optional hypervisor)."""
+
+import pytest
+
+from repro.cluster.server import Server
+from repro.core.deflation import ProportionalPolicy
+from repro.core.resources import ResourceVector
+from repro.core.vm import VMSpec, on_demand_spec
+from repro.errors import PlacementError
+
+
+def capacity():
+    return ResourceVector(cpu=48, memory_mb=128 * 1024, disk_mbps=2000, net_mbps=10_000)
+
+
+def vm(cpu=16, mem_gb=32, priority=0.5):
+    return VMSpec(
+        capacity=ResourceVector(cpu, mem_gb * 1024, 100, 200), priority=priority
+    )
+
+
+class TestBasics:
+    def test_launch_and_terminate(self):
+        server = Server("s0", capacity(), ProportionalPolicy())
+        spec = vm()
+        alloc = server.launch(spec)
+        assert server.hosts(spec.vm_id)
+        assert alloc.current == spec.capacity
+        server.terminate(spec.vm_id)
+        assert not server.hosts(spec.vm_id)
+
+    def test_snapshot_reflects_state(self):
+        server = Server("s0", capacity(), partition="pool-1")
+        server.launch(vm(cpu=16))
+        snap = server.snapshot()
+        assert snap.server_id == "s0"
+        assert snap.partition == "pool-1"
+        assert snap.used.cpu == 16
+        assert snap.deflatable.cpu == 16  # min_fraction 0: all reclaimable
+
+    def test_utilization(self):
+        server = Server("s0", capacity())
+        server.launch(vm(cpu=24))
+        assert server.utilization() == pytest.approx(0.5)
+
+    def test_can_accommodate_is_side_effect_free(self):
+        server = Server("s0", capacity())
+        before = server.snapshot().used
+        assert server.can_accommodate(vm())
+        assert server.snapshot().used == before
+
+
+class TestHypervisorBinding:
+    def test_launch_creates_domain(self):
+        server = Server("s0", capacity(), with_hypervisor=True)
+        spec = vm()
+        server.launch(spec)
+        assert spec.vm_id in server.hypervisor
+        domain = server.hypervisor.lookup(spec.vm_id)
+        assert domain.effective_cpu() == spec.capacity.cpu
+
+    def test_deflation_propagates_to_domain(self):
+        server = Server("s0", capacity(), ProportionalPolicy(), with_hypervisor=True)
+        a = vm(cpu=32, mem_gb=64)
+        server.launch(a)
+        server.launch(on_demand_spec(ResourceVector(32, 64 * 1024, 100, 100)))
+        # The deflatable VM was squeezed to 16 cores; the domain followed.
+        domain = server.hypervisor.lookup(a.vm_id)
+        assert domain.effective_cpu() == pytest.approx(16.0)
+
+    def test_terminate_destroys_domain(self):
+        server = Server("s0", capacity(), with_hypervisor=True)
+        spec = vm()
+        server.launch(spec)
+        server.terminate(spec.vm_id)
+        assert spec.vm_id not in server.hypervisor
+
+    def test_reinflation_propagates(self):
+        server = Server("s0", capacity(), ProportionalPolicy(), with_hypervisor=True)
+        a = vm(cpu=32, mem_gb=64)
+        od = on_demand_spec(ResourceVector(32, 64 * 1024, 100, 100))
+        server.launch(a)
+        server.launch(od)
+        server.terminate(od.vm_id)
+        domain = server.hypervisor.lookup(a.vm_id)
+        assert domain.effective_cpu() == pytest.approx(32.0)
+
+
+class TestErrors:
+    def test_launch_infeasible(self):
+        server = Server("s0", capacity())
+        server.launch(on_demand_spec(ResourceVector(48, 128 * 1024, 100, 100)))
+        with pytest.raises(PlacementError):
+            server.launch(on_demand_spec(ResourceVector(8, 1024, 10, 10)))
+
+    def test_terminate_unknown(self):
+        with pytest.raises(PlacementError):
+            Server("s0", capacity()).terminate("ghost")

@@ -1,0 +1,36 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.resources import ResourceVector
+from repro.core.vm import VMSpec
+
+
+@pytest.fixture
+def server_capacity() -> ResourceVector:
+    """The paper's server shape: 48 CPUs, 128 GB RAM."""
+    return ResourceVector(cpu=48, memory_mb=128 * 1024, disk_mbps=2000, net_mbps=10_000)
+
+
+@pytest.fixture
+def small_vm() -> VMSpec:
+    return VMSpec(
+        capacity=ResourceVector(cpu=2, memory_mb=4096, disk_mbps=100, net_mbps=200),
+        priority=0.4,
+    )
+
+
+@pytest.fixture
+def medium_vm() -> VMSpec:
+    return VMSpec(
+        capacity=ResourceVector(cpu=8, memory_mb=16 * 1024, disk_mbps=200, net_mbps=500),
+        priority=0.6,
+    )
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)

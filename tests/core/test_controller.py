@@ -1,0 +1,184 @@
+"""Tests for the per-server local deflation controller."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.controller import LocalDeflationController
+from repro.core.deflation import DeterministicPolicy, PriorityPolicy, ProportionalPolicy
+from repro.core.resources import ResourceVector
+from repro.core.vm import VMSpec, on_demand_spec
+from repro.errors import PlacementError
+
+
+def cap48():
+    return ResourceVector(cpu=48, memory_mb=128 * 1024, disk_mbps=2000, net_mbps=10_000)
+
+
+def vm(cpu, mem_gb=None, priority=0.5, deflatable=True, min_fraction=0.0):
+    mem = (mem_gb if mem_gb is not None else cpu * 2) * 1024
+    return VMSpec(
+        capacity=ResourceVector(cpu=cpu, memory_mb=mem, disk_mbps=100, net_mbps=100),
+        priority=priority,
+        deflatable=deflatable,
+        min_fraction=min_fraction,
+    )
+
+
+class TestNoPressure:
+    def test_full_allocations_without_pressure(self):
+        ctrl = LocalDeflationController(cap48())
+        spec = vm(16)
+        alloc = ctrl.place(spec)
+        assert alloc.current == spec.capacity
+        ctrl.verify_invariants()
+
+    def test_committed_and_used(self):
+        ctrl = LocalDeflationController(cap48())
+        ctrl.place(vm(16))
+        ctrl.place(vm(8))
+        assert ctrl.committed().cpu == 24
+        assert ctrl.used().cpu == 24
+
+
+class TestPressure:
+    def test_deflation_fits_allocations_to_capacity(self):
+        ctrl = LocalDeflationController(cap48(), ProportionalPolicy())
+        ctrl.place(vm(32))
+        ctrl.place(vm(32))
+        assert ctrl.used().cpu == pytest.approx(48)
+        ctrl.verify_invariants()
+
+    def test_on_demand_never_deflated(self):
+        ctrl = LocalDeflationController(cap48(), ProportionalPolicy())
+        ctrl.place(vm(32))
+        od = on_demand_spec(ResourceVector(32, 64 * 1024, 100, 100))
+        ctrl.place(od)
+        assert ctrl.allocation_of(od.vm_id).cpu == 32
+        # The deflatable VM absorbed all the pressure: 48-32 = 16.
+        others = [a for a in ctrl.vms.values() if a.spec.vm_id != od.vm_id]
+        assert others[0].current.cpu == pytest.approx(16)
+
+    def test_departure_reinflates(self):
+        ctrl = LocalDeflationController(cap48(), ProportionalPolicy())
+        a = vm(32)
+        b = vm(32)
+        ctrl.place(a)
+        ctrl.place(b)
+        assert ctrl.allocation_of(a.vm_id).cpu < 32
+        ctrl.remove(b.vm_id)
+        assert ctrl.allocation_of(a.vm_id).cpu == pytest.approx(32)
+
+    def test_priority_policy_protects_high_priority(self):
+        ctrl = LocalDeflationController(cap48(), PriorityPolicy())
+        lo = vm(24, priority=0.2)
+        hi = vm(24, priority=0.8)
+        ctrl.place(lo)
+        ctrl.place(hi)
+        ctrl.place(on_demand_spec(ResourceVector(12, 24 * 1024, 100, 100)))
+        assert ctrl.allocation_of(lo.vm_id).cpu < ctrl.allocation_of(hi.vm_id).cpu
+        ctrl.verify_invariants()
+
+    def test_deterministic_policy_binary(self):
+        ctrl = LocalDeflationController(cap48(), DeterministicPolicy())
+        lo = vm(24, priority=0.2)
+        hi = vm(24, priority=0.8)
+        ctrl.place(lo)
+        ctrl.place(hi)
+        ctrl.place(on_demand_spec(ResourceVector(8, 16 * 1024, 100, 100)))
+        # Low-priority VM fully deflated to pi*M; high-priority untouched.
+        assert ctrl.allocation_of(lo.vm_id).cpu == pytest.approx(0.2 * 24)
+        assert ctrl.allocation_of(hi.vm_id).cpu == pytest.approx(24)
+
+
+class TestAdmission:
+    def test_rejects_when_infeasible(self):
+        ctrl = LocalDeflationController(cap48(), ProportionalPolicy())
+        ctrl.place(on_demand_spec(ResourceVector(40, 100 * 1024, 100, 100)))
+        with pytest.raises(PlacementError):
+            ctrl.place(on_demand_spec(ResourceVector(40, 100 * 1024, 100, 100)))
+
+    def test_accepts_when_deflation_suffices(self):
+        ctrl = LocalDeflationController(cap48(), ProportionalPolicy())
+        ctrl.place(vm(40, mem_gb=100))
+        # A 40-core on-demand VM fits because the deflatable VM can shrink.
+        ctrl.place(on_demand_spec(ResourceVector(40, 20 * 1024, 100, 100)))
+        ctrl.verify_invariants()
+
+    def test_min_fraction_limits_admission(self):
+        ctrl = LocalDeflationController(cap48(), ProportionalPolicy())
+        ctrl.place(vm(40, min_fraction=0.5))  # can yield at most 20 cores
+        with pytest.raises(PlacementError):
+            ctrl.place(on_demand_spec(ResourceVector(40, 10 * 1024, 100, 100)))
+
+    def test_duplicate_id_rejected(self):
+        ctrl = LocalDeflationController(cap48())
+        spec = vm(4)
+        ctrl.place(spec)
+        with pytest.raises(PlacementError):
+            ctrl.place(spec)
+
+    def test_remove_unknown(self):
+        ctrl = LocalDeflationController(cap48())
+        with pytest.raises(PlacementError):
+            ctrl.remove("ghost")
+
+
+class TestObservers:
+    def test_deflation_events_fire(self):
+        ctrl = LocalDeflationController(cap48(), ProportionalPolicy())
+        events = []
+        ctrl.subscribe(events.append)
+        ctrl.place(vm(32))
+        ctrl.place(vm(32))  # triggers deflation of both
+        assert any(e.is_deflation for e in events)
+
+    def test_reinflation_events_fire(self):
+        ctrl = LocalDeflationController(cap48(), ProportionalPolicy())
+        a, b = vm(32), vm(32)
+        ctrl.place(a)
+        ctrl.place(b)
+        events = []
+        ctrl.subscribe(events.append)
+        ctrl.remove(b.vm_id)
+        assert events and not events[-1].is_deflation
+
+
+class TestReporting:
+    def test_overcommitment_ratio(self):
+        ctrl = LocalDeflationController(cap48())
+        ctrl.place(vm(48, mem_gb=128))
+        ctrl.place(vm(24, mem_gb=64))
+        assert ctrl.overcommitment().cpu == pytest.approx(1.5)
+
+    def test_deflation_summary_keys(self):
+        ctrl = LocalDeflationController(cap48())
+        spec = vm(4)
+        ctrl.place(spec)
+        summary = ctrl.deflation_summary()
+        assert set(summary) == {spec.vm_id}
+        assert set(summary[spec.vm_id]) == {"cpu", "memory_mb", "disk_mbps", "net_mbps"}
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=5000))
+def test_random_place_remove_sequences_keep_invariants(seed):
+    """Fuzz: any feasible sequence of placements/removals keeps the
+    controller's invariants and ends fully reinflated."""
+    rng = np.random.default_rng(seed)
+    ctrl = LocalDeflationController(cap48(), ProportionalPolicy())
+    placed = []
+    for _ in range(20):
+        if placed and rng.random() < 0.4:
+            victim = placed.pop(int(rng.integers(len(placed))))
+            ctrl.remove(victim.vm_id)
+        else:
+            spec = vm(int(rng.integers(1, 24)), priority=float(rng.choice([0.2, 0.5, 0.8])))
+            if ctrl.can_accommodate(spec):
+                ctrl.place(spec)
+                placed.append(spec)
+        ctrl.verify_invariants()
+    for spec in placed:
+        ctrl.remove(spec.vm_id)
+    assert ctrl.used().is_zero()

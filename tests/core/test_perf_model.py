@@ -1,0 +1,125 @@
+"""Tests for the slack/linear/knee performance model (Figures 2-3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.perf_model import (
+    ALL_PROFILES,
+    FIG3_PROFILES,
+    KCOMPILE,
+    MEMCACHED,
+    SPECJBB,
+    PerfProfile,
+)
+from repro.errors import ResourceError
+
+
+class TestRegions:
+    def test_slack_region_is_flat(self):
+        p = PerfProfile(slack=0.3, knee=0.8, knee_perf=0.5)
+        for d in (0.0, 0.1, 0.29):
+            assert p.performance(d) == pytest.approx(1.0)
+
+    def test_knee_value(self):
+        p = PerfProfile(slack=0.2, knee=0.7, knee_perf=0.4)
+        assert p.performance(0.7) == pytest.approx(0.4)
+
+    def test_linear_region_midpoint(self):
+        p = PerfProfile(slack=0.0, knee=1.0, knee_perf=0.01, gamma=1.0, floor=0.0)
+        # Halfway through a fully-linear profile: 1 - 0.99/2.
+        assert p.performance(0.5) == pytest.approx(0.505)
+
+    def test_post_knee_drops_precipitously(self):
+        p = PerfProfile(slack=0.1, knee=0.6, knee_perf=0.6, floor=0.05)
+        just_after = p.performance(0.65)
+        deep = p.performance(0.95)
+        assert just_after < 0.6
+        assert deep < just_after
+        assert deep >= p.floor - 1e-12
+
+    def test_floor_respected(self):
+        p = PerfProfile(slack=0.0, knee=0.5, knee_perf=0.3, floor=0.1)
+        assert p.performance(0.999) >= 0.1
+
+    def test_vectorized_matches_scalar(self):
+        p = MEMCACHED
+        grid = np.linspace(0, 1, 21)
+        vec = p.performance(grid)
+        scalars = np.array([p.performance(float(d)) for d in grid])
+        np.testing.assert_allclose(vec, scalars)
+
+
+class TestValidation:
+    def test_slack_must_precede_knee(self):
+        with pytest.raises(ResourceError):
+            PerfProfile(slack=0.8, knee=0.5, knee_perf=0.5)
+
+    def test_knee_perf_bounds(self):
+        with pytest.raises(ResourceError):
+            PerfProfile(slack=0.1, knee=0.5, knee_perf=1.5)
+
+    def test_gamma_positive(self):
+        with pytest.raises(ResourceError):
+            PerfProfile(slack=0.1, knee=0.5, knee_perf=0.5, gamma=0.0)
+
+    def test_floor_below_knee_perf(self):
+        with pytest.raises(ResourceError):
+            PerfProfile(slack=0.1, knee=0.5, knee_perf=0.3, floor=0.5)
+
+
+class TestFig3Profiles:
+    def test_specjbb_has_no_slack(self):
+        assert SPECJBB.slack == 0.0
+        assert SPECJBB.performance(0.05) < 1.0
+
+    def test_memcached_most_resilient_at_half_deflation(self):
+        perfs = {p.name: p.performance(0.5) for p in FIG3_PROFILES}
+        assert perfs["Memcached"] > perfs["Kcompile"] > perfs["SpecJBB"]
+
+    def test_memcached_has_large_slack(self):
+        assert MEMCACHED.performance(0.3) == pytest.approx(1.0)
+
+    def test_kcompile_roughly_linear(self):
+        # CPU-bound build: perf at 50% deflation within the linear band.
+        assert 0.4 < KCOMPILE.performance(0.5) < 0.8
+
+    def test_registry(self):
+        assert {"SpecJBB", "Kcompile", "Memcached"} <= set(ALL_PROFILES)
+
+
+class TestDerived:
+    def test_slowdown_is_reciprocal(self):
+        p = SPECJBB
+        assert p.slowdown(0.4) == pytest.approx(1.0 / p.performance(0.4))
+
+    def test_max_safe_deflation_slack_profile(self):
+        p = PerfProfile(slack=0.35, knee=0.9, knee_perf=0.5)
+        assert p.max_safe_deflation(1.0) == pytest.approx(0.35, abs=0.01)
+
+    def test_max_safe_deflation_validates(self):
+        with pytest.raises(ResourceError):
+            SPECJBB.max_safe_deflation(0.0)
+
+    def test_max_safe_deflation_monotone_in_target(self):
+        p = MEMCACHED
+        d_strict = p.max_safe_deflation(0.95)
+        d_loose = p.max_safe_deflation(0.6)
+        assert d_loose >= d_strict
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    slack=st.floats(min_value=0.0, max_value=0.5),
+    span=st.floats(min_value=0.05, max_value=0.49),
+    knee_perf=st.floats(min_value=0.1, max_value=1.0),
+    gamma=st.floats(min_value=0.3, max_value=3.0),
+)
+def test_performance_monotone_nonincreasing(slack, span, knee_perf, gamma):
+    p = PerfProfile(slack=slack, knee=min(slack + span, 1.0), knee_perf=knee_perf,
+                    gamma=gamma, floor=min(0.02, knee_perf))
+    grid = np.linspace(0, 1, 101)
+    perf = p.performance(grid)
+    assert np.all(np.diff(perf) <= 1e-9)
+    assert np.all((perf >= p.floor - 1e-12) & (perf <= 1.0 + 1e-12))

@@ -1,0 +1,173 @@
+"""Tests for the resource-vector algebra."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.resources import (
+    NUM_RESOURCES,
+    RESOURCE_KINDS,
+    ResourceVector,
+    cosine_fitness,
+    sum_vectors,
+)
+from repro.errors import ResourceError
+
+finite = st.floats(min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False)
+
+
+def vec_strategy():
+    return st.builds(ResourceVector, finite, finite, finite, finite)
+
+
+class TestConstruction:
+    def test_components(self):
+        v = ResourceVector(cpu=4, memory_mb=8192, disk_mbps=100, net_mbps=200)
+        assert v.cpu == 4
+        assert v.memory_mb == 8192
+        assert v.disk_mbps == 100
+        assert v.net_mbps == 200
+
+    def test_zeros(self):
+        assert ResourceVector.zeros().is_zero()
+
+    def test_full(self):
+        assert list(ResourceVector.full(3.0)) == [3.0] * NUM_RESOURCES
+
+    def test_from_array_roundtrip(self):
+        v = ResourceVector(1, 2, 3, 4)
+        assert ResourceVector.from_array(v.as_array()) == v
+
+    def test_from_array_wrong_shape(self):
+        with pytest.raises(ResourceError):
+            ResourceVector.from_array([1.0, 2.0])
+
+    def test_component_lookup(self):
+        v = ResourceVector(1, 2, 3, 4)
+        for i, kind in enumerate(RESOURCE_KINDS):
+            assert v.component(kind) == i + 1
+
+    def test_component_unknown(self):
+        with pytest.raises(ResourceError):
+            ResourceVector().component("gpus")
+
+    def test_replace(self):
+        v = ResourceVector(1, 2, 3, 4).replace(cpu=10)
+        assert v.cpu == 10 and v.memory_mb == 2
+
+    def test_replace_unknown_key(self):
+        with pytest.raises(ResourceError):
+            ResourceVector().replace(gpu=1)
+
+    def test_as_array_is_copy(self):
+        v = ResourceVector(1, 2, 3, 4)
+        arr = v.as_array()
+        arr[0] = 99
+        assert v.cpu == 1
+
+
+class TestArithmetic:
+    def test_add_sub(self):
+        a = ResourceVector(1, 2, 3, 4)
+        b = ResourceVector(10, 20, 30, 40)
+        assert a + b == ResourceVector(11, 22, 33, 44)
+        assert b - a == ResourceVector(9, 18, 27, 36)
+
+    def test_scalar_mul_div(self):
+        a = ResourceVector(2, 4, 6, 8)
+        assert a * 0.5 == ResourceVector(1, 2, 3, 4)
+        assert 0.5 * a == a / 2
+
+    def test_neg(self):
+        assert -ResourceVector(1, 0, 0, 0) + ResourceVector(1, 0, 0, 0) == ResourceVector.zeros()
+
+    def test_elementwise_min_max(self):
+        a = ResourceVector(1, 20, 3, 40)
+        b = ResourceVector(10, 2, 30, 4)
+        assert a.elementwise_min(b) == ResourceVector(1, 2, 3, 4)
+        assert a.elementwise_max(b) == ResourceVector(10, 20, 30, 40)
+
+    def test_clamp_nonnegative(self):
+        v = ResourceVector(1, 2, 3, 4) - ResourceVector(2, 1, 5, 0)
+        assert v.clamp_nonnegative() == ResourceVector(0, 1, 0, 4)
+
+    def test_fraction_of_zero_denominator_is_one(self):
+        frac = ResourceVector(0, 5, 0, 0).fraction_of(ResourceVector(0, 10, 0, 0))
+        assert frac[0] == 1.0  # 0/0 = no demand = fully satisfied
+        assert frac[1] == 0.5
+
+    @given(vec_strategy(), vec_strategy())
+    def test_addition_commutes(self, a, b):
+        assert a + b == b + a
+
+    @given(vec_strategy())
+    def test_sub_self_is_zero(self, a):
+        assert (a - a).is_zero()
+
+    @given(vec_strategy(), st.floats(min_value=0.0, max_value=100.0))
+    def test_scaling_preserves_order(self, a, k):
+        assert (a * k).fits_within(a * (k + 1.0) + ResourceVector.full(1e-9))
+
+
+class TestComparisons:
+    def test_fits_within(self):
+        assert ResourceVector(1, 1, 1, 1).fits_within(ResourceVector(2, 2, 2, 2))
+        assert not ResourceVector(3, 1, 1, 1).fits_within(ResourceVector(2, 2, 2, 2))
+
+    def test_dominates(self):
+        assert ResourceVector(2, 2, 2, 2).dominates(ResourceVector(1, 2, 1, 0))
+
+    def test_equality_and_hash(self):
+        a = ResourceVector(1, 2, 3, 4)
+        b = ResourceVector(1, 2, 3, 4)
+        assert a == b and hash(a) == hash(b)
+        assert a != ResourceVector(1, 2, 3, 5)
+
+    def test_any_positive(self):
+        assert ResourceVector(0, 0, 0.1, 0).any_positive()
+        assert not ResourceVector.zeros().any_positive()
+
+
+class TestAggregates:
+    def test_total_and_norm(self):
+        v = ResourceVector(3, 4, 0, 0)
+        assert v.total() == 7
+        assert v.norm() == pytest.approx(5.0)
+
+    def test_max_component(self):
+        assert ResourceVector(3, 9, 1, 2).max_component() == 9
+
+    def test_sum_vectors(self):
+        vs = [ResourceVector(1, 1, 1, 1)] * 3
+        assert sum_vectors(vs) == ResourceVector(3, 3, 3, 3)
+
+    def test_sum_vectors_empty(self):
+        assert sum_vectors([]).is_zero()
+
+
+class TestCosineFitness:
+    def test_parallel_vectors_score_one(self):
+        d = ResourceVector(2, 4, 0, 0)
+        a = ResourceVector(4, 8, 0, 0)
+        assert cosine_fitness(d, a) == pytest.approx(1.0)
+
+    def test_orthogonal_vectors_score_zero(self):
+        d = ResourceVector(1, 0, 0, 0)
+        a = ResourceVector(0, 1, 0, 0)
+        assert cosine_fitness(d, a) == pytest.approx(0.0)
+
+    def test_zero_availability_uses_epsilon(self):
+        score = cosine_fitness(ResourceVector(1, 1, 0, 0), ResourceVector.zeros())
+        assert score == pytest.approx(0.0)
+
+    def test_zero_demand_rejected(self):
+        with pytest.raises(ResourceError):
+            cosine_fitness(ResourceVector.zeros(), ResourceVector(1, 1, 1, 1))
+
+    @given(vec_strategy(), vec_strategy())
+    def test_fitness_bounded(self, d, a):
+        if not d.any_positive():
+            return
+        score = cosine_fitness(d, a)
+        assert -1e-9 <= score <= 1.0 + 1e-9

@@ -1,0 +1,126 @@
+"""Tests for the VM model: specs, priorities, allocation state."""
+
+import pytest
+
+from repro.core.resources import ResourceVector
+from repro.core.vm import (
+    PRIORITY_LEVELS,
+    VMAllocation,
+    VMClass,
+    VMSpec,
+    on_demand_spec,
+    priority_from_p95,
+)
+from repro.errors import ResourceError
+
+
+def cap(cpu=4, mem=8192):
+    return ResourceVector(cpu=cpu, memory_mb=mem, disk_mbps=100, net_mbps=100)
+
+
+class TestVMSpec:
+    def test_defaults(self):
+        spec = VMSpec(capacity=cap())
+        assert spec.deflatable
+        assert spec.min_fraction == 0.0
+        assert spec.vm_class is VMClass.UNKNOWN
+
+    def test_unique_ids(self):
+        ids = {VMSpec(capacity=cap()).vm_id for _ in range(100)}
+        assert len(ids) == 100
+
+    def test_priority_bounds(self):
+        with pytest.raises(ResourceError):
+            VMSpec(capacity=cap(), priority=0.0)
+        with pytest.raises(ResourceError):
+            VMSpec(capacity=cap(), priority=1.5)
+
+    def test_min_fraction_bounds(self):
+        with pytest.raises(ResourceError):
+            VMSpec(capacity=cap(), min_fraction=-0.1)
+        with pytest.raises(ResourceError):
+            VMSpec(capacity=cap(), min_fraction=1.1)
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ResourceError):
+            VMSpec(capacity=ResourceVector.zeros())
+
+    def test_min_allocation(self):
+        spec = VMSpec(capacity=cap(cpu=10), min_fraction=0.2)
+        assert spec.min_allocation.cpu == pytest.approx(2.0)
+
+    def test_deflatable_amount(self):
+        spec = VMSpec(capacity=cap(cpu=10), min_fraction=0.25)
+        assert spec.deflatable_amount.cpu == pytest.approx(7.5)
+
+    def test_on_demand_helper(self):
+        spec = on_demand_spec(cap())
+        assert not spec.deflatable
+        assert spec.priority == 1.0
+
+
+class TestPriorityFromP95:
+    @pytest.mark.parametrize(
+        "p95,expected",
+        [
+            (0.0, PRIORITY_LEVELS[0]),
+            (0.32, PRIORITY_LEVELS[0]),
+            (0.33, PRIORITY_LEVELS[1]),
+            (0.65, PRIORITY_LEVELS[1]),
+            (0.70, PRIORITY_LEVELS[2]),
+            (0.80, PRIORITY_LEVELS[3]),
+            (1.0, PRIORITY_LEVELS[3]),
+        ],
+    )
+    def test_buckets(self, p95, expected):
+        assert priority_from_p95(p95) == expected
+
+    def test_out_of_range(self):
+        with pytest.raises(ResourceError):
+            priority_from_p95(1.2)
+
+    def test_higher_peak_never_lowers_priority(self):
+        prios = [priority_from_p95(p / 100) for p in range(0, 101, 5)]
+        assert prios == sorted(prios)
+
+
+class TestVMAllocation:
+    def test_starts_at_capacity(self):
+        alloc = VMAllocation(spec=VMSpec(capacity=cap()))
+        assert alloc.current == alloc.spec.capacity
+        assert not alloc.is_deflated
+
+    def test_set_allocation_validates_floor(self):
+        spec = VMSpec(capacity=cap(cpu=10), min_fraction=0.5)
+        alloc = VMAllocation(spec=spec)
+        with pytest.raises(ResourceError):
+            alloc.set_allocation(spec.capacity * 0.25)
+
+    def test_set_allocation_validates_ceiling(self):
+        spec = VMSpec(capacity=cap(cpu=10))
+        alloc = VMAllocation(spec=spec)
+        with pytest.raises(ResourceError):
+            alloc.set_allocation(spec.capacity * 2)
+
+    def test_deflation_fractions(self):
+        spec = VMSpec(capacity=cap(cpu=10, mem=1000))
+        alloc = VMAllocation(spec=spec)
+        alloc.set_allocation(spec.capacity * 0.75)
+        fr = alloc.deflation_fractions
+        assert fr.cpu == pytest.approx(0.25)
+        assert fr.memory_mb == pytest.approx(0.25)
+        assert alloc.cpu_deflation == pytest.approx(0.25)
+
+    def test_reclaimed_and_headroom(self):
+        spec = VMSpec(capacity=cap(cpu=10), min_fraction=0.2)
+        alloc = VMAllocation(spec=spec)
+        alloc.set_allocation(spec.capacity * 0.5)
+        assert alloc.reclaimed.cpu == pytest.approx(5.0)
+        assert alloc.headroom.cpu == pytest.approx(3.0)  # 5 - 2
+
+    def test_snap_to_box_absorbs_fp_drift(self):
+        spec = VMSpec(capacity=cap(cpu=10), min_fraction=0.1)
+        alloc = VMAllocation(spec=spec)
+        # A hair above capacity within tolerance snaps back to capacity.
+        alloc.set_allocation(spec.capacity * (1 + 1e-8))
+        assert alloc.current.fits_within(spec.capacity)

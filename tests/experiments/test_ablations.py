@@ -1,0 +1,70 @@
+"""Tests for the ablation experiments."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    ABLATIONS,
+    run_hotplug_granularity_ablation,
+    run_min_fraction_ablation,
+    run_placement_ablation,
+    run_priority_levels_ablation,
+)
+
+
+class TestRegistry:
+    def test_four_ablations(self):
+        assert set(ABLATIONS) == {"placement", "minfrac", "hotplug", "priolevels"}
+
+    @pytest.mark.parametrize("name", sorted(ABLATIONS))
+    def test_runs_with_rows(self, name):
+        result = ABLATIONS[name]("small")
+        assert result.rows
+        assert result.format_table()
+
+
+class TestHotplugGranularity:
+    def test_explicit_only_overshoots(self):
+        result = run_hotplug_granularity_ablation("small")
+        rows = {r["resource"]: r for r in result.rows}
+        assert rows["cpu"]["mean_overshoot_pct"] > 0
+        assert rows["memory"]["mean_overshoot_pct"] >= 0
+        assert rows["hybrid(any)"]["mean_overshoot_pct"] == 0.0
+
+    def test_cpu_overshoot_worse_than_memory(self):
+        """vCPUs are far coarser units than 128 MB blocks relative to VM size."""
+        result = run_hotplug_granularity_ablation("small")
+        rows = {r["resource"]: r for r in result.rows}
+        assert rows["cpu"]["mean_overshoot_pct"] > rows["memory"]["mean_overshoot_pct"]
+
+
+class TestMinFraction:
+    def test_floor_trades_failures_for_protection(self):
+        result = run_min_fraction_ablation("small")
+        rows = {r["min_fraction"]: r for r in result.rows}
+        # Strong floors protect throughput (deflation barely bites) ...
+        assert rows[0.75]["throughput_loss"] < rows[0.0]["throughput_loss"]
+        assert rows[0.75]["mean_deflation"] < rows[0.0]["mean_deflation"]
+        # ... at the price of reclamation failures (Eq. 2's tradeoff).
+        failures = [rows[mf]["failure_prob"] for mf in (0.0, 0.25, 0.5, 0.75)]
+        assert failures == sorted(failures)
+        assert failures[-1] > 0
+
+    def test_extreme_floor_fails_often(self):
+        result = run_min_fraction_ablation("small")
+        rows = {r["min_fraction"]: r for r in result.rows}
+        assert rows[0.75]["failure_prob"] >= rows[0.0]["failure_prob"]
+
+
+class TestPriorityLevels:
+    def test_levels_run_and_report(self):
+        result = run_priority_levels_ablation("small")
+        assert [r["n_levels"] for r in result.rows] == [1, 2, 4, 8]
+        for row in result.rows:
+            assert 0.0 <= row["throughput_loss"] <= 1.0
+
+
+class TestPlacement:
+    def test_modes_compared_at_each_level(self):
+        result = run_placement_ablation("small")
+        modes = {(r["overcommit_pct"], r["mode"]) for r in result.rows}
+        assert (50.0, "shared") in modes and (50.0, "partitioned") in modes

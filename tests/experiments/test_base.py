@@ -1,0 +1,50 @@
+"""Tests for the experiment-result container."""
+
+import csv
+
+from repro.experiments.base import ExperimentResult
+
+
+def make_result():
+    r = ExperimentResult(
+        figure_id="figX",
+        title="demo",
+        columns=["x", "y"],
+        notes="a note",
+    )
+    r.add_row(x=1.0, y=2.0)
+    r.add_row(x=3.0, y=4.0)
+    return r
+
+
+class TestFormatting:
+    def test_table_contains_everything(self):
+        text = make_result().format_table()
+        assert "figX" in text and "demo" in text and "a note" in text
+        assert "x" in text and "3" in text
+
+    def test_series_extraction(self):
+        assert make_result().series("x", "y") == [(1.0, 2.0), (3.0, 4.0)]
+
+    def test_series_skips_missing(self):
+        r = make_result()
+        r.add_row(x=9.0)  # no y
+        assert len(r.series("x", "y")) == 2
+
+
+class TestCSV:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "fig.csv"
+        make_result().to_csv(path)
+        with path.open() as fh:
+            rows = list(csv.DictReader(fh))
+        assert rows == [{"x": "1.0", "y": "2.0"}, {"x": "3.0", "y": "4.0"}]
+
+    def test_extra_keys_ignored(self, tmp_path):
+        r = make_result()
+        r.add_row(x=5.0, y=6.0, secret=42)
+        path = tmp_path / "fig.csv"
+        r.to_csv(path)
+        with path.open() as fh:
+            header = fh.readline().strip()
+        assert header == "x,y"

@@ -1,0 +1,28 @@
+"""Tests for the experiments CLI runner."""
+
+import pytest
+
+from repro.experiments.runner import main
+
+
+class TestCLI:
+    def test_single_figure(self, capsys):
+        assert main(["fig03"]) == 0
+        out = capsys.readouterr().out
+        assert "fig03" in out
+        assert "SpecJBB" in out
+
+    def test_multiple_figures(self, capsys):
+        assert main(["fig03", "fig10"]) == 0
+        out = capsys.readouterr().out
+        assert "fig03" in out and "fig10" in out
+
+    def test_unknown_figure_raises(self):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            main(["fig99"])
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig03", "--scale", "galactic"])

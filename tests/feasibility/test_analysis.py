@@ -1,0 +1,139 @@
+"""Tests for the feasibility analysis (underallocation math, Figure 4)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TraceError
+from repro.feasibility.analysis import (
+    deflation_sweep,
+    grouped_deflation_sweep,
+    max_safe_deflation_per_vm,
+    throughput_loss,
+    underallocation_fraction,
+    underallocation_series,
+    utilization_summary,
+)
+from repro.feasibility.stats import boxplot_stats, percentile_summary
+
+
+class TestUnderallocationFraction:
+    def test_basic(self):
+        util = np.array([0.1, 0.5, 0.9, 0.95])
+        # At 20% deflation the allocation is 0.8; two samples exceed it.
+        assert underallocation_fraction(util, 0.2) == pytest.approx(0.5)
+
+    def test_zero_deflation_never_underallocated(self):
+        util = np.array([0.2, 1.0, 0.99])
+        assert underallocation_fraction(util, 0.0) == 0.0
+
+    def test_boundary_not_counted(self):
+        # Usage exactly at the allocation is not underallocation.
+        util = np.array([0.5])
+        assert underallocation_fraction(util, 0.5) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(TraceError):
+            underallocation_fraction(np.array([0.1]), 1.0)
+        with pytest.raises(TraceError):
+            underallocation_fraction(np.array([]), 0.1)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=999),
+        d1=st.floats(min_value=0.0, max_value=0.98),
+        d2=st.floats(min_value=0.0, max_value=0.98),
+    )
+    def test_monotone_in_deflation(self, seed, d1, d2):
+        rng = np.random.default_rng(seed)
+        util = rng.uniform(0, 1, size=50)
+        lo, hi = sorted([d1, d2])
+        assert underallocation_fraction(util, lo) <= underallocation_fraction(util, hi)
+
+
+class TestFigure4Math:
+    def test_series_and_totals(self):
+        util = np.array([0.2, 0.8, 0.6, 0.1])
+        alloc = np.array([0.5, 0.5, 0.5, 0.5])
+        overflow, total, time_frac = underallocation_series(util, alloc)
+        np.testing.assert_allclose(overflow, [0.0, 0.3, 0.1, 0.0])
+        assert total == pytest.approx(0.4)
+        assert time_frac == pytest.approx(0.5)
+
+    def test_alignment_enforced(self):
+        with pytest.raises(TraceError):
+            underallocation_series(np.zeros(3), np.zeros(4))
+
+    def test_throughput_loss(self):
+        util = np.array([1.0, 1.0])
+        alloc = np.array([0.75, 0.75])
+        assert throughput_loss(util, alloc) == pytest.approx(0.25)
+
+    def test_throughput_loss_zero_demand(self):
+        assert throughput_loss(np.zeros(5), np.zeros(5)) == 0.0
+
+    def test_loss_bounded_by_one(self):
+        util = np.ones(4)
+        alloc = np.zeros(4)
+        assert throughput_loss(util, alloc) == pytest.approx(1.0)
+
+
+class TestSweeps:
+    def test_sweep_table_shape(self):
+        series = [np.random.default_rng(i).uniform(0, 1, 100) for i in range(10)]
+        res = deflation_sweep(series, levels=(0.1, 0.5))
+        assert len(res.as_table()) == 2
+        assert res.medians().shape == (2,)
+
+    def test_sweep_empty_rejected(self):
+        with pytest.raises(TraceError):
+            deflation_sweep([], levels=(0.1,))
+
+    def test_grouped_sweep_skips_empty_groups(self):
+        series = [np.array([0.5, 0.6])]
+        out = grouped_deflation_sweep({"a": series, "b": []}, levels=(0.3,))
+        assert set(out) == {"a"}
+
+    def test_max_safe_deflation(self):
+        # Constant 30% utilization: safe up to 70% deflation (1% tolerance).
+        series = [np.full(100, 0.3)]
+        safe = max_safe_deflation_per_vm(series, tolerance=0.01)
+        assert safe[0] == pytest.approx(0.69, abs=0.02)
+
+    def test_utilization_summary(self):
+        stats = utilization_summary([np.array([0.0, 0.5, 1.0])])
+        assert stats.mean == pytest.approx(0.5)
+
+
+class TestStats:
+    def test_boxplot_five_numbers(self):
+        stats = boxplot_stats(np.arange(101) / 100)
+        assert stats.median == pytest.approx(0.5)
+        assert stats.q1 == pytest.approx(0.25)
+        assert stats.q3 == pytest.approx(0.75)
+        assert stats.whisker_lo == 0.0
+        assert stats.whisker_hi == 1.0
+        assert stats.n == 101
+
+    def test_boxplot_outliers_excluded_from_whiskers(self):
+        data = np.concatenate([np.full(99, 0.5), [100.0]])
+        stats = boxplot_stats(data)
+        assert stats.whisker_hi == pytest.approx(0.5)
+
+    def test_boxplot_empty_rejected(self):
+        with pytest.raises(TraceError):
+            boxplot_stats(np.array([]))
+
+    def test_degenerate_distribution(self):
+        stats = boxplot_stats(np.full(10, 0.3))
+        assert stats.whisker_lo == stats.whisker_hi == pytest.approx(0.3)
+
+    def test_percentile_summary(self):
+        out = percentile_summary(np.arange(101), (50, 99))
+        assert out[50] == pytest.approx(50)
+        assert out[99] == pytest.approx(99)
+
+    def test_percentile_summary_empty(self):
+        with pytest.raises(TraceError):
+            percentile_summary(np.array([]))

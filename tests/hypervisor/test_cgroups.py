@@ -1,0 +1,101 @@
+"""Tests for the simulated cgroup controllers."""
+
+import pytest
+
+from repro.errors import ResourceError
+from repro.hypervisor.cgroups import (
+    CFS_PERIOD_US,
+    CGroupManager,
+    CpuController,
+    MemoryController,
+)
+
+
+class TestCpuController:
+    def test_unlimited_by_default(self):
+        cpu = CpuController(ncpus_host=48)
+        assert cpu.quota_us == -1
+        assert cpu.limit_cores() == 48
+
+    def test_quota_encodes_cores(self):
+        cpu = CpuController(ncpus_host=48)
+        cpu.set_limit_cores(3.5)
+        assert cpu.quota_us == int(3.5 * CFS_PERIOD_US)
+        assert cpu.limit_cores() == pytest.approx(3.5)
+
+    def test_limit_at_or_above_host_is_unlimited(self):
+        cpu = CpuController(ncpus_host=8)
+        cpu.set_limit_cores(8)
+        assert cpu.quota_us == -1
+
+    def test_negative_limit_rejected(self):
+        with pytest.raises(ResourceError):
+            CpuController(ncpus_host=8).set_limit_cores(-1)
+
+    def test_kernel_min_shares(self):
+        with pytest.raises(ResourceError):
+            CpuController(ncpus_host=8).set_shares(1)
+
+
+class TestMemoryController:
+    def test_charge_under_limit(self):
+        mem = MemoryController()
+        mem.set_limit_mb(1000)
+        assert mem.charge(800) == 0.0
+        assert mem.swapped_mb == 0.0
+
+    def test_charge_over_limit_swaps(self):
+        mem = MemoryController()
+        mem.set_limit_mb(1000)
+        assert mem.charge(1400) == pytest.approx(400)
+        assert mem.swapped_mb == pytest.approx(400)
+
+    def test_invalid_limit(self):
+        with pytest.raises(ResourceError):
+            MemoryController().set_limit_mb(0)
+
+    def test_negative_usage_rejected(self):
+        with pytest.raises(ResourceError):
+            MemoryController().charge(-1)
+
+
+class TestBlkioAndNet:
+    def test_blkio_effective_is_min(self):
+        from repro.hypervisor.cgroups import BlkioController
+
+        blk = BlkioController()
+        blk.set_throttle(read_mbps=100, write_mbps=50)
+        assert blk.effective_mbps() == 50
+
+    def test_net_rate_validation(self):
+        from repro.hypervisor.cgroups import NetController
+
+        with pytest.raises(ResourceError):
+            NetController().set_rate(0)
+
+
+class TestManager:
+    def test_create_get_destroy(self):
+        mgr = CGroupManager(ncpus_host=16)
+        group = mgr.create("vm-1")
+        assert mgr.get("vm-1") is group
+        assert "vm-1" in mgr and len(mgr) == 1
+        mgr.destroy("vm-1")
+        assert "vm-1" not in mgr
+
+    def test_duplicate_rejected(self):
+        mgr = CGroupManager(ncpus_host=16)
+        mgr.create("vm-1")
+        with pytest.raises(ResourceError):
+            mgr.create("vm-1")
+
+    def test_missing_group(self):
+        mgr = CGroupManager(ncpus_host=16)
+        with pytest.raises(ResourceError):
+            mgr.get("ghost")
+        with pytest.raises(ResourceError):
+            mgr.destroy("ghost")
+
+    def test_zero_cpu_host_rejected(self):
+        with pytest.raises(ResourceError):
+            CGroupManager(ncpus_host=0)

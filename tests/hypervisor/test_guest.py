@@ -1,0 +1,140 @@
+"""Tests for the guest-OS hotplug model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import HotplugError, ResourceError
+from repro.hypervisor.guest import (
+    MEMORY_BLOCK_MB,
+    MIN_ONLINE_VCPUS,
+    GuestMemoryProfile,
+    GuestOS,
+)
+
+
+def guest(vcpus=8, mem_mb=16 * 1024, rss=8 * 1024, ws=4 * 1024, cache=4 * 1024):
+    return GuestOS(
+        total_vcpus=vcpus,
+        total_memory_mb=mem_mb,
+        memory_profile=GuestMemoryProfile(rss_mb=rss, working_set_mb=ws, page_cache_mb=cache),
+    )
+
+
+class TestProfileValidation:
+    def test_working_set_cannot_exceed_rss(self):
+        with pytest.raises(ResourceError):
+            GuestMemoryProfile(rss_mb=100, working_set_mb=200, page_cache_mb=0)
+
+    def test_negative_component(self):
+        with pytest.raises(ResourceError):
+            GuestMemoryProfile(rss_mb=-1, working_set_mb=0, page_cache_mb=0)
+
+
+class TestCpuHotplug:
+    def test_offline_partial(self):
+        g = guest(vcpus=4)
+        assert g.offline_vcpus(2) == 2
+        assert g.online_vcpus == 2
+
+    def test_never_below_minimum(self):
+        g = guest(vcpus=4)
+        assert g.offline_vcpus(10) == 4 - MIN_ONLINE_VCPUS
+        assert g.online_vcpus == MIN_ONLINE_VCPUS
+
+    def test_online_bounded_by_total(self):
+        g = guest(vcpus=4)
+        g.offline_vcpus(3)
+        assert g.online_vcpus_add(10) == 3
+        assert g.online_vcpus == 4
+
+    def test_negative_rejected(self):
+        with pytest.raises(HotplugError):
+            guest().offline_vcpus(-1)
+        with pytest.raises(HotplugError):
+            guest().online_vcpus_add(-1)
+
+
+class TestMemoryHotplug:
+    def test_threshold_is_block_aligned_rss(self):
+        g = guest(rss=8 * 1024)
+        assert g.memory_unplug_threshold_mb() == 8 * 1024  # already aligned
+        g2 = guest(rss=8 * 1024 + 1)
+        assert g2.memory_unplug_threshold_mb() == 8 * 1024 + MEMORY_BLOCK_MB
+
+    def test_unplug_block_granular(self):
+        g = guest()
+        got = g.unplug_memory(MEMORY_BLOCK_MB + 10)
+        assert got == MEMORY_BLOCK_MB
+
+    def test_unplug_stops_at_rss_floor(self):
+        g = guest(mem_mb=16 * 1024, rss=8 * 1024)
+        got = g.unplug_memory(12 * 1024)
+        assert got == 8 * 1024  # only down to the RSS
+        assert g.plugged_memory_mb == 8 * 1024
+
+    def test_unplug_shrinks_page_cache(self):
+        g = guest(mem_mb=16 * 1024, rss=8 * 1024, cache=4 * 1024)
+        g.unplug_memory(8 * 1024)
+        # plugged = 8 GB = rss; no room for cache.
+        assert g.memory.page_cache_mb == 0
+
+    def test_plug_back_bounded(self):
+        g = guest()
+        g.unplug_memory(4 * 1024)
+        got = g.plug_memory(100 * 1024)
+        assert g.plugged_memory_mb == g.total_memory_mb
+        assert got == 4 * 1024
+
+    def test_negative_rejected(self):
+        with pytest.raises(HotplugError):
+            guest().unplug_memory(-5)
+        with pytest.raises(HotplugError):
+            guest().plug_memory(-5)
+
+    def test_touched_memory_accounts_cache_survival(self):
+        g = guest(mem_mb=16 * 1024, rss=8 * 1024, cache=4 * 1024)
+        assert g.touched_memory_mb() == 12 * 1024
+        g.unplug_memory(6 * 1024)  # plugged -> 10 GB, cache -> 2 GB
+        assert g.touched_memory_mb() == 10 * 1024
+
+
+class TestConstruction:
+    def test_too_small(self):
+        with pytest.raises(ResourceError):
+            GuestOS(total_vcpus=0, total_memory_mb=1024)
+        with pytest.raises(ResourceError):
+            GuestOS(total_vcpus=1, total_memory_mb=10)
+
+    def test_default_profile(self):
+        g = GuestOS(total_vcpus=2, total_memory_mb=4096)
+        assert g.memory.rss_mb == pytest.approx(2048)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    mem_gb=st.integers(min_value=1, max_value=64),
+    rss_frac=st.floats(min_value=0.1, max_value=0.9),
+    amounts=st.lists(st.floats(min_value=0, max_value=64 * 1024), min_size=1, max_size=8),
+)
+def test_unplug_plug_invariants(mem_gb, rss_frac, amounts):
+    """Plugged memory stays block-aligned-deltas within [threshold, total]."""
+    total = mem_gb * 1024.0
+    rss = rss_frac * total
+    g = GuestOS(
+        total_vcpus=2,
+        total_memory_mb=total,
+        memory_profile=GuestMemoryProfile(rss_mb=rss, working_set_mb=rss / 2, page_cache_mb=0),
+    )
+    for i, amount in enumerate(amounts):
+        if i % 2 == 0:
+            g.unplug_memory(amount)
+        else:
+            g.plug_memory(amount)
+        assert g.plugged_memory_mb <= g.total_memory_mb + 1e-9
+        assert g.plugged_memory_mb >= min(
+            g.memory_unplug_threshold_mb(), g.total_memory_mb
+        ) - 1e-9
+        # Deltas from total are whole blocks.
+        delta = g.total_memory_mb - g.plugged_memory_mb
+        assert abs(delta / MEMORY_BLOCK_MB - round(delta / MEMORY_BLOCK_MB)) < 1e-9

@@ -1,0 +1,76 @@
+"""Tests for the libvirt-style hypervisor facade."""
+
+import pytest
+
+from repro.core.resources import ResourceVector
+from repro.errors import DomainStateError, ResourceError
+from repro.hypervisor.libvirt_api import HypervisorConnection
+
+
+def conn():
+    return HypervisorConnection(ncpus=48, memory_mb=128 * 1024, hostname="h0")
+
+
+def vm_cap(cpu=8, mem_gb=16):
+    return ResourceVector(cpu=cpu, memory_mb=mem_gb * 1024, disk_mbps=500, net_mbps=1000)
+
+
+class TestDomainLifecycle:
+    def test_create_and_lookup(self):
+        hv = conn()
+        domain = hv.create_domain("web", vm_cap())
+        assert hv.lookup("web") is domain
+        assert "web" in hv
+        assert hv.list_domains() == ["web"]
+
+    def test_duplicate_rejected(self):
+        hv = conn()
+        hv.create_domain("web", vm_cap())
+        with pytest.raises(DomainStateError):
+            hv.create_domain("web", vm_cap())
+
+    def test_destroy_removes_everything(self):
+        hv = conn()
+        hv.create_domain("web", vm_cap())
+        hv.destroy_domain("web")
+        assert "web" not in hv
+        assert "web" not in hv.cgroups
+        with pytest.raises(DomainStateError):
+            hv.lookup("web")
+
+    def test_invalid_host(self):
+        with pytest.raises(ResourceError):
+            HypervisorConnection(ncpus=0, memory_mb=1024)
+        with pytest.raises(ResourceError):
+            HypervisorConnection(ncpus=4, memory_mb=0)
+
+
+class TestAllocation:
+    def test_set_allocation_drives_hybrid(self):
+        hv = conn()
+        hv.create_domain("web", vm_cap(cpu=8))
+        report = hv.set_allocation("web", ResourceVector(3.5, 8 * 1024, 250, 500))
+        assert report.effective.cpu == pytest.approx(3.5)
+        assert report.effective.memory_mb == pytest.approx(8 * 1024)
+
+    def test_total_effective_allocation(self):
+        hv = conn()
+        hv.create_domain("a", vm_cap(cpu=8))
+        hv.create_domain("b", vm_cap(cpu=8))
+        hv.set_allocation("a", ResourceVector(4, 8 * 1024, 100, 100))
+        total = hv.total_effective_allocation()
+        assert total.cpu == pytest.approx(12)
+
+    def test_physical_feasibility(self):
+        hv = HypervisorConnection(ncpus=8, memory_mb=32 * 1024)
+        hv.create_domain("a", vm_cap(cpu=8, mem_gb=16))
+        assert hv.is_physically_feasible()
+        hv.create_domain("b", vm_cap(cpu=8, mem_gb=16))
+        assert not hv.is_physically_feasible()  # 16 vCPUs on 8 cores
+        hv.set_allocation("a", ResourceVector(4, 8 * 1024, 100, 100))
+        hv.set_allocation("b", ResourceVector(4, 8 * 1024, 100, 100))
+        assert hv.is_physically_feasible()
+
+    def test_mechanism_for_unknown_domain(self):
+        with pytest.raises(DomainStateError):
+            conn().mechanism("ghost")

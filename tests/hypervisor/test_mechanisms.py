@@ -1,0 +1,167 @@
+"""Tests for transparent, explicit and hybrid deflation mechanisms."""
+
+import pytest
+
+from repro.core.resources import ResourceVector
+from repro.errors import DomainStateError, HotplugError
+from repro.hypervisor.cgroups import CGroupManager
+from repro.hypervisor.domain import Domain, DomainConfig, DomainState
+from repro.hypervisor.guest import MEMORY_BLOCK_MB, GuestMemoryProfile
+from repro.hypervisor.hotplug import ExplicitMechanism
+from repro.hypervisor.hybrid import HybridMechanism
+from repro.hypervisor.multiplex import TransparentMechanism
+
+
+def make_domain(vcpus=8, mem_mb=16 * 1024, rss=8 * 1024, cache=4 * 1024):
+    mgr = CGroupManager(ncpus_host=48)
+    config = DomainConfig(name="vm", max_vcpus=vcpus, max_memory_mb=mem_mb)
+    domain = Domain(
+        config=config,
+        cgroup=mgr.create("vm"),
+        memory_profile=GuestMemoryProfile(
+            rss_mb=rss, working_set_mb=rss / 2, page_cache_mb=cache
+        ),
+    )
+    domain.start()
+    return domain
+
+
+class TestDomainLifecycle:
+    def test_start_creates_guest(self):
+        d = make_domain()
+        assert d.state is DomainState.RUNNING
+        assert d.guest is not None
+
+    def test_double_start_rejected(self):
+        d = make_domain()
+        with pytest.raises(DomainStateError):
+            d.start()
+
+    def test_destroy(self):
+        d = make_domain()
+        d.destroy()
+        assert d.state is DomainState.SHUTOFF
+        with pytest.raises(DomainStateError):
+            d.effective_cpu()
+
+    def test_config_from_capacity_rounds_vcpus_up(self):
+        cfg = DomainConfig.from_capacity("x", ResourceVector(3.2, 8192, 100, 100))
+        assert cfg.max_vcpus == 4
+
+
+class TestTransparent:
+    def test_guest_view_unchanged(self):
+        d = make_domain()
+        TransparentMechanism(d).apply(ResourceVector(2, 4 * 1024, 100, 100))
+        # The guest still believes it has everything (Section 4.2).
+        assert d.guest.online_vcpus == 8
+        assert d.guest.plugged_memory_mb == 16 * 1024
+        # But effective resources are capped.
+        assert d.effective_cpu() == pytest.approx(2.0)
+        assert d.effective_memory_mb() == pytest.approx(4 * 1024)
+
+    def test_fractional_cpu(self):
+        d = make_domain()
+        TransparentMechanism(d).set_cpu_limit(1.5)
+        assert d.effective_cpu() == pytest.approx(1.5)
+
+    def test_swap_when_limit_below_touched(self):
+        d = make_domain(rss=8 * 1024, cache=4 * 1024)  # touched = 12 GB
+        TransparentMechanism(d).set_memory_limit(9 * 1024)
+        assert d.swapped_memory_mb() == pytest.approx(3 * 1024)
+
+    def test_release_restores_full(self):
+        d = make_domain()
+        mech = TransparentMechanism(d)
+        mech.apply(ResourceVector(1, 1024, 10, 10))
+        mech.release()
+        assert d.effective_cpu() == 8
+        assert d.effective_memory_mb() == 16 * 1024
+
+    def test_targets_clamped_to_config(self):
+        d = make_domain(vcpus=4)
+        eff = TransparentMechanism(d).apply(ResourceVector(100, 10**6, 10**6, 10**6))
+        assert eff.cpu == 4
+
+
+class TestExplicit:
+    def test_vcpu_unplug_integral_only(self):
+        d = make_domain()
+        with pytest.raises(HotplugError):
+            ExplicitMechanism(d).set_online_vcpus(2.5)
+
+    def test_vcpu_unplug_and_replug(self):
+        d = make_domain(vcpus=8)
+        mech = ExplicitMechanism(d)
+        out = mech.set_online_vcpus(3)
+        assert out.achieved == 5 and out.complete
+        assert d.guest.online_vcpus == 3
+        out2 = mech.set_online_vcpus(8)
+        assert out2.achieved == 5
+        assert d.guest.online_vcpus == 8
+
+    def test_memory_partial_when_floor_hit(self):
+        d = make_domain(mem_mb=16 * 1024, rss=12 * 1024)
+        out = ExplicitMechanism(d).set_memory_mb(8 * 1024)
+        assert not out.complete
+        assert out.achieved == pytest.approx(4 * 1024)  # stopped at 12 GB RSS
+        assert out.shortfall == pytest.approx(4 * 1024)
+
+    def test_cannot_remove_all_vcpus(self):
+        d = make_domain()
+        with pytest.raises(HotplugError):
+            ExplicitMechanism(d).set_online_vcpus(0)
+
+    def test_round_up_helpers(self):
+        d = make_domain()
+        mech = ExplicitMechanism(d)
+        assert mech.round_up_vcpus(3.2) == 4
+        assert mech.round_up_vcpus(0.1) == 1
+        assert mech.round_up_memory_mb(1000) == MEMORY_BLOCK_MB * 8  # 1024
+
+
+class TestHybrid:
+    def test_fig13_cpu_composition(self):
+        """Hotplug to ceil(target), multiplex to the fraction."""
+        d = make_domain(vcpus=8)
+        HybridMechanism(d).deflate_cpu(3.5)
+        assert d.guest.online_vcpus == 4  # round_up(3.5)
+        assert d.effective_cpu() == pytest.approx(3.5)  # quota does the rest
+
+    def test_fig13_memory_composition(self):
+        d = make_domain(mem_mb=16 * 1024, rss=8 * 1024)
+        HybridMechanism(d).deflate_memory(10 * 1024)
+        # Unplug could go to 10 GB (above RSS floor); cgroup exact.
+        assert d.guest.plugged_memory_mb == pytest.approx(10 * 1024)
+        assert d.effective_memory_mb() == pytest.approx(10 * 1024)
+
+    def test_multiplexing_takes_up_hotplug_slack(self):
+        """When the guest refuses part of the unplug, the transparent layer
+        still lands the VM on target (Section 4.4)."""
+        d = make_domain(mem_mb=16 * 1024, rss=12 * 1024)
+        HybridMechanism(d).deflate_memory(8 * 1024)
+        assert d.guest.plugged_memory_mb == pytest.approx(12 * 1024)  # floor
+        assert d.effective_memory_mb() == pytest.approx(8 * 1024)  # exact target
+
+    def test_hybrid_swaps_less_than_transparent(self):
+        target = ResourceVector(4, 9 * 1024, 100, 100)
+        d_trans = make_domain(rss=8 * 1024, cache=4 * 1024)
+        TransparentMechanism(d_trans).apply(target)
+        d_hyb = make_domain(rss=8 * 1024, cache=4 * 1024)
+        HybridMechanism(d_hyb).apply(target)
+        assert d_hyb.swapped_memory_mb() < d_trans.swapped_memory_mb()
+
+    def test_reinflate_restores_both_layers(self):
+        d = make_domain()
+        mech = HybridMechanism(d)
+        mech.apply(ResourceVector(2, 8 * 1024, 50, 50))
+        mech.reinflate()
+        assert d.guest.online_vcpus == 8
+        assert d.guest.plugged_memory_mb == 16 * 1024
+        assert d.effective_resources().cpu == 8
+
+    def test_report_contains_outcomes(self):
+        d = make_domain()
+        report = HybridMechanism(d).apply(ResourceVector(3, 12 * 1024, 100, 100))
+        assert report.cpu_hotplug.achieved == 5
+        assert report.effective.cpu == pytest.approx(3.0)

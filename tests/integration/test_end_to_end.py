@@ -1,0 +1,109 @@
+"""Integration tests spanning manager -> server -> hypervisor -> LB.
+
+These exercise the full Figure 1 stack: the centralized cluster manager
+places VMs, per-server controllers deflate/reinflate them through the
+simulated hypervisor, and deflation notifications reach a load balancer.
+"""
+
+import pytest
+
+from repro.cluster.manager import make_uniform_cluster
+from repro.core.deflation import PriorityPolicy, ProportionalPolicy
+from repro.core.resources import ResourceVector
+from repro.core.vm import VMSpec, on_demand_spec
+from repro.errors import AdmissionRejected
+from repro.loadbalancer.haproxy import DeflationAwareBalancer
+
+
+def capacity():
+    return ResourceVector(cpu=48, memory_mb=128 * 1024, disk_mbps=2000, net_mbps=10_000)
+
+
+def web_vm(cpu=16, priority=0.5):
+    return VMSpec(
+        capacity=ResourceVector(cpu, cpu * 2 * 1024, 200, 500), priority=priority
+    )
+
+
+class TestFullStack:
+    def test_lifecycle_with_hypervisor(self):
+        cluster = make_uniform_cluster(
+            2, capacity(), policy=ProportionalPolicy(), with_hypervisor=True
+        )
+        specs = [web_vm() for _ in range(4)]
+        for spec in specs:
+            cluster.request_vm(spec)
+        # Every placed VM is backed by a running domain at full allocation.
+        for spec in specs:
+            server = cluster.servers[cluster.locate(spec.vm_id)]
+            domain = server.hypervisor.lookup(spec.vm_id)
+            assert domain.effective_cpu() == spec.capacity.cpu
+        for spec in specs:
+            cluster.terminate_vm(spec.vm_id)
+        assert cluster.stats().n_vms == 0
+
+    def test_pressure_deflates_domains_then_reinflates(self):
+        cluster = make_uniform_cluster(
+            1, capacity(), policy=ProportionalPolicy(), with_hypervisor=True
+        )
+        deflatable = web_vm(cpu=32)
+        cluster.request_vm(deflatable)
+        od = on_demand_spec(ResourceVector(32, 64 * 1024, 100, 100))
+        cluster.request_vm(od)
+
+        server = cluster.servers["server-0"]
+        domain = server.hypervisor.lookup(deflatable.vm_id)
+        assert domain.effective_cpu() == pytest.approx(16.0)
+        assert server.hypervisor.is_physically_feasible()
+
+        cluster.terminate_vm(od.vm_id)
+        assert domain.effective_cpu() == pytest.approx(32.0)
+
+    def test_notifications_reach_load_balancer(self):
+        """Figure 1's channel: hypervisor -> app manager/load balancer."""
+        cluster = make_uniform_cluster(1, capacity(), policy=ProportionalPolicy())
+        server = cluster.servers["server-0"]
+
+        replicas = [web_vm(cpu=20), web_vm(cpu=20)]
+        lb = DeflationAwareBalancer({"r0": 20.0, "r1": 20.0})
+        server.controller.subscribe(lb.on_deflation)
+
+        for spec, backend in zip(replicas, ("r0", "r1")):
+            cluster.request_vm(spec)
+            lb.map_vm(spec.vm_id, backend)
+
+        od = on_demand_spec(ResourceVector(20, 40 * 1024, 100, 100))
+        cluster.request_vm(od)
+        # Both replicas deflated 20 -> 14 cores; LB weights follow.
+        assert lb.weights["r0"] == pytest.approx(14.0)
+        assert lb.weights["r1"] == pytest.approx(14.0)
+
+        cluster.terminate_vm(od.vm_id)
+        assert lb.weights["r0"] == pytest.approx(20.0)
+
+    def test_priority_policy_cluster_differentiates(self):
+        cluster = make_uniform_cluster(
+            1, capacity(), policy=PriorityPolicy(), with_hypervisor=True
+        )
+        low = web_vm(cpu=20, priority=0.2)
+        high = web_vm(cpu=20, priority=0.8)
+        cluster.request_vm(low)
+        cluster.request_vm(high)
+        cluster.request_vm(on_demand_spec(ResourceVector(16, 32 * 1024, 100, 100)))
+        server = cluster.servers["server-0"]
+        low_alloc = server.controller.allocation_of(low.vm_id)
+        high_alloc = server.controller.allocation_of(high.vm_id)
+        assert low_alloc.cpu < high_alloc.cpu
+        cluster.verify_invariants()
+
+    def test_cluster_rejects_what_it_cannot_hold(self):
+        cluster = make_uniform_cluster(2, capacity(), policy=ProportionalPolicy())
+        # Fill both servers with undeflatable load.
+        for _ in range(2):
+            cluster.request_vm(on_demand_spec(ResourceVector(48, 120 * 1024, 100, 100)))
+        with pytest.raises(AdmissionRejected):
+            cluster.request_vm(on_demand_spec(ResourceVector(24, 48 * 1024, 100, 100)))
+        # Deflatable VMs still fit (they can start deflated).
+        decision = cluster.request_vm(web_vm(cpu=24))
+        assert decision is not None
+        cluster.verify_invariants()

@@ -1,0 +1,111 @@
+"""Tests for weighted round-robin and the deflation-aware balancer."""
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.controller import DeflationEvent
+from repro.core.resources import ResourceVector
+from repro.errors import SimulationError
+from repro.loadbalancer.haproxy import (
+    DeflationAwareBalancer,
+    WeightedRoundRobin,
+    deflation_aware_weights,
+    vanilla_weights,
+)
+
+
+class TestSmoothWRR:
+    def test_equal_weights_round_robin(self):
+        wrr = WeightedRoundRobin({"a": 1.0, "b": 1.0})
+        picks = wrr.pick_many(6)
+        assert picks.count("a") == 3 and picks.count("b") == 3
+
+    def test_proportional_distribution(self):
+        wrr = WeightedRoundRobin({"a": 3.0, "b": 1.0})
+        picks = Counter(wrr.pick_many(400))
+        assert picks["a"] == 300 and picks["b"] == 100
+
+    def test_smoothness_no_bursts(self):
+        """Smooth WRR interleaves: with weights 2:1:1 the heavy backend
+        never appears three times in a row."""
+        wrr = WeightedRoundRobin({"a": 2.0, "b": 1.0, "c": 1.0})
+        picks = wrr.pick_many(100)
+        for i in range(len(picks) - 2):
+            assert not (picks[i] == picks[i + 1] == picks[i + 2] == "a")
+
+    def test_zero_weight_backend_skipped(self):
+        wrr = WeightedRoundRobin({"a": 1.0, "b": 0.0})
+        assert set(wrr.pick_many(10)) == {"a"}
+
+    def test_weight_update_shifts_traffic(self):
+        wrr = WeightedRoundRobin({"a": 1.0, "b": 1.0})
+        wrr.pick_many(10)
+        wrr.set_weight("a", 9.0)
+        picks = Counter(wrr.pick_many(100))
+        assert picks["a"] == 90
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            WeightedRoundRobin({})
+        with pytest.raises(SimulationError):
+            WeightedRoundRobin({"a": -1.0})
+        with pytest.raises(SimulationError):
+            WeightedRoundRobin({"a": 0.0})
+        wrr = WeightedRoundRobin({"a": 1.0})
+        with pytest.raises(SimulationError):
+            wrr.set_weight("ghost", 1.0)
+
+    def test_all_weights_zero_at_pick_time(self):
+        wrr = WeightedRoundRobin({"a": 1.0})
+        wrr.set_weight("a", 0.0)
+        with pytest.raises(SimulationError):
+            wrr.pick()
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        wa=st.integers(min_value=1, max_value=9),
+        wb=st.integers(min_value=1, max_value=9),
+    )
+    def test_distribution_matches_weights_exactly_per_cycle(self, wa, wb):
+        wrr = WeightedRoundRobin({"a": float(wa), "b": float(wb)})
+        picks = Counter(wrr.pick_many(10 * (wa + wb)))
+        assert picks["a"] == 10 * wa
+        assert picks["b"] == 10 * wb
+
+
+class TestDeflationAware:
+    def _event(self, vm_id, old_cpu, new_cpu):
+        return DeflationEvent(
+            vm_id=vm_id,
+            old_allocation=ResourceVector(old_cpu, 1024, 10, 10),
+            new_allocation=ResourceVector(new_cpu, 1024, 10, 10),
+        )
+
+    def test_weights_track_allocations(self):
+        lb = DeflationAwareBalancer({"web-a": 10.0, "web-b": 10.0})
+        lb.on_deflation(self._event("web-a", 10, 4))
+        assert lb.weights["web-a"] == 4.0
+        assert lb.weights["web-b"] == 10.0
+
+    def test_vm_mapping(self):
+        lb = DeflationAwareBalancer({"web-a": 10.0})
+        lb.map_vm("vm-77", "web-a")
+        lb.on_deflation(self._event("vm-77", 10, 2))
+        assert lb.weights["web-a"] == 2.0
+
+    def test_unknown_vm_ignored(self):
+        lb = DeflationAwareBalancer({"web-a": 10.0})
+        lb.on_deflation(self._event("stranger", 10, 1))
+        assert lb.weights["web-a"] == 10.0
+
+    def test_map_unknown_backend(self):
+        lb = DeflationAwareBalancer({"web-a": 10.0})
+        with pytest.raises(SimulationError):
+            lb.map_vm("vm-1", "ghost")
+
+    def test_helpers(self):
+        assert vanilla_weights(["x", "y"]) == {"x": 1.0, "y": 1.0}
+        assert deflation_aware_weights({"x": 2.5}) == {"x": 2.5}

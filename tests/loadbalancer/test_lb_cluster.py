@@ -1,0 +1,59 @@
+"""Tests for the 3-replica web-cluster harness (Figure 19 shape)."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.loadbalancer.cluster import (
+    FIG19_DEFLATION_PCT,
+    WebClusterConfig,
+    run_lb_sweep,
+    run_web_cluster,
+)
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return WebClusterConfig(duration_s=12.0)
+
+
+class TestShape:
+    def test_equal_at_zero_deflation(self, cfg):
+        v = run_web_cluster(cfg, 0, deflation_aware=False, seed=2)
+        a = run_web_cluster(cfg, 0, deflation_aware=True, seed=2)
+        # With no deflation both policies are (nearly) the same balancer.
+        assert v.p90_rt == pytest.approx(a.p90_rt, rel=0.25)
+
+    def test_aware_wins_at_high_deflation(self, cfg):
+        """Figure 19: 15-40% lower tail latency at high deflation."""
+        v = run_web_cluster(cfg, 70, deflation_aware=False, seed=2)
+        a = run_web_cluster(cfg, 70, deflation_aware=True, seed=2)
+        assert a.p90_rt < v.p90_rt
+        assert a.mean_rt < v.mean_rt * 1.05  # mean lower or comparable
+
+    def test_vanilla_degrades_with_deflation(self, cfg):
+        lo = run_web_cluster(cfg, 0, deflation_aware=False, seed=3)
+        hi = run_web_cluster(cfg, 80, deflation_aware=False, seed=3)
+        assert hi.p90_rt > lo.p90_rt
+
+    def test_aware_serves_more_under_overload(self, cfg):
+        v = run_web_cluster(cfg, 80, deflation_aware=False, seed=4)
+        a = run_web_cluster(cfg, 80, deflation_aware=True, seed=4)
+        assert a.served_fraction >= v.served_fraction
+
+
+class TestHarness:
+    def test_sweep_structure(self, cfg):
+        sweep = run_lb_sweep(cfg, levels_pct=(0, 40), seed=1)
+        assert set(sweep) == {"vanilla", "deflation-aware"}
+        assert [p.deflation_pct for p in sweep["vanilla"]] == [0, 40]
+
+    def test_default_levels_match_paper(self):
+        assert FIG19_DEFLATION_PCT == (0, 10, 20, 30, 40, 50, 60, 70, 80)
+
+    def test_invalid_deflation(self, cfg):
+        with pytest.raises(SimulationError):
+            run_web_cluster(cfg, 100, deflation_aware=True)
+
+    def test_config_validation(self):
+        with pytest.raises(SimulationError):
+            WebClusterConfig(n_deflatable=0)

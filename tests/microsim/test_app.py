@@ -1,0 +1,101 @@
+"""Tests for the social-network application simulation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.microsim.app import (
+    MAX_CORES_PER_SERVICE,
+    MEAN_DEMANDS,
+    MIN_CORES_PER_SERVICE,
+    REQUEST_MIX,
+    SocialNetworkApp,
+)
+from repro.microsim.graph import deflatable_services, social_network_graph
+from repro.queueing.network import Fork, Visit
+
+
+@pytest.fixture(scope="module")
+def app():
+    return SocialNetworkApp(seed=3)
+
+
+class TestCapacities:
+    def test_undeflated_all_at_max(self, app):
+        caps = app.capacities(0.0)
+        assert all(c == MAX_CORES_PER_SERVICE for c in caps.values())
+
+    def test_deflation_only_hits_deflatable(self, app):
+        caps = app.capacities(0.5)
+        defl = set(deflatable_services(social_network_graph()))
+        for name, c in caps.items():
+            if name in defl:
+                assert c == pytest.approx(1.0)
+            else:
+                assert c == MAX_CORES_PER_SERVICE
+
+    def test_floor_respected(self, app):
+        caps = app.capacities(0.99)
+        assert min(caps.values()) >= MIN_CORES_PER_SERVICE
+
+    def test_invalid_deflation(self, app):
+        with pytest.raises(SimulationError):
+            app.capacities(1.0)
+
+    def test_demands_cover_all_services(self):
+        g = social_network_graph()
+        assert set(MEAN_DEMANDS) == set(g.nodes)
+
+    def test_request_mix_sums_to_one(self):
+        assert sum(REQUEST_MIX.values()) == pytest.approx(1.0)
+
+
+class TestPlans:
+    def _stations_in(self, plan, acc):
+        for step in plan:
+            if isinstance(step, Visit):
+                acc.add(step.station)
+            elif isinstance(step, Fork):
+                for branch in step.branches:
+                    self._stations_in(branch, acc)
+
+    def test_plans_reference_known_services(self, app):
+        rng = np.random.default_rng(0)
+        g = social_network_graph()
+        for _ in range(50):
+            stations = set()
+            self._stations_in(app.sample_plan(rng), stations)
+            assert stations <= set(g.nodes)
+
+    def test_all_three_templates_sampled(self, app):
+        rng = np.random.default_rng(1)
+        kinds = set()
+        for _ in range(200):
+            stations = set()
+            self._stations_in(app.sample_plan(rng), stations)
+            if "compose-post" in stations:
+                kinds.add("compose")
+            elif "home-timeline" in stations:
+                kinds.add("home")
+            elif "user-timeline" in stations:
+                kinds.add("user")
+        assert kinds == {"compose", "home", "user"}
+
+
+class TestSimulation:
+    def test_latency_grows_with_deflation(self, app):
+        lo = app.simulate(rate_per_s=300, duration_s=6, deflation=0.0, seed=2)
+        hi = app.simulate(rate_per_s=300, duration_s=6, deflation=0.6, seed=2)
+        assert hi.percentile(90) > lo.percentile(90)
+
+    def test_served_everything_at_low_load(self, app):
+        res = app.simulate(rate_per_s=100, duration_s=5, deflation=0.0, seed=3)
+        assert res.served_fraction == 1.0
+
+    def test_bottleneck_utilization_monotone(self, app):
+        rhos = [app.bottleneck_utilization(500, d) for d in (0.0, 0.3, 0.5, 0.65)]
+        assert rhos == sorted(rhos)
+
+    def test_visit_rates_conserve_entry_rate(self, app):
+        rates = app._expected_visit_rates(500.0)
+        assert rates["nginx-web"] == pytest.approx(500.0)

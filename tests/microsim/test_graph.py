@@ -1,0 +1,66 @@
+"""Tests for the social-network service topology (paper Figure 15)."""
+
+import networkx as nx
+
+from repro.microsim.graph import (
+    SOCIAL_NETWORK_SERVICES,
+    ServiceTier,
+    deflatable_services,
+    services_by_tier,
+    social_network_graph,
+)
+
+
+class TestTopology:
+    def test_thirty_services(self):
+        assert len(SOCIAL_NETWORK_SERVICES) == 30
+        g = social_network_graph()
+        assert g.number_of_nodes() == 30
+
+    def test_tier_counts_match_paper(self):
+        """3 frontend, 15 logic, 12 backend (Section 7.2)."""
+        g = social_network_graph()
+        tiers = services_by_tier(g)
+        assert len(tiers[ServiceTier.FRONTEND]) == 3
+        assert len(tiers[ServiceTier.LOGIC]) == 15
+        backend = len(tiers[ServiceTier.BACKEND_CACHE]) + len(tiers[ServiceTier.BACKEND_DB])
+        assert backend == 12
+
+    def test_twenty_two_deflatable(self):
+        """Frontends + logic + 4 memcached = 22 of 30 deflated."""
+        g = social_network_graph()
+        defl = deflatable_services(g)
+        assert len(defl) == 22
+        assert all("mongodb" not in s and "redis" not in s and s != "rabbitmq" for s in defl)
+
+    def test_four_memcached_deflatable(self):
+        g = social_network_graph()
+        defl = deflatable_services(g)
+        assert sum(1 for s in defl if s.startswith("memcached")) == 4
+
+    def test_edges_reference_known_nodes(self):
+        g = social_network_graph()
+        for u, v in g.edges:
+            assert u in g and v in g
+
+    def test_frontends_are_sources(self):
+        """Requests enter through frontends: no service calls into them."""
+        g = social_network_graph()
+        for name in services_by_tier(g)[ServiceTier.FRONTEND]:
+            assert g.in_degree(name) == 0
+
+    def test_databases_are_sinks(self):
+        g = social_network_graph()
+        for name in services_by_tier(g)[ServiceTier.BACKEND_DB]:
+            assert g.out_degree(name) == 0
+
+    def test_graph_is_acyclic(self):
+        assert nx.is_directed_acyclic_graph(social_network_graph())
+
+    def test_all_services_reachable_from_frontends(self):
+        g = social_network_graph()
+        frontends = services_by_tier(g)[ServiceTier.FRONTEND]
+        reachable = set(frontends)
+        for f in frontends:
+            reachable |= nx.descendants(g, f)
+        assert reachable == set(g.nodes)

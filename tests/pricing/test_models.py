@@ -1,0 +1,82 @@
+"""Tests for the pricing models (Section 5.2.2)."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.pricing.models import (
+    PRICING_MODELS,
+    STATIC_DISCOUNT,
+    AllocationPricing,
+    PriorityPricing,
+    StaticPricing,
+    get_pricing,
+)
+
+
+class TestStatic:
+    def test_default_discount(self):
+        assert StaticPricing().rate(0.5, 0.5) == STATIC_DISCOUNT
+
+    def test_ignores_priority_and_allocation(self):
+        p = StaticPricing()
+        assert p.rate(0.2, 1.0) == p.rate(0.9, 0.1)
+
+    def test_revenue_scales_with_size_and_time(self):
+        p = StaticPricing()
+        assert p.revenue(4, 10, 0.5, 1.0) == pytest.approx(4 * 10 * 0.2)
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            StaticPricing(discount=0.0)
+        with pytest.raises(ReproError):
+            StaticPricing(discount=1.5)
+
+
+class TestPriority:
+    def test_price_equals_priority(self):
+        p = PriorityPricing()
+        assert p.rate(0.5, 1.0) == 0.5
+        assert p.rate(0.8, 0.1) == 0.8
+
+    def test_invalid_priority(self):
+        with pytest.raises(ReproError):
+            PriorityPricing().rate(0.0, 1.0)
+
+    def test_higher_priority_pays_more(self):
+        p = PriorityPricing()
+        assert p.revenue(1, 1, 0.8, 1.0) > p.revenue(1, 1, 0.2, 1.0)
+
+
+class TestAllocation:
+    def test_full_allocation_matches_static(self):
+        """The schemes coincide when nothing is deflated."""
+        assert AllocationPricing().rate(0.5, 1.0) == StaticPricing().rate(0.5, 1.0)
+
+    def test_half_allocation_half_price(self):
+        p = AllocationPricing()
+        assert p.rate(0.5, 0.5) == pytest.approx(0.5 * STATIC_DISCOUNT)
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            AllocationPricing(base_rate=0.0)
+
+
+class TestRevenueGuards:
+    def test_negative_inputs_rejected(self):
+        p = StaticPricing()
+        with pytest.raises(ReproError):
+            p.revenue(-1, 1, 0.5, 1.0)
+        with pytest.raises(ReproError):
+            p.revenue(1, -1, 0.5, 1.0)
+        with pytest.raises(ReproError):
+            p.revenue(1, 1, 0.5, 1.5)
+
+
+class TestRegistry:
+    def test_contents(self):
+        assert set(PRICING_MODELS) == {"static", "priority", "allocation"}
+
+    def test_lookup(self):
+        assert get_pricing("static").name == "static"
+        with pytest.raises(ReproError):
+            get_pricing("gold")

@@ -1,0 +1,167 @@
+"""Tests for the processor-sharing network simulator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.queueing.network import Fork, PSNetwork, Visit
+
+
+class TestSingleStationBasics:
+    def test_lone_request_takes_its_demand(self):
+        net = PSNetwork({"s": 1.0})
+        net.offer(0.0, (Visit("s", 2.0),))
+        res = net.run()
+        assert res.n_completed == 1
+        assert res.response_times[0] == pytest.approx(2.0)
+
+    def test_two_requests_share_one_core(self):
+        net = PSNetwork({"s": 1.0})
+        net.offer(0.0, (Visit("s", 1.0),))
+        net.offer(0.0, (Visit("s", 1.0),))
+        res = net.run()
+        # Both progress at rate 1/2 until both finish at t=2.
+        np.testing.assert_allclose(np.sort(res.response_times), [2.0, 2.0])
+
+    def test_two_cores_no_sharing(self):
+        net = PSNetwork({"s": 2.0})
+        net.offer(0.0, (Visit("s", 1.0),))
+        net.offer(0.0, (Visit("s", 1.0),))
+        res = net.run()
+        np.testing.assert_allclose(res.response_times, [1.0, 1.0])
+
+    def test_single_task_capped_at_one_core(self):
+        """A request cannot use more than one core even on a big server."""
+        net = PSNetwork({"s": 16.0})
+        net.offer(0.0, (Visit("s", 3.0),))
+        res = net.run()
+        assert res.response_times[0] == pytest.approx(3.0)
+
+    def test_staggered_arrivals_exact_ps_schedule(self):
+        # t=0: A (demand 2); t=1: B (demand 0.5).
+        # A runs alone [0,1): 1 unit left. Then both at rate 1/2: B finishes
+        # at t=2 (0.5 demand / 0.5 rate); A has 0.5 left, finishes at 2.5.
+        net = PSNetwork({"s": 1.0})
+        net.offer(0.0, (Visit("s", 2.0),))
+        net.offer(1.0, (Visit("s", 0.5),))
+        res = net.run()
+        times = dict(zip(res.arrival_times, res.response_times))
+        assert times[1.0] == pytest.approx(1.0)
+        assert times[0.0] == pytest.approx(2.5)
+
+
+class TestTandemAndFork:
+    def test_tandem_stations(self):
+        net = PSNetwork({"a": 1.0, "b": 1.0})
+        net.offer(0.0, (Visit("a", 1.0), Visit("b", 2.0)))
+        res = net.run()
+        assert res.response_times[0] == pytest.approx(3.0)
+
+    def test_fork_join_takes_max_branch(self):
+        net = PSNetwork({"a": 4.0, "b": 4.0})
+        plan = (
+            Fork(branches=(
+                (Visit("a", 1.0),),
+                (Visit("b", 3.0),),
+            )),
+        )
+        net.offer(0.0, plan)
+        res = net.run()
+        assert res.response_times[0] == pytest.approx(3.0)
+
+    def test_post_join_continuation(self):
+        net = PSNetwork({"a": 4.0, "b": 4.0, "c": 4.0})
+        plan = (
+            Fork(branches=((Visit("a", 1.0),), (Visit("b", 2.0),))),
+            Visit("c", 1.0),
+        )
+        net.offer(0.0, plan)
+        res = net.run()
+        assert res.response_times[0] == pytest.approx(3.0)  # max(1,2) + 1
+
+    def test_nested_forks(self):
+        net = PSNetwork({"a": 8.0, "b": 8.0, "c": 8.0})
+        inner = Fork(branches=((Visit("b", 1.0),), (Visit("c", 2.0),)))
+        plan = (Fork(branches=((Visit("a", 0.5), inner), (Visit("a", 1.0),))),)
+        net.offer(0.0, plan)
+        res = net.run()
+        # Branch 1: 0.5 + max(1, 2) = 2.5; branch 2: 1.0 -> join at 2.5.
+        assert res.response_times[0] == pytest.approx(2.5)
+
+
+class TestTimeouts:
+    def test_timed_out_request_dropped(self):
+        net = PSNetwork({"s": 1.0})
+        net.offer(0.0, (Visit("s", 10.0),), deadline=1.0)
+        res = net.run()
+        assert res.n_dropped == 1
+        assert res.n_completed == 0
+
+    def test_drop_releases_capacity(self):
+        """After the hog times out, the survivor speeds back up."""
+        net = PSNetwork({"s": 1.0})
+        net.offer(0.0, (Visit("s", 100.0),), deadline=1.0)
+        net.offer(0.0, (Visit("s", 1.0),))
+        res = net.run()
+        # Survivor: shares until t=1 (progress 0.5), then alone; done at 1.5.
+        assert res.response_times[0] == pytest.approx(1.5)
+        assert res.n_dropped == 1
+
+    def test_deadline_met_not_dropped(self):
+        net = PSNetwork({"s": 1.0})
+        net.offer(0.0, (Visit("s", 0.5),), deadline=1.0)
+        res = net.run()
+        assert res.n_dropped == 0
+
+
+class TestAccounting:
+    def test_served_fraction(self):
+        net = PSNetwork({"s": 1.0})
+        net.offer(0.0, (Visit("s", 10.0),), deadline=0.5)
+        net.offer(0.0, (Visit("s", 0.1),))
+        res = net.run()
+        assert res.n_arrived == 2
+        assert res.served_fraction == pytest.approx(0.5)
+
+    def test_utilization_single_job(self):
+        net = PSNetwork({"s": 2.0})
+        net.offer(0.0, (Visit("s", 1.0),))
+        res = net.run()
+        # One core busy for 1s out of 2 cores over 1s.
+        assert res.station_utilization["s"] == pytest.approx(0.5)
+        assert res.station_busy_time["s"] == pytest.approx(1.0)
+
+    def test_capacity_change_midrun_via_api(self):
+        net = PSNetwork({"s": 2.0})
+        net.set_capacity("s", 1.0)
+        net.offer(0.0, (Visit("s", 1.0),))
+        net.offer(0.0, (Visit("s", 1.0),))
+        res = net.run()
+        np.testing.assert_allclose(np.sort(res.response_times), [2.0, 2.0])
+
+
+class TestValidation:
+    def test_empty_network(self):
+        with pytest.raises(SimulationError):
+            PSNetwork({})
+
+    def test_zero_capacity(self):
+        with pytest.raises(SimulationError):
+            PSNetwork({"s": 0.0})
+
+    def test_empty_plan(self):
+        net = PSNetwork({"s": 1.0})
+        with pytest.raises(SimulationError):
+            net.offer(0.0, ())
+
+    def test_unknown_station_in_plan(self):
+        net = PSNetwork({"s": 1.0})
+        net.offer(0.0, (Visit("ghost", 1.0),))
+        with pytest.raises(SimulationError):
+            net.run()
+
+    def test_percentile_of_empty_result(self):
+        net = PSNetwork({"s": 1.0})
+        res = net.run()
+        assert np.isnan(res.percentile(99))
+        assert res.served_fraction == 1.0

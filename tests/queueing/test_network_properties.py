@@ -1,0 +1,126 @@
+"""Property-based tests on the PS network's conservation invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.queueing.network import Fork, PSNetwork, Visit
+
+
+def _random_plan(rng: np.random.Generator, stations: list[str], depth: int = 0) -> tuple:
+    """A random plan of visits and (shallow) forks."""
+    steps = []
+    for _ in range(int(rng.integers(1, 4))):
+        if depth < 1 and rng.random() < 0.3:
+            branches = tuple(
+                _random_plan(rng, stations, depth + 1)
+                for _ in range(int(rng.integers(2, 4)))
+            )
+            steps.append(Fork(branches=branches))
+        else:
+            steps.append(
+                Visit(stations[int(rng.integers(len(stations)))], float(rng.exponential(0.01)))
+            )
+    return tuple(steps)
+
+
+def _total_demand(plan) -> float:
+    total = 0.0
+    for step in plan:
+        if isinstance(step, Visit):
+            total += step.demand
+        else:
+            for branch in step.branches:
+                total += _total_demand(branch)
+    return total
+
+
+def _critical_path(plan) -> float:
+    """Lower bound on response time: demands along the longest chain."""
+    total = 0.0
+    for step in plan:
+        if isinstance(step, Visit):
+            total += step.demand
+        else:
+            total += max(_critical_path(b) for b in step.branches)
+    return total
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2000))
+def test_every_request_accounted_for(seed):
+    """completed + dropped == arrived, with no deadline: all complete."""
+    rng = np.random.default_rng(seed)
+    stations = ["a", "b", "c"]
+    net = PSNetwork({s: float(rng.uniform(0.5, 4.0)) for s in stations})
+    plans = []
+    t = 0.0
+    for _ in range(int(rng.integers(1, 30))):
+        t += float(rng.exponential(0.02))
+        plan = _random_plan(rng, stations)
+        plans.append(plan)
+        net.offer(t, plan)
+    res = net.run()
+    assert res.n_arrived == len(plans)
+    assert res.n_completed + res.n_dropped == res.n_arrived
+    assert res.n_dropped == 0
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2000))
+def test_response_time_at_least_critical_path(seed):
+    """No request finishes faster than its critical-path demand (each task
+    runs at <= 1 core)."""
+    rng = np.random.default_rng(seed)
+    stations = ["a", "b"]
+    net = PSNetwork({s: 8.0 for s in stations})
+    plans = []
+    t = 0.0
+    for _ in range(int(rng.integers(1, 15))):
+        t += float(rng.exponential(0.05))
+        plan = _random_plan(rng, stations)
+        plans.append((t, plan))
+        net.offer(t, plan)
+    res = net.run()
+    bounds = {arr: _critical_path(plan) for arr, plan in plans}
+    for arrival, response in zip(res.arrival_times, res.response_times):
+        assert response >= bounds[arrival] - 1e-9
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2000))
+def test_work_conservation(seed):
+    """Total busy time across stations equals total served demand (no
+    timeouts: every offered CPU-second is eventually executed)."""
+    rng = np.random.default_rng(seed)
+    net = PSNetwork({"a": 2.0, "b": 1.0})
+    offered = 0.0
+    t = 0.0
+    for _ in range(int(rng.integers(1, 25))):
+        t += float(rng.exponential(0.02))
+        plan = _random_plan(rng, ["a", "b"])
+        offered += _total_demand(plan)
+        net.offer(t, plan)
+    res = net.run()
+    busy = sum(res.station_busy_time.values())
+    assert busy == pytest.approx(offered, rel=1e-6, abs=1e-9)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2000),
+    deadline_s=st.floats(min_value=0.05, max_value=2.0),
+)
+def test_deadlines_enforced(seed, deadline_s):
+    """Every completed request met its deadline; every miss was dropped."""
+    rng = np.random.default_rng(seed)
+    net = PSNetwork({"a": 1.0})
+    t = 0.0
+    n = int(rng.integers(5, 40))
+    for _ in range(n):
+        t += float(rng.exponential(0.01))
+        net.offer(t, (Visit("a", float(rng.exponential(0.05))),), deadline=deadline_s)
+    res = net.run()
+    assert res.n_completed + res.n_dropped == n
+    assert np.all(res.response_times <= deadline_s + 1e-9)

@@ -1,0 +1,76 @@
+"""Tests for the discrete-event core."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulator.engine import EventQueue, Simulator
+
+
+class TestEventQueue:
+    def test_time_ordering(self):
+        q = EventQueue()
+        q.schedule(3.0, "c")
+        q.schedule(1.0, "a")
+        q.schedule(2.0, "b")
+        assert [q.pop()[1] for _ in range(3)] == ["a", "b", "c"]
+
+    def test_fifo_for_ties(self):
+        q = EventQueue()
+        for label in "abc":
+            q.schedule(1.0, label)
+        assert [q.pop()[1] for _ in range(3)] == ["a", "b", "c"]
+
+    def test_clock_advances(self):
+        q = EventQueue()
+        q.schedule(5.0, None)
+        q.pop()
+        assert q.now == 5.0
+
+    def test_past_scheduling_rejected(self):
+        q = EventQueue()
+        q.schedule(5.0, None)
+        q.pop()
+        with pytest.raises(SimulationError):
+            q.schedule(1.0, None)
+
+    def test_pop_empty(self):
+        with pytest.raises(SimulationError):
+            EventQueue().pop()
+
+    def test_peek_and_len(self):
+        q = EventQueue()
+        assert q.peek_time() is None
+        q.schedule(1.0, None)
+        assert q.peek_time() == 1.0
+        assert len(q) == 1 and bool(q)
+
+
+class TestSimulator:
+    def test_callbacks_run_in_order(self):
+        sim = Simulator()
+        seen = []
+        sim.at(2.0, lambda: seen.append("late"))
+        sim.at(1.0, lambda: seen.append("early"))
+        sim.run()
+        assert seen == ["early", "late"]
+
+    def test_after_relative_delay(self):
+        sim = Simulator()
+        seen = []
+        sim.at(1.0, lambda: sim.after(0.5, lambda: seen.append(sim.now)))
+        sim.run()
+        assert seen == [1.5]
+
+    def test_run_until_horizon(self):
+        sim = Simulator()
+        seen = []
+        sim.at(1.0, lambda: seen.append(1))
+        sim.at(10.0, lambda: seen.append(10))
+        sim.run(until=5.0)
+        assert seen == [1]
+        assert sim.now == 5.0
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.after(-1.0, lambda: None)

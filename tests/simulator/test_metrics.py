@@ -1,0 +1,96 @@
+"""Tests for overcommitment sweeps and the Figure 20/21/22 orderings."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulator.metrics import OvercommitSweep, overcommitment_sweep
+from repro.traces.azure import AzureTraceConfig, synthesize_azure_trace
+
+
+@pytest.fixture(scope="module")
+def sweep() -> OvercommitSweep:
+    traces = synthesize_azure_trace(AzureTraceConfig(n_vms=400, seed=21))
+    return overcommitment_sweep(traces, levels=(0.0, 0.3, 0.6))
+
+
+class TestStructure:
+    def test_all_policies_present(self, sweep):
+        assert set(sweep.points) == {
+            "proportional",
+            "priority",
+            "deterministic",
+            "preemption",
+        }
+
+    def test_levels_preserved(self, sweep):
+        for series in sweep.points.values():
+            assert [p.overcommitment_target for p in series] == [0.0, 0.3, 0.6]
+
+    def test_server_counts_decrease(self, sweep):
+        counts = [p.n_servers for p in sweep.points["proportional"]]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_unknown_policy_lookup(self, sweep):
+        with pytest.raises(SimulationError):
+            sweep.failure_probabilities("nope")
+
+    def test_unknown_pricing_lookup(self, sweep):
+        with pytest.raises(SimulationError):
+            sweep.revenue_increase("priority", "gold-plated")
+
+
+class TestPaperOrderings:
+    """The relational results of Figures 20-22."""
+
+    def test_fig20_preemption_dominates_deflation_failures(self, sweep):
+        at_60 = {
+            p: dict(sweep.failure_probabilities(p))[60.0]
+            for p in ("proportional", "priority", "deterministic", "preemption")
+        }
+        assert at_60["preemption"] > 0.1
+        for policy in ("proportional", "priority", "deterministic"):
+            assert at_60[policy] < at_60["preemption"] / 3
+
+    def test_fig20_proportional_lowest_failure(self, sweep):
+        for oc in (30.0, 60.0):
+            vals = {
+                p: dict(sweep.failure_probabilities(p))[oc]
+                for p in ("proportional", "priority", "deterministic")
+            }
+            assert vals["proportional"] <= vals["priority"] + 1e-9
+            assert vals["proportional"] <= vals["deterministic"] + 1e-9
+
+    def test_fig21_priority_beats_proportional_on_throughput(self, sweep):
+        at_60 = {
+            p: dict(sweep.throughput_losses(p))[60.0]
+            for p in ("proportional", "priority", "deterministic")
+        }
+        assert at_60["priority"] < at_60["proportional"]
+        assert at_60["deterministic"] < at_60["proportional"]
+
+    def test_fig21_loss_small_at_low_overcommitment(self, sweep):
+        for policy in ("proportional", "priority", "deterministic"):
+            at_0 = dict(sweep.throughput_losses(policy))[0.0]
+            assert at_0 < 0.02
+
+    def test_fig22_priority_pricing_above_static(self, sweep):
+        static = dict(sweep.revenue_increase("priority", "static"))
+        prio = dict(sweep.revenue_increase("priority", "priority"))
+        for oc in (0.0, 30.0, 60.0):
+            assert prio[oc] > static[oc]
+
+    def test_fig22_static_revenue_grows_with_overcommitment(self, sweep):
+        static = [v for _, v in sweep.revenue_increase("priority", "static")]
+        assert static[-1] > static[0]
+
+    def test_fig22_allocation_pricing_dampened(self, sweep):
+        static = dict(sweep.revenue_increase("priority", "static"))
+        alloc = dict(sweep.revenue_increase("priority", "allocation"))
+        assert alloc[60.0] < static[60.0]
+
+
+class TestValidation:
+    def test_empty_levels(self):
+        traces = synthesize_azure_trace(AzureTraceConfig(n_vms=20, seed=1))
+        with pytest.raises(SimulationError):
+            overcommitment_sweep(traces, levels=())

@@ -1,0 +1,41 @@
+"""Smoke tests: every example script must run to completion."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+ALL_EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+#: Fast examples run in CI every time; the heavier simulations are covered
+#: by their own unit/experiment tests and only smoke-checked here.
+FAST = ["quickstart.py", "hybrid_mechanisms.py", "feasibility_study.py"]
+
+
+def _run(name: str, timeout: int = 240) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+class TestExamples:
+    def test_expected_examples_exist(self):
+        assert set(FAST) <= set(ALL_EXAMPLES)
+        assert len(ALL_EXAMPLES) >= 3  # the deliverable minimum
+
+    @pytest.mark.parametrize("name", FAST)
+    def test_fast_examples_run(self, name):
+        proc = _run(name)
+        assert proc.returncode == 0, proc.stderr
+        assert proc.stdout.strip()
+
+    def test_quickstart_shows_deflation_and_reinflation(self):
+        out = _run("quickstart.py").stdout
+        assert "deflated" in out
+        assert "after departure" in out
+        assert "invariants hold" in out

@@ -1,0 +1,50 @@
+"""Sanity checks on the package's public surface."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestTopLevel:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro.core",
+            "repro.hypervisor",
+            "repro.cluster",
+            "repro.simulator",
+            "repro.traces",
+            "repro.feasibility",
+            "repro.queueing",
+            "repro.microsim",
+            "repro.apps",
+            "repro.loadbalancer",
+            "repro.pricing",
+            "repro.experiments",
+        ],
+    )
+    def test_subpackages_import_clean(self, module):
+        mod = importlib.import_module(module)
+        for name in getattr(mod, "__all__", []):
+            assert getattr(mod, name) is not None
+
+    def test_exception_hierarchy(self):
+        from repro.errors import (
+            AdmissionRejected,
+            DeflationError,
+            PlacementError,
+            ReproError,
+        )
+
+        assert issubclass(DeflationError, ReproError)
+        assert issubclass(AdmissionRejected, PlacementError)
+        assert issubclass(PlacementError, ReproError)

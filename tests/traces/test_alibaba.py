@@ -1,0 +1,70 @@
+"""Tests for the Alibaba-style container trace synthesizer."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.feasibility.analysis import deflation_sweep, utilization_summary
+from repro.traces.alibaba import AlibabaTraceConfig, synthesize_alibaba_trace
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return synthesize_alibaba_trace(AlibabaTraceConfig(n_containers=250, seed=4))
+
+
+class TestStructure:
+    def test_population(self, trace):
+        assert len(trace) == 250
+
+    def test_series_aligned(self, trace):
+        for rec in trace:
+            n = rec.lifetime_intervals
+            assert rec.mem_bw_util.size == n
+            assert rec.disk_util.size == n
+            assert rec.net_util.size == n
+
+    def test_deterministic(self):
+        a = synthesize_alibaba_trace(AlibabaTraceConfig(n_containers=20, seed=7))
+        b = synthesize_alibaba_trace(AlibabaTraceConfig(n_containers=20, seed=7))
+        np.testing.assert_array_equal(a[0].mem_util, b[0].mem_util)
+
+    def test_series_matrix(self, trace):
+        mat = trace.series_matrix("mem_util")
+        assert mat.shape[0] == len(trace)
+
+    def test_validation(self):
+        with pytest.raises(TraceError):
+            AlibabaTraceConfig(n_containers=0)
+
+
+class TestCalibration:
+    """Section 3.2.2 bands for Figures 9-12."""
+
+    def test_memory_occupancy_high(self, trace):
+        """Fig 9: at 10% memory deflation, most containers 'underallocated'
+        more than 70% of the time."""
+        series = [r.mem_util for r in trace]
+        median = deflation_sweep(series, (0.1,)).medians()[0]
+        assert median > 0.70
+
+    def test_memory_bandwidth_tiny(self, trace):
+        """Fig 10: mean <0.1%, max ~1%."""
+        series = [r.mem_bw_util for r in trace]
+        stats = utilization_summary(series)
+        assert stats.mean < 0.002
+        assert max(float(s.max()) for s in series) <= 0.0101
+
+    def test_disk_feasible_at_50pct(self, trace):
+        """Fig 11: <1% of time underallocated at 50% disk deflation."""
+        series = [r.disk_util for r in trace]
+        mean = deflation_sweep(series, (0.5,)).means()[0]
+        assert mean < 0.01
+
+    def test_network_feasible(self, trace):
+        """Fig 12: ~1% at 70% deflation, near-zero below 50%."""
+        series = [r.net_util for r in trace]
+        at_70 = deflation_sweep(series, (0.7,)).means()[0]
+        at_50 = deflation_sweep(series, (0.5,)).means()[0]
+        assert at_70 < 0.05
+        assert at_50 < 0.005

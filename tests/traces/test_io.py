@@ -1,0 +1,51 @@
+"""Round-trip tests for trace persistence."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.traces.alibaba import AlibabaTraceConfig, synthesize_alibaba_trace
+from repro.traces.azure import AzureTraceConfig, synthesize_azure_trace
+from repro.traces.io import (
+    load_container_traces,
+    load_vm_traces,
+    save_container_traces,
+    save_vm_traces,
+)
+
+
+class TestVMTraceIO:
+    def test_roundtrip(self, tmp_path):
+        original = synthesize_azure_trace(AzureTraceConfig(n_vms=30, seed=11))
+        path = tmp_path / "vms.npz"
+        save_vm_traces(original, path)
+        loaded = load_vm_traces(path)
+        assert len(loaded) == len(original)
+        for a, b in zip(original, loaded):
+            assert a.vm_id == b.vm_id
+            assert a.vm_class == b.vm_class
+            assert a.cores == b.cores
+            assert a.memory_mb == b.memory_mb
+            assert a.start_interval == b.start_interval
+            np.testing.assert_allclose(a.cpu_util, b.cpu_util, atol=1e-6)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(TraceError):
+            load_vm_traces(tmp_path / "nope.npz")
+
+
+class TestContainerTraceIO:
+    def test_roundtrip(self, tmp_path):
+        original = synthesize_alibaba_trace(AlibabaTraceConfig(n_containers=10, seed=2))
+        path = tmp_path / "containers.npz"
+        save_container_traces(original, path)
+        loaded = load_container_traces(path)
+        assert len(loaded) == len(original)
+        for a, b in zip(original, loaded):
+            assert a.container_id == b.container_id
+            np.testing.assert_allclose(a.mem_util, b.mem_util, atol=1e-6)
+            np.testing.assert_allclose(a.net_util, b.net_util, atol=1e-6)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(TraceError):
+            load_container_traces(tmp_path / "nope.npz")

@@ -1,0 +1,90 @@
+"""Tests for the request-workload generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TraceError
+from repro.traces.workload_gen import (
+    RequestTrace,
+    diurnal_rate,
+    lognormal_service_demands,
+    make_request_trace,
+    poisson_arrivals,
+)
+
+
+class TestPoissonArrivals:
+    def test_rate_matches(self):
+        rng = np.random.default_rng(0)
+        times = poisson_arrivals(100.0, 200.0, rng)
+        assert times.size == pytest.approx(100 * 200, rel=0.05)
+
+    def test_sorted_and_bounded(self):
+        rng = np.random.default_rng(1)
+        times = poisson_arrivals(50.0, 10.0, rng)
+        assert np.all(np.diff(times) >= 0)
+        assert times.max() < 10.0
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(TraceError):
+            poisson_arrivals(0, 10, rng)
+        with pytest.raises(TraceError):
+            poisson_arrivals(10, 0, rng)
+
+
+class TestServiceDemands:
+    def test_mean_and_cv(self):
+        rng = np.random.default_rng(2)
+        x = lognormal_service_demands(200_000, mean_s=0.02, cv=1.5, rng=rng)
+        assert x.mean() == pytest.approx(0.02, rel=0.03)
+        assert x.std() / x.mean() == pytest.approx(1.5, rel=0.05)
+
+    def test_all_positive(self):
+        rng = np.random.default_rng(3)
+        assert np.all(lognormal_service_demands(1000, 0.01, 1.0, rng) > 0)
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(TraceError):
+            lognormal_service_demands(10, -1, 1, rng)
+
+
+class TestRequestTrace:
+    def test_make_request_trace(self):
+        wl = make_request_trace(rate_per_s=100, duration_s=10, mean_service_s=0.01, seed=1)
+        assert wl.n_requests > 0
+        assert wl.duration < 10
+        assert wl.offered_load_cpu_seconds > 0
+
+    def test_alignment_enforced(self):
+        with pytest.raises(TraceError):
+            RequestTrace(arrivals=np.array([1.0, 2.0]), service_demands=np.array([1.0]))
+
+    def test_sortedness_enforced(self):
+        with pytest.raises(TraceError):
+            RequestTrace(
+                arrivals=np.array([2.0, 1.0]), service_demands=np.array([1.0, 1.0])
+            )
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=1000))
+    def test_determinism(self, seed):
+        a = make_request_trace(50, 5, 0.01, seed=seed)
+        b = make_request_trace(50, 5, 0.01, seed=seed)
+        np.testing.assert_array_equal(a.arrivals, b.arrivals)
+        np.testing.assert_array_equal(a.service_demands, b.service_demands)
+
+
+class TestDiurnalRate:
+    def test_bounds(self):
+        t = np.linspace(0, 86_400, 1000)
+        r = diurnal_rate(t, base_rate=10, peak_rate=50)
+        assert r.min() >= 10 - 1e-9
+        assert r.max() <= 50 + 1e-9
+
+    def test_validation(self):
+        with pytest.raises(TraceError):
+            diurnal_rate(np.zeros(1), base_rate=10, peak_rate=5)
