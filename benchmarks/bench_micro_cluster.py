@@ -1,9 +1,16 @@
-"""Micro-benchmarks of the trace-driven cluster simulator and placement."""
+"""Micro-benchmarks of the trace-driven cluster simulator and placement.
+
+``test_resident_bookkeeping_hot_path`` stresses the admit/depart path that
+used to pay an O(n) ``list.remove`` per departure plus a lazily-created
+per-VM dict: huge servers keep thousands of VMs resident at once, and the
+preemption policy sidesteps the rebalance math so bookkeeping dominates.
+"""
 
 import numpy as np
 import pytest
 
 from repro.core.placement import vectorized_cosine_scores
+from repro.scenario import Scenario, run_sweep
 from repro.simulator.cluster_sim import ClusterSimConfig, ClusterSimulator
 from repro.traces.azure import AzureTraceConfig, synthesize_azure_trace
 
@@ -27,6 +34,36 @@ def test_cluster_replay(benchmark, policy):
 
     result = benchmark.pedantic(run, rounds=3)
     assert result.n_placed > 0
+
+
+def test_resident_bookkeeping_hot_path(benchmark):
+    """Dense-resident stress: thousands of VMs resident per server."""
+    traces = synthesize_azure_trace(AzureTraceConfig(n_vms=4000, seed=17))
+    config = ClusterSimConfig(
+        n_servers=2,
+        cores_per_server=1e6,
+        memory_per_server_mb=1e9,
+        policy="preemption",
+    )
+
+    def run():
+        return ClusterSimulator(traces, config).run()
+
+    result = benchmark.pedantic(run, rounds=3)
+    assert result.n_placed == len(traces)
+
+
+def test_scenario_sweep_pipeline(benchmark):
+    """End-to-end Scenario grid through run_sweep (serial, 4 points)."""
+    base = Scenario(name="bench").with_workload("azure", n_vms=200, seed=6)
+    grid = [
+        base.with_policy(p).with_overcommitment(oc)
+        for p in ("proportional", "preemption")
+        for oc in (0.0, 0.5)
+    ]
+
+    results = benchmark.pedantic(lambda: run_sweep(grid), rounds=1)
+    assert len(results) == len(grid)
 
 
 def test_trace_synthesis(benchmark):

@@ -4,45 +4,65 @@ Run with::
 
     python examples/cluster_policy_comparison.py
 
-Replays one synthetic Azure-style trace at increasing overcommitment under
-all three deflation policies plus the preemption baseline, and prints the
-three cluster-level metrics the paper evaluates: failure probability
+Declares one (policy x overcommitment) grid of :class:`repro.Scenario`
+objects, executes it with ``run_sweep`` (pass ``--workers N`` to fan out
+over processes — results are bit-identical to the serial path), and prints
+the three cluster-level metrics the paper evaluates: failure probability
 (Fig 20), throughput loss (Fig 21), and revenue (Fig 22).
 """
 
-from repro.simulator import overcommitment_sweep
-from repro.traces import AzureTraceConfig, synthesize_azure_trace
+import argparse
+
+from repro.scenario import Scenario, run_sweep
 
 POLICIES = ("proportional", "priority", "deterministic", "preemption")
 LEVELS = (0.0, 0.2, 0.4, 0.6)
 
 
 def main() -> None:
-    traces = synthesize_azure_trace(AzureTraceConfig(n_vms=600, seed=8))
-    print(f"trace: {len(traces)} VMs, horizon {traces.horizon()} five-minute intervals")
-    sweep = overcommitment_sweep(traces, levels=LEVELS, policies=POLICIES)
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workers", type=int, default=None, help="parallel sweep processes")
+    args = parser.parse_args()
 
-    print("\nfailure probability (deflatable VMs):")
+    base = Scenario(name="policy-comparison").with_workload("azure", n_vms=600, seed=8)
+    grid = [
+        base.with_policy(policy).with_overcommitment(oc)
+        for policy in POLICIES
+        for oc in LEVELS
+    ]
+    results = run_sweep(grid, workers=args.workers)
+
+    print(f"ran {len(results)} scenarios ({len(POLICIES)} policies x {len(LEVELS)} OC levels)")
+
     header = "  OC%   " + "".join(f"{p:>15}" for p in POLICIES)
+    print("\nfailure probability (deflatable VMs):")
     print(header)
-    for i, oc in enumerate(LEVELS):
+    for oc in LEVELS:
         row = f"  {100 * oc:<5.0f}"
         for p in POLICIES:
-            row += f"{100 * sweep.points[p][i].result.failure_probability:>14.2f}%"
+            (r,) = results.filter(policy=p, overcommitment=oc)
+            row += f"{100 * r.failure_probability:>14.2f}%"
         print(row)
 
     print("\nthroughput loss (deflatable VMs):")
     print(header)
-    for i, oc in enumerate(LEVELS):
+    for oc in LEVELS:
         row = f"  {100 * oc:<5.0f}"
         for p in POLICIES:
-            row += f"{100 * sweep.points[p][i].result.throughput_loss:>14.2f}%"
+            (r,) = results.filter(policy=p, overcommitment=oc)
+            row += f"{100 * r.throughput_loss:>14.2f}%"
         print(row)
 
     print("\nrevenue-per-server increase vs static@OC=0 (priority deflation):")
+    priority_series = results.filter(policy="priority")
+    (base_point,) = priority_series.filter(overcommitment=LEVELS[0])
+    base_rev = base_point.revenue_per_server["static"]
     for pricing in ("static", "priority", "allocation"):
-        series = sweep.revenue_increase("priority", pricing)
-        cells = "  ".join(f"{oc:.0f}%:{v:+.0f}%" for oc, v in series)
+        cells = "  ".join(
+            f"{100 * r.scenario.overcommitment:.0f}%:"
+            f"{100 * (r.revenue_per_server[pricing] / base_rev - 1.0):+.0f}%"
+            for r in priority_series
+        )
         print(f"  {pricing:>11}: {cells}")
 
     print("\ntakeaway: deflation (any policy) nearly eliminates failures that")

@@ -23,6 +23,11 @@ The package is organised as:
   round-robin load balancing.
 * :mod:`repro.pricing` — static, priority and allocation-based pricing.
 * :mod:`repro.experiments` — one module per paper figure plus a CLI runner.
+* :mod:`repro.registry` — unified component registry; every pluggable piece
+  (policy, scorer, admission controller, pricing model, workload source,
+  experiment, engine) is discoverable and overridable by name.
+* :mod:`repro.scenario` — the declarative ``Scenario -> Engine -> ResultSet``
+  pipeline with parallel sweeps; the preferred front door for simulations.
 """
 
 from repro.core import (
@@ -39,10 +44,22 @@ from repro.core import (
     get_policy,
     on_demand_spec,
 )
+from repro.scenario import (
+    ResultSet,
+    Scenario,
+    ScenarioResult,
+    run_scenario,
+    run_sweep,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "ResultSet",
+    "Scenario",
+    "ScenarioResult",
+    "run_scenario",
+    "run_sweep",
     "DeflationPolicy",
     "DeterministicPolicy",
     "LocalDeflationController",

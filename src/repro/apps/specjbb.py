@@ -27,7 +27,6 @@ from dataclasses import dataclass
 
 from repro.core.resources import ResourceVector
 from repro.errors import SimulationError
-from repro.hypervisor.domain import DomainConfig
 from repro.hypervisor.guest import GuestMemoryProfile
 from repro.hypervisor.hybrid import HybridMechanism
 from repro.hypervisor.libvirt_api import HypervisorConnection

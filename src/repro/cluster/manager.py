@@ -15,7 +15,7 @@ paper calls out in Section 5.2.1).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.cluster.server import Server
 from repro.core.placement import (

@@ -32,7 +32,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.errors import DeflationError
+from repro.errors import DeflationError, UnknownComponentError
+from repro.registry import RegistryView, register, resolve
 
 _BISECT_ITERS = 80
 _TOL = 1e-9
@@ -145,6 +146,7 @@ class DeflationPolicy(abc.ABC):
         return DeflationResult(allocations=allocations, reclaimed=reclaim, satisfied=satisfied)
 
 
+@register("policy", "proportional")
 class ProportionalPolicy(DeflationPolicy):
     """Eq. 1 (and Eq. 2 when minimum allocations are set).
 
@@ -170,6 +172,8 @@ class ProportionalPolicy(DeflationPolicy):
         return self._finalize(caps, pool * frac, required)
 
 
+@register("policy", "priority", priority_floor=True)
+@register("policy", "priority-eq3", priority_floor=False)
 class PriorityPolicy(DeflationPolicy):
     """Eqs. 3/4: weighted proportional deflation with priority-derived floors.
 
@@ -217,6 +221,7 @@ class PriorityPolicy(DeflationPolicy):
         return self._finalize(caps, x, required)
 
 
+@register("policy", "deterministic")
 class DeterministicPolicy(DeflationPolicy):
     """Section 5.1.3: binary deflation in increasing priority order.
 
@@ -253,20 +258,15 @@ class DeterministicPolicy(DeflationPolicy):
         return self._finalize(caps, reclaim, required)
 
 
-#: Registry used by the simulator CLI and the benchmarks.
-POLICIES: dict[str, DeflationPolicy] = {
-    "proportional": ProportionalPolicy(),
-    "priority": PriorityPolicy(priority_floor=True),
-    "priority-eq3": PriorityPolicy(priority_floor=False),
-    "deterministic": DeterministicPolicy(),
-}
+#: Legacy view over the unified registry (kind ``policy``); used by the
+#: simulator CLI and the benchmarks.  New policies registered via
+#: ``@register("policy", ...)`` appear here automatically.
+POLICIES: RegistryView = RegistryView("policy")
 
 
 def get_policy(name: str) -> DeflationPolicy:
     """Look a policy up by name, raising a helpful error on typos."""
     try:
-        return POLICIES[name]
-    except KeyError:
-        raise DeflationError(
-            f"unknown policy {name!r}; available: {sorted(POLICIES)}"
-        ) from None
+        return resolve("policy", name)
+    except UnknownComponentError as exc:
+        raise DeflationError(str(exc)) from None

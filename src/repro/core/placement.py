@@ -27,6 +27,7 @@ import numpy as np
 
 from repro.core.resources import NUM_RESOURCES, ResourceVector, cosine_fitness
 from repro.errors import PlacementError
+from repro.registry import RegistryView, register
 
 
 @dataclass(frozen=True)
@@ -141,6 +142,7 @@ def _capacity_normalized(vector: ResourceVector, capacity: ResourceVector) -> Re
     return ResourceVector.from_array(out)
 
 
+@register("placement", "cosine-best-fit")
 class CosineBestFit(PlacementStrategy):
     """The paper's strategy: maximize cosine fitness against availability."""
 
@@ -170,6 +172,7 @@ class CosineBestFit(PlacementStrategy):
         return [snap for _, _, _, snap in scored]
 
 
+@register("placement", "first-fit")
 class FirstFit(PlacementStrategy):
     """Baseline: first server (by id) with free capacity, else first that
     could fit after deflation."""
@@ -189,6 +192,7 @@ class FirstFit(PlacementStrategy):
         )
 
 
+@register("placement", "worst-fit")
 class WorstFit(PlacementStrategy):
     """Baseline: most free capacity first (spreads load, fragments cluster)."""
 
@@ -204,9 +208,8 @@ class WorstFit(PlacementStrategy):
         )
 
 
-STRATEGIES: dict[str, PlacementStrategy] = {
-    s.name: s for s in (CosineBestFit(), FirstFit(), WorstFit())
-}
+#: Legacy view over the unified registry (kind ``placement``).
+STRATEGIES: RegistryView = RegistryView("placement")
 
 
 def filter_partition(

@@ -39,6 +39,18 @@ class DomainStateError(ReproError):
     """An operation was attempted on a domain in an incompatible state."""
 
 
+class RegistryError(ReproError):
+    """Invalid component-registry operation (duplicate name, bad kind)."""
+
+
+class UnknownComponentError(RegistryError):
+    """A component name was not found in the registry.
+
+    The message always lists the valid choices for the requested kind so
+    typos are self-diagnosing.
+    """
+
+
 class SimulationError(ReproError):
     """Internal inconsistency detected by the discrete-event simulator."""
 

@@ -18,24 +18,19 @@ and simulators as the figure reproductions:
 
 from __future__ import annotations
 
-from dataclasses import replace
-
 import numpy as np
 
 from repro.experiments.base import ExperimentResult, check_scale
 from repro.hypervisor.guest import MEMORY_BLOCK_MB
-from repro.simulator.cluster_sim import (
-    ClusterSimConfig,
-    ClusterSimulator,
-    servers_for_overcommitment,
-)
-from repro.traces.azure import AzureTraceConfig, synthesize_azure_trace
+from repro.scenario import ClusterSimEngine, Scenario, run_sweep
 
 _SCALE_N_VMS = {"small": 400, "full": 2000}
 
 
-def _trace(scale: str, seed: int = 47):
-    return synthesize_azure_trace(AzureTraceConfig(n_vms=_SCALE_N_VMS[scale], seed=seed))
+def _base_scenario(scale: str, seed: int = 47) -> Scenario:
+    return Scenario(name="ablation").with_workload(
+        "azure", n_vms=_SCALE_N_VMS[scale], seed=seed
+    )
 
 
 def run_placement_ablation(scale: str = "small") -> ExperimentResult:
@@ -48,25 +43,26 @@ def run_placement_ablation(scale: str = "small") -> ExperimentResult:
     shared pool.
     """
     check_scale(scale)
-    traces = _trace(scale)
+    base = _base_scenario(scale).with_policy("priority")
     result = ExperimentResult(
         figure_id="ablation-placement",
         title="Placement: shared pool vs priority partitions (priority policy)",
         columns=["overcommit_pct", "mode", "failure_prob", "throughput_loss", "mean_deflation"],
         notes="partitions trade admission failures for interference isolation (Sec 5.2.1)",
     )
-    for oc in (0.2, 0.5):
-        n = servers_for_overcommitment(traces, oc)
-        for partitioned in (False, True):
-            cfg = ClusterSimConfig(n_servers=n, policy="priority", partitioned=partitioned)
-            r = ClusterSimulator(traces, cfg).run()
-            result.add_row(
-                overcommit_pct=100 * oc,
-                mode="partitioned" if partitioned else "shared",
-                failure_prob=r.failure_probability,
-                throughput_loss=r.throughput_loss,
-                mean_deflation=r.mean_deflation,
-            )
+    scenarios = [
+        (base.with_partitions() if partitioned else base).with_overcommitment(oc)
+        for oc in (0.2, 0.5)
+        for partitioned in (False, True)
+    ]
+    for r in run_sweep(scenarios):
+        result.add_row(
+            overcommit_pct=100 * r.scenario.overcommitment,
+            mode="partitioned" if r.scenario.partitioned else "shared",
+            failure_prob=r.failure_probability,
+            throughput_loss=r.throughput_loss,
+            mean_deflation=r.mean_deflation,
+        )
     return result
 
 
@@ -78,19 +74,17 @@ def run_min_fraction_ablation(scale: str = "small") -> ExperimentResult:
     (and possibly revenue) of cloud platforms.'
     """
     check_scale(scale)
-    traces = _trace(scale)
-    n = servers_for_overcommitment(traces, 0.6)
+    base = _base_scenario(scale).with_policy("proportional").with_overcommitment(0.6)
     result = ExperimentResult(
         figure_id="ablation-minfrac",
         title="QoS minimum-allocation floor sweep (proportional, 60% OC)",
         columns=["min_fraction", "failure_prob", "throughput_loss", "mean_deflation"],
         notes="higher floors protect VMs but make reclamation fail sooner",
     )
-    for mf in (0.0, 0.1, 0.25, 0.5, 0.75):
-        cfg = ClusterSimConfig(n_servers=n, policy="proportional", min_fraction=mf)
-        r = ClusterSimulator(traces, cfg).run()
+    scenarios = [base.with_min_fraction(mf) for mf in (0.0, 0.1, 0.25, 0.5, 0.75)]
+    for r in run_sweep(scenarios):
         result.add_row(
-            min_fraction=mf,
+            min_fraction=r.scenario.min_fraction,
             failure_prob=r.failure_probability,
             throughput_loss=r.throughput_loss,
             mean_deflation=r.mean_deflation,
@@ -148,17 +142,19 @@ def run_hotplug_granularity_ablation(scale: str = "small") -> ExperimentResult:
 def run_priority_levels_ablation(scale: str = "small") -> ExperimentResult:
     """How many priority classes are worth offering (the paper uses 4)."""
     check_scale(scale)
-    traces = _trace(scale)
-    n = servers_for_overcommitment(traces, 0.6)
+    scenario = _base_scenario(scale).with_policy("priority").with_overcommitment(0.6)
     result = ExperimentResult(
         figure_id="ablation-priolevels",
         title="Number of priority levels (priority policy, 60% OC)",
         columns=["n_levels", "throughput_loss", "failure_prob"],
         notes="returns diminish beyond a handful of classes",
     )
-    base_cfg = ClusterSimConfig(n_servers=n, policy="priority")
+    engine = ClusterSimEngine()
     for n_levels in (1, 2, 4, 8):
-        sim = ClusterSimulator(traces, replace(base_cfg))
+        # build() (not run()) so the priority grid can be re-quantized on the
+        # simulator before the replay — the one study that must reach below
+        # the declarative surface.
+        sim = engine.build(scenario)
         # Quantize priorities onto an n-level grid in (0, 1).
         levels = (np.arange(n_levels) + 1) / (n_levels + 1)
         quantized = levels[
@@ -168,7 +164,7 @@ def run_priority_levels_ablation(scale: str = "small") -> ExperimentResult:
         ]
         sim.vm_prio = np.where(sim.vm_deflatable, quantized, 1.0)
         sim.vm_floor = np.maximum(
-            sim.vm_caps * base_cfg.min_fraction, sim.vm_caps * sim.vm_prio[:, None]
+            sim.vm_caps * scenario.min_fraction, sim.vm_caps * sim.vm_prio[:, None]
         )
         sim.vm_floor[~sim.vm_deflatable] = 0.0
         r = sim.run()

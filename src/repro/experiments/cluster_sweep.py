@@ -8,8 +8,6 @@ from the same simulations.
 
 from __future__ import annotations
 
-from functools import lru_cache
-
 from repro.experiments.base import check_scale
 from repro.simulator.metrics import OvercommitSweep, overcommitment_sweep
 from repro.traces.azure import AzureTraceConfig, synthesize_azure_trace
@@ -20,11 +18,30 @@ OC_LEVELS_SMALL = (0.0, 0.2, 0.4, 0.6, 0.7)
 _SCALE_N_VMS = {"small": 500, "full": 2500}
 
 
-@lru_cache(maxsize=4)
-def cluster_sweep(scale: str, partitioned: bool = False, seed: int = 31) -> OvercommitSweep:
+_SWEEP_CACHE: dict[tuple, OvercommitSweep] = {}
+
+
+def cluster_sweep(
+    scale: str, partitioned: bool = False, seed: int = 31, workers: int | None = None
+) -> OvercommitSweep:
+    """Cached (policy x OC) grid, now built through the Scenario pipeline.
+
+    ``workers`` > 1 fans the grid out over processes; results are
+    bit-identical for any worker count, so it is deliberately *not* part of
+    the cache key — it only controls how a cache miss is computed.
+    """
     check_scale(scale)
-    traces = synthesize_azure_trace(
-        AzureTraceConfig(n_vms=_SCALE_N_VMS[scale], seed=seed)
-    )
-    levels = OC_LEVELS_SMALL if scale == "small" else OC_LEVELS
-    return overcommitment_sweep(traces, levels=levels, partitioned=partitioned)
+    key = (scale, partitioned, seed)
+    if key not in _SWEEP_CACHE:
+        traces = synthesize_azure_trace(
+            AzureTraceConfig(n_vms=_SCALE_N_VMS[scale], seed=seed)
+        )
+        levels = OC_LEVELS_SMALL if scale == "small" else OC_LEVELS
+        _SWEEP_CACHE[key] = overcommitment_sweep(
+            traces, levels=levels, partitioned=partitioned, workers=workers
+        )
+    return _SWEEP_CACHE[key]
+
+
+#: Kept API-compatible with the old ``lru_cache`` wrapper (benchmarks call it).
+cluster_sweep.cache_clear = _SWEEP_CACHE.clear

@@ -10,8 +10,10 @@ import numpy as np
 
 from repro.core.perf_model import FIG3_PROFILES
 from repro.experiments.base import ExperimentResult, check_scale
+from repro.registry import register_value
 
 
+@register_value("experiment", "fig03")
 def run(scale: str = "small") -> ExperimentResult:
     check_scale(scale)
     levels = np.arange(0, 100, 5 if scale == "small" else 2) / 100.0

@@ -9,8 +9,10 @@ from __future__ import annotations
 
 from repro.experiments.azure_feasibility import feasibility_trace, grouped_experiment
 from repro.experiments.base import ExperimentResult, check_scale
+from repro.registry import register_value
 
 
+@register_value("experiment", "fig05")
 def run(scale: str = "small") -> ExperimentResult:
     check_scale(scale)
     traces = feasibility_trace(scale)

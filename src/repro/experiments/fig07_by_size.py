@@ -8,10 +8,12 @@ from __future__ import annotations
 
 from repro.experiments.azure_feasibility import feasibility_trace, grouped_experiment
 from repro.experiments.base import ExperimentResult, check_scale
+from repro.registry import register_value
 
 SIZE_LABELS = ("small(<=2GB)", "medium(<=8GB)", "large(>8GB)")
 
 
+@register_value("experiment", "fig07")
 def run(scale: str = "small") -> ExperimentResult:
     check_scale(scale)
     traces = feasibility_trace(scale)

@@ -8,10 +8,12 @@ from __future__ import annotations
 
 from repro.experiments.azure_feasibility import feasibility_trace, grouped_experiment
 from repro.experiments.base import ExperimentResult, check_scale
+from repro.registry import register_value
 
 PEAK_LABELS = ("p95<33%", "33%<=p95<66%", "66%<=p95<80%", "p95>=80%")
 
 
+@register_value("experiment", "fig08")
 def run(scale: str = "small") -> ExperimentResult:
     check_scale(scale)
     traces = feasibility_trace(scale)

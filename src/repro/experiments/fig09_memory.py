@@ -10,8 +10,10 @@ from __future__ import annotations
 from repro.experiments.alibaba_feasibility import container_trace
 from repro.experiments.azure_feasibility import grouped_experiment
 from repro.experiments.base import ExperimentResult, check_scale
+from repro.registry import register_value
 
 
+@register_value("experiment", "fig09")
 def run(scale: str = "small") -> ExperimentResult:
     check_scale(scale)
     traces = container_trace(scale)

@@ -12,8 +12,10 @@ import numpy as np
 from repro.experiments.alibaba_feasibility import container_trace
 from repro.experiments.base import ExperimentResult, check_scale
 from repro.feasibility.analysis import utilization_summary
+from repro.registry import register_value
 
 
+@register_value("experiment", "fig10")
 def run(scale: str = "small") -> ExperimentResult:
     check_scale(scale)
     traces = container_trace(scale)

@@ -10,8 +10,10 @@ from __future__ import annotations
 
 from repro.apps.specjbb import FIG14_DEFLATION_PCT, SpecJBBConfig, run_specjbb_sweep
 from repro.experiments.base import ExperimentResult, check_scale
+from repro.registry import register_value
 
 
+@register_value("experiment", "fig14")
 def run(scale: str = "small") -> ExperimentResult:
     check_scale(scale)
     levels = FIG14_DEFLATION_PCT if scale == "full" else FIG14_DEFLATION_PCT[::2] + (45,)

@@ -13,10 +13,12 @@ from repro.apps.wikipedia import (
     run_deflation_sweep,
 )
 from repro.experiments.base import ExperimentResult, check_scale
+from repro.registry import register_value
 
 _SMALL_LEVELS = (0, 30, 50, 70, 80, 90, 97)
 
 
+@register_value("experiment", "fig16")
 def run(scale: str = "small") -> ExperimentResult:
     check_scale(scale)
     cfg = WikipediaConfig(duration_s=10.0 if scale == "small" else 30.0)

@@ -7,10 +7,12 @@ structure amplifies queueing at the bottleneck services.
 
 from __future__ import annotations
 
-from repro.apps.socialnet import FIG18_DEFLATION_PCT, run_socialnet_sweep
+from repro.apps.socialnet import run_socialnet_sweep
 from repro.experiments.base import ExperimentResult, check_scale
+from repro.registry import register_value
 
 
+@register_value("experiment", "fig18")
 def run(scale: str = "small") -> ExperimentResult:
     check_scale(scale)
     duration = 10.0 if scale == "small" else 30.0

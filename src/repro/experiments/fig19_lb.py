@@ -13,10 +13,12 @@ from repro.loadbalancer.cluster import (
     WebClusterConfig,
     run_lb_sweep,
 )
+from repro.registry import register_value
 
 _SMALL_LEVELS = (0, 20, 40, 60, 80)
 
 
+@register_value("experiment", "fig19")
 def run(scale: str = "small") -> ExperimentResult:
     check_scale(scale)
     cfg = WebClusterConfig(duration_s=20.0 if scale == "small" else 60.0)

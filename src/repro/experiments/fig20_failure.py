@@ -11,8 +11,10 @@ from __future__ import annotations
 from repro.experiments.base import ExperimentResult, check_scale
 from repro.experiments.cluster_sweep import cluster_sweep
 from repro.simulator.metrics import DEFAULT_POLICIES
+from repro.registry import register_value
 
 
+@register_value("experiment", "fig20")
 def run(scale: str = "small") -> ExperimentResult:
     check_scale(scale)
     sweep = cluster_sweep(scale)

@@ -10,10 +10,12 @@ from __future__ import annotations
 
 from repro.experiments.base import ExperimentResult, check_scale
 from repro.experiments.cluster_sweep import cluster_sweep
+from repro.registry import register_value
 
 _POLICIES = ("proportional", "priority", "deterministic")
 
 
+@register_value("experiment", "fig21")
 def run(scale: str = "small") -> ExperimentResult:
     check_scale(scale)
     sweep = cluster_sweep(scale)

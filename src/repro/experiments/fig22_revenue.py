@@ -11,10 +11,12 @@ from __future__ import annotations
 
 from repro.experiments.base import ExperimentResult, check_scale
 from repro.experiments.cluster_sweep import cluster_sweep
+from repro.registry import register_value
 
 _PRICINGS = ("static", "priority", "allocation")
 
 
+@register_value("experiment", "fig22")
 def run(scale: str = "small") -> ExperimentResult:
     check_scale(scale)
     sweep = cluster_sweep(scale)

@@ -1,11 +1,19 @@
-"""Experiment registry: figure id -> runner."""
+"""Experiment registry: figure id -> runner.
+
+Each figure module registers its ``run`` function on the unified component
+registry (``@register_value("experiment", "figXX")``); importing this module
+pulls them all in, and :data:`EXPERIMENTS` is the live view legacy callers
+(benchmarks, the CLI) keep using.  New experiments become runnable by
+``python -m repro.experiments`` just by registering under kind
+``experiment``.
+"""
 
 from __future__ import annotations
 
 from collections.abc import Callable
 
-from repro.errors import ReproError
-from repro.experiments import (
+from repro.errors import ReproError, UnknownComponentError
+from repro.experiments import (  # noqa: F401  (imports trigger registration)
     fig03_app_perf,
     fig05_cpu_feasibility,
     fig06_by_class,
@@ -25,32 +33,14 @@ from repro.experiments import (
     fig22_revenue,
 )
 from repro.experiments.base import ExperimentResult
+from repro.registry import RegistryView, resolve
 
-EXPERIMENTS: dict[str, Callable[[str], ExperimentResult]] = {
-    "fig03": fig03_app_perf.run,
-    "fig05": fig05_cpu_feasibility.run,
-    "fig06": fig06_by_class.run,
-    "fig07": fig07_by_size.run,
-    "fig08": fig08_by_peak.run,
-    "fig09": fig09_memory.run,
-    "fig10": fig10_membw.run,
-    "fig11": fig11_disk.run,
-    "fig12": fig12_network.run,
-    "fig14": fig14_specjbb_memory.run,
-    "fig16": fig16_wiki_rt.run,
-    "fig17": fig17_wiki_served.run,
-    "fig18": fig18_socialnet.run,
-    "fig19": fig19_lb.run,
-    "fig20": fig20_failure.run,
-    "fig21": fig21_throughput.run,
-    "fig22": fig22_revenue.run,
-}
+#: Live view over the unified registry (kind ``experiment``).
+EXPERIMENTS: RegistryView = RegistryView("experiment")
 
 
 def get_experiment(figure_id: str) -> Callable[[str], ExperimentResult]:
     try:
-        return EXPERIMENTS[figure_id]
-    except KeyError:
-        raise ReproError(
-            f"unknown experiment {figure_id!r}; available: {sorted(EXPERIMENTS)}"
-        ) from None
+        return resolve("experiment", figure_id)
+    except UnknownComponentError as exc:
+        raise ReproError(str(exc)) from None

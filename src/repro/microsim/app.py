@@ -14,13 +14,12 @@ database services keep their full allocation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.errors import SimulationError
 from repro.microsim.graph import (
-    ServiceTier,
     deflatable_services,
     social_network_graph,
 )

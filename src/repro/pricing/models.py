@@ -16,7 +16,8 @@ from __future__ import annotations
 import abc
 from dataclasses import dataclass
 
-from repro.errors import ReproError
+from repro.errors import ReproError, UnknownComponentError
+from repro.registry import RegistryView, register, resolve
 
 #: Discount multiplier for static pricing (Section 7.4.3).
 STATIC_DISCOUNT = 0.2
@@ -50,6 +51,7 @@ class PricingModel(abc.ABC):
         return capacity_units * duration * self.rate(priority, min(allocation_fraction, 1.0))
 
 
+@register("pricing", "static")
 class StaticPricing(PricingModel):
     """Fixed discount regardless of priority or deflation."""
 
@@ -64,6 +66,7 @@ class StaticPricing(PricingModel):
         return self.discount
 
 
+@register("pricing", "priority")
 class PriorityPricing(PricingModel):
     """Price equals the VM's priority level."""
 
@@ -75,6 +78,7 @@ class PriorityPricing(PricingModel):
         return priority
 
 
+@register("pricing", "allocation")
 class AllocationPricing(PricingModel):
     """Pay for actual allocation: deflated VMs are billed proportionally less.
 
@@ -107,15 +111,14 @@ class RevenueBreakdown:
         return self.total / capacity_units
 
 
-PRICING_MODELS: dict[str, PricingModel] = {
-    "static": StaticPricing(),
-    "priority": PriorityPricing(),
-    "allocation": AllocationPricing(),
-}
+#: Legacy view over the unified registry (kind ``pricing``).  The cluster
+#: simulator reports revenue for every model registered here, so plugging a
+#: new pricing scheme in makes it show up in Figure 22-style sweeps.
+PRICING_MODELS: RegistryView = RegistryView("pricing")
 
 
 def get_pricing(name: str) -> PricingModel:
     try:
-        return PRICING_MODELS[name]
-    except KeyError:
-        raise ReproError(f"unknown pricing model {name!r}; available: {sorted(PRICING_MODELS)}") from None
+        return resolve("pricing", name)
+    except UnknownComponentError as exc:
+        raise ReproError(str(exc)) from None

@@ -1,0 +1,124 @@
+"""Result containers for the Scenario pipeline.
+
+A :class:`ScenarioResult` pairs the declarative :class:`Scenario` with the
+simulator's aggregate metrics, so downstream code can slice a sweep by the
+knobs that produced each point (policy, overcommitment target, partitioning)
+without re-deriving them.  A :class:`ResultSet` is an ordered collection of
+results with the filtering/series helpers the figure harnesses need.
+
+Both containers are plain picklable data: parallel sweeps ship them back
+across process boundaries unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+from repro.scenario.scenario import Scenario
+from repro.simulator.cluster_sim import ClusterSimResult
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """Outcome of running one scenario."""
+
+    scenario: Scenario
+    sim: ClusterSimResult
+
+    @property
+    def n_servers(self) -> int:
+        """The resolved cluster size (explicit or derived from OC target)."""
+        return self.sim.config.n_servers
+
+    @property
+    def failure_probability(self) -> float:
+        return self.sim.failure_probability
+
+    @property
+    def throughput_loss(self) -> float:
+        return self.sim.throughput_loss
+
+    @property
+    def mean_deflation(self) -> float:
+        return self.sim.mean_deflation
+
+    @property
+    def revenue(self) -> dict[str, float]:
+        return self.sim.revenue
+
+    @property
+    def revenue_per_server(self) -> dict[str, float]:
+        return self.sim.revenue_per_server
+
+    @property
+    def achieved_overcommitment(self) -> float:
+        return self.sim.overcommitment
+
+    @property
+    def collected(self) -> dict[str, object]:
+        """Payloads of the scenario's metrics collectors, by name."""
+        return self.sim.collected
+
+    def describe(self) -> str:
+        return (
+            f"{self.scenario.describe()} -> "
+            f"fail={self.failure_probability:.3f} "
+            f"loss={self.throughput_loss:.3f} "
+            f"defl={self.mean_deflation:.3f}"
+        )
+
+
+@dataclass(frozen=True)
+class ResultSet:
+    """Ordered results of a sweep, sliceable by scenario attributes."""
+
+    results: tuple[ScenarioResult, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "results", tuple(self.results))
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def __getitem__(self, idx):
+        picked = self.results[idx]
+        return ResultSet(picked) if isinstance(idx, slice) else picked
+
+    def filter(self, **attrs) -> "ResultSet":
+        """Results whose scenario matches every given attribute.
+
+        ``rs.filter(policy="priority", partitioned=False)`` — unknown
+        attribute names raise, so typos fail loudly.
+        """
+        for name in attrs:
+            if name not in Scenario.__dataclass_fields__:
+                raise SimulationError(
+                    f"unknown scenario attribute {name!r}; "
+                    f"valid: {sorted(Scenario.__dataclass_fields__)}"
+                )
+        return ResultSet(
+            tuple(
+                r
+                for r in self.results
+                if all(getattr(r.scenario, k) == v for k, v in attrs.items())
+            )
+        )
+
+    def series(self, x: str, y: str) -> list[tuple]:
+        """Extract ``(x, y)`` pairs; names resolve on the scenario first,
+        then on the result (so ``("overcommitment", "failure_probability")``
+        works out of the box)."""
+
+        def pick(r: ScenarioResult, attr: str):
+            if attr in Scenario.__dataclass_fields__:
+                return getattr(r.scenario, attr)
+            return getattr(r, attr)
+
+        return [(pick(r, x), pick(r, y)) for r in self.results]
+
+    def scenarios(self) -> list[Scenario]:
+        return [r.scenario for r in self.results]

@@ -1,0 +1,199 @@
+"""Declarative simulation scenarios.
+
+A :class:`Scenario` is plain, picklable data describing one simulation run:
+which workload to replay, which policy / admission / scorer components to
+assemble, and how large the cluster is (either an explicit server count or
+a target overcommitment level that the engine resolves against the
+workload's peak demand).  Scenarios are immutable; the fluent ``with_*``
+methods return modified copies, so a base scenario fans out into a sweep
+grid naturally::
+
+    base = Scenario().with_workload("azure", n_vms=500).with_policy("priority")
+    grid = [base.with_overcommitment(oc) for oc in (0.0, 0.2, 0.4)]
+
+Because a scenario is data, it round-trips through ``to_dict`` /
+``from_dict`` (for configs checked into files) and crosses process
+boundaries untouched (for :func:`repro.scenario.sweep.run_sweep`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+from repro.registry import validate
+from repro.simulator.cluster_sim import ClusterSimConfig
+from repro.traces.schema import VMTraceSet
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One simulation run, declaratively.
+
+    Exactly one of ``n_servers`` / ``overcommitment`` sizes the cluster, and
+    exactly one of ``workload`` / ``traces`` supplies the VMs.  ``workload``
+    is the declarative form — ``{"source": <registered workload name>,
+    **params}`` — and is preferred; ``traces`` carries a pre-built
+    :class:`VMTraceSet` for tests and ad-hoc studies.
+    """
+
+    name: str = ""
+    workload: dict | None = None
+    traces: VMTraceSet | None = None
+    policy: str = "proportional"
+    n_servers: int | None = None
+    overcommitment: float | None = None
+    cores_per_server: float = 48.0
+    memory_per_server_mb: float = 128 * 1024
+    partitioned: bool = False
+    n_partitions: int = 4
+    min_fraction: float = 0.05
+    admission: str = "deflation-aware"
+    scorer: str = "cosine"
+    collectors: tuple[str, ...] = ()
+    engine: str = "cluster-sim"
+
+    def __post_init__(self) -> None:
+        if self.workload is not None and self.traces is not None:
+            raise SimulationError("give either a workload spec or explicit traces, not both")
+        if self.workload is not None and "source" not in self.workload:
+            raise SimulationError('workload spec needs a "source" key naming a registered workload')
+        if self.n_servers is not None and self.overcommitment is not None:
+            raise SimulationError("size the cluster by n_servers or overcommitment, not both")
+        if self.overcommitment is not None and self.overcommitment < 0:
+            raise SimulationError("overcommitment must be >= 0")
+        object.__setattr__(self, "collectors", tuple(self.collectors))
+        if self.workload is not None:
+            # Defensive copy: a caller-held dict must not mutate a frozen scenario.
+            object.__setattr__(self, "workload", dict(self.workload))
+
+    # -- fluent builder ----------------------------------------------------------
+
+    def _replace(self, **changes) -> "Scenario":
+        return dataclasses.replace(self, **changes)
+
+    def named(self, name: str) -> "Scenario":
+        return self._replace(name=name)
+
+    def with_workload(self, source: str, **params) -> "Scenario":
+        """Replay a registered workload source (e.g. ``"azure"``, seeded)."""
+        validate("workload", source)
+        return self._replace(workload={"source": source, **params}, traces=None)
+
+    def with_traces(self, traces: VMTraceSet) -> "Scenario":
+        """Replay a pre-built trace set (escape hatch for tests/studies)."""
+        return self._replace(traces=traces, workload=None)
+
+    def with_policy(self, policy: str) -> "Scenario":
+        """Deflation policy by registered name, or ``"preemption"``."""
+        if policy != "preemption":
+            validate("policy", policy)
+        return self._replace(policy=policy)
+
+    def with_servers(self, n_servers: int) -> "Scenario":
+        return self._replace(n_servers=int(n_servers), overcommitment=None)
+
+    def with_overcommitment(self, overcommitment: float) -> "Scenario":
+        """Size the cluster for a target peak overcommitment (paper method)."""
+        return self._replace(overcommitment=float(overcommitment), n_servers=None)
+
+    def with_server_shape(self, cores: float, memory_mb: float) -> "Scenario":
+        return self._replace(cores_per_server=float(cores), memory_per_server_mb=float(memory_mb))
+
+    def with_partitions(self, n_partitions: int = 4) -> "Scenario":
+        """Enable priority-pool partitioning (Section 5.2.1)."""
+        return self._replace(partitioned=True, n_partitions=int(n_partitions))
+
+    def with_min_fraction(self, min_fraction: float) -> "Scenario":
+        return self._replace(min_fraction=float(min_fraction))
+
+    def with_admission(self, admission: str) -> "Scenario":
+        validate("admission", admission)
+        return self._replace(admission=admission)
+
+    def with_scorer(self, scorer: str) -> "Scenario":
+        validate("scorer", scorer)
+        return self._replace(scorer=scorer)
+
+    def with_collectors(self, *collectors: str) -> "Scenario":
+        for name in collectors:
+            validate("metrics", name)
+        return self._replace(collectors=tuple(collectors))
+
+    def with_engine(self, engine: str) -> "Scenario":
+        validate("engine", engine)
+        return self._replace(engine=engine)
+
+    # -- serialization -----------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Plain-dict form (defaults elided; ``traces`` cannot be serialized)."""
+        if self.traces is not None:
+            raise SimulationError("scenarios with explicit traces do not serialize to dicts")
+        out: dict = {}
+        for f in dataclasses.fields(self):
+            if f.name == "traces":
+                continue
+            value = getattr(self, f.name)
+            default = f.default if f.default is not dataclasses.MISSING else None
+            if value != default:
+                if f.name == "collectors":
+                    value = list(value)
+                elif f.name == "workload":
+                    value = dict(value)  # never alias internal state out
+                out[f.name] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, spec: dict) -> "Scenario":
+        """Build a scenario from a plain dict, rejecting unknown keys."""
+        known = {f.name for f in dataclasses.fields(cls)} - {"traces"}
+        unknown = sorted(set(spec) - known)
+        if unknown:
+            raise SimulationError(f"unknown scenario keys {unknown}; valid keys: {sorted(known)}")
+        kwargs = dict(spec)
+        if "collectors" in kwargs:
+            kwargs["collectors"] = tuple(kwargs["collectors"])
+        if "workload" in kwargs and kwargs["workload"] is not None:
+            kwargs["workload"] = dict(kwargs["workload"])
+        return cls(**kwargs)
+
+    # -- execution glue ----------------------------------------------------------
+
+    def sim_config(self, n_servers: int) -> ClusterSimConfig:
+        """The cluster-simulator config for a resolved server count."""
+        return ClusterSimConfig(
+            n_servers=n_servers,
+            cores_per_server=self.cores_per_server,
+            memory_per_server_mb=self.memory_per_server_mb,
+            policy=self.policy,
+            partitioned=self.partitioned,
+            n_partitions=self.n_partitions,
+            min_fraction=self.min_fraction,
+            admission=self.admission,
+            scorer=self.scorer,
+            collectors=self.collectors,
+        )
+
+    def run(self, engine: str | None = None):
+        """Run this scenario; returns a :class:`ScenarioResult`."""
+        from repro.scenario.sweep import run_scenario
+
+        target = self if engine is None else self.with_engine(engine)
+        return run_scenario(target)
+
+    def describe(self) -> str:
+        size = (
+            f"{self.n_servers} servers"
+            if self.n_servers is not None
+            else f"OC target {self.overcommitment:.0%}"
+            if self.overcommitment is not None
+            else "unsized"
+        )
+        source = (
+            self.workload.get("source") if self.workload else
+            "explicit traces" if self.traces is not None else "no workload"
+        )
+        label = f"{self.name}: " if self.name else ""
+        return f"{label}{source} | policy={self.policy} | {size}"

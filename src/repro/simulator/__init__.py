@@ -1,4 +1,9 @@
-"""Discrete-event simulation: engine, trace-driven cluster replay, sweeps."""
+"""Discrete-event simulation: engine, trace-driven cluster replay, sweeps.
+
+The cluster replay's pluggable pieces (admission controllers, placement
+scorers, metrics collectors) live in :mod:`repro.simulator.components` and
+are resolved by name through :mod:`repro.registry`.
+"""
 
 from repro.simulator.cluster_sim import (
     ClusterSimConfig,
@@ -6,6 +11,11 @@ from repro.simulator.cluster_sim import (
     ClusterSimulator,
     VMOutcome,
     servers_for_overcommitment,
+)
+from repro.simulator.components import (
+    AdmissionController,
+    MetricsCollector,
+    PlacementScorer,
 )
 from repro.simulator.engine import EventQueue, Simulator
 from repro.simulator.metrics import (
@@ -17,6 +27,9 @@ from repro.simulator.metrics import (
 )
 
 __all__ = [
+    "AdmissionController",
+    "MetricsCollector",
+    "PlacementScorer",
     "ClusterSimConfig",
     "ClusterSimResult",
     "ClusterSimulator",

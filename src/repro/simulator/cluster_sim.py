@@ -32,10 +32,15 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.deflation import DeflationPolicy, get_policy
-from repro.core.placement import vectorized_cosine_scores
 from repro.core.vm import VMClass, priority_from_p95
 from repro.errors import SimulationError
 from repro.pricing.models import PRICING_MODELS
+from repro.registry import create, validate
+from repro.simulator.components import (
+    AdmissionController,
+    MetricsCollector,
+    PlacementScorer,
+)
 from repro.traces.schema import VMTraceRecord, VMTraceSet
 
 #: Resource dimensions used for bin-packing and deflation (paper: "We
@@ -57,6 +62,13 @@ class ClusterSimConfig:
     #: Minimum allocation fraction for every deflatable VM (QoS floor,
     #: Eq. 2): no VM is deflated below this share of its capacity.
     min_fraction: float = 0.05
+    #: Registered admission controller deciding server feasibility.
+    admission: str = "deflation-aware"
+    #: Registered placement scorer ranking feasible servers.
+    scorer: str = "cosine"
+    #: Registered metrics collectors observing the event loop; their
+    #: ``finalize`` payloads land in ``ClusterSimResult.collected``.
+    collectors: tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         if self.n_servers < 1:
@@ -65,6 +77,19 @@ class ClusterSimConfig:
             raise SimulationError("min_fraction must be in [0, 1)")
         if self.policy != "preemption":
             get_policy(self.policy)  # validate eagerly
+        elif self.admission != "deflation-aware":
+            # The preemption baseline carries its own fixed admission rule
+            # (fit-into-free-capacity, else preempt); silently ignoring a
+            # configured controller would fake an ablation.
+            raise SimulationError(
+                "the preemption baseline does not use a pluggable admission "
+                f"controller; admission={self.admission!r} would have no effect"
+            )
+        validate("admission", self.admission)
+        validate("scorer", self.scorer)
+        object.__setattr__(self, "collectors", tuple(self.collectors))
+        for name in self.collectors:
+            validate("metrics", name)
 
 
 @dataclass
@@ -102,6 +127,8 @@ class ClusterSimResult:
     mean_deflation: float
     revenue: dict[str, float]
     revenue_per_server: dict[str, float]
+    #: ``finalize`` payloads of the configured metrics collectors, by name.
+    collected: dict[str, object] = field(default_factory=dict)
 
     @property
     def overcommitment(self) -> float:
@@ -122,7 +149,13 @@ class ClusterSimResult:
 
 
 class ClusterSimulator:
-    """Array-backed replay of one trace against one configuration."""
+    """Array-backed replay of one trace against one configuration.
+
+    Admission feasibility, server scoring, and metrics collection are
+    pluggable components resolved by name from the unified registry (kinds
+    ``admission``, ``scorer``, ``metrics``); the event loop itself stays
+    fixed.
+    """
 
     def __init__(self, traces: VMTraceSet, config: ClusterSimConfig) -> None:
         if len(traces) == 0:
@@ -131,6 +164,11 @@ class ClusterSimulator:
         self.config = config
         self._policy: DeflationPolicy | None = (
             None if config.policy == "preemption" else get_policy(config.policy)
+        )
+        self._admission: AdmissionController = create("admission", config.admission)
+        self._scorer: PlacementScorer = create("scorer", config.scorer)
+        self._collectors: tuple[MetricsCollector, ...] = tuple(
+            create("metrics", name) for name in config.collectors
         )
         self._prepare_vms()
         self._prepare_servers()
@@ -142,6 +180,8 @@ class ClusterSimulator:
         self.vm_caps = np.zeros((n, _DIMS))
         self.vm_prio = np.ones(n)
         self.vm_deflatable = np.zeros(n, dtype=bool)
+        #: Hosting server per VM (-1 = not placed).
+        self.vm_server = np.full(n, -1, dtype=np.int64)
         self.outcomes: list[VMOutcome] = []
         for i, rec in enumerate(self.traces):
             self.vm_caps[i, 0] = rec.cores
@@ -177,8 +217,12 @@ class ClusterSimulator:
         self.reclaimed = np.zeros((s, _DIMS))  # from deflatable VMs
         self.defl_cap = np.zeros((s, _DIMS))  # sum of deflatable capacities
         self.defl_floor = np.zeros((s, _DIMS))  # sum of policy floors
-        self.residents: list[list[int]] = [[] for _ in range(s)]
-        self.resident_deflatable: list[list[int]] = [[] for _ in range(s)]
+        # Resident sets are insertion-ordered dicts keyed by VM index: O(1)
+        # removal (the old lists paid an O(n) ``list.remove`` per departure)
+        # while preserving the arrival order that deterministic policies use
+        # for tie-breaking.
+        self.residents: list[dict[int, None]] = [{} for _ in range(s)]
+        self.resident_deflatable: list[dict[int, None]] = [{} for _ in range(s)]
         # Partition assignment: deflatable pools 0..n_partitions-1 by
         # priority level, plus one on-demand pool.  Server shares follow the
         # paper's advice to size pools by the workload mix (we use committed
@@ -245,26 +289,16 @@ class ClusterSimulator:
         demand = self.vm_caps[vm]
         candidates = self._candidate_servers(vm)
         if candidates.size == 0:
-            self._reject(out)
+            self._reject(t, vm, out)
             return
 
         if self._policy is None:
             self._place_preemption(t, vm, candidates)
             return
 
-        # Feasibility: committed + demand - capacity <= reclaimable, where
-        # reclaimable counts the new VM's own deflatable pool when relevant.
-        extra_pool = (
-            (self.vm_caps[vm] - self.vm_floor[vm]) if self.vm_deflatable[vm] else 0.0
-        )
-        reclaimable = (
-            self.defl_cap[candidates] - self.defl_floor[candidates] + extra_pool
-        )
-        overflow = self.committed[candidates] + demand - self.server_cap[candidates]
-        feasible = np.all(overflow <= reclaimable + 1e-9, axis=1)
-        feas_idx = candidates[feasible]
+        feas_idx = self._admission.feasible(self, vm, candidates)
         if feas_idx.size == 0:
-            self._reject(out)
+            self._reject(t, vm, out)
             return
 
         # Prefer servers that can host the VM without deflating anyone —
@@ -288,55 +322,58 @@ class ClusterSimulator:
         )
         oc = np.maximum(self.committed[pool_idx] / self.server_cap[pool_idx], 1.0)
         availability = free + headroom / oc
-        # Normalize both vectors into capacity fractions so the cosine
-        # compares shapes, not raw units (memory MB would dwarf CPU cores).
-        cap = self.server_cap[pool_idx]
-        avail_norm = availability / cap
-        demand_norm = demand / self.server_cap[0]
-        scores = vectorized_cosine_scores(
-            np.array([demand_norm[0], demand_norm[1], 0.0, 0.0]),
-            np.concatenate([avail_norm, np.zeros((pool_idx.size, 2))], axis=1),
-        )
-        server = int(pool_idx[int(np.argmax(scores))])
+        server = self._choose_server(vm, pool_idx, availability)
 
         self._admit(t, vm, server)
         self._rebalance(t, server)
+
+    def _choose_server(
+        self, vm: int, pool_idx: np.ndarray, availability: np.ndarray
+    ) -> int:
+        """Rank candidate servers with the configured scorer; argmax wins.
+
+        Both vectors are normalized into capacity fractions so scorers
+        compare shapes, not raw units (memory MB would dwarf CPU cores).
+        """
+        avail_norm = availability / self.server_cap[pool_idx]
+        demand_norm = self.vm_caps[vm] / self.server_cap[0]
+        scores = self._scorer.score(demand_norm, avail_norm)
+        return int(pool_idx[int(np.argmax(scores))])
 
     def _admit(self, t: float, vm: int, server: int) -> None:
         out = self.outcomes[vm]
         out.placed = True
         self.committed[server] += self.vm_caps[vm]
-        self.residents[server].append(vm)
-        self._vm_server[vm] = server
+        self.residents[server][vm] = None
+        self.vm_server[vm] = server
         if self.vm_deflatable[vm]:
-            self.resident_deflatable[server].append(vm)
+            self.resident_deflatable[server][vm] = None
             self.defl_cap[server] += self.vm_caps[vm]
             self.defl_floor[server] += self.vm_floor[vm]
             out.alloc_history.append((t, 1.0))
+        for c in self._collectors:
+            c.on_admit(t, vm, server, self)
 
-    def _reject(self, out: VMOutcome) -> None:
+    def _reject(self, t: float, vm: int, out: VMOutcome) -> None:
         out.rejected = True
+        for c in self._collectors:
+            c.on_reject(t, vm, self)
 
     def _handle_end(self, t: float, vm: int) -> None:
         out = self.outcomes[vm]
         if not out.placed or out.preempted:
             return
-        server = self._vm_server[vm]
+        server = int(self.vm_server[vm])
         self.committed[server] -= self.vm_caps[vm]
-        self.residents[server].remove(vm)
+        del self.residents[server][vm]
         if self.vm_deflatable[vm]:
-            self.resident_deflatable[server].remove(vm)
+            del self.resident_deflatable[server][vm]
             self.defl_cap[server] -= self.vm_caps[vm]
             self.defl_floor[server] -= self.vm_floor[vm]
+        for c in self._collectors:
+            c.on_end(t, vm, server, self)
         if self._policy is not None:
             self._rebalance(t, server)
-
-    # Lazily created map vm -> server.
-    @property
-    def _vm_server(self) -> dict[int, int]:
-        if not hasattr(self, "_vm_server_map"):
-            self._vm_server_map: dict[int, int] = {}
-        return self._vm_server_map
 
     def _rebalance(self, t: float, server: int) -> None:
         """Recompute deflatable allocations on one server under its pressure."""
@@ -345,7 +382,7 @@ class ClusterSimulator:
         required = self.committed[server] - self.server_cap[server]
         if not defl:
             return
-        idx = np.asarray(defl, dtype=np.int64)
+        idx = np.fromiter(defl, dtype=np.int64, count=len(defl))
         caps = self.vm_caps[idx]
         floors = self.vm_floor[idx]
         prios = self.vm_prio[idx]
@@ -369,6 +406,8 @@ class ClusterSimulator:
             hist = self.outcomes[int(j)].alloc_history
             if not hist or abs(hist[-1][1] - frac[k]) > 1e-9:
                 hist.append((t, float(frac[k])))
+        for c in self._collectors:
+            c.on_rebalance(t, server, self)
 
     # -- preemption baseline ---------------------------------------------------------
 
@@ -379,17 +418,11 @@ class ClusterSimulator:
         fits = np.all(free >= demand - 1e-9, axis=1)
         fit_idx = candidates[fits]
         if fit_idx.size > 0:
-            free_norm = np.maximum(free[fits], 0.0) / self.server_cap[fit_idx]
-            demand_norm = demand / self.server_cap[0]
-            scores = vectorized_cosine_scores(
-                np.array([demand_norm[0], demand_norm[1], 0.0, 0.0]),
-                np.concatenate([free_norm, np.zeros((fit_idx.size, 2))], axis=1),
-            )
-            self._admit(t, vm, int(fit_idx[int(np.argmax(scores))]))
+            self._admit(t, vm, self._choose_server(vm, fit_idx, np.maximum(free[fits], 0.0)))
             return
         if self.vm_deflatable[vm]:
             # Low-priority arrivals are not allowed to preempt others.
-            self._reject(out)
+            self._reject(t, vm, out)
             return
         # On-demand under pressure: preempt deflatable VMs, lowest priority
         # first, on the server needing the fewest preemptions.
@@ -401,7 +434,7 @@ class ClusterSimulator:
             if best_victims is None or len(victims) < len(best_victims):
                 best_server, best_victims = int(s), victims
         if best_victims is None:
-            self._reject(out)
+            self._reject(t, vm, out)
             return
         for victim in best_victims:
             self._preempt(t, victim)
@@ -431,13 +464,15 @@ class ClusterSimulator:
         out = self.outcomes[vm]
         out.preempted = True
         out.end_interval = t
-        server = self._vm_server[vm]
+        server = int(self.vm_server[vm])
         self.committed[server] -= self.vm_caps[vm]
-        self.residents[server].remove(vm)
-        self.resident_deflatable[server].remove(vm)
+        del self.residents[server][vm]
+        del self.resident_deflatable[server][vm]
         self.defl_cap[server] -= self.vm_caps[vm]
         self.defl_floor[server] -= self.vm_floor[vm]
         out.alloc_history.append((t, 0.0))
+        for c in self._collectors:
+            c.on_preempt(t, vm, server, self)
 
     # -- metrics -----------------------------------------------------------------------
 
@@ -513,6 +548,7 @@ class ClusterSimulator:
             revenue_per_server={
                 name: rev / self.config.n_servers for name, rev in revenue.items()
             },
+            collected={c.name: c.finalize(self) for c in self._collectors},
         )
         return result
 

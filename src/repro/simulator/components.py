@@ -1,0 +1,265 @@
+"""Pluggable components of the trace-driven cluster simulator.
+
+:class:`~repro.simulator.cluster_sim.ClusterSimulator` used to inline three
+separable decisions in its event loop: *can this VM be admitted at all*
+(feasibility), *which feasible server should take it* (scoring — the cosine
+ranking was duplicated at two call sites), and *what gets recorded along the
+way* (metrics).  Each is now a named component resolved through the unified
+registry, so new admission rules, placement heuristics, and measurement
+hooks attach to the simulator without editing the event loop:
+
+* ``admission`` — :class:`AdmissionController`; filters candidate servers
+  down to those allowed to take the VM;
+* ``scorer`` — :class:`PlacementScorer`; scores normalized availability
+  vectors against the VM's normalized demand (argmax wins);
+* ``metrics`` — :class:`MetricsCollector`; observer hooks called on admit /
+  reject / preempt / end / rebalance, with a ``finalize`` payload attached
+  to the run's :class:`~repro.simulator.cluster_sim.ClusterSimResult`.
+
+Components receive the simulator itself and read its documented array state
+(``committed``, ``server_cap``, ``defl_cap``, ``defl_floor``, ``vm_caps``,
+``vm_floor``); they must not mutate it.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.core.placement import vectorized_cosine_scores
+from repro.core.resources import NUM_RESOURCES
+from repro.registry import register
+
+#: Feasibility slack shared with the simulator's float comparisons.
+_EPS = 1e-9
+
+
+# -- admission control -------------------------------------------------------------
+
+
+class AdmissionController(abc.ABC):
+    """Decides which candidate servers may admit an arriving VM."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def feasible(self, sim, vm: int, candidates: np.ndarray) -> np.ndarray:
+        """Subset of ``candidates`` (server indices) that can take VM ``vm``.
+
+        Returning an empty array rejects the VM at admission control.
+        """
+
+
+@register("admission", "deflation-aware")
+class DeflationAwareAdmission(AdmissionController):
+    """The paper's rule: admit if deflating residents can make room.
+
+    A server is feasible when ``committed + demand - capacity`` fits inside
+    its reclaimable pool; an arriving deflatable VM's own pool counts too
+    ("a VM can start its execution in a deflated mode", Section 5.1.1).
+    """
+
+    name = "deflation-aware"
+
+    def feasible(self, sim, vm, candidates):
+        demand = sim.vm_caps[vm]
+        extra_pool = (
+            (sim.vm_caps[vm] - sim.vm_floor[vm]) if sim.vm_deflatable[vm] else 0.0
+        )
+        reclaimable = (
+            sim.defl_cap[candidates] - sim.defl_floor[candidates] + extra_pool
+        )
+        overflow = sim.committed[candidates] + demand - sim.server_cap[candidates]
+        return candidates[np.all(overflow <= reclaimable + _EPS, axis=1)]
+
+
+@register("admission", "rigid")
+class RigidAdmission(AdmissionController):
+    """Baseline: admit only into genuinely free capacity (no deflation).
+
+    Turns the simulator into a classic no-overcommitment packer — useful for
+    ablations isolating how much of the win comes from deflation-aware
+    admission rather than from deflation at runtime.
+    """
+
+    name = "rigid"
+
+    def feasible(self, sim, vm, candidates):
+        demand = sim.vm_caps[vm]
+        fits = np.all(
+            sim.committed[candidates] + demand <= sim.server_cap[candidates] + _EPS,
+            axis=1,
+        )
+        return candidates[fits]
+
+
+# -- placement scoring -------------------------------------------------------------
+
+
+class PlacementScorer(abc.ABC):
+    """Scores candidate servers; the simulator picks the argmax."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def score(self, demand_norm: np.ndarray, avail_norm: np.ndarray) -> np.ndarray:
+        """Score each availability row against the demand.
+
+        ``demand_norm`` has shape ``(dims,)`` and ``avail_norm`` has shape
+        ``(n_candidates, dims)``; both are expressed as capacity fractions so
+        scorers compare shapes, not raw units.  Higher is better; ties break
+        toward the lower server index (``np.argmax`` semantics).
+        """
+
+
+@register("scorer", "cosine")
+class CosineScorer(PlacementScorer):
+    """The paper's Tetris-style cosine fitness (Section 5.2).
+
+    This is the ranking previously inlined at both the deflation and the
+    preemption call sites of the event loop; the vectors are padded to
+    ``NUM_RESOURCES`` dimensions to reuse the shared scoring kernel.
+    """
+
+    name = "cosine"
+
+    def score(self, demand_norm, avail_norm):
+        dims = demand_norm.shape[0]
+        demand_full = np.zeros(NUM_RESOURCES)
+        demand_full[:dims] = demand_norm
+        padding = np.zeros((avail_norm.shape[0], NUM_RESOURCES - dims))
+        return vectorized_cosine_scores(
+            demand_full, np.concatenate([avail_norm, padding], axis=1)
+        )
+
+
+@register("scorer", "most-available")
+class MostAvailableScorer(PlacementScorer):
+    """Worst-fit baseline: prefer the server with the most total availability."""
+
+    name = "most-available"
+
+    def score(self, demand_norm, avail_norm):
+        return avail_norm.sum(axis=1)
+
+
+@register("scorer", "least-available")
+class LeastAvailableScorer(PlacementScorer):
+    """Best-fit baseline: pack tightly by preferring the least availability."""
+
+    name = "least-available"
+
+    def score(self, demand_norm, avail_norm):
+        return -avail_norm.sum(axis=1)
+
+
+# -- metrics collection ------------------------------------------------------------
+
+
+class MetricsCollector:
+    """Observer hooks over the simulation event loop.
+
+    Subclasses override only the hooks they need; ``finalize`` returns the
+    payload stored under the collector's name in
+    ``ClusterSimResult.collected``.
+    """
+
+    name: str = "abstract"
+
+    def on_admit(self, t: float, vm: int, server: int, sim) -> None:
+        pass
+
+    def on_reject(self, t: float, vm: int, sim) -> None:
+        pass
+
+    def on_preempt(self, t: float, vm: int, server: int, sim) -> None:
+        pass
+
+    def on_end(self, t: float, vm: int, server: int, sim) -> None:
+        pass
+
+    def on_rebalance(self, t: float, server: int, sim) -> None:
+        pass
+
+    def finalize(self, sim) -> object:
+        return None
+
+
+@register("metrics", "event-counts")
+class EventCountCollector(MetricsCollector):
+    """Counts every event type the loop emits."""
+
+    name = "event-counts"
+
+    def __init__(self) -> None:
+        self.counts = {
+            "admit": 0,
+            "reject": 0,
+            "preempt": 0,
+            "end": 0,
+            "rebalance": 0,
+        }
+
+    def on_admit(self, t, vm, server, sim):
+        self.counts["admit"] += 1
+
+    def on_reject(self, t, vm, sim):
+        self.counts["reject"] += 1
+
+    def on_preempt(self, t, vm, server, sim):
+        self.counts["preempt"] += 1
+
+    def on_end(self, t, vm, server, sim):
+        self.counts["end"] += 1
+
+    def on_rebalance(self, t, server, sim):
+        self.counts["rebalance"] += 1
+
+    def finalize(self, sim):
+        return dict(self.counts)
+
+
+@register("metrics", "timeline")
+class CommittedTimelineCollector(MetricsCollector):
+    """Records the cluster's committed-CPU time series at every change.
+
+    Payload: list of ``(interval, committed_cores)`` points, suitable for
+    plotting utilization over the replay.
+    """
+
+    name = "timeline"
+
+    def __init__(self) -> None:
+        self.points: list[tuple[float, float]] = []
+
+    def _record(self, t: float, sim) -> None:
+        self.points.append((t, float(sim.committed[:, 0].sum())))
+
+    def on_admit(self, t, vm, server, sim):
+        self._record(t, sim)
+
+    def on_preempt(self, t, vm, server, sim):
+        self._record(t, sim)
+
+    def on_end(self, t, vm, server, sim):
+        self._record(t, sim)
+
+    def finalize(self, sim):
+        return list(self.points)
+
+
+@register("metrics", "rejection-log")
+class RejectionLogCollector(MetricsCollector):
+    """Records each rejection as ``(interval, vm_index, deflatable)``."""
+
+    name = "rejection-log"
+
+    def __init__(self) -> None:
+        self.rejections: list[tuple[float, int, bool]] = []
+
+    def on_reject(self, t, vm, sim):
+        self.rejections.append((t, vm, bool(sim.vm_deflatable[vm])))
+
+    def finalize(self, sim):
+        return list(self.rejections)

@@ -13,12 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import SimulationError
-from repro.simulator.cluster_sim import (
-    ClusterSimConfig,
-    ClusterSimResult,
-    ClusterSimulator,
-    servers_for_overcommitment,
-)
+from repro.simulator.cluster_sim import ClusterSimResult
 from repro.traces.schema import VMTraceSet
 
 #: The paper's Figure 20-22 x-axis (cluster overcommitment %).
@@ -105,27 +100,39 @@ def overcommitment_sweep(
     cores_per_server: float = 48.0,
     memory_per_server_mb: float = 128 * 1024,
     partitioned: bool = False,
+    workers: int | None = None,
 ) -> OvercommitSweep:
-    """Run the full (policy x overcommitment) grid on one trace."""
+    """Run the full (policy x overcommitment) grid on one trace.
+
+    Thin shim over the Scenario API: the grid is declared as scenarios and
+    executed with :func:`repro.scenario.run_sweep` (in parallel when
+    ``workers`` > 1 — bit-identical to the serial path), then folded back
+    into the legacy :class:`OvercommitSweep` shape.
+    """
+    from repro.scenario import Scenario, run_sweep
+
     if not levels:
         raise SimulationError("need at least one overcommitment level")
-    points: dict[str, list[SweepPoint]] = {}
-    for policy in policies:
-        series: list[SweepPoint] = []
-        for oc in levels:
-            n_servers = servers_for_overcommitment(
-                traces, oc, cores_per_server=cores_per_server
+    base = (
+        Scenario(name="overcommitment-sweep")
+        .with_traces(traces)
+        .with_server_shape(cores_per_server, memory_per_server_mb)
+    )
+    if partitioned:
+        base = base.with_partitions()
+    scenarios = [
+        base.with_policy(policy).with_overcommitment(oc)
+        for policy in policies
+        for oc in levels
+    ]
+    results = run_sweep(scenarios, workers=workers)
+    points: dict[str, list[SweepPoint]] = {policy: [] for policy in policies}
+    for res in results:
+        points[res.scenario.policy].append(
+            SweepPoint(
+                overcommitment_target=res.scenario.overcommitment,
+                n_servers=res.n_servers,
+                result=res.sim,
             )
-            config = ClusterSimConfig(
-                n_servers=n_servers,
-                cores_per_server=cores_per_server,
-                memory_per_server_mb=memory_per_server_mb,
-                policy=policy,
-                partitioned=partitioned,
-            )
-            result = ClusterSimulator(traces, config).run()
-            series.append(
-                SweepPoint(overcommitment_target=oc, n_servers=n_servers, result=result)
-            )
-        points[policy] = series
+        )
     return OvercommitSweep(trace_size=len(traces), points=points)

@@ -24,6 +24,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import TraceError
+from repro.registry import register
 from repro.traces.schema import (
     INTERVALS_PER_DAY,
     ContainerTraceRecord,
@@ -110,3 +111,9 @@ def synthesize_alibaba_trace(config: AlibabaTraceConfig | None = None) -> Contai
         for i in range(cfg.n_containers)
     ]
     return ContainerTraceSet(records)
+
+
+@register("workload", "alibaba")
+def alibaba_workload(**params) -> ContainerTraceSet:
+    """Registry adapter: build an Alibaba-style container trace from kwargs."""
+    return synthesize_alibaba_trace(AlibabaTraceConfig(**params))

@@ -35,6 +35,7 @@ import numpy as np
 
 from repro.core.vm import VMClass
 from repro.errors import TraceError
+from repro.registry import register
 from repro.traces.schema import INTERVALS_PER_DAY, VMTraceRecord, VMTraceSet
 
 #: Azure-like size menu: (cores, memory_mb).  Mixes burstable-sized small VMs
@@ -197,3 +198,14 @@ def synthesize_azure_trace(config: AzureTraceConfig | None = None) -> VMTraceSet
             )
         )
     return VMTraceSet(records)
+
+
+@register("workload", "azure")
+def azure_workload(**params) -> VMTraceSet:
+    """Registry adapter: build an Azure-style trace from plain kwargs.
+
+    Accepts the :class:`AzureTraceConfig` fields as keyword arguments, so a
+    declarative scenario can say ``{"source": "azure", "n_vms": 500,
+    "seed": 31}`` without constructing config objects.
+    """
+    return synthesize_azure_trace(AzureTraceConfig(**params))

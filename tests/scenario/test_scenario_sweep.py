@@ -1,0 +1,67 @@
+"""Tests for parallel scenario sweeps.
+
+The acceptance bar: the parallel path must reproduce the serial path
+bit-identically (same floats, same ordering) on Figure 20's sweep grid.
+"""
+
+import pytest
+
+from repro.experiments.cluster_sweep import OC_LEVELS_SMALL, cluster_sweep
+from repro.scenario import ResultSet, Scenario, run_sweep
+from repro.simulator.metrics import DEFAULT_POLICIES, overcommitment_sweep
+from repro.traces.azure import AzureTraceConfig, synthesize_azure_trace
+
+
+@pytest.fixture(scope="module")
+def small_grid():
+    base = Scenario(name="sweep-test").with_workload("azure", n_vms=150, seed=4)
+    return [
+        base.with_policy(policy).with_overcommitment(oc)
+        for policy in ("proportional", "preemption")
+        for oc in (0.0, 0.5)
+    ]
+
+
+class TestRunSweep:
+    def test_serial_preserves_order(self, small_grid):
+        results = run_sweep(small_grid)
+        assert isinstance(results, ResultSet)
+        assert [r.scenario for r in results] == small_grid
+
+    def test_parallel_bit_identical_to_serial(self, small_grid):
+        serial = run_sweep(small_grid)
+        parallel = run_sweep(small_grid, workers=4)
+        assert len(serial) == len(parallel) == len(small_grid)
+        for s, p in zip(serial, parallel):
+            assert s.scenario == p.scenario
+            assert s.sim == p.sim  # full dataclass equality: every float
+
+    def test_filter_and_series(self, small_grid):
+        results = run_sweep(small_grid)
+        prop = results.filter(policy="proportional")
+        assert len(prop) == 2
+        series = prop.series("overcommitment", "failure_probability")
+        assert [x for x, _ in series] == [0.0, 0.5]
+        with pytest.raises(Exception, match="unknown scenario attribute"):
+            results.filter(polcy="proportional")
+
+    def test_single_scenario_skips_pool(self, small_grid):
+        results = run_sweep(small_grid[:1], workers=8)
+        assert len(results) == 1
+
+
+class TestFigure20Equivalence:
+    """``run_sweep(workers=4)`` reproduces Figure 20's sweep bit-identically."""
+
+    def test_fig20_grid_parallel_equals_serial(self):
+        serial = cluster_sweep("small")  # the grid Figure 20 is drawn from
+        traces = synthesize_azure_trace(AzureTraceConfig(n_vms=500, seed=31))
+        parallel = overcommitment_sweep(
+            traces, levels=OC_LEVELS_SMALL, workers=4
+        )
+        assert set(parallel.points) == set(DEFAULT_POLICIES)
+        for policy in DEFAULT_POLICIES:
+            assert serial.failure_probabilities(policy) == parallel.failure_probabilities(policy)
+            for sp, pp in zip(serial.points[policy], parallel.points[policy]):
+                assert sp.n_servers == pp.n_servers
+                assert sp.result == pp.result  # bit-identical metrics

@@ -43,6 +43,20 @@ class TestConfigValidation:
         with pytest.raises(SimulationError):
             ClusterSimConfig(n_servers=1, min_fraction=1.5)
 
+    def test_bad_component_names(self):
+        with pytest.raises(Exception, match="available"):
+            ClusterSimConfig(n_servers=1, admission="bouncer")
+        with pytest.raises(Exception, match="available"):
+            ClusterSimConfig(n_servers=1, scorer="psychic")
+        with pytest.raises(Exception, match="available"):
+            ClusterSimConfig(n_servers=1, collectors=("nope",))
+
+    def test_preemption_rejects_custom_admission(self):
+        # The baseline has its own fixed admission rule; configuring a
+        # controller that would be silently ignored must fail loudly.
+        with pytest.raises(SimulationError, match="preemption baseline"):
+            ClusterSimConfig(n_servers=1, policy="preemption", admission="rigid")
+
     def test_empty_trace_rejected(self):
         with pytest.raises(SimulationError):
             ClusterSimulator(VMTraceSet([]), ClusterSimConfig(n_servers=1))

@@ -1,0 +1,156 @@
+"""Partitioned-mode coverage: pool assignment, routing, and exhaustion.
+
+Section 5.2.1: partitioning the cluster into per-priority pools isolates
+interference but turns pool exhaustion into admission-control rejections —
+previously untested edge paths of the simulator.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.vm import VMClass
+from repro.simulator.cluster_sim import ClusterSimConfig, ClusterSimulator
+from repro.traces.azure import AzureTraceConfig, synthesize_azure_trace
+from repro.traces.schema import VMTraceRecord, VMTraceSet
+
+
+def flat_record(vm_id, util, cores, start, length, cls=VMClass.INTERACTIVE, mem=1024):
+    return VMTraceRecord(
+        vm_id=vm_id,
+        vm_class=cls,
+        cores=cores,
+        memory_mb=mem,
+        start_interval=start,
+        cpu_util=np.full(length, util),
+    )
+
+
+# Utilization levels mapping to the four priority levels via priority_from_p95:
+# 0.1 -> 0.2, 0.5 -> 0.4, 0.7 -> 0.6, 0.9 -> 0.8.
+LOW_UTIL, HIGH_UTIL = 0.1, 0.9
+
+
+def two_level_traces(n_low=3, n_high=3, n_od=2, cores=8):
+    records = []
+    for i in range(n_low):
+        records.append(flat_record(f"low-{i}", LOW_UTIL, cores, start=0, length=10))
+    for i in range(n_high):
+        records.append(flat_record(f"high-{i}", HIGH_UTIL, cores, start=0, length=10))
+    for i in range(n_od):
+        records.append(
+            flat_record(f"od-{i}", 0.8, cores, start=0, length=10, cls=VMClass.DELAY_INSENSITIVE)
+        )
+    return VMTraceSet(records)
+
+
+class TestPartitionAssignment:
+    def test_pool_counts_cover_every_server_exactly_once(self):
+        traces = two_level_traces()
+        cfg = ClusterSimConfig(n_servers=8, partitioned=True)
+        sim = ClusterSimulator(traces, cfg)
+        # 2 deflatable levels + 1 on-demand pool, all servers assigned.
+        assert sim.server_pool.shape == (8,)
+        assert np.all(sim.server_pool >= 0)
+        assert set(sim.server_pool.tolist()) == {0, 1, 2}
+        assert sim._on_demand_pool == 2
+        assert set(sim._pool_of_level) == {0.2, 0.8}
+
+    def test_pool_sizes_follow_demand_shares(self):
+        # 6 low-priority VMs vs 1 high-priority VM: the low pool gets more
+        # servers (shares are committed-capacity weighted).
+        traces = two_level_traces(n_low=6, n_high=1, n_od=1)
+        sim = ClusterSimulator(traces, ClusterSimConfig(n_servers=8, partitioned=True))
+        low_pool = sim._pool_of_level[0.2]
+        high_pool = sim._pool_of_level[0.8]
+        assert (sim.server_pool == low_pool).sum() > (sim.server_pool == high_pool).sum()
+
+    def test_fewer_servers_than_pools_leaves_pools_empty(self):
+        traces = two_level_traces()
+        sim = ClusterSimulator(traces, ClusterSimConfig(n_servers=1, partitioned=True))
+        # 3 pools, 1 server: at least one pool has no servers at all.
+        assigned = set(sim.server_pool.tolist())
+        assert len(assigned) == 1
+        result = sim.run()
+        # Every VM outside the surviving pool was rejected outright.
+        assert result.n_rejected_deflatable + result.n_rejected_on_demand > 0
+
+
+class TestPoolRouting:
+    def test_vms_land_only_in_their_pool(self):
+        traces = two_level_traces()
+        cfg = ClusterSimConfig(n_servers=9, partitioned=True)
+        sim = ClusterSimulator(traces, cfg)
+        sim.run()
+        for i, rec in enumerate(traces):
+            out = sim.outcomes[i]
+            if not out.placed:
+                continue
+            server = int(sim.vm_server[i])
+            pool = int(sim.server_pool[server])
+            if rec.vm_class == VMClass.INTERACTIVE:
+                expected = sim._pool_of_level[round(float(sim.vm_prio[i]), 6)]
+            else:
+                expected = sim._on_demand_pool
+            assert pool == expected, f"{rec.vm_id} landed in pool {pool}"
+
+    def test_unpartitioned_candidates_are_all_servers(self):
+        traces = two_level_traces()
+        sim = ClusterSimulator(traces, ClusterSimConfig(n_servers=5))
+        np.testing.assert_array_equal(sim._candidate_servers(0), np.arange(5))
+
+    def test_partitioned_preemption_baseline_routes_too(self):
+        traces = two_level_traces()
+        cfg = ClusterSimConfig(n_servers=9, policy="preemption", partitioned=True)
+        sim = ClusterSimulator(traces, cfg)
+        result = sim.run()
+        assert result.n_placed > 0
+        for i in range(len(traces)):
+            if sim.outcomes[i].placed and sim.vm_deflatable[i]:
+                pool = int(sim.server_pool[int(sim.vm_server[i])])
+                assert pool == sim._pool_of_level[round(float(sim.vm_prio[i]), 6)]
+
+
+class TestPoolExhaustion:
+    def test_full_pool_rejects_rather_than_spilling(self):
+        # One 8-core VM per level fills each 8-core pool server; the second
+        # low-priority VM must be rejected even though the high pool and the
+        # on-demand pool still have room elsewhere in the cluster.
+        traces = VMTraceSet(
+            [
+                flat_record("low-0", LOW_UTIL, 8, start=0, length=10),
+                flat_record("low-1", LOW_UTIL, 8, start=1, length=10),
+                flat_record("high-0", HIGH_UTIL, 8, start=0, length=10),
+                flat_record("od-0", 0.8, 8, start=0, length=10, cls=VMClass.DELAY_INSENSITIVE),
+            ]
+        )
+        cfg = ClusterSimConfig(
+            n_servers=3, cores_per_server=8, memory_per_server_mb=2048,
+            partitioned=True, min_fraction=0.9,
+        )
+        sim = ClusterSimulator(traces, cfg)
+        result = sim.run()
+        outcomes = {traces[i].vm_id: sim.outcomes[i] for i in range(len(traces))}
+        assert outcomes["low-0"].placed
+        assert outcomes["low-1"].rejected, "pool exhaustion must reject, not spill"
+        assert outcomes["high-0"].placed
+        assert outcomes["od-0"].placed
+        assert result.n_rejected_deflatable == 1
+
+    def test_shared_pool_accepts_what_partitions_reject(self):
+        traces = two_level_traces(n_low=5, n_high=1, n_od=1, cores=8)
+        kwargs = dict(n_servers=3, cores_per_server=16, memory_per_server_mb=8192,
+                      min_fraction=0.8)
+        part = ClusterSimulator(traces, ClusterSimConfig(partitioned=True, **kwargs)).run()
+        shared = ClusterSimulator(traces, ClusterSimConfig(**kwargs)).run()
+        assert shared.n_placed >= part.n_placed
+        assert part.n_rejected_deflatable >= shared.n_rejected_deflatable
+
+
+class TestPartitionedDeterminism:
+    @pytest.mark.parametrize("policy", ["proportional", "priority", "deterministic"])
+    def test_partitioned_runs_are_reproducible(self, policy):
+        traces = synthesize_azure_trace(AzureTraceConfig(n_vms=150, seed=3))
+        cfg = ClusterSimConfig(n_servers=10, policy=policy, partitioned=True)
+        r1 = ClusterSimulator(traces, cfg).run()
+        r2 = ClusterSimulator(traces, cfg).run()
+        assert r1 == r2

@@ -11,7 +11,12 @@ ALL_EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
 
 #: Fast examples run in CI every time; the heavier simulations are covered
 #: by their own unit/experiment tests and only smoke-checked here.
-FAST = ["quickstart.py", "hybrid_mechanisms.py", "feasibility_study.py"]
+FAST = [
+    "quickstart.py",
+    "hybrid_mechanisms.py",
+    "feasibility_study.py",
+    "scenario_pipeline.py",
+]
 
 
 def _run(name: str, timeout: int = 240) -> subprocess.CompletedProcess:

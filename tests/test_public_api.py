@@ -30,6 +30,7 @@ class TestTopLevel:
             "repro.loadbalancer",
             "repro.pricing",
             "repro.experiments",
+            "repro.scenario",
         ],
     )
     def test_subpackages_import_clean(self, module):
@@ -42,9 +43,57 @@ class TestTopLevel:
             AdmissionRejected,
             DeflationError,
             PlacementError,
+            RegistryError,
             ReproError,
+            UnknownComponentError,
         )
 
         assert issubclass(DeflationError, ReproError)
         assert issubclass(AdmissionRejected, PlacementError)
         assert issubclass(PlacementError, ReproError)
+        assert issubclass(UnknownComponentError, RegistryError)
+        assert issubclass(RegistryError, ReproError)
+
+    def test_scenario_api_exported(self):
+        assert repro.Scenario is not None
+        assert callable(repro.run_sweep) and callable(repro.run_scenario)
+
+
+class TestLegacyRegistryShims:
+    """The pre-registry dictionaries must keep working as mappings."""
+
+    def test_policies_shim(self):
+        from repro.core.deflation import POLICIES, get_policy
+
+        assert {"proportional", "priority", "priority-eq3", "deterministic"} <= set(POLICIES)
+        assert get_policy("proportional") is POLICIES["proportional"]
+        assert dict(POLICIES)  # Mapping protocol: iterable, len, getitem
+        assert len(POLICIES) >= 4
+        assert "proportional" in POLICIES and "nope" not in POLICIES
+
+    def test_strategies_shim(self):
+        from repro.core.placement import STRATEGIES, CosineBestFit
+
+        assert {"cosine-best-fit", "first-fit", "worst-fit"} <= set(STRATEGIES)
+        assert isinstance(STRATEGIES["cosine-best-fit"], CosineBestFit)
+
+    def test_pricing_models_shim(self):
+        from repro.pricing.models import PRICING_MODELS, get_pricing
+
+        assert set(PRICING_MODELS) >= {"static", "priority", "allocation"}
+        assert get_pricing("static") is PRICING_MODELS["static"]
+        for name, model in PRICING_MODELS.items():
+            assert model.rate(0.5, 1.0) > 0
+
+    def test_experiments_shim(self):
+        from repro.experiments.registry import EXPERIMENTS, get_experiment
+
+        assert {"fig03", "fig20", "fig21", "fig22"} <= set(EXPERIMENTS)
+        assert get_experiment("fig20") is EXPERIMENTS["fig20"]
+        assert callable(EXPERIMENTS["fig20"])
+
+    def test_shims_are_views_over_one_registry(self):
+        from repro.core.deflation import POLICIES
+        from repro.registry import resolve
+
+        assert POLICIES["priority"] is resolve("policy", "priority")

@@ -1,0 +1,126 @@
+"""Round-trip tests for the unified component registry.
+
+Every registered component must be constructible by name; unknown names
+must raise an error listing the valid choices; and the legacy per-module
+dictionaries must stay live views over the registry.
+"""
+
+import pytest
+
+from repro import registry
+from repro.errors import RegistryError, ReproError, UnknownComponentError
+
+# Importing these populates the registry kinds under test.
+import repro.experiments.registry  # noqa: F401
+import repro.scenario  # noqa: F401
+import repro.simulator.components  # noqa: F401
+
+#: Kinds the seed system registers, and one known member of each.
+EXPECTED = {
+    "policy": "proportional",
+    "placement": "cosine-best-fit",
+    "pricing": "static",
+    "experiment": "fig20",
+    "admission": "deflation-aware",
+    "scorer": "cosine",
+    "metrics": "event-counts",
+    "workload": "azure",
+    "engine": "cluster-sim",
+}
+
+
+class TestRoundTrip:
+    def test_expected_kinds_present(self):
+        assert set(EXPECTED) <= set(registry.kinds())
+
+    @pytest.mark.parametrize("kind", sorted(EXPECTED))
+    def test_expected_member_registered(self, kind):
+        assert registry.is_registered(kind, EXPECTED[kind])
+
+    @pytest.mark.parametrize(
+        "kind", ["policy", "placement", "pricing", "admission", "scorer", "metrics", "engine"]
+    )
+    def test_every_component_constructible_by_name(self, kind):
+        for name in registry.names(kind):
+            fresh = registry.create(kind, name)
+            shared = registry.resolve(kind, name)
+            assert fresh is not None and shared is not None
+            # Components carry their registered identity where they define one.
+            if getattr(fresh, "name", None) not in (None, "abstract"):
+                assert isinstance(fresh.name, str)
+
+    def test_resolve_returns_stable_singleton(self):
+        assert registry.resolve("policy", "proportional") is registry.resolve(
+            "policy", "proportional"
+        )
+
+    def test_create_returns_fresh_instances(self):
+        a = registry.create("metrics", "event-counts")
+        b = registry.create("metrics", "event-counts")
+        assert a is not b
+
+    def test_factory_defaults_bound_at_registration(self):
+        eq4 = registry.create("policy", "priority")
+        eq3 = registry.create("policy", "priority-eq3")
+        assert eq4.priority_floor is True
+        assert eq3.priority_floor is False
+
+
+class TestUnknownNames:
+    def test_error_lists_valid_choices(self):
+        with pytest.raises(UnknownComponentError) as exc:
+            registry.resolve("policy", "nope")
+        message = str(exc.value)
+        assert "nope" in message
+        for valid in ("proportional", "priority", "deterministic"):
+            assert valid in message
+
+    def test_unknown_kind_lists_kinds(self):
+        with pytest.raises(UnknownComponentError) as exc:
+            registry.resolve("flavor", "vanilla")
+        assert "policy" in str(exc.value)
+
+    def test_errors_are_repro_errors(self):
+        assert issubclass(UnknownComponentError, RegistryError)
+        assert issubclass(RegistryError, ReproError)
+
+    def test_validate_passes_through_known_names(self):
+        assert registry.validate("scorer", "cosine") == "cosine"
+        with pytest.raises(UnknownComponentError):
+            registry.validate("scorer", "psychic")
+
+
+class TestRegistrationRules:
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(RegistryError, match="already registered"):
+            registry.register("policy", "proportional")(object)
+
+    def test_replace_allows_override_and_unregister_restores(self):
+        original = registry.resolve("scorer", "cosine")
+
+        @registry.register("scorer", "test-only-scorer")
+        class TestOnlyScorer:
+            name = "test-only-scorer"
+
+        try:
+            assert registry.is_registered("scorer", "test-only-scorer")
+            assert isinstance(registry.create("scorer", "test-only-scorer"), TestOnlyScorer)
+        finally:
+            registry.unregister("scorer", "test-only-scorer")
+        assert not registry.is_registered("scorer", "test-only-scorer")
+        assert registry.resolve("scorer", "cosine") is original
+
+    def test_value_entries_reject_construction_kwargs(self):
+        with pytest.raises(RegistryError, match="value"):
+            registry.create("experiment", "fig20", scale="small")
+
+    def test_view_is_live(self):
+        view = registry.RegistryView("scorer")
+        before = set(view)
+        registry.register_instance("scorer", "test-live-view", object())
+        try:
+            assert set(view) == before | {"test-live-view"}
+            assert "test-live-view" in view
+        finally:
+            registry.unregister("scorer", "test-live-view")
+        assert set(view) == before
