@@ -1,0 +1,160 @@
+"""Scaling benchmark: 20k-VM trace replay, optimized vs. pinned reference.
+
+The fast-path rework of :class:`repro.simulator.cluster_sim.ClusterSimulator`
+targets cloud-scale traces; this module measures it against the
+pre-optimization snapshot (:mod:`repro.simulator.reference`) on a 20k-VM
+synthetic Azure trace across the paper's four policies and three
+overcommitment regimes.
+
+Two entry points:
+
+* pytest-benchmark tests (``pytest benchmarks/bench_scale_cluster.py
+  --benchmark-only``) timing the optimized simulator on the headline cases;
+* :func:`run_scale_benchmark`, the programmatic form used by
+  ``benchmarks/run_bench.py`` to produce ``BENCH_cluster.json`` — it times
+  optimized *and* reference end to end (construction + replay + metrics)
+  and reports per-case and aggregate speedups.
+
+The **headline** suite is the paper's featured comparison — proportional
+deflation vs. the preemption baseline (Figures 20-22's protagonists) — at
+overcommitment 0.0/0.3/0.6; the rework's budget is >= 3x end-to-end there.
+The priority/deterministic variants are measured and reported too (their
+runtime is dominated by the shared water-filling policy solver, which the
+bit-identical constraint pins to the original 80-iteration bisection).
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+
+import pytest
+
+from repro.simulator.cluster_sim import (
+    ClusterSimConfig,
+    ClusterSimulator,
+    servers_for_overcommitment,
+)
+from repro.simulator.reference import ReferenceClusterSimulator
+from repro.traces.azure import AzureTraceConfig, synthesize_azure_trace
+
+#: Default trace size for the scaling run (the ISSUE's 20k-VM target).
+SCALE_N_VMS = 20000
+SCALE_SEED = 11
+
+#: (policy, overcommitment) cases whose aggregate carries the >= 3x target.
+HEADLINE_CASES = tuple(
+    (policy, oc) for policy in ("proportional", "preemption") for oc in (0.0, 0.3, 0.6)
+)
+
+#: Additional cases measured and recorded, but not part of the headline.
+REPORT_CASES = tuple(
+    (policy, oc) for policy in ("priority", "deterministic") for oc in (0.0, 0.3, 0.6)
+)
+
+
+def scale_trace(n_vms: int = SCALE_N_VMS, seed: int = SCALE_SEED):
+    return synthesize_azure_trace(AzureTraceConfig(n_vms=n_vms, seed=seed))
+
+
+def replay(simulator_cls, traces, policy: str, oc: float):
+    """One end-to-end run: sizing + construction + replay + metrics."""
+    n_servers = servers_for_overcommitment(traces, oc)
+    config = ClusterSimConfig(n_servers=n_servers, policy=policy)
+    return simulator_cls(traces, config).run()
+
+
+def run_scale_benchmark(
+    n_vms: int = SCALE_N_VMS,
+    seed: int = SCALE_SEED,
+    rounds: int = 3,
+    cases: tuple[tuple[str, float], ...] | None = None,
+    verify: bool = True,
+    progress=None,
+) -> dict:
+    """Time optimized vs. reference on every case; return the report dict."""
+    traces = scale_trace(n_vms, seed)
+    # Warm the (shared) per-record p95 cache so neither side pays it first.
+    ClusterSimulator(traces, ClusterSimConfig(n_servers=1, policy="preemption"))
+    all_cases = tuple(cases) if cases is not None else HEADLINE_CASES + REPORT_CASES
+    report: dict = {
+        "n_vms": n_vms,
+        "seed": seed,
+        "rounds": rounds,
+        "cases": {},
+    }
+    head_opt = head_ref = 0.0
+    for policy, oc in all_cases:
+        times = {"optimized": [], "reference": []}
+        results = {}
+        for _ in range(rounds):
+            for label, cls in (
+                ("optimized", ClusterSimulator),
+                ("reference", ReferenceClusterSimulator),
+            ):
+                t0 = time.perf_counter()
+                results[label] = replay(cls, traces, policy, oc)
+                times[label].append(time.perf_counter() - t0)
+        if verify and results["optimized"] != results["reference"]:
+            raise AssertionError(
+                f"optimized result diverged from reference on {policy}@oc{oc}"
+            )
+        opt = statistics.median(times["optimized"])
+        ref = statistics.median(times["reference"])
+        case_name = f"{policy}@oc{oc:.1f}"
+        headline = (policy, oc) in HEADLINE_CASES
+        report["cases"][case_name] = {
+            "optimized_s": round(opt, 4),
+            "reference_s": round(ref, 4),
+            "speedup": round(ref / opt, 3),
+            "headline": headline,
+        }
+        if headline:
+            head_opt += opt
+            head_ref += ref
+        if progress is not None:
+            progress(case_name, report["cases"][case_name])
+    tot_opt = sum(c["optimized_s"] for c in report["cases"].values())
+    tot_ref = sum(c["reference_s"] for c in report["cases"].values())
+    report["aggregate"] = {
+        "optimized_s": round(tot_opt, 4),
+        "reference_s": round(tot_ref, 4),
+        "speedup": round(tot_ref / tot_opt, 3) if tot_opt else 0.0,
+    }
+    if head_opt:
+        report["headline"] = {
+            "cases": [f"{p}@oc{oc:.1f}" for p, oc in HEADLINE_CASES],
+            "optimized_s": round(head_opt, 4),
+            "reference_s": round(head_ref, 4),
+            "speedup": round(head_ref / head_opt, 3),
+        }
+    return report
+
+
+# -- pytest-benchmark entry points ---------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def traces_20k():
+    traces = scale_trace()
+    # Warm the shared p95 cache outside the timed region.
+    ClusterSimulator(traces, ClusterSimConfig(n_servers=1, policy="preemption"))
+    return traces
+
+
+@pytest.mark.parametrize("policy,oc", HEADLINE_CASES, ids=lambda v: str(v))
+def test_scale_replay_optimized(benchmark, traces_20k, policy, oc):
+    result = benchmark.pedantic(replay, args=(ClusterSimulator, traces_20k, policy, oc), rounds=1)
+    assert result.n_placed > 0
+
+
+def test_scale_speedup_smoke(traces_20k):
+    """Cheap guard (one headline case) that the fast path stays faster."""
+    t0 = time.perf_counter()
+    opt = replay(ClusterSimulator, traces_20k, "preemption", 0.3)
+    t_opt = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    ref = replay(ReferenceClusterSimulator, traces_20k, "preemption", 0.3)
+    t_ref = time.perf_counter() - t0
+    assert opt == ref
+    assert t_ref > t_opt, f"reference ({t_ref:.2f}s) should trail optimized ({t_opt:.2f}s)"

@@ -1,0 +1,132 @@
+"""Tracked cluster-performance benchmark runner.
+
+Runs the micro cluster benchmarks (small-trace replays, the dense-resident
+bookkeeping stress, trace synthesis) and the 20k-VM scaling comparison
+against the pinned pre-optimization simulator, then writes the medians to
+``BENCH_cluster.json`` so the perf trajectory is visible across PRs::
+
+    PYTHONPATH=src python benchmarks/run_bench.py                 # full (20k VMs)
+    PYTHONPATH=src python benchmarks/run_bench.py --quick         # CI scale (5k VMs)
+    PYTHONPATH=src python benchmarks/run_bench.py --out custom.json
+
+The scaling section reports per-case optimized/reference wall-times and the
+headline aggregate (proportional + preemption across overcommitment
+regimes) whose budget is a >= 3x end-to-end speedup.  CI runs the quick
+form as a non-gating job; the checked-in ``BENCH_cluster.json`` holds the
+full run from the PR that produced it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import statistics
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from bench_scale_cluster import SCALE_N_VMS, run_scale_benchmark  # noqa: E402
+
+from repro.simulator.cluster_sim import ClusterSimConfig, ClusterSimulator  # noqa: E402
+from repro.traces.azure import AzureTraceConfig, synthesize_azure_trace  # noqa: E402
+
+#: Micro cases: small enough to run with several rounds every time.
+MICRO_N_VMS = 300
+MICRO_SEED = 6
+
+
+def _median_time(fn, rounds: int) -> float:
+    times = []
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - t0)
+    return statistics.median(times)
+
+
+def micro_benchmarks(rounds: int) -> dict:
+    traces = synthesize_azure_trace(AzureTraceConfig(n_vms=MICRO_N_VMS, seed=MICRO_SEED))
+    dense = synthesize_azure_trace(AzureTraceConfig(n_vms=4000, seed=17))
+    cases: dict[str, float] = {}
+    for policy in ("proportional", "priority", "deterministic", "preemption"):
+        config = ClusterSimConfig(n_servers=8, policy=policy)
+        cases[f"replay-300vm-{policy}"] = _median_time(
+            lambda c=config: ClusterSimulator(traces, c).run(), rounds
+        )
+    dense_config = ClusterSimConfig(
+        n_servers=2, cores_per_server=1e6, memory_per_server_mb=1e9, policy="preemption"
+    )
+    cases["dense-residents-4000vm"] = _median_time(
+        lambda: ClusterSimulator(dense, dense_config).run(), rounds
+    )
+    cases["trace-synthesis-500vm"] = _median_time(
+        lambda: synthesize_azure_trace(AzureTraceConfig(n_vms=500, seed=9)), rounds
+    )
+    return {k: round(v, 4) for k, v in cases.items()}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI scale: 5k-VM scaling trace instead of 20k, single round",
+    )
+    parser.add_argument("--n-vms", type=int, default=None, help="scaling trace size")
+    parser.add_argument("--rounds", type=int, default=3, help="micro rounds (median)")
+    parser.add_argument(
+        "--scale-rounds", type=int, default=None, help="scaling rounds (median; default 3, quick 1)"
+    )
+    parser.add_argument(
+        "--out", type=Path, default=Path(__file__).resolve().parent.parent / "BENCH_cluster.json"
+    )
+    args = parser.parse_args(argv)
+
+    n_vms = args.n_vms or (5000 if args.quick else SCALE_N_VMS)
+    scale_rounds = args.scale_rounds or (1 if args.quick else 3)
+
+    print(f"[run_bench] micro benchmarks ({args.rounds} rounds)...", flush=True)
+    micro = micro_benchmarks(args.rounds)
+    for name, t in micro.items():
+        print(f"  {name:28s} {t:8.4f}s")
+
+    print(
+        f"[run_bench] scaling benchmark ({n_vms} VMs, {scale_rounds} round(s), "
+        "optimized vs reference)...",
+        flush=True,
+    )
+
+    def progress(name, case):
+        print(
+            f"  {name:24s} opt={case['optimized_s']:8.3f}s "
+            f"ref={case['reference_s']:8.3f}s speedup={case['speedup']:5.2f}x"
+            f"{'  [headline]' if case['headline'] else ''}",
+            flush=True,
+        )
+
+    scale = run_scale_benchmark(n_vms=n_vms, rounds=scale_rounds, progress=progress)
+
+    report = {
+        "schema": 1,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "micro": {"n_vms": MICRO_N_VMS, "rounds": args.rounds, "cases": micro},
+        "scale": scale,
+    }
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    agg = scale["aggregate"]
+    head = scale.get("headline")
+    print(f"[run_bench] aggregate: {agg['speedup']:.2f}x "
+          f"(opt {agg['optimized_s']:.1f}s vs ref {agg['reference_s']:.1f}s)")
+    if head:
+        print(f"[run_bench] headline ({len(head['cases'])} cases): {head['speedup']:.2f}x")
+    print(f"[run_bench] wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

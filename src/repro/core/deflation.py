@@ -47,11 +47,11 @@ def _validate_inputs(
     prios = np.asarray(priorities, dtype=np.float64)
     if caps.shape != mins.shape or caps.shape != prios.shape:
         raise DeflationError("capacities, minimums and priorities must have equal shapes")
-    if np.any(caps < -_TOL):
+    if (caps < -_TOL).any():
         raise DeflationError("capacities must be non-negative")
-    if np.any(mins < -_TOL) or np.any(mins > caps + 1e-6):
+    if (mins < -_TOL).any() or (mins > caps + 1e-6).any():
         raise DeflationError("minimums must satisfy 0 <= m_i <= M_i")
-    if np.any(prios <= 0.0) or np.any(prios > 1.0):
+    if (prios <= 0.0).any() or (prios > 1.0).any():
         raise DeflationError("priorities must be in (0, 1]")
     return caps, np.minimum(mins, caps), prios
 
@@ -71,8 +71,19 @@ def _waterfill_reclaim(
     if amount >= total_cap - _TOL:
         return cap.copy()
 
+    # One reused scratch buffer and raw ufunc calls with ``out=``: the
+    # bisection evaluates the clipped sum ~80 times per solve and the
+    # per-call allocations plus np.clip dispatch dominated the simulator's
+    # priority-policy runs.  clip(x, 0, cap) == minimum(maximum(x, 0), cap)
+    # bit for bit on finite data, so results are unchanged.
+    tmp = np.empty_like(base)
+
     def clipped_sum(alpha: float) -> float:
-        return float(np.clip(base - alpha * weight, 0.0, cap).sum())
+        np.multiply(weight, alpha, out=tmp)
+        np.subtract(base, tmp, out=tmp)
+        np.maximum(tmp, 0.0, out=tmp)
+        np.minimum(tmp, cap, out=tmp)
+        return float(np.add.reduce(tmp))
 
     # Bracket: alpha low enough that everything is at cap, high enough that
     # everything is at zero.
@@ -136,6 +147,25 @@ class DeflationPolicy(abc.ABC):
         that as a reclamation failure (Figure 20).
         """
 
+    def target_allocations_trusted(
+        self,
+        capacities: np.ndarray,
+        minimums: np.ndarray,
+        priorities: np.ndarray,
+        required: float,
+    ) -> DeflationResult:
+        """:meth:`target_allocations` for inputs the caller has validated.
+
+        The cluster simulator evaluates policies tens of thousands of times
+        per replay on per-server arrays it constructed itself (always valid
+        float64, ``0 <= m_i <= M_i``, ``0 < pi_i <= 1``); re-validating them
+        on every call dominated the solve cost.  The default delegates to
+        :meth:`target_allocations`, so third-party policies keep working
+        unchanged; the built-in policies override this to run the identical
+        math without the checks — results are bit-for-bit the same.
+        """
+        return self.target_allocations(capacities, minimums, priorities, required)
+
     # Convenience wrapper shared by all policies.
     def _finalize(
         self, capacities: np.ndarray, reclaim: np.ndarray, required: float
@@ -162,6 +192,16 @@ class ProportionalPolicy(DeflationPolicy):
 
     def target_allocations(self, capacities, minimums, priorities, required) -> DeflationResult:
         caps, mins, _ = _validate_inputs(capacities, minimums, priorities)
+        return self._compute(caps, mins, required)
+
+    def target_allocations_trusted(self, capacities, minimums, priorities, required):
+        # Exact type check: a subclass overriding target_allocations (the
+        # documented hook) must not be silently bypassed by the fast entry.
+        if type(self) is not ProportionalPolicy:
+            return self.target_allocations(capacities, minimums, priorities, required)
+        return self._compute(capacities, np.minimum(minimums, capacities), required)
+
+    def _compute(self, caps, mins, required) -> DeflationResult:
         pool = caps - mins
         if required <= _TOL or caps.size == 0:
             return self._finalize(caps, np.zeros_like(caps), max(required, 0.0))
@@ -203,6 +243,18 @@ class PriorityPolicy(DeflationPolicy):
 
     def target_allocations(self, capacities, minimums, priorities, required) -> DeflationResult:
         caps, mins, prios = _validate_inputs(capacities, minimums, priorities)
+        return self._compute(caps, mins, prios, required)
+
+    def target_allocations_trusted(self, capacities, minimums, priorities, required):
+        # Exact type check: a subclass overriding target_allocations (the
+        # documented hook) must not be silently bypassed by the fast entry.
+        if type(self) is not PriorityPolicy:
+            return self.target_allocations(capacities, minimums, priorities, required)
+        return self._compute(
+            capacities, np.minimum(minimums, capacities), priorities, required
+        )
+
+    def _compute(self, caps, mins, prios, required) -> DeflationResult:
         if required <= _TOL or caps.size == 0:
             return self._finalize(caps, np.zeros_like(caps), max(required, 0.0))
         eff_min = self._effective_min(caps, mins, prios)
@@ -241,6 +293,18 @@ class DeterministicPolicy(DeflationPolicy):
 
     def target_allocations(self, capacities, minimums, priorities, required) -> DeflationResult:
         caps, mins, prios = _validate_inputs(capacities, minimums, priorities)
+        return self._compute(caps, mins, prios, required)
+
+    def target_allocations_trusted(self, capacities, minimums, priorities, required):
+        # Exact type check: a subclass overriding target_allocations (the
+        # documented hook) must not be silently bypassed by the fast entry.
+        if type(self) is not DeterministicPolicy:
+            return self.target_allocations(capacities, minimums, priorities, required)
+        return self._compute(
+            capacities, np.minimum(minimums, capacities), priorities, required
+        )
+
+    def _compute(self, caps, mins, prios, required) -> DeflationResult:
         reclaim = np.zeros_like(caps)
         if required <= _TOL or caps.size == 0:
             return self._finalize(caps, reclaim, max(required, 0.0))

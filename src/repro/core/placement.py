@@ -249,7 +249,9 @@ def vectorized_cosine_scores(
     if demand.shape != (NUM_RESOURCES,):
         raise PlacementError(f"demand must have shape ({NUM_RESOURCES},)")
     mat = np.asarray(availability_matrix, dtype=np.float64)
-    norms = np.linalg.norm(mat, axis=1)
+    # Inlined 2-norm (what np.linalg.norm(mat, axis=1) computes for real
+    # float64, bit for bit) — skips the linalg dispatch on this hot path.
+    norms = np.sqrt(np.add.reduce(mat * mat, axis=1))
     dnorm = float(np.linalg.norm(demand))
     if dnorm < eps:
         raise PlacementError("demand vector must be non-zero")

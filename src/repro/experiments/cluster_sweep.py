@@ -1,47 +1,88 @@
 """Shared overcommitment sweep for Figures 20-22.
 
-One trace, one (policy x overcommitment) grid, cached per scale so the three
+One trace, one (policy x overcommitment) grid, memoized through the
+scenario-level :class:`~repro.scenario.cache.SweepCache` so the three
 figures (failure probability, throughput, revenue) and their benchmarks
 reuse identical runs — as in the paper, which evaluates all three metrics
 from the same simulations.
+
+The grid is declared with workload specs (``{"source": "azure", ...}``)
+rather than pre-built traces, so every scenario serializes and the cache
+keys capture the full provenance (trace size, seed, policy, OC target,
+partitioning).  By default the cache lives in memory for the process; set
+``REPRO_SWEEP_CACHE_DIR`` to persist sweep results on disk across runs —
+``python -m repro.experiments fig20 fig21 fig22`` then simulates the grid
+once, ever.
 """
 
 from __future__ import annotations
 
+import os
+
 from repro.experiments.base import check_scale
-from repro.simulator.metrics import OvercommitSweep, overcommitment_sweep
-from repro.traces.azure import AzureTraceConfig, synthesize_azure_trace
+from repro.scenario import Scenario, SweepCache, run_sweep
+from repro.simulator.metrics import DEFAULT_POLICIES, OvercommitSweep, SweepPoint
 
 OC_LEVELS = (0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7)
 OC_LEVELS_SMALL = (0.0, 0.2, 0.4, 0.6, 0.7)
 
 _SCALE_N_VMS = {"small": 500, "full": 2500}
 
-
-_SWEEP_CACHE: dict[tuple, OvercommitSweep] = {}
+#: Process-wide sweep memo; on-disk when REPRO_SWEEP_CACHE_DIR is set.
+SWEEP_CACHE = SweepCache(path=os.environ.get("REPRO_SWEEP_CACHE_DIR") or None)
 
 
 def cluster_sweep(
     scale: str, partitioned: bool = False, seed: int = 31, workers: int | None = None
 ) -> OvercommitSweep:
-    """Cached (policy x OC) grid, now built through the Scenario pipeline.
+    """The (policy x OC) grid, built through the Scenario pipeline.
 
-    ``workers`` > 1 fans the grid out over processes; results are
-    bit-identical for any worker count, so it is deliberately *not* part of
-    the cache key — it only controls how a cache miss is computed.
+    Results come from :data:`SWEEP_CACHE`; only cache misses simulate.
+    ``workers`` > 1 fans misses out over processes; results are
+    bit-identical for any worker count and for warm-vs-cold caches, so it
+    is deliberately *not* part of the cache key — it only controls how a
+    miss is computed.
     """
     check_scale(scale)
-    key = (scale, partitioned, seed)
-    if key not in _SWEEP_CACHE:
-        traces = synthesize_azure_trace(
-            AzureTraceConfig(n_vms=_SCALE_N_VMS[scale], seed=seed)
+    levels = OC_LEVELS_SMALL if scale == "small" else OC_LEVELS
+    base = Scenario(name="cluster-sweep").with_workload(
+        "azure", n_vms=_SCALE_N_VMS[scale], seed=seed
+    )
+    if partitioned:
+        base = base.with_partitions()
+    scenarios = [
+        base.with_policy(policy).with_overcommitment(oc)
+        for policy in DEFAULT_POLICIES
+        for oc in levels
+    ]
+    results = run_sweep(scenarios, workers=workers, cache=SWEEP_CACHE)
+    points: dict[str, list[SweepPoint]] = {policy: [] for policy in DEFAULT_POLICIES}
+    for res in results:
+        points[res.scenario.policy].append(
+            SweepPoint(
+                overcommitment_target=res.scenario.overcommitment,
+                n_servers=res.n_servers,
+                result=res.sim,
+            )
         )
-        levels = OC_LEVELS_SMALL if scale == "small" else OC_LEVELS
-        _SWEEP_CACHE[key] = overcommitment_sweep(
-            traces, levels=levels, partitioned=partitioned, workers=workers
-        )
-    return _SWEEP_CACHE[key]
+    return OvercommitSweep(trace_size=_SCALE_N_VMS[scale], points=points)
+
+
+def _reset_sweep_cache() -> None:
+    """Give the next sweep an empty cache without touching persistent state.
+
+    In-memory caches are simply cleared.  Disk-backed caches (the user set
+    ``REPRO_SWEEP_CACHE_DIR`` precisely to keep results across runs) are
+    *detached* instead — a fresh in-memory cache takes their place for the
+    rest of the process — so benchmark cold-runs never destroy the
+    persistent store they were asked to preserve.
+    """
+    global SWEEP_CACHE
+    if SWEEP_CACHE.path is None:
+        SWEEP_CACHE.clear()
+    else:
+        SWEEP_CACHE = SweepCache()
 
 
 #: Kept API-compatible with the old ``lru_cache`` wrapper (benchmarks call it).
-cluster_sweep.cache_clear = _SWEEP_CACHE.clear
+cluster_sweep.cache_clear = _reset_sweep_cache

@@ -16,6 +16,8 @@ from __future__ import annotations
 import abc
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.errors import ReproError, UnknownComponentError
 from repro.registry import RegistryView, register, resolve
 
@@ -50,6 +52,25 @@ class PricingModel(abc.ABC):
             raise ReproError(f"allocation fraction out of range: {allocation_fraction}")
         return capacity_units * duration * self.rate(priority, min(allocation_fraction, 1.0))
 
+    def rate_batch(
+        self, priorities: np.ndarray, allocation_fractions: np.ndarray
+    ) -> np.ndarray:
+        """Vectorized :meth:`rate` over a VM population.
+
+        The default delegates to the scalar method element by element, so
+        downstream pricing plug-ins stay correct without extra work; the
+        stock models override it with pure array expressions producing
+        bit-identical rates (the cluster simulator's vectorized revenue
+        accounting relies on that).
+        """
+        return np.array(
+            [
+                self.rate(float(p), float(a))
+                for p, a in zip(priorities, allocation_fractions)
+            ],
+            dtype=np.float64,
+        )
+
 
 @register("pricing", "static")
 class StaticPricing(PricingModel):
@@ -65,6 +86,9 @@ class StaticPricing(PricingModel):
     def rate(self, priority: float, allocation_fraction: float) -> float:
         return self.discount
 
+    def rate_batch(self, priorities, allocation_fractions):
+        return np.full(len(priorities), self.discount)
+
 
 @register("pricing", "priority")
 class PriorityPricing(PricingModel):
@@ -76,6 +100,15 @@ class PriorityPricing(PricingModel):
         if not (0.0 < priority <= 1.0):
             raise ReproError(f"priority must be in (0, 1], got {priority}")
         return priority
+
+    def rate_batch(self, priorities, allocation_fractions):
+        prios = np.asarray(priorities, dtype=np.float64)
+        bad = (prios <= 0.0) | (prios > 1.0)
+        if np.any(bad):
+            raise ReproError(
+                f"priority must be in (0, 1], got {float(prios[bad][0])}"
+            )
+        return prios.copy()
 
 
 @register("pricing", "allocation")
@@ -96,6 +129,9 @@ class AllocationPricing(PricingModel):
 
     def rate(self, priority: float, allocation_fraction: float) -> float:
         return self.base_rate * allocation_fraction
+
+    def rate_batch(self, priorities, allocation_fractions):
+        return self.base_rate * np.asarray(allocation_fractions, dtype=np.float64)
 
 
 @dataclass(frozen=True)

@@ -28,6 +28,7 @@ policy, scorer, pricing model, or workload source makes it addressable here
 with no changes to the pipeline.
 """
 
+from repro.scenario.cache import SweepCache, cacheable, scenario_key
 from repro.scenario.engine import ClusterSimEngine, Engine, resolve_workload
 from repro.scenario.results import ResultSet, ScenarioResult
 from repro.scenario.scenario import Scenario
@@ -39,7 +40,10 @@ __all__ = [
     "ResultSet",
     "Scenario",
     "ScenarioResult",
+    "SweepCache",
+    "cacheable",
     "resolve_workload",
     "run_scenario",
     "run_sweep",
+    "scenario_key",
 ]

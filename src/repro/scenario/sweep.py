@@ -22,6 +22,8 @@ from repro.scenario import engine as _engine_module  # noqa: F401  (registers en
 from repro.scenario.results import ResultSet, ScenarioResult
 from repro.scenario.scenario import Scenario
 
+__all__ = ["run_scenario", "run_sweep"]
+
 
 def run_scenario(scenario: Scenario) -> ScenarioResult:
     """Run one scenario on its configured engine (a fresh engine instance)."""
@@ -40,6 +42,7 @@ def run_sweep(
     scenarios: Iterable[Scenario],
     workers: int | None = None,
     chunksize: int | None = None,
+    cache=None,
 ) -> ResultSet:
     """Run scenarios serially (``workers`` in {None, 0, 1}) or in parallel.
 
@@ -51,11 +54,32 @@ def run_sweep(
     one explicit ``traces`` object serializes it once per chunk (pickle
     memoizes within a call), not once per scenario, while chunks stay small
     enough to load-balance uneven scenario runtimes.
+
+    ``cache`` is an optional :class:`~repro.scenario.cache.SweepCache`:
+    cached scenarios are served without running, only the misses execute
+    (still fanning out when ``workers`` > 1), and fresh results are stored
+    back.  A warm cache returns contents identical to a cold run; scenarios
+    that cannot serialize (explicit traces) bypass the cache transparently.
     """
     todo = list(scenarios)
+    if cache is None:
+        return ResultSet(tuple(_execute(todo, workers, chunksize)))
+
+    results: list = [cache.get(s) for s in todo]
+    miss_idx = [i for i, r in enumerate(results) if r is None]
+    computed = _execute([todo[i] for i in miss_idx], workers, chunksize)
+    for i, result in zip(miss_idx, computed):
+        cache.put(result)
+        results[i] = result
+    return ResultSet(tuple(results))
+
+
+def _execute(
+    todo: list[Scenario], workers: int | None, chunksize: int | None
+) -> list[ScenarioResult]:
+    """Run scenarios in input order, serially or over a process pool."""
     if workers is None or workers <= 1 or len(todo) <= 1:
-        return ResultSet(tuple(run_scenario(s) for s in todo))
+        return [run_scenario(s) for s in todo]
     n = min(int(workers), len(todo))
     with _pool_context().Pool(processes=n) as pool:
-        results = pool.map(run_scenario, todo, chunksize=chunksize)
-    return ResultSet(tuple(results))
+        return pool.map(run_scenario, todo, chunksize=chunksize)

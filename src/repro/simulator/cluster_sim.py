@@ -19,9 +19,31 @@ CPU usage (4 levels); bin-packing and deflation consider CPU cores and
 memory; the same trace is replayed while the server count shrinks to raise
 overcommitment.
 
-The simulator is array-backed: policies are evaluated on NumPy views of the
-per-server resident sets, so a 2,000-VM / 40-server / multi-day trace runs
-in seconds.
+Hot-path design (profiled on 20k-VM traces; every change is bit-identical
+to :mod:`repro.simulator.reference`, the pinned pre-optimization snapshot —
+see ``tests/simulator/test_golden_equivalence.py``.  One deliberate
+exception: when partitioning is enabled with more pools than servers, the
+``_assign_partitions`` trim-loop bug fix drops the *smallest-demand* pools
+instead of the lowest-index ones, so that regime intentionally diverges
+from the reference):
+
+* events are sorted once as a structured NumPy array instead of a Python
+  tuple list with a lambda key;
+* the cluster's committed CPU is maintained as an incrementally updated
+  scalar, so peak tracking no longer scans ``committed[:, 0]`` per start
+  event (exact, since core counts are integers);
+* candidate-server index arrays are precomputed per pool instead of being
+  rebuilt with ``np.arange``/``np.nonzero`` on every event;
+* ``_rebalance`` skips the per-dimension policy solves entirely when a
+  server has no pressure and nothing reclaimed (the dominant case below
+  full subscription), and caches the per-server resident index/capacity
+  gathers between membership changes instead of ``np.fromiter`` per call;
+* per-VM allocation histories live in growable flat arrays (one bulk append
+  per rebalance) rather than per-VM tuple lists, and ``_collect`` is
+  vectorized: never-deflated VMs take closed-form fast paths, and all
+  pricing models are evaluated over the whole VM population with array ops
+  (order-preserving ``cumsum`` reductions keep float accumulation
+  bit-identical to the original per-VM loop).
 """
 
 from __future__ import annotations
@@ -34,10 +56,11 @@ import numpy as np
 from repro.core.deflation import DeflationPolicy, get_policy
 from repro.core.vm import VMClass, priority_from_p95
 from repro.errors import SimulationError
-from repro.pricing.models import PRICING_MODELS
+from repro.pricing.models import PRICING_MODELS, PricingModel
 from repro.registry import create, validate
 from repro.simulator.components import (
     AdmissionController,
+    DeflationAwareAdmission,
     MetricsCollector,
     PlacementScorer,
 )
@@ -94,7 +117,12 @@ class ClusterSimConfig:
 
 @dataclass
 class VMOutcome:
-    """Per-VM bookkeeping for the metrics."""
+    """Per-VM bookkeeping for the metrics.
+
+    The piecewise-constant allocation history formerly stored here as a
+    tuple list now lives in the simulator's flat history arrays; fetch it
+    with :meth:`ClusterSimulator.allocation_history`.
+    """
 
     vm_index: int
     deflatable: bool
@@ -105,8 +133,6 @@ class VMOutcome:
     preempted: bool = False
     reclaim_failure: bool = False
     end_interval: float = 0.0  # actual end (may be early if preempted)
-    #: Piecewise-constant CPU allocation fraction: list of (interval, frac).
-    alloc_history: list[tuple[float, float]] = field(default_factory=list)
 
 
 @dataclass
@@ -170,6 +196,10 @@ class ClusterSimulator:
         self._collectors: tuple[MetricsCollector, ...] = tuple(
             create("metrics", name) for name in config.collectors
         )
+        # Exact type check: a subclass may override feasible(), and the
+        # no-deflation admission shortcut is only provably equivalent for
+        # the stock rule.
+        self._stock_admission = type(self._admission) is DeflationAwareAdmission
         self._prepare_vms()
         self._prepare_servers()
 
@@ -182,6 +212,15 @@ class ClusterSimulator:
         self.vm_deflatable = np.zeros(n, dtype=bool)
         #: Hosting server per VM (-1 = not placed).
         self.vm_server = np.full(n, -1, dtype=np.int64)
+        # Outcome flags mirrored as arrays so _collect can count and slice
+        # the population without a Python loop over VMOutcome objects.
+        self.vm_placed = np.zeros(n, dtype=bool)
+        self.vm_rejected = np.zeros(n, dtype=bool)
+        self.vm_preempted = np.zeros(n, dtype=bool)
+        self.vm_reclaim_failure = np.zeros(n, dtype=bool)
+        self.vm_start = np.zeros(n, dtype=np.int64)
+        self.vm_end = np.zeros(n, dtype=np.int64)
+        self.vm_lifetime = np.zeros(n, dtype=np.int64)
         self.outcomes: list[VMOutcome] = []
         for i, rec in enumerate(self.traces):
             self.vm_caps[i, 0] = rec.cores
@@ -189,6 +228,9 @@ class ClusterSimulator:
             deflatable = rec.vm_class == VMClass.INTERACTIVE
             self.vm_deflatable[i] = deflatable
             self.vm_prio[i] = priority_from_p95(rec.p95_cpu) if deflatable else 1.0
+            self.vm_start[i] = rec.start_interval
+            self.vm_end[i] = rec.end_interval
+            self.vm_lifetime[i] = rec.lifetime_intervals
             self.outcomes.append(
                 VMOutcome(
                     vm_index=i,
@@ -206,6 +248,16 @@ class ClusterSimulator:
         else:
             self.vm_floor = base_floor
         self.vm_floor[~self.vm_deflatable] = 0.0
+        # Growable flat allocation-history log: (vm, interval, frac) triples
+        # in event order, bulk-appended per rebalance.  ``_last_frac`` holds
+        # each VM's most recently recorded fraction (the old per-VM
+        # ``hist[-1][1]`` guard).
+        self._hist_vm = np.empty(max(4 * n, 64), dtype=np.int64)
+        self._hist_t = np.empty(self._hist_vm.size, dtype=np.float64)
+        self._hist_f = np.empty(self._hist_vm.size, dtype=np.float64)
+        self._hist_n = 0
+        self._hist_sorted: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
+        self._last_frac = np.ones(n)
 
     def _prepare_servers(self) -> None:
         cfg = self.config
@@ -223,6 +275,21 @@ class ClusterSimulator:
         # for tie-breaking.
         self.residents: list[dict[int, None]] = [{} for _ in range(s)]
         self.resident_deflatable: list[dict[int, None]] = [{} for _ in range(s)]
+        #: Incrementally maintained ``committed[:, 0].sum()`` (exact: core
+        #: counts are integers, so adds/subtracts never lose bits).
+        self._committed_cores = 0.0
+        #: Per-server cached (idx, caps, floors, prios) gathers over the
+        #: deflatable residents; invalidated on membership changes so
+        #: ``_rebalance`` stops paying ``np.fromiter`` + fancy-indexing on
+        #: every event.
+        self._srv_cache: list[tuple | None] = [None] * s
+        #: Per-server cached eviction order (ascending priority) for the
+        #: preemption baseline; same invalidation discipline.
+        self._srv_victims: list[list[int] | None] = [None] * s
+        #: Constant per-event operands, hoisted out of the loop.
+        self._cap_eps = self.server_cap + 1e-9
+        #: Candidate index arrays, precomputed once (read-only).
+        self._all_servers = np.arange(s)
         # Partition assignment: deflatable pools 0..n_partitions-1 by
         # priority level, plus one on-demand pool.  Server shares follow the
         # paper's advice to size pools by the workload mix (we use committed
@@ -230,6 +297,7 @@ class ClusterSimulator:
         self.server_pool = np.full(s, -1, dtype=np.int64)
         if cfg.partitioned:
             self._assign_partitions()
+        self._refresh_derived()
 
     def _assign_partitions(self) -> None:
         cfg = self.config
@@ -243,46 +311,98 @@ class ClusterSimulator:
         shares = np.asarray(shares, dtype=np.float64)
         shares = shares / shares.sum() if shares.sum() > 0 else np.ones_like(shares) / len(shares)
         counts = np.maximum(1, np.round(shares * cfg.n_servers).astype(int))
-        # Trim/extend to exactly n_servers.
+        # Trim to exactly n_servers without violating the one-server minimum:
+        # shrink the largest pool that still has more than one server.  Only
+        # when there are more pools than servers is the minimum infeasible —
+        # then drop whole pools, smallest demand share first, so the busiest
+        # priority levels keep their servers.
         while counts.sum() > cfg.n_servers:
-            counts[np.argmax(counts)] -= 1
+            above_min = counts > 1
+            if np.any(above_min):
+                candidates = np.where(above_min, counts, -1)
+                counts[np.argmax(candidates)] -= 1
+            else:
+                alive = np.nonzero(counts > 0)[0]
+                drop = alive[np.argmin(shares[alive])]
+                counts[drop] = 0
         while counts.sum() < cfg.n_servers:
             counts[np.argmax(shares)] += 1
         pools = np.repeat(np.arange(len(counts)), counts)
         self.server_pool = pools[: cfg.n_servers]
         self._pool_of_level = {lvl: k for k, lvl in enumerate(levels)}
         self._on_demand_pool = len(levels)
+        # Precompute pool membership so _candidate_servers stops rebuilding
+        # np.nonzero masks per event.
+        self._pool_members = [
+            np.nonzero(self.server_pool == k)[0] for k in range(len(counts))
+        ]
+
+    def _refresh_derived(self) -> None:
+        """(Re)build caches derived from the per-VM arrays.
+
+        Called at construction *and* at the top of :meth:`run`: the blessed
+        ``engine.build()`` flow mutates ``vm_prio`` / ``vm_floor`` /
+        ``vm_caps`` on the built simulator before replaying (e.g. the
+        priority-level ablation), and these snapshots must reflect that
+        surgery exactly like the reference's live per-event reads did.
+        """
+        # Scalar-friendly copies for the preemption inner loops (plain
+        # Python floats: the victim scan adds two numbers per resident and
+        # NumPy scalar overhead dominated it).
+        self._vm_cores_list = self.vm_caps[:, 0].tolist()
+        self._vm_mem_list = self.vm_caps[:, 1].tolist()
+        self._vm_prio_list = self.vm_prio.tolist()
+        #: Normalized demand rows for _choose_server.
+        self._demand_norm = self.vm_caps / self.server_cap[0]
+        self._vm_caps_eps = self.vm_caps - 1e-9
+        if self.config.partitioned:
+            lvls = np.round(self.vm_prio, 6)
+            n = len(self.traces)
+            self._vm_pool = np.full(n, self._on_demand_pool, dtype=np.int64)
+            # The old per-event lookup defaulted unknown levels to pool 0.
+            self._vm_pool[self.vm_deflatable] = 0
+            for lvl, k in self._pool_of_level.items():
+                self._vm_pool[self.vm_deflatable & (lvls == lvl)] = k
 
     # -- main loop -----------------------------------------------------------------
 
     def run(self) -> ClusterSimResult:
-        events: list[tuple[float, int, int, int]] = []
-        for i, rec in enumerate(self.traces):
-            # Ends sort before starts at the same interval (kind 0 < 1).
-            events.append((float(rec.start_interval), 1, i, i))
-            events.append((float(rec.end_interval), 0, i, i))
-        events.sort(key=lambda e: (e[0], e[1], e[2]))
+        self._refresh_derived()  # pick up any post-build surgery
+        n = len(self.traces)
+        # Structured sort: ends (kind 0) before starts (kind 1) at the same
+        # interval, ties broken by VM index — the exact key the old Python
+        # ``events.sort(key=...)`` used, minus the per-element lambda calls.
+        events = np.empty(
+            2 * n, dtype=[("t", np.float64), ("kind", np.int8), ("vm", np.int64)]
+        )
+        events["t"][:n] = self.vm_end
+        events["kind"][:n] = 0
+        events["vm"][:n] = np.arange(n)
+        events["t"][n:] = self.vm_start
+        events["kind"][n:] = 1
+        events["vm"][n:] = np.arange(n)
+        events.sort(order=("t", "kind", "vm"))
 
         peak_committed = 0.0
-        for t, kind, _, vm in events:
+        handle_start, handle_end = self._handle_start, self._handle_end
+        for t, kind, vm in zip(
+            events["t"].tolist(), events["kind"].tolist(), events["vm"].tolist()
+        ):
             if kind == 0:
-                self._handle_end(t, vm)
+                handle_end(t, vm)
             else:
-                self._handle_start(t, vm)
-                peak_committed = max(peak_committed, float(self.committed[:, 0].sum()))
+                handle_start(t, vm)
+                if self._committed_cores > peak_committed:
+                    peak_committed = self._committed_cores
         return self._collect(peak_committed)
 
     # -- event handlers -----------------------------------------------------------
 
     def _candidate_servers(self, vm: int) -> np.ndarray:
+        """Cached candidate index array for this VM's pool (do not mutate)."""
         if not self.config.partitioned:
-            return np.arange(self.config.n_servers)
-        if self.vm_deflatable[vm]:
-            lvl = float(np.round(self.vm_prio[vm], 6))
-            pool = self._pool_of_level.get(lvl, 0)
-        else:
-            pool = self._on_demand_pool
-        return np.nonzero(self.server_pool == pool)[0]
+            return self._all_servers
+        return self._pool_members[self._vm_pool[vm]]
 
     def _handle_start(self, t: float, vm: int) -> None:
         out = self.outcomes[vm]
@@ -296,66 +416,105 @@ class ClusterSimulator:
             self._place_preemption(t, vm, candidates)
             return
 
-        feas_idx = self._admission.feasible(self, vm, candidates)
-        if feas_idx.size == 0:
-            self._reject(t, vm, out)
-            return
-
         # Prefer servers that can host the VM without deflating anyone —
         # "when there is surplus capacity in the cluster, the cloud manager
         # allocates these resources to lower priority VMs (without deflating
         # them)" (Section 5).  Only under genuine pressure do we fall back
-        # to deflation-requiring servers.
-        no_deflation = np.all(
-            self.committed[feas_idx] + demand <= self.server_cap[feas_idx] + 1e-9,
-            axis=1,
-        )
-        pool_idx = feas_idx[no_deflation] if np.any(no_deflation) else feas_idx
+        # to deflation-requiring servers.  Under the stock deflation-aware
+        # rule a no-deflation server is always feasible (its overflow is
+        # <= 0 and reclaimable pools are never negative), so when any exist
+        # the admission controller does not need to run at all.
+        whole_cluster = candidates is self._all_servers
+        if self._stock_admission:
+            if whole_cluster:  # gather-free: candidates are rows 0..s-1
+                no_deflation = (self.committed + demand <= self._cap_eps).all(axis=1)
+            else:
+                no_deflation = (
+                    self.committed[candidates] + demand <= self._cap_eps[candidates]
+                ).all(axis=1)
+            if no_deflation.all():
+                pool_idx = candidates
+            elif no_deflation.any():
+                pool_idx = candidates[no_deflation]
+            else:
+                pool_idx = self._admission.feasible(self, vm, candidates)
+                if pool_idx.size == 0:
+                    self._reject(t, vm, out)
+                    return
+        else:
+            feas_idx = self._admission.feasible(self, vm, candidates)
+            if feas_idx.size == 0:
+                self._reject(t, vm, out)
+                return
+            no_deflation = (
+                self.committed[feas_idx] + demand <= self._cap_eps[feas_idx]
+            ).all(axis=1)
+            pool_idx = feas_idx[no_deflation] if no_deflation.any() else feas_idx
 
-        # Availability vector (Section 5.2): free + deflatable/overcommitment.
-        used = self.committed[pool_idx] - self.reclaimed[pool_idx]
-        free = np.maximum(self.server_cap[pool_idx] - used, 0.0)
-        headroom = np.maximum(
-            (self.defl_cap[pool_idx] - self.reclaimed[pool_idx])
-            - self.defl_floor[pool_idx],
-            0.0,
-        )
-        oc = np.maximum(self.committed[pool_idx] / self.server_cap[pool_idx], 1.0)
-        availability = free + headroom / oc
-        server = self._choose_server(vm, pool_idx, availability)
+        if pool_idx.size == 1:
+            # argmax over one candidate is that candidate; skip the scoring.
+            server = int(pool_idx[0])
+        else:
+            # Availability (Section 5.2): free + deflatable/overcommitment.
+            if pool_idx is self._all_servers:
+                com, recl = self.committed, self.reclaimed
+                dcap, dfloor, scap = self.defl_cap, self.defl_floor, self.server_cap
+            else:
+                com, recl = self.committed[pool_idx], self.reclaimed[pool_idx]
+                dcap, dfloor = self.defl_cap[pool_idx], self.defl_floor[pool_idx]
+                scap = self.server_cap[pool_idx]
+            used = com - recl
+            free = np.maximum(scap - used, 0.0)
+            headroom = np.maximum((dcap - recl) - dfloor, 0.0)
+            oc = np.maximum(com / scap, 1.0)
+            availability = free + headroom / oc
+            server = self._choose_server(vm, pool_idx, availability, scap)
 
         self._admit(t, vm, server)
         self._rebalance(t, server)
 
     def _choose_server(
-        self, vm: int, pool_idx: np.ndarray, availability: np.ndarray
+        self,
+        vm: int,
+        pool_idx: np.ndarray,
+        availability: np.ndarray,
+        cap_rows: np.ndarray | None = None,
     ) -> int:
         """Rank candidate servers with the configured scorer; argmax wins.
 
         Both vectors are normalized into capacity fractions so scorers
         compare shapes, not raw units (memory MB would dwarf CPU cores).
+        ``cap_rows`` carries ``server_cap[pool_idx]`` when the caller already
+        gathered it.
         """
-        avail_norm = availability / self.server_cap[pool_idx]
-        demand_norm = self.vm_caps[vm] / self.server_cap[0]
-        scores = self._scorer.score(demand_norm, avail_norm)
+        if cap_rows is None:
+            cap_rows = self.server_cap[pool_idx]
+        avail_norm = availability / cap_rows
+        scores = self._scorer.score(self._demand_norm[vm], avail_norm)
         return int(pool_idx[int(np.argmax(scores))])
 
     def _admit(self, t: float, vm: int, server: int) -> None:
         out = self.outcomes[vm]
         out.placed = True
+        self.vm_placed[vm] = True
         self.committed[server] += self.vm_caps[vm]
+        self._committed_cores += float(self.vm_caps[vm, 0])
         self.residents[server][vm] = None
         self.vm_server[vm] = server
         if self.vm_deflatable[vm]:
             self.resident_deflatable[server][vm] = None
             self.defl_cap[server] += self.vm_caps[vm]
             self.defl_floor[server] += self.vm_floor[vm]
-            out.alloc_history.append((t, 1.0))
+            self._srv_cache[server] = None
+            self._srv_victims[server] = None
+            self._append_history_one(vm, t, 1.0)
+            self._last_frac[vm] = 1.0
         for c in self._collectors:
             c.on_admit(t, vm, server, self)
 
     def _reject(self, t: float, vm: int, out: VMOutcome) -> None:
         out.rejected = True
+        self.vm_rejected[vm] = True
         for c in self._collectors:
             c.on_reject(t, vm, self)
 
@@ -365,11 +524,14 @@ class ClusterSimulator:
             return
         server = int(self.vm_server[vm])
         self.committed[server] -= self.vm_caps[vm]
+        self._committed_cores -= float(self.vm_caps[vm, 0])
         del self.residents[server][vm]
         if self.vm_deflatable[vm]:
             del self.resident_deflatable[server][vm]
             self.defl_cap[server] -= self.vm_caps[vm]
             self.defl_floor[server] -= self.vm_floor[vm]
+            self._srv_cache[server] = None
+            self._srv_victims[server] = None
         for c in self._collectors:
             c.on_end(t, vm, server, self)
         if self._policy is not None:
@@ -379,18 +541,52 @@ class ClusterSimulator:
         """Recompute deflatable allocations on one server under its pressure."""
         assert self._policy is not None
         defl = self.resident_deflatable[server]
-        required = self.committed[server] - self.server_cap[server]
         if not defl:
             return
-        idx = np.fromiter(defl, dtype=np.int64, count=len(defl))
-        caps = self.vm_caps[idx]
-        floors = self.vm_floor[idx]
-        prios = self.vm_prio[idx]
+        committed = self.committed[server]
+        r0 = committed[0] - self.server_cap[server, 0]
+        r1 = committed[1] - self.server_cap[server, 1]
+        # Fast path: no pressure and nothing reclaimed.  The policy solves
+        # would return all-zero reclaims with every resident at its last
+        # recorded full allocation (the ``reclaimed == 0`` invariant implies
+        # every resident's last recorded fraction is 1.0), so the whole
+        # per-dimension evaluation is a no-op; only observers run.
+        if (
+            r0 <= 0.0
+            and r1 <= 0.0
+            and self.reclaimed[server, 0] == 0.0
+            and self.reclaimed[server, 1] == 0.0
+        ):
+            for c in self._collectors:
+                c.on_rebalance(t, server, self)
+            return
+        required = (r0, r1)
+        cache = self._srv_cache[server]
+        if cache is None:
+            idx = np.fromiter(defl, dtype=np.int64, count=len(defl))
+            caps = self.vm_caps[idx]
+            cache = (
+                idx,
+                # Contiguous per-dimension columns for the policy solves.
+                (caps[:, 0].copy(), caps[:, 1].copy()),
+                (self.vm_floor[idx, 0], self.vm_floor[idx, 1]),
+                self.vm_prio[idx],
+                np.maximum(caps[:, 0], 1e-12),  # frac denominator
+            )
+            self._srv_cache[server] = cache
+        idx, caps_dim, floors_dim, prios, frac_denom = cache
         new_reclaimed = np.zeros((idx.size, _DIMS))
         unsatisfied = False
         for r in range(_DIMS):
-            req = float(max(required[r], 0.0))
-            result = self._policy.target_allocations(caps[:, r], floors[:, r], prios, req)
+            req = float(required[r])
+            if req <= 0.0:
+                # The policy short-circuits required <= 0 into an all-zero,
+                # satisfied reclaim; keep the zero rows without paying its
+                # input validation (typically the memory dimension).
+                continue
+            result = self._policy.target_allocations_trusted(
+                caps_dim[r], floors_dim[r], prios, req
+            )
             new_reclaimed[:, r] = result.reclaimed
             if not result.satisfied:
                 unsatisfied = True
@@ -398,14 +594,17 @@ class ClusterSimulator:
         if unsatisfied:
             # Should not happen (feasibility was checked at admission), but a
             # departure race could in principle expose it; count it.
+            self.vm_reclaim_failure[idx] = True
             for j in idx:
                 self.outcomes[int(j)].reclaim_failure = True
-        # Record CPU allocation fraction changes.
-        frac = 1.0 - new_reclaimed[:, 0] / np.maximum(caps[:, 0], 1e-12)
-        for k, j in enumerate(idx):
-            hist = self.outcomes[int(j)].alloc_history
-            if not hist or abs(hist[-1][1] - frac[k]) > 1e-9:
-                hist.append((t, float(frac[k])))
+        # Record CPU allocation fraction changes (bulk append).
+        frac = 1.0 - new_reclaimed[:, 0] / frac_denom
+        changed = np.abs(frac - self._last_frac[idx]) > 1e-9
+        if changed.any():
+            sel = idx[changed]
+            fsel = frac[changed]
+            self._append_history_bulk(sel, t, fsel)
+            self._last_frac[sel] = fsel
         for c in self._collectors:
             c.on_rebalance(t, server, self)
 
@@ -414,8 +613,11 @@ class ClusterSimulator:
     def _place_preemption(self, t: float, vm: int, candidates: np.ndarray) -> None:
         out = self.outcomes[vm]
         demand = self.vm_caps[vm]
-        free = self.server_cap[candidates] - self.committed[candidates]
-        fits = np.all(free >= demand - 1e-9, axis=1)
+        if candidates is self._all_servers:
+            free = self.server_cap - self.committed
+        else:
+            free = self.server_cap[candidates] - self.committed[candidates]
+        fits = (free >= self._vm_caps_eps[vm]).all(axis=1)
         fit_idx = candidates[fits]
         if fit_idx.size > 0:
             self._admit(t, vm, self._choose_server(vm, fit_idx, np.maximum(free[fits], 0.0)))
@@ -425,14 +627,19 @@ class ClusterSimulator:
             self._reject(t, vm, out)
             return
         # On-demand under pressure: preempt deflatable VMs, lowest priority
-        # first, on the server needing the fewest preemptions.
+        # first, on the server needing the fewest preemptions.  Plans longer
+        # than the best one found so far can never win (strictly-fewer
+        # tie-breaking), so later servers abandon their scans early.
+        d0, d1 = float(demand[0]), float(demand[1])
         best_server, best_victims = -1, None
-        for s in candidates:
-            victims = self._preemption_plan(int(s), demand)
+        limit = None
+        for s in candidates.tolist():
+            victims = self._plan_victims(s, d0, d1, limit)
             if victims is None:
                 continue
             if best_victims is None or len(victims) < len(best_victims):
-                best_server, best_victims = int(s), victims
+                best_server, best_victims = s, victims
+                limit = len(best_victims)
         if best_victims is None:
             self._reject(t, vm, out)
             return
@@ -442,37 +649,122 @@ class ClusterSimulator:
 
     def _preemption_plan(self, server: int, demand: np.ndarray) -> list[int] | None:
         """Victims (ascending priority) freeing enough room, or None."""
-        free = self.server_cap[server] - self.committed[server]
-        need = demand - free
-        if np.all(need <= 1e-9):
+        return self._plan_victims(server, float(demand[0]), float(demand[1]), None)
+
+    def _plan_victims(
+        self, server: int, d0: float, d1: float, limit: int | None
+    ) -> list[int] | None:
+        """Scalar-math preemption planner.
+
+        ``limit`` prunes plans that already match the caller's best length —
+        they lose the strictly-fewer comparison regardless of how they end.
+        """
+        need0 = d0 - (self.server_cap[server, 0] - self.committed[server, 0])
+        need1 = d1 - (self.server_cap[server, 1] - self.committed[server, 1])
+        if need0 <= 1e-9 and need1 <= 1e-9:
             return []
-        defl = sorted(
-            self.resident_deflatable[server], key=lambda v: (self.vm_prio[v], v)
-        )
+        # Evicting every deflatable resident frees defl_cap, so servers far
+        # short of the need can skip the victim scan.  The margin is kept
+        # three orders looser than the scan's 1e-9 tolerance so float noise
+        # between the incremental defl_cap sum and the scan's running sum
+        # can never prune a server the scan would accept; gray-zone servers
+        # fall through and the scan decides exactly.
+        if self.defl_cap[server, 0] < need0 - 1e-6 or self.defl_cap[server, 1] < need1 - 1e-6:
+            return None
+        order = self._srv_victims[server]
+        if order is None:
+            prio = self._vm_prio_list
+            order = sorted(self.resident_deflatable[server], key=lambda v: (prio[v], v))
+            self._srv_victims[server] = order
+        cores, mem = self._vm_cores_list, self._vm_mem_list
         victims: list[int] = []
-        freed = np.zeros(_DIMS)
-        for v in defl:
-            if np.all(freed >= need - 1e-9):
+        freed0 = freed1 = 0.0
+        for v in order:
+            if freed0 >= need0 - 1e-9 and freed1 >= need1 - 1e-9:
                 break
             victims.append(v)
-            freed += self.vm_caps[v]
-        if np.all(freed >= need - 1e-9):
+            if limit is not None and len(victims) >= limit:
+                return None
+            freed0 += cores[v]
+            freed1 += mem[v]
+        if freed0 >= need0 - 1e-9 and freed1 >= need1 - 1e-9:
             return victims
         return None
 
     def _preempt(self, t: float, vm: int) -> None:
         out = self.outcomes[vm]
         out.preempted = True
+        self.vm_preempted[vm] = True
         out.end_interval = t
         server = int(self.vm_server[vm])
         self.committed[server] -= self.vm_caps[vm]
+        self._committed_cores -= float(self.vm_caps[vm, 0])
         del self.residents[server][vm]
         del self.resident_deflatable[server][vm]
         self.defl_cap[server] -= self.vm_caps[vm]
         self.defl_floor[server] -= self.vm_floor[vm]
-        out.alloc_history.append((t, 0.0))
+        self._srv_cache[server] = None
+        self._srv_victims[server] = None
+        self._append_history_one(vm, t, 0.0)
+        self._last_frac[vm] = 0.0
         for c in self._collectors:
             c.on_preempt(t, vm, server, self)
+
+    # -- allocation-history log --------------------------------------------------------
+
+    def _hist_reserve(self, extra: int) -> None:
+        need = self._hist_n + extra
+        if need <= self._hist_vm.size:
+            return
+        size = max(need, 2 * self._hist_vm.size)
+        for name in ("_hist_vm", "_hist_t", "_hist_f"):
+            old = getattr(self, name)
+            grown = np.empty(size, dtype=old.dtype)
+            grown[: self._hist_n] = old[: self._hist_n]
+            setattr(self, name, grown)
+
+    def _append_history_one(self, vm: int, t: float, frac: float) -> None:
+        self._hist_reserve(1)
+        i = self._hist_n
+        self._hist_vm[i] = vm
+        self._hist_t[i] = t
+        self._hist_f[i] = frac
+        self._hist_n = i + 1
+        self._hist_sorted = None
+
+    def _append_history_bulk(self, vms: np.ndarray, t: float, fracs: np.ndarray) -> None:
+        k = vms.size
+        self._hist_reserve(k)
+        i = self._hist_n
+        self._hist_vm[i : i + k] = vms
+        self._hist_t[i : i + k] = t
+        self._hist_f[i : i + k] = fracs
+        self._hist_n = i + k
+        self._hist_sorted = None
+
+    def _history_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The log grouped by VM (stable, so per-VM order stays event order)."""
+        if self._hist_sorted is None:
+            n = self._hist_n
+            order = np.argsort(self._hist_vm[:n], kind="stable")
+            self._hist_sorted = (
+                self._hist_vm[:n][order],
+                self._hist_t[:n][order],
+                self._hist_f[:n][order],
+            )
+        return self._hist_sorted
+
+    def _history_of(self, vm: int) -> tuple[np.ndarray, np.ndarray]:
+        """(intervals, fractions) recorded for one VM, in event order."""
+        svm, st, sf = self._history_arrays()
+        lo = int(np.searchsorted(svm, vm, side="left"))
+        hi = int(np.searchsorted(svm, vm, side="right"))
+        return st[lo:hi], sf[lo:hi]
+
+    def allocation_history(self, vm: int) -> list[tuple[float, float]]:
+        """Piecewise-constant ``(interval, frac)`` history of one VM."""
+        times, fracs = self._history_of(vm)
+        return list(zip(times.tolist(), fracs.tolist()))
 
     # -- metrics -----------------------------------------------------------------------
 
@@ -482,10 +774,10 @@ class ClusterSimulator:
         if out.preempted:
             n = max(0, min(n, int(math.ceil(out.end_interval - rec.start_interval))))
         alloc = np.ones(rec.lifetime_intervals)
-        if not out.alloc_history:
+        times, fracs = self._history_of(out.vm_index)
+        if times.size == 0:
             return alloc
-        times = np.array([h[0] for h in out.alloc_history]) - rec.start_interval
-        fracs = np.array([h[1] for h in out.alloc_history])
+        times = times - rec.start_interval
         grid = np.arange(rec.lifetime_intervals, dtype=np.float64)
         pos = np.searchsorted(times, grid, side="right") - 1
         alloc = np.where(pos >= 0, fracs[np.clip(pos, 0, len(fracs) - 1)], 1.0)
@@ -494,51 +786,97 @@ class ClusterSimulator:
         return alloc
 
     def _collect(self, peak_committed: float) -> ClusterSimResult:
-        lost_work = 0.0
-        demanded_work = 0.0
-        deflation_sum = 0.0
-        deflation_weight = 0.0
-        revenue = {name: 0.0 for name in PRICING_MODELS}
+        records = self.traces.records
+        sel = np.nonzero(self.vm_deflatable & self.vm_placed)[0]
 
-        for rec, out in zip(self.traces, self.outcomes):
-            if not out.deflatable:
+        # Per-VM metric terms, later reduced with cumsum (sequential, so the
+        # float accumulation order matches the original per-VM `+=` loop).
+        demanded_t = np.zeros(sel.size)
+        lost_t = np.zeros(sel.size)
+        deflation_t = np.zeros(sel.size)
+        alloc_integral = np.zeros(sel.size)
+        cores_sel = self.vm_caps[sel, 0] if sel.size else np.zeros(0)
+        lifetime_sel = self.vm_lifetime[sel].astype(np.float64)
+
+        # A VM whose history is just its admission entry (fraction 1.0) was
+        # never deflated nor preempted: its allocation series is identically
+        # 1.0, so lost work and deflation are exactly 0.0 and the allocation
+        # integral is exactly its lifetime — no series reconstruction needed.
+        if sel.size:
+            svm, _, _ = self._history_arrays()
+            hist_len = np.searchsorted(svm, sel, side="right") - np.searchsorted(
+                svm, sel, side="left"
+            )
+            trivial = ~self.vm_preempted[sel] & (hist_len <= 1)
+        else:
+            trivial = np.zeros(0, dtype=bool)
+
+        for k, i in enumerate(sel.tolist()):
+            rec = records[i]
+            cores = float(cores_sel[k])
+            u_sum = float(rec.cpu_util.sum())
+            demanded_t[k] = u_sum * cores
+            if trivial[k]:
+                alloc_integral[k] = float(rec.lifetime_intervals)
                 continue
-            if not out.placed:
-                continue  # rejected: no revenue, no work served or demanded
-            alloc = self._allocation_series(rec, out)
-            util = rec.cpu_util
-            demanded = float(util.sum()) * out.cores
-            lost = float(np.maximum(util - alloc, 0.0).sum()) * out.cores
-            demanded_work += demanded
-            lost_work += lost
-            lifetime = rec.lifetime_intervals
-            deflation_sum += float((1.0 - alloc).sum()) * out.cores
-            deflation_weight += lifetime * out.cores
-            alloc_integral = float(alloc.sum())  # in intervals
-            for name, model in PRICING_MODELS.items():
-                mean_alloc = alloc_integral / lifetime if lifetime else 1.0
-                revenue[name] += model.revenue(
-                    capacity_units=out.cores,
-                    duration=float(lifetime),
-                    priority=out.priority,
-                    allocation_fraction=min(mean_alloc, 1.0),
-                )
+            alloc = self._allocation_series(rec, self.outcomes[i])
+            lost_t[k] = float(np.maximum(rec.cpu_util - alloc, 0.0).sum()) * cores
+            deflation_t[k] = float((1.0 - alloc).sum()) * cores
+            alloc_integral[k] = float(alloc.sum())
 
-        n_defl = int(self.vm_deflatable.sum())
+        def seq_sum(terms: np.ndarray) -> float:
+            return float(np.cumsum(terms)[-1]) if terms.size else 0.0
+
+        demanded_work = seq_sum(demanded_t)
+        lost_work = seq_sum(lost_t)
+        deflation_sum = seq_sum(deflation_t)
+        deflation_weight = seq_sum(lifetime_sel * cores_sel)
+
+        # All pricing models over the whole population at once.  Per-VM rate
+        # and revenue terms keep the scalar path's operation order
+        # ((cores * lifetime) * rate), so the sums are bit-identical.  A
+        # model that overrides the public revenue() hook (minimum billing
+        # increments, per-VM fees, ...) must not be silently bypassed by the
+        # rate-based vectorization — it falls back to the per-VM calls.
+        mean_alloc = np.divide(
+            alloc_integral,
+            lifetime_sel,
+            out=np.ones(sel.size),
+            where=lifetime_sel != 0.0,
+        )
+        alloc_frac = np.minimum(mean_alloc, 1.0)
+        # Bill at the admission-time priority snapshot (VMOutcome.priority),
+        # exactly as the reference does — post-build surgery on vm_prio
+        # affects deflation decisions, not the agreed price.
+        prio_sel = np.array(
+            [self.outcomes[i].priority for i in sel.tolist()], dtype=np.float64
+        )
+        base_terms = cores_sel * lifetime_sel
+        revenue = {}
+        for name, model in PRICING_MODELS.items():
+            if type(model).revenue is PricingModel.revenue:
+                revenue[name] = seq_sum(base_terms * model.rate_batch(prio_sel, alloc_frac))
+            else:
+                total = 0.0
+                for k in range(sel.size):
+                    total += model.revenue(
+                        capacity_units=float(cores_sel[k]),
+                        duration=float(lifetime_sel[k]),
+                        priority=float(prio_sel[k]),
+                        allocation_fraction=float(alloc_frac[k]),
+                    )
+                revenue[name] = total
+
         result = ClusterSimResult(
             config=self.config,
             n_vms=len(self.traces),
-            n_deflatable=n_defl,
-            n_placed=sum(1 for o in self.outcomes if o.placed),
-            n_rejected_deflatable=sum(
-                1 for o in self.outcomes if o.rejected and o.deflatable
-            ),
-            n_rejected_on_demand=sum(
-                1 for o in self.outcomes if o.rejected and not o.deflatable
-            ),
-            n_preempted=sum(1 for o in self.outcomes if o.preempted),
-            n_reclaim_failures=sum(
-                1 for o in self.outcomes if o.reclaim_failure and not o.rejected
+            n_deflatable=int(self.vm_deflatable.sum()),
+            n_placed=int(self.vm_placed.sum()),
+            n_rejected_deflatable=int((self.vm_rejected & self.vm_deflatable).sum()),
+            n_rejected_on_demand=int((self.vm_rejected & ~self.vm_deflatable).sum()),
+            n_preempted=int(self.vm_preempted.sum()),
+            n_reclaim_failures=int(
+                (self.vm_reclaim_failure & ~self.vm_rejected).sum()
             ),
             peak_committed_cores=peak_committed,
             total_capacity_cores=float(self.server_cap[:, 0].sum()),

@@ -67,11 +67,17 @@ class DeflationAwareAdmission(AdmissionController):
         extra_pool = (
             (sim.vm_caps[vm] - sim.vm_floor[vm]) if sim.vm_deflatable[vm] else 0.0
         )
-        reclaimable = (
-            sim.defl_cap[candidates] - sim.defl_floor[candidates] + extra_pool
-        )
-        overflow = sim.committed[candidates] + demand - sim.server_cap[candidates]
-        return candidates[np.all(overflow <= reclaimable + _EPS, axis=1)]
+        if candidates.shape[0] == sim.committed.shape[0]:
+            # Whole cluster: row i is server i, so the per-server gathers
+            # (four fancy-indexed copies per arrival) can be skipped.
+            reclaimable = sim.defl_cap - sim.defl_floor + extra_pool
+            overflow = sim.committed + demand - sim.server_cap
+        else:
+            reclaimable = (
+                sim.defl_cap[candidates] - sim.defl_floor[candidates] + extra_pool
+            )
+            overflow = sim.committed[candidates] + demand - sim.server_cap[candidates]
+        return candidates[(overflow <= reclaimable + _EPS).all(axis=1)]
 
 
 @register("admission", "rigid")
@@ -87,10 +93,9 @@ class RigidAdmission(AdmissionController):
 
     def feasible(self, sim, vm, candidates):
         demand = sim.vm_caps[vm]
-        fits = np.all(
-            sim.committed[candidates] + demand <= sim.server_cap[candidates] + _EPS,
-            axis=1,
-        )
+        fits = (
+            sim.committed[candidates] + demand <= sim.server_cap[candidates] + _EPS
+        ).all(axis=1)
         return candidates[fits]
 
 
@@ -124,14 +129,26 @@ class CosineScorer(PlacementScorer):
 
     name = "cosine"
 
+    def __init__(self) -> None:
+        # Reused padding buffers: scoring runs once per arrival, and the
+        # per-call np.zeros + np.concatenate used to dominate its cost.  The
+        # padded layout itself is kept — BLAS results are bit-sensitive to
+        # the operand width, and the golden tests pin the padded scores.
+        self._demand_buf = np.zeros(NUM_RESOURCES)
+        self._avail_buf = np.zeros((0, NUM_RESOURCES))
+
     def score(self, demand_norm, avail_norm):
         dims = demand_norm.shape[0]
-        demand_full = np.zeros(NUM_RESOURCES)
+        demand_full = self._demand_buf
+        demand_full[:] = 0.0
         demand_full[:dims] = demand_norm
-        padding = np.zeros((avail_norm.shape[0], NUM_RESOURCES - dims))
-        return vectorized_cosine_scores(
-            demand_full, np.concatenate([avail_norm, padding], axis=1)
-        )
+        rows = avail_norm.shape[0]
+        if self._avail_buf.shape[0] < rows:
+            self._avail_buf = np.zeros((rows, NUM_RESOURCES))
+        mat = self._avail_buf[:rows]
+        mat[:, :dims] = avail_norm
+        mat[:, dims:] = 0.0
+        return vectorized_cosine_scores(demand_full, mat)
 
 
 @register("scorer", "most-available")

@@ -1,0 +1,42 @@
+"""A pricing model overriding revenue() must be honored by the simulator."""
+
+import numpy as np
+
+from repro.pricing.models import PricingModel
+from repro.registry import register, unregister
+from repro.simulator.cluster_sim import ClusterSimConfig, ClusterSimulator
+from repro.traces.azure import AzureTraceConfig, synthesize_azure_trace
+
+
+class FlatFeePricing(PricingModel):
+    """Per-VM flat fee on top of the usage bill — overrides revenue()."""
+
+    name = "flat-fee"
+    FEE = 10.0
+
+    def rate(self, priority, allocation_fraction):
+        return 0.2
+
+    def revenue(self, capacity_units, duration, priority, allocation_fraction):
+        base = super().revenue(capacity_units, duration, priority, allocation_fraction)
+        return base + self.FEE
+
+
+def test_simulator_honors_revenue_override():
+    register("pricing", "flat-fee")(FlatFeePricing)
+    try:
+        traces = synthesize_azure_trace(AzureTraceConfig(n_vms=120, seed=8))
+        result = ClusterSimulator(traces, ClusterSimConfig(n_servers=6)).run()
+        assert "flat-fee" in result.revenue
+        # The flat fee prices every placed deflatable VM FEE above the
+        # 0.2x-static usage bill (same rate as the stock static model).
+        n_billed = round(
+            (result.revenue["flat-fee"] - result.revenue["static"]) / FlatFeePricing.FEE
+        )
+        assert n_billed > 0
+        expected = result.revenue["static"] + FlatFeePricing.FEE * n_billed
+        assert result.revenue["flat-fee"] == np.float64(expected) or abs(
+            result.revenue["flat-fee"] - expected
+        ) < 1e-6
+    finally:
+        unregister("pricing", "flat-fee")

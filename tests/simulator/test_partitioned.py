@@ -146,6 +146,71 @@ class TestPoolExhaustion:
         assert part.n_rejected_deflatable >= shared.n_rejected_deflatable
 
 
+class TestPartitionTrimRegression:
+    """The trim loop must honor the one-server-per-pool minimum.
+
+    ``counts[np.argmax(counts)] -= 1`` used to be able to drive pools to
+    zero servers whenever rounding overshot and every pool was already at
+    one server (many priority levels, few servers), silently disabling
+    whole priority classes.  Now the trim only shrinks pools with spare
+    servers; only when pools outnumber servers are pools dropped, smallest
+    demand share first.
+    """
+
+    def four_level_traces(self, counts=(1, 1, 1, 1), n_od=1, cores=4):
+        # Utils 0.1/0.5/0.7/0.9 -> the four priority levels 0.2/0.4/0.6/0.8.
+        utils = (0.1, 0.5, 0.7, 0.9)
+        records = []
+        for lvl, (n, util) in enumerate(zip(counts, utils)):
+            for i in range(n):
+                records.append(flat_record(f"l{lvl}-{i}", util, cores, 0, 10))
+        for i in range(n_od):
+            records.append(
+                flat_record(f"od-{i}", 0.8, cores, 0, 10, cls=VMClass.DELAY_INSENSITIVE)
+            )
+        return VMTraceSet(records)
+
+    def test_every_pool_keeps_a_server_when_servers_suffice(self):
+        # 5 pools (4 levels + on-demand), 6 servers, heavily skewed demand:
+        # rounding inflates the big pool and the trim must not zero a
+        # one-server pool to compensate.
+        traces = self.four_level_traces(counts=(40, 1, 1, 1), n_od=1)
+        sim = ClusterSimulator(traces, ClusterSimConfig(n_servers=6, partitioned=True))
+        counts = np.bincount(sim.server_pool, minlength=5)
+        assert counts.sum() == 6
+        assert np.all(counts >= 1), f"pool starved: {counts.tolist()}"
+
+    @pytest.mark.parametrize("n_servers", [5, 6, 7, 9, 13])
+    def test_minimum_holds_across_sizes(self, n_servers):
+        traces = self.four_level_traces(counts=(25, 9, 3, 1), n_od=2)
+        sim = ClusterSimulator(
+            traces, ClusterSimConfig(n_servers=n_servers, partitioned=True)
+        )
+        counts = np.bincount(sim.server_pool, minlength=5)
+        assert counts.sum() == n_servers
+        assert np.all(counts >= 1)
+
+    def test_more_pools_than_servers_drops_smallest_shares(self):
+        # 5 pools, 3 servers: the minimum is infeasible; the two smallest
+        # demand pools are dropped, never driven negative.
+        traces = self.four_level_traces(counts=(40, 20, 1, 1), n_od=10)
+        sim = ClusterSimulator(traces, ClusterSimConfig(n_servers=3, partitioned=True))
+        counts = np.bincount(sim.server_pool, minlength=5)
+        assert counts.sum() == 3
+        assert np.all(counts >= 0)
+        surviving = set(np.nonzero(counts)[0].tolist())
+        # Biggest shares: level-0 pool (0), level-1 pool (1), on-demand (4).
+        assert surviving == {0, 1, 4}
+        result = sim.run()
+        assert result.n_placed > 0
+
+    def test_single_server_still_runs(self):
+        traces = self.four_level_traces()
+        sim = ClusterSimulator(traces, ClusterSimConfig(n_servers=1, partitioned=True))
+        assert (sim.server_pool >= 0).all()
+        sim.run()
+
+
 class TestPartitionedDeterminism:
     @pytest.mark.parametrize("policy", ["proportional", "priority", "deterministic"])
     def test_partitioned_runs_are_reproducible(self, policy):
