@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the docs tree (stdlib only; used by CI).
+
+Checks every ``[text](target)`` link in the given markdown files/directories:
+
+* relative file targets must exist (resolved against the linking file);
+* ``#anchor`` fragments — standalone or on a relative ``.md`` target —
+  must match a GitHub-style heading slug in the target file;
+* absolute URLs (http/https/mailto) are *not* fetched: external liveness
+  is not this checker's job, and CI must not flake on the network.
+
+Links inside fenced code blocks are ignored. Exit status is the number of
+broken links (0 = everything resolves).
+
+Usage::
+
+    python scripts/check_links.py README.md docs
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+_FENCE = re.compile(r"^(```|~~~)")
+#: Inline links: [text](target) — target captured up to the matching paren.
+_LINK = re.compile(r"\[[^\]\[]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_HEADING = re.compile(r"^(#{1,6})\s+(.*)$")
+_EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+
+def strip_code_blocks(text: str) -> list[str]:
+    """The file's lines with fenced code blocks blanked out."""
+    out, in_fence = [], False
+    for line in text.splitlines():
+        if _FENCE.match(line.strip()):
+            in_fence = not in_fence
+            out.append("")
+            continue
+        out.append("" if in_fence else line)
+    return out
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug for a heading (minus duplicate suffixes)."""
+    # Drop inline code/links markup, then non-word punctuation.
+    heading = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", heading)
+    heading = heading.replace("`", "").strip().lower()
+    heading = re.sub(r"[^\w\- ]", "", heading)
+    return heading.replace(" ", "-")
+
+
+def heading_slugs(path: Path) -> set[str]:
+    slugs: set[str] = set()
+    for line in strip_code_blocks(path.read_text(encoding="utf-8")):
+        m = _HEADING.match(line)
+        if m:
+            slugs.add(github_slug(m.group(2)))
+    return slugs
+
+
+def iter_links(path: Path):
+    """(line_number, target) for every inline link outside code blocks."""
+    for i, line in enumerate(strip_code_blocks(path.read_text(encoding="utf-8")), 1):
+        for m in _LINK.finditer(line):
+            yield i, m.group(1)
+
+
+def check_file(path: Path) -> list[str]:
+    errors = []
+    for lineno, target in iter_links(path):
+        if target.startswith(_EXTERNAL):
+            continue
+        base, _, fragment = target.partition("#")
+        dest = path if not base else (path.parent / base).resolve()
+        if not dest.exists():
+            errors.append(f"{path}:{lineno}: broken link target {target!r}")
+            continue
+        if fragment and dest.suffix == ".md":
+            if github_slug(fragment) not in heading_slugs(dest):
+                errors.append(
+                    f"{path}:{lineno}: anchor #{fragment} not found in {dest.name}"
+                )
+    return errors
+
+
+def collect(args: list[str]) -> list[Path]:
+    files: list[Path] = []
+    for arg in args:
+        p = Path(arg)
+        if p.is_dir():
+            files.extend(sorted(p.rglob("*.md")))
+        elif p.suffix == ".md":
+            files.append(p)
+        else:
+            print(f"warning: skipping non-markdown argument {arg}", file=sys.stderr)
+    return files
+
+
+def main(argv: list[str]) -> int:
+    files = collect(argv or ["README.md", "docs"])
+    if not files:
+        print("no markdown files found", file=sys.stderr)
+        return 1
+    errors: list[str] = []
+    for f in files:
+        errors.extend(check_file(f))
+    for err in errors:
+        print(err, file=sys.stderr)
+    print(f"checked {len(files)} files: {len(errors)} broken links")
+    return min(len(errors), 125)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

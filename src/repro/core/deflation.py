@@ -162,7 +162,11 @@ class DeflationPolicy(abc.ABC):
         on every call dominated the solve cost.  The default delegates to
         :meth:`target_allocations`, so third-party policies keep working
         unchanged; the built-in policies override this to run the identical
-        math without the checks — results are bit-for-bit the same.
+        math without the checks — results are bit-for-bit the same.  A new
+        policy may do the same, but only for inputs it is certain the
+        simulator pre-validated: :meth:`target_allocations` remains the
+        documented hook, and overrides of it are never bypassed (the
+        built-ins guard with an exact ``type(self)`` check).
         """
         return self.target_allocations(capacities, minimums, priorities, required)
 

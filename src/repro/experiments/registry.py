@@ -31,6 +31,7 @@ from repro.experiments import (  # noqa: F401  (imports trigger registration)
     fig20_failure,
     fig21_throughput,
     fig22_revenue,
+    portfolio,
 )
 from repro.experiments.base import ExperimentResult
 from repro.registry import RegistryView, resolve

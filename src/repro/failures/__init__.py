@@ -1,0 +1,31 @@
+"""Transient-failure injection: revocations and capacity dips as components.
+
+The subsystem has two halves:
+
+* :mod:`repro.failures.models` — :class:`FailureModel` schedule generators
+  registered under the ``failure`` registry kind (``spot``,
+  ``exponential-lifetimes``, ``weibull-lifetimes``, ``preemption-windows``,
+  ``capacity-dips``, ``trace-schedule``);
+* :mod:`repro.failures.injector` — the :class:`FailureInjector` that merges
+  a schedule into the cluster simulator's event loop and implements the
+  revocation responses (deflation-first evacuation vs. kill-and-requeue).
+
+Scenarios opt in declaratively::
+
+    Scenario().with_workload("azure", n_vms=500)\\
+              .with_policy("proportional")\\
+              .with_failures("spot", rate=0.002, seed=7, response="evacuate")
+
+See ``docs/failures.md`` for the full tour.
+"""
+
+from repro.failures.injector import RESPONSES, FailureInjector
+from repro.failures.models import ACTIONS, FailureEvent, FailureModel
+
+__all__ = [
+    "ACTIONS",
+    "RESPONSES",
+    "FailureEvent",
+    "FailureInjector",
+    "FailureModel",
+]

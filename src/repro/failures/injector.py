@@ -1,0 +1,411 @@
+"""Failure injection: driving revocations and capacity dips through the replay.
+
+The :class:`FailureInjector` owns the failure side of a simulation run.  It
+expands a :class:`~repro.failures.models.FailureModel` schedule against the
+resolved cluster, merges it with the VM trace's start/end events, and runs
+the combined stream through the simulator's unmodified event handlers —
+the event loop itself stays the deterministic heart of the system, failures
+are just more events.
+
+Semantics, per event kind (ties at one interval are processed in this
+order — VM departures, VM arrivals, revocations, dip ends, dip starts,
+requeued restarts):
+
+* **revocation** — the server's capacity drops to zero and it never comes
+  back; every VM it hosted is handled according to ``response``:
+
+  - ``"evacuate"`` (deflation-first): each resident is re-placed through
+    the normal admission/scoring path, deflating the destination's
+    residents as needed — the paper's thesis applied to transience:
+    deflation *absorbs* the revocation.  On-demand residents are placed
+    first (they cannot be deflated into a tight spot), then deflatable
+    ones.  Residents that no surviving server can take are lost.
+  - ``"kill"`` (kill-and-requeue): every resident is killed on the spot —
+    the classic preemption experience — and re-queued to restart
+    ``restart_delay`` intervals later through normal admission.  The gap
+    between kill and successful restart is recorded as downtime; VMs whose
+    restart is rejected (or whose lifetime ends first) are lost.
+
+* **capacity dip** — the server's capacity is scaled by the event's
+  ``scale`` for its duration.  Under a deflation policy the standard
+  rebalance squeezes residents into the reduced capacity (and reinflates
+  them when the dip ends); under the preemption baseline the lowest
+  priority deflatable residents are evicted until the remainder fits.
+
+Lost and absorbed work are tallied in core-intervals (VM cores x trace
+intervals; one interval is 5 minutes of VM-seconds per core) so "how much
+work did deflation save" is directly comparable across VM sizes.  The
+tallies are event-level: a VM revoked twice contributes at each event.
+
+The injector is attached by the engine when a scenario carries a
+``failures`` spec (:meth:`Scenario.with_failures`); a simulator without an
+injector runs the original array-sorted loop untouched, which is what keeps
+failure-free scenarios bit-identical to the pinned reference.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.failures.models import FailureModel
+from repro.registry import create
+
+#: Event kinds, ordered by processing priority within one interval.  END and
+#: START mirror the simulator's own sort keys (kinds 0 and 1).  Dip *ends*
+#: sort before dip *starts* so back-to-back dips (one ending exactly when
+#: the next begins) hand over cleanly instead of the ending dip cancelling
+#: the just-started one.
+_END, _START, _REVOKE, _DIP_END, _DIP_START, _REQUEUE = range(6)
+
+#: ``response`` modes for revocations.
+RESPONSES = ("evacuate", "kill")
+
+#: Keys of a scenario ``failures`` spec consumed by the injector itself;
+#: everything else is passed to the failure model's constructor.
+INJECTOR_KEYS = ("model", "seed", "response", "restart_delay")
+
+
+class FailureInjector:
+    """Drives one failure schedule through one simulator replay.
+
+    Parameters
+    ----------
+    model:
+        The schedule generator (a registered ``failure`` component).
+    seed:
+        Seed for the schedule's RNG.  The same ``(model spec, seed)`` on the
+        same cluster always yields the same schedule, so failure-injected
+        runs stay deterministic across processes and cache layers.
+    response:
+        ``"evacuate"`` for deflation-first migration off revoked servers,
+        ``"kill"`` for kill-and-requeue (see the module docstring).
+    restart_delay:
+        Intervals between a kill and the requeued restart attempt
+        (``response="kill"`` only).  ``None`` disables requeueing: killed
+        VMs are simply lost.
+    """
+
+    def __init__(
+        self,
+        model: FailureModel,
+        seed: int = 0,
+        response: str = "evacuate",
+        restart_delay: float | None = 1.0,
+    ) -> None:
+        if response not in RESPONSES:
+            raise SimulationError(f"response must be one of {RESPONSES}, got {response!r}")
+        if restart_delay is not None and restart_delay < 0:
+            raise SimulationError("restart_delay must be >= 0 intervals")
+        self.model = model
+        self.seed = int(seed)
+        self.response = response
+        self.restart_delay = restart_delay
+        self._reset()
+
+    @classmethod
+    def from_spec(cls, spec: dict) -> "FailureInjector":
+        """Build an injector from a scenario's ``failures`` dict.
+
+        The spec mixes injector knobs (``seed``, ``response``,
+        ``restart_delay``) with model parameters; everything that is not an
+        injector key is forwarded to the registered model's constructor, so
+        ``{"model": "spot", "rate": 0.002, "seed": 7}`` builds
+        ``SpotRevocations(rate=0.002)`` driven with seed 7.
+        """
+        params = dict(spec)
+        try:
+            name = params.pop("model")
+        except KeyError:
+            raise SimulationError('failure spec needs a "model" key') from None
+        seed = params.pop("seed", 0)
+        response = params.pop("response", "evacuate")
+        restart_delay = params.pop("restart_delay", 1.0)
+        model = create("failure", name, **params)
+        return cls(model, seed=seed, response=response, restart_delay=restart_delay)
+
+    # -- per-run state -----------------------------------------------------------
+
+    def _reset(self) -> None:
+        self._revoked: set[int] = set()
+        self._dip_active: dict[int, float] = {}
+        self._requeue_pending: dict[int, float] = {}  # vm -> kill time
+        self._nominal_cap: np.ndarray | None = None
+        self.counts = {
+            "revocations": 0,
+            "capacity_dips": 0,
+            "evacuated": 0,
+            "evacuation_lost": 0,
+            "killed": 0,
+            "recovered": 0,
+            "requeue_lost": 0,
+            "on_demand_lost": 0,
+            "cascade_preemptions": 0,
+            "capacity_overruns": 0,
+        }
+        self.downtime_intervals = 0.0
+        self.absorbed_core_intervals = 0.0
+        self.lost_core_intervals = 0.0
+
+    def nominal_total_cores(self) -> float:
+        """Provisioned CPU capacity before any failure mutated it."""
+        if self._nominal_cap is None:
+            raise SimulationError("injector has not driven a replay yet")
+        return float(self._nominal_cap[:, 0].sum())
+
+    def summary(self) -> dict:
+        """Plain-scalar failure metrics, stored under ``collected``.
+
+        All values are JSON-serializable, so failure-injected results ride
+        through the on-disk :class:`~repro.scenario.cache.SweepCache`
+        unchanged.
+        """
+        return {
+            **self.counts,
+            "servers_revoked": len(self._revoked),
+            "downtime_intervals": self.downtime_intervals,
+            "absorbed_core_intervals": self.absorbed_core_intervals,
+            "lost_core_intervals": self.lost_core_intervals,
+        }
+
+    # -- the merged event loop ---------------------------------------------------
+
+    def drive(self, sim) -> float:
+        """Run the full replay (VM events + failures); returns peak cores.
+
+        Called by :meth:`ClusterSimulator.run` when an injector is
+        attached; uses the simulator's own ``_handle_start`` /
+        ``_handle_end`` so placement, deflation, and metrics behave exactly
+        as in the failure-free loop.
+        """
+        self._reset()
+        self._nominal_cap = sim.server_cap.copy()
+        n = len(sim.traces)
+        horizon = float(sim.traces.horizon())
+        rng = np.random.default_rng(self.seed)
+        schedule = self.model.events(sim.config.n_servers, horizon, rng)
+
+        ends = sim.vm_end.tolist()
+        starts = sim.vm_start.tolist()
+        heap: list[tuple[float, int, int, float]] = []
+        for i in range(n):
+            heap.append((float(ends[i]), _END, i, 0.0))
+            heap.append((float(starts[i]), _START, i, 0.0))
+        for ev in schedule:
+            if ev.server >= sim.config.n_servers:
+                raise SimulationError(
+                    f"failure model {self.model.name!r} scheduled server "
+                    f"{ev.server} on a {sim.config.n_servers}-server cluster"
+                )
+            if ev.action == "revoke":
+                heap.append((ev.time, _REVOKE, ev.server, 0.0))
+            else:
+                heap.append((ev.time, _DIP_START, ev.server, ev.scale))
+                heap.append((ev.time + ev.duration, _DIP_END, ev.server, 0.0))
+        self._check_dip_overlap(schedule)
+        heapq.heapify(heap)
+
+        peak = 0.0
+        while heap:
+            t, kind, key, aux = heapq.heappop(heap)
+            if kind == _END:
+                sim._handle_end(t, key)
+            elif kind == _START:
+                sim._handle_start(t, key)
+                if sim._committed_cores > peak:
+                    peak = sim._committed_cores
+            elif kind == _REVOKE:
+                self._revoke(sim, t, key, heap)
+            elif kind == _DIP_START:
+                self._dip_start(sim, t, key, aux)
+            elif kind == _DIP_END:
+                self._dip_end(sim, t, key)
+            else:
+                self._requeue(sim, t, key)
+                if sim._committed_cores > peak:
+                    peak = sim._committed_cores
+        return peak
+
+    @staticmethod
+    def _check_dip_overlap(schedule) -> None:
+        """Reject schedules with overlapping dips on one server.
+
+        ``_dip_active`` holds a single scale per server, so an overlap
+        would silently end early when the first dip's end restores full
+        capacity.  The stock random models never overlap by construction;
+        an explicit ``trace-schedule`` can, and must fail loudly instead
+        of mis-simulating.
+        """
+        windows: dict[int, list[tuple[float, float]]] = {}
+        for ev in schedule:
+            if ev.action == "dip":
+                windows.setdefault(ev.server, []).append((ev.time, ev.time + ev.duration))
+        for server, spans in windows.items():
+            spans.sort()
+            for (_, a_end), (b_start, _) in zip(spans, spans[1:]):
+                if b_start < a_end - 1e-9:
+                    raise SimulationError(
+                        f"overlapping capacity dips on server {server} "
+                        f"(next dip starts at {b_start} before the previous "
+                        f"ends at {a_end}); merge or separate them"
+                    )
+
+    def _place_tracked(self, sim, t: float, vm: int) -> bool:
+        """``sim._place`` with preemption-cascade loss accounting.
+
+        Under the preemption baseline, placing an evacuated/requeued
+        on-demand VM may preempt deflatable residents on the destination
+        server.  That collateral work is lost *to the failure*, so it is
+        tallied exactly like the dip path's evictions.
+        """
+        log: list[int] = []
+        sim._preempt_log = log
+        try:
+            placed = sim._place(t, vm)
+        finally:
+            sim._preempt_log = None
+        for victim in log:
+            self.counts["cascade_preemptions"] += 1
+            self.lost_core_intervals += max(
+                0.0, float(sim.vm_end[victim]) - t
+            ) * float(sim.vm_caps[victim, 0])
+        return placed
+
+    # -- revocations -------------------------------------------------------------
+
+    def _revoke(self, sim, t: float, server: int, heap: list) -> None:
+        if server in self._revoked:
+            return
+        self._revoked.add(server)
+        self.counts["revocations"] += 1
+        self._dip_active.pop(server, None)
+        sim._mark_revoked(server)
+        for c in sim._collectors:
+            c.on_revocation(t, server, sim)
+        # On-demand residents first: they cannot be deflated into a tight
+        # destination, so they get first pick of the surviving capacity.
+        residents = list(sim.residents[server])
+        ordered = [v for v in residents if not sim.vm_deflatable[v]] + [
+            v for v in residents if sim.vm_deflatable[v]
+        ]
+        for vm in ordered:
+            if self.response == "evacuate":
+                self._evacuate(sim, t, vm, server)
+            else:
+                self._kill(sim, t, vm, server, heap)
+
+    def _evacuate(self, sim, t: float, vm: int, server: int) -> None:
+        sim._detach(vm, server)
+        sim.vm_server[vm] = -1
+        remaining = max(0.0, float(sim.vm_end[vm]) - t)
+        cores = float(sim.vm_caps[vm, 0])
+        if self._place_tracked(sim, t, vm):
+            self.counts["evacuated"] += 1
+            self.absorbed_core_intervals += remaining * cores
+        else:
+            self.counts["evacuation_lost"] += 1
+            self.lost_core_intervals += remaining * cores
+            self._mark_lost(sim, t, vm, server)
+
+    def _kill(self, sim, t: float, vm: int, server: int, heap: list) -> None:
+        sim._detach(vm, server)
+        sim.vm_server[vm] = -1
+        self._mark_lost(sim, t, vm, server)
+        self.counts["killed"] += 1
+        end = float(sim.vm_end[vm])
+        if self.restart_delay is not None and t + self.restart_delay < end:
+            self._requeue_pending[vm] = t
+            heapq.heappush(heap, (t + self.restart_delay, _REQUEUE, vm, 0.0))
+        else:
+            self.lost_core_intervals += max(0.0, end - t) * float(sim.vm_caps[vm, 0])
+
+    def _requeue(self, sim, t: float, vm: int) -> None:
+        kill_t = self._requeue_pending.pop(vm)
+        cores = float(sim.vm_caps[vm, 0])
+        end = float(sim.vm_end[vm])
+        if self._place_tracked(sim, t, vm):
+            out = sim.outcomes[vm]
+            out.preempted = False
+            out.end_interval = end
+            if sim.vm_deflatable[vm]:
+                sim.vm_preempted[vm] = False
+            else:
+                self.counts["on_demand_lost"] -= 1  # it came back after all
+            self.counts["recovered"] += 1
+            self.downtime_intervals += t - kill_t
+            self.absorbed_core_intervals += (end - t) * cores
+            self.lost_core_intervals += (t - kill_t) * cores
+        else:
+            self.counts["requeue_lost"] += 1
+            self.lost_core_intervals += (end - kill_t) * cores
+
+    def _mark_lost(self, sim, t: float, vm: int, server: int) -> None:
+        """Terminate a VM the way a preemption does (flags + history).
+
+        The ``vm_preempted`` array feeds ``n_preempted`` and therefore the
+        Figure 20 ``failure_probability``, which is defined over
+        *deflatable* VMs — so only deflatable victims raise it.  On-demand
+        victims keep their ``VMOutcome.preempted`` flag (which ends their
+        replay) and are tallied in :meth:`summary` as ``on_demand_lost``.
+        """
+        out = sim.outcomes[vm]
+        out.preempted = True
+        out.end_interval = t
+        if sim.vm_deflatable[vm]:
+            sim.vm_preempted[vm] = True
+            sim._append_history_one(vm, t, 0.0)
+            sim._last_frac[vm] = 0.0
+        else:
+            self.counts["on_demand_lost"] += 1
+        for c in sim._collectors:
+            c.on_preempt(t, vm, server, sim)
+
+    # -- capacity dips -----------------------------------------------------------
+
+    def _dip_start(self, sim, t: float, server: int, scale: float) -> None:
+        if server in self._revoked:
+            return
+        self._dip_active[server] = scale
+        self.counts["capacity_dips"] += 1
+        sim.server_cap[server] = self._nominal_cap[server] * scale
+        sim._cap_eps[server] = sim.server_cap[server] + 1e-9
+        for c in sim._collectors:
+            c.on_capacity_dip(t, server, scale, sim)
+        self._absorb_pressure(sim, t, server)
+
+    def _dip_end(self, sim, t: float, server: int) -> None:
+        if server in self._revoked or server not in self._dip_active:
+            return
+        del self._dip_active[server]
+        sim.server_cap[server] = self._nominal_cap[server]
+        sim._cap_eps[server] = sim.server_cap[server] + 1e-9
+        for c in sim._collectors:
+            c.on_capacity_dip(t, server, 1.0, sim)
+        if sim._policy is not None and sim.resident_deflatable[server]:
+            # Reinflate: with the pressure gone the rebalance returns every
+            # resident to full allocation.
+            sim._rebalance(t, server)
+
+    def _absorb_pressure(self, sim, t: float, server: int) -> None:
+        """Fit the server's residents into its (reduced) capacity."""
+        if sim._policy is not None:
+            if sim.resident_deflatable[server]:
+                sim._rebalance(t, server)
+            if (sim.committed[server] - sim.reclaimed[server] > sim._cap_eps[server]).any():
+                self.counts["capacity_overruns"] += 1
+            return
+        # Preemption baseline: no deflation headroom, so evict the lowest
+        # priority deflatable residents until the remainder fits.
+        prio = sim._vm_prio_list
+        while (sim.committed[server] > sim._cap_eps[server]).any():
+            defl = sim.resident_deflatable[server]
+            if not defl:
+                self.counts["capacity_overruns"] += 1
+                break
+            victim = min(defl, key=lambda v: (prio[v], v))
+            sim._preempt(t, victim)
+            self.lost_core_intervals += max(
+                0.0, float(sim.vm_end[victim]) - t
+            ) * float(sim.vm_caps[victim, 0])

@@ -1,0 +1,382 @@
+"""Transient-server failure models (registry kind ``failure``).
+
+The paper's premise is that deflation lets interactive applications run on
+*transient* servers — capacity that the provider can revoke or shrink with
+little or no warning (spot/preemptible VMs, harvested capacity).  A
+:class:`FailureModel` turns that premise into a concrete, reproducible
+schedule of :class:`FailureEvent`\\ s — server **revocations** (the server
+leaves for the rest of the replay) and **capacity dips** (the server
+temporarily shrinks, e.g. the harvested share is clawed back) — which the
+:class:`~repro.failures.injector.FailureInjector` drives through the
+cluster simulator's event loop.
+
+Models are pure schedule generators: given the cluster size, the replay
+horizon, and a seeded :class:`numpy.random.Generator`, they return a list
+of events.  All randomness flows through that generator, so a schedule is a
+deterministic function of ``(model spec, seed, n_servers, horizon)`` —
+which is what makes failure-injected sweeps cacheable and bit-identical
+between serial and parallel execution.
+
+Registered models:
+
+* ``spot`` — spot-market style: a cluster-level revocation process with a
+  per-server hazard rate, mirroring the fixed-warning reclamations of
+  portfolio-driven transient capacity (Sharma et al.).  The fixed warning
+  maps onto the injector's ``response`` knob: ``"evacuate"`` assumes the
+  warning suffices for deflation-first migration, ``"kill"`` models
+  zero-warning providers.
+* ``exponential-lifetimes`` / ``weibull-lifetimes`` — per-server lifetime
+  draws; exponential is the memoryless special case (Weibull shape 1).
+* ``preemption-windows`` — temporally-constrained preemptions à la
+  Kadupitiya et al.: revocations can only strike inside recurring windows
+  (e.g. the provider reclaims capacity during business hours).
+* ``capacity-dips`` — per-server Poisson arrivals of temporary capacity
+  reductions with exponential durations.
+* ``trace-schedule`` — an explicit, fully declarative event list (the
+  escape hatch for replaying measured revocation traces).
+
+Plugging in a new model is one decorator::
+
+    from repro.failures import FailureEvent, FailureModel
+    from repro.registry import register
+
+    @register("failure", "lunar")
+    class LunarOutages(FailureModel):
+        name = "lunar"
+        def __init__(self, period: float = 708.7):
+            self.period = period
+        def events(self, n_servers, horizon, rng):
+            times = np.arange(self.period, horizon, self.period)
+            return [FailureEvent(time=float(t), action="revoke",
+                                 server=int(rng.integers(n_servers)))
+                    for t in times]
+
+after which ``Scenario().with_failures("lunar", period=300)`` is valid.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.registry import register
+
+#: Actions a failure event can carry.
+ACTIONS = ("revoke", "dip")
+
+
+@dataclass(frozen=True)
+class FailureEvent:
+    """One scheduled infrastructure failure.
+
+    ``action`` is ``"revoke"`` (the server leaves permanently at ``time``)
+    or ``"dip"`` (its capacity is scaled by ``scale`` for ``duration``
+    intervals, then restored).  Times are trace intervals, matching the VM
+    trace clock.
+    """
+
+    time: float
+    action: str
+    server: int
+    scale: float = 1.0  # remaining capacity fraction during a dip
+    duration: float = 0.0  # dip length in intervals (ignored for revoke)
+
+    def __post_init__(self) -> None:
+        if self.action not in ACTIONS:
+            raise SimulationError(f"unknown failure action {self.action!r}; valid: {ACTIONS}")
+        if self.time < 0:
+            raise SimulationError("failure time must be >= 0")
+        if self.server < 0:
+            raise SimulationError("server index must be >= 0")
+        if self.action == "dip":
+            # A dip must leave some capacity: a full outage is a revocation
+            # (zero-capacity servers would poison placement scoring).
+            if not (0.0 < self.scale < 1.0):
+                raise SimulationError("dip scale must be in (0, 1)")
+            if self.duration <= 0:
+                raise SimulationError("dip duration must be > 0 intervals")
+
+
+class FailureModel(abc.ABC):
+    """Generates a deterministic failure schedule for one replay.
+
+    Subclasses register under kind ``failure`` and must draw all randomness
+    from the ``rng`` argument (never module-level state), so the schedule
+    is reproducible from the scenario's failure spec alone.
+    """
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def events(
+        self, n_servers: int, horizon: float, rng: np.random.Generator
+    ) -> list[FailureEvent]:
+        """The failure schedule for a cluster of ``n_servers`` over ``horizon``.
+
+        Events may be returned in any order; the injector sorts them
+        deterministically before the replay.
+        """
+
+
+def _check_fraction(fraction: float) -> float:
+    """Validate a transient-fleet share at model construction time."""
+    if not (0.0 < fraction <= 1.0):
+        raise SimulationError("fraction must be in (0, 1]")
+    return fraction
+
+
+def _transient_servers(
+    n_servers: int, fraction: float, rng: np.random.Generator
+) -> np.ndarray:
+    """The subset of servers eligible for failures (sorted indices).
+
+    ``fraction`` models a mixed fleet: only that share of the cluster is
+    transient capacity; the rest is reliable on-demand hardware.  The subset
+    is drawn from ``rng``, so it is part of the reproducible schedule.
+    """
+    k = max(1, int(round(fraction * n_servers)))
+    if k >= n_servers:
+        return np.arange(n_servers)
+    return np.sort(rng.permutation(n_servers)[:k])
+
+
+@register("failure", "spot")
+class SpotRevocations(FailureModel):
+    """Spot-market revocations: a memoryless per-server hazard.
+
+    Each surviving transient server is revoked at cluster-level rate
+    ``rate`` per server-interval (so the expected number of revocations in
+    one interval is ``rate * surviving_servers``).  This is the classic
+    spot/preemptible model used by portfolio-driven transient-capacity
+    work: revocations arrive with a *fixed warning*, which in this
+    reproduction maps to the injector's ``response="evacuate"`` mode (the
+    warning is assumed long enough for deflation-first migration);
+    ``response="kill"`` models zero-warning reclamation.
+    """
+
+    name = "spot"
+
+    def __init__(self, rate: float = 0.001, fraction: float = 1.0) -> None:
+        if rate <= 0:
+            raise SimulationError("rate must be > 0 revocations per server-interval")
+        self.rate = rate
+        self.fraction = _check_fraction(fraction)
+
+    def events(self, n_servers, horizon, rng):
+        transient = list(_transient_servers(n_servers, self.fraction, rng))
+        out: list[FailureEvent] = []
+        t = 0.0
+        while transient:
+            gap = rng.exponential(1.0 / (self.rate * len(transient)))
+            t += gap
+            if t >= horizon:
+                break
+            victim = transient.pop(int(rng.integers(len(transient))))
+            out.append(FailureEvent(time=float(t), action="revoke", server=int(victim)))
+        return out
+
+
+@register("failure", "weibull-lifetimes")
+@register("failure", "exponential-lifetimes", shape=1.0)
+class WeibullLifetimes(FailureModel):
+    """Per-server lifetimes drawn from a Weibull distribution.
+
+    ``mean_lifetime`` fixes the distribution mean (in intervals); ``shape``
+    controls the hazard trajectory — ``shape < 1`` is infant-mortality
+    (revocations cluster early), ``shape = 1`` is the memoryless
+    exponential (registered separately as ``exponential-lifetimes``), and
+    ``shape > 1`` is wear-out (revocations cluster late).  Servers whose
+    drawn lifetime exceeds the replay horizon simply survive.
+    """
+
+    name = "weibull-lifetimes"
+
+    def __init__(
+        self,
+        mean_lifetime: float = 288.0,
+        shape: float = 1.5,
+        fraction: float = 1.0,
+    ) -> None:
+        if mean_lifetime <= 0:
+            raise SimulationError("mean_lifetime must be > 0 intervals")
+        if shape <= 0:
+            raise SimulationError("shape must be > 0")
+        self.mean_lifetime = mean_lifetime
+        self.shape = shape
+        self.fraction = _check_fraction(fraction)
+        #: Weibull scale chosen so the mean comes out at ``mean_lifetime``.
+        self._scale = mean_lifetime / math.gamma(1.0 + 1.0 / shape)
+
+    def events(self, n_servers, horizon, rng):
+        transient = _transient_servers(n_servers, self.fraction, rng)
+        lifetimes = self._scale * rng.weibull(self.shape, size=transient.size)
+        return [
+            FailureEvent(time=float(t), action="revoke", server=int(s))
+            for s, t in zip(transient.tolist(), lifetimes.tolist())
+            if t < horizon
+        ]
+
+
+@register("failure", "preemption-windows")
+class PreemptionWindows(FailureModel):
+    """Temporally-constrained preemption (Kadupitiya et al.).
+
+    Revocations can only strike inside recurring windows: intervals ``t``
+    with ``offset <= t mod period < offset + width``.  Within a window each
+    surviving transient server is revoked independently with per-interval
+    probability ``rate``.  With the default day-length period this models a
+    provider that reclaims transient capacity during business hours and
+    leaves it alone overnight.
+    """
+
+    name = "preemption-windows"
+
+    def __init__(
+        self,
+        rate: float = 0.002,
+        period: float = 288.0,
+        offset: float = 96.0,
+        width: float = 96.0,
+        fraction: float = 1.0,
+    ) -> None:
+        if rate <= 0 or rate > 1:
+            raise SimulationError("rate must be a per-interval probability in (0, 1]")
+        if period <= 0 or width <= 0 or width > period:
+            raise SimulationError("need 0 < width <= period")
+        if not (0.0 <= offset < period):
+            raise SimulationError("offset must be in [0, period)")
+        self.rate = rate
+        self.period = period
+        self.offset = offset
+        self.width = width
+        self.fraction = _check_fraction(fraction)
+
+    def _window_times(self, horizon: float) -> np.ndarray:
+        times = np.arange(int(math.ceil(horizon)), dtype=np.float64)
+        phase = np.mod(times - self.offset, self.period)
+        return times[phase < self.width]
+
+    def events(self, n_servers, horizon, rng):
+        transient = _transient_servers(n_servers, self.fraction, rng)
+        window_times = self._window_times(horizon)
+        out: list[FailureEvent] = []
+        if window_times.size == 0:
+            return out
+        for s in transient.tolist():
+            hits = rng.random(window_times.size) < self.rate
+            idx = int(np.argmax(hits))
+            if hits[idx]:
+                out.append(
+                    FailureEvent(
+                        time=float(window_times[idx]), action="revoke", server=int(s)
+                    )
+                )
+        return out
+
+
+@register("failure", "capacity-dips")
+class CapacityDips(FailureModel):
+    """Transient capacity reductions (harvest clawbacks, co-tenant surges).
+
+    Each transient server sees a Poisson process (rate ``rate`` per
+    interval) of dips; a dip scales the server to ``1 - depth`` of its
+    nominal capacity for an exponentially-distributed duration with mean
+    ``mean_duration`` intervals.  Dips on one server never overlap: the
+    next inter-arrival gap starts after the previous dip ends.
+    """
+
+    name = "capacity-dips"
+
+    def __init__(
+        self,
+        rate: float = 0.002,
+        depth: float = 0.5,
+        mean_duration: float = 12.0,
+        fraction: float = 1.0,
+    ) -> None:
+        if rate <= 0:
+            raise SimulationError("rate must be > 0 dips per server-interval")
+        if not (0.0 < depth < 1.0):
+            raise SimulationError("depth must be in (0, 1); model a full outage as a revocation")
+        if mean_duration <= 0:
+            raise SimulationError("mean_duration must be > 0 intervals")
+        self.rate = rate
+        self.depth = depth
+        self.mean_duration = mean_duration
+        self.fraction = _check_fraction(fraction)
+
+    def events(self, n_servers, horizon, rng):
+        transient = _transient_servers(n_servers, self.fraction, rng)
+        scale = 1.0 - self.depth
+        out: list[FailureEvent] = []
+        for s in transient.tolist():
+            t = 0.0
+            while True:
+                t += rng.exponential(1.0 / self.rate)
+                if t >= horizon:
+                    break
+                duration = max(1.0, rng.exponential(self.mean_duration))
+                duration = min(duration, horizon - t)
+                if duration > 0:
+                    out.append(
+                        FailureEvent(
+                            time=float(t),
+                            action="dip",
+                            server=int(s),
+                            scale=scale,
+                            duration=float(duration),
+                        )
+                    )
+                t += duration
+        return out
+
+
+@register("failure", "trace-schedule")
+class TraceSchedule(FailureModel):
+    """Explicit, fully declarative failure schedule.
+
+    ``events`` is a list of plain dicts — ``{"t": 10, "action": "revoke",
+    "server": 3}`` or ``{"t": 20, "action": "dip", "server": 1,
+    "scale": 0.5, "duration": 12}`` — so measured revocation traces can be
+    replayed verbatim and the whole schedule rides inside the scenario's
+    ``failures`` dict (and therefore inside sweep-cache keys).  Events
+    whose server index falls outside the cluster are rejected loudly.
+    """
+
+    name = "trace-schedule"
+
+    def __init__(self, events: list | tuple = ()) -> None:
+        parsed = []
+        for spec in events:
+            spec = dict(spec)
+            try:
+                time = float(spec.pop("t"))
+                action = str(spec.pop("action"))
+                server = int(spec.pop("server"))
+            except KeyError as missing:
+                raise SimulationError(
+                    f"trace-schedule events need 't', 'action' and 'server'; missing {missing}"
+                ) from None
+            scale = float(spec.pop("scale", 1.0)) if action == "dip" else 1.0
+            duration = float(spec.pop("duration", 1.0)) if action == "dip" else 0.0
+            if spec:
+                raise SimulationError(f"unknown trace-schedule event keys {sorted(spec)}")
+            parsed.append(
+                FailureEvent(
+                    time=time, action=action, server=server, scale=scale, duration=duration
+                )
+            )
+        self._events = tuple(parsed)
+
+    def events(self, n_servers, horizon, rng):
+        for ev in self._events:
+            if ev.server >= n_servers:
+                raise SimulationError(
+                    f"trace-schedule targets server {ev.server} but the cluster "
+                    f"has only {n_servers} servers"
+                )
+        return [ev for ev in self._events if ev.time < horizon]

@@ -57,11 +57,16 @@ class PricingModel(abc.ABC):
     ) -> np.ndarray:
         """Vectorized :meth:`rate` over a VM population.
 
-        The default delegates to the scalar method element by element, so
-        downstream pricing plug-ins stay correct without extra work; the
-        stock models override it with pure array expressions producing
-        bit-identical rates (the cluster simulator's vectorized revenue
-        accounting relies on that).
+        ``priorities`` and ``allocation_fractions`` are aligned float64
+        arrays (one entry per VM, fractions already clamped to [0, 1]);
+        the return value is the per-VM rate array.  The default delegates
+        to the scalar method element by element, so downstream pricing
+        plug-ins stay correct without extra work; the stock models
+        override it with pure array expressions producing bit-identical
+        rates (the cluster simulator's vectorized revenue accounting
+        relies on that).  Override :meth:`revenue` instead if billing is
+        not a pure per-unit rate (minimum increments, per-VM fees): the
+        simulator detects the override and falls back to per-VM calls.
         """
         return np.array(
             [

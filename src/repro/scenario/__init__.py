@@ -24,8 +24,10 @@ Quickstart::
         print(r.scenario.overcommitment, r.failure_probability)
 
 Every component a scenario names is a registry entry, so plugging in a new
-policy, scorer, pricing model, or workload source makes it addressable here
-with no changes to the pipeline.
+policy, scorer, pricing model, workload source, or failure model makes it
+addressable here with no changes to the pipeline.  Transient-server
+failures are declared the same way (``with_failures("spot", rate=...,
+seed=...)``); see ``docs/failures.md``.
 """
 
 from repro.scenario.cache import SweepCache, cacheable, scenario_key

@@ -138,6 +138,14 @@ class SweepCache:
     result as ``<key>.json`` under ``path``, surviving across processes and
     sessions; hits are reconstructed from the tagged JSON and compare equal
     to a cold run.
+
+    Keys are a sha256 over the canonical ``Scenario.to_dict()`` (see
+    ``docs/scenario-schema.md``): any field change — including failure
+    model, parameters, seed, or response — is a different entry, while
+    execution knobs like ``run_sweep(workers=...)`` are deliberately not
+    part of the key.  The experiment harnesses share one module-level
+    cache (``repro.experiments.cluster_sweep.SWEEP_CACHE``), placed on
+    disk when ``REPRO_SWEEP_CACHE_DIR`` is set.
     """
 
     def __init__(self, path: str | os.PathLike | None = None) -> None:

@@ -18,6 +18,7 @@ import abc
 from functools import lru_cache
 
 from repro.errors import SimulationError
+from repro.failures import FailureInjector
 from repro.registry import create, register
 from repro.scenario.results import ScenarioResult
 from repro.scenario.scenario import Scenario
@@ -75,7 +76,13 @@ class ClusterSimEngine(Engine):
     name = "cluster-sim"
 
     def build(self, scenario: Scenario) -> ClusterSimulator:
-        """Construct the fully-configured simulator without running it."""
+        """Construct the fully-configured simulator without running it.
+
+        A scenario carrying a ``failures`` spec gets a freshly-built
+        :class:`~repro.failures.injector.FailureInjector` attached, so the
+        pre-run surgery flow (``engine.build(s)`` then mutate then
+        ``sim.run()``) works for failure-injected studies too.
+        """
         traces = resolve_workload(scenario)
         if scenario.n_servers is not None:
             n_servers = scenario.n_servers
@@ -86,7 +93,10 @@ class ClusterSimEngine(Engine):
             n_servers = servers_for_overcommitment(
                 traces, target, cores_per_server=scenario.cores_per_server
             )
-        return ClusterSimulator(traces, scenario.sim_config(n_servers))
+        sim = ClusterSimulator(traces, scenario.sim_config(n_servers))
+        if scenario.failures is not None:
+            sim.attach_failures(FailureInjector.from_spec(scenario.failures))
+        return sim
 
     def run(self, scenario: Scenario) -> ScenarioResult:
         sim = self.build(scenario)

@@ -18,10 +18,12 @@ boundaries untouched (for :func:`repro.scenario.sweep.run_sweep`).
 
 from __future__ import annotations
 
+import copy
 import dataclasses
 from dataclasses import dataclass
 
 from repro.errors import SimulationError
+from repro.failures import FailureInjector  # also registers the `failure` kind
 from repro.registry import validate
 from repro.simulator.cluster_sim import ClusterSimConfig
 from repro.traces.schema import VMTraceSet
@@ -35,12 +37,23 @@ class Scenario:
     exactly one of ``workload`` / ``traces`` supplies the VMs.  ``workload``
     is the declarative form — ``{"source": <registered workload name>,
     **params}`` — and is preferred; ``traces`` carries a pre-built
-    :class:`VMTraceSet` for tests and ad-hoc studies.
+    :class:`VMTraceSet` for tests and ad-hoc studies.  ``failures``
+    optionally names a registered failure model plus its parameters
+    (:meth:`with_failures`); None replays on reliable servers.
+
+    Every field's declarative form, its defaults, and the ``to_dict``
+    schema (including how cache keys are derived from it) are documented
+    in ``docs/scenario-schema.md``.
     """
 
     name: str = ""
     workload: dict | None = None
     traces: VMTraceSet | None = None
+    #: Declarative failure spec — ``{"model": <registered failure name>,
+    #: **model_params, "seed": ..., "response": ..., "restart_delay": ...}``
+    #: — or None for a failure-free replay (the default; None elides from
+    #: ``to_dict``, so failure-free cache keys are unchanged).
+    failures: dict | None = None
     policy: str = "proportional"
     n_servers: int | None = None
     overcommitment: float | None = None
@@ -64,9 +77,18 @@ class Scenario:
         if self.overcommitment is not None and self.overcommitment < 0:
             raise SimulationError("overcommitment must be >= 0")
         object.__setattr__(self, "collectors", tuple(self.collectors))
+        # Defensive deep copies: a caller-held spec must not mutate a frozen
+        # scenario, including through nested payloads (e.g. a
+        # trace-schedule's events list) — an aliased mutation would change
+        # the scenario's cache key after its result was stored.
         if self.workload is not None:
-            # Defensive copy: a caller-held dict must not mutate a frozen scenario.
-            object.__setattr__(self, "workload", dict(self.workload))
+            object.__setattr__(self, "workload", copy.deepcopy(dict(self.workload)))
+        if self.failures is not None:
+            if "model" not in self.failures:
+                raise SimulationError(
+                    'failure spec needs a "model" key naming a registered failure model'
+                )
+            object.__setattr__(self, "failures", copy.deepcopy(dict(self.failures)))
 
     # -- fluent builder ----------------------------------------------------------
 
@@ -74,54 +96,130 @@ class Scenario:
         return dataclasses.replace(self, **changes)
 
     def named(self, name: str) -> "Scenario":
+        """Relabel the scenario (labels appear in tables and cache keys)."""
         return self._replace(name=name)
 
     def with_workload(self, source: str, **params) -> "Scenario":
-        """Replay a registered workload source (e.g. ``"azure"``, seeded)."""
+        """Replay a registered workload source (e.g. ``"azure"``, seeded).
+
+        ``params`` are forwarded to the workload factory — for ``azure``
+        that means the :class:`~repro.traces.azure.AzureTraceConfig`
+        fields (``n_vms``, ``seed``, ``horizon_intervals``, ...).  The
+        spec is stored as plain data; synthesis happens at run time and
+        is memoized per process.  Clears any explicit ``traces``.
+        """
         validate("workload", source)
         return self._replace(workload={"source": source, **params}, traces=None)
 
     def with_traces(self, traces: VMTraceSet) -> "Scenario":
-        """Replay a pre-built trace set (escape hatch for tests/studies)."""
+        """Replay a pre-built trace set (escape hatch for tests/studies).
+
+        Explicit traces do not serialize: the scenario cannot ``to_dict``
+        and transparently bypasses any :class:`SweepCache`.  Clears any
+        declarative ``workload`` spec.
+        """
         return self._replace(traces=traces, workload=None)
 
     def with_policy(self, policy: str) -> "Scenario":
-        """Deflation policy by registered name, or ``"preemption"``."""
+        """Deflation policy by registered name, or ``"preemption"``.
+
+        ``policy`` is any name registered under kind ``policy``
+        (``proportional``, ``priority``, ``priority-eq3``,
+        ``deterministic``, ...) or the literal ``"preemption"`` for the
+        paper's kill-instead-of-deflate baseline.
+        """
         if policy != "preemption":
             validate("policy", policy)
         return self._replace(policy=policy)
 
+    def with_failures(self, model: str, **params) -> "Scenario":
+        """Inject transient-server failures from a registered model.
+
+        ``model`` names a ``failure``-kind component (``spot``,
+        ``exponential-lifetimes``, ``weibull-lifetimes``,
+        ``preemption-windows``, ``capacity-dips``, ``trace-schedule``).
+        ``params`` mixes model knobs with injector knobs:
+
+        * ``seed`` (int, default 0) — RNG seed for the schedule; part of
+          the spec, so sweeps over seeds get distinct cache keys;
+        * ``response`` — ``"evacuate"`` (deflation-first migration off the
+          revoked server) or ``"kill"`` (kill-and-requeue);
+        * ``restart_delay`` — intervals between a kill and the requeued
+          restart (``response="kill"``); ``None`` disables requeueing;
+        * everything else is passed to the model constructor (e.g.
+          ``rate=0.002`` for ``spot``).
+
+        The spec is plain data: it serializes through :meth:`to_dict`,
+        crosses process boundaries in parallel sweeps, and changes the
+        :func:`~repro.scenario.cache.scenario_key`, so failure-injected
+        results never collide with failure-free ones in a
+        :class:`~repro.scenario.cache.SweepCache`.
+
+        The whole spec is validated eagerly (model name, model parameters,
+        and injector knobs), so a bad rate or response fails at declaration
+        time, not mid-sweep.
+        """
+        spec = {"model": model, **params}
+        FailureInjector.from_spec(spec)  # eager validation; instance discarded
+        return self._replace(failures=spec)
+
+    def without_failures(self) -> "Scenario":
+        """Drop the failure spec (back to a failure-free replay)."""
+        return self._replace(failures=None)
+
     def with_servers(self, n_servers: int) -> "Scenario":
+        """Fix the cluster size explicitly (clears any OC target)."""
         return self._replace(n_servers=int(n_servers), overcommitment=None)
 
     def with_overcommitment(self, overcommitment: float) -> "Scenario":
-        """Size the cluster for a target peak overcommitment (paper method)."""
+        """Size the cluster for a target peak overcommitment (paper method).
+
+        The engine finds the minimum cluster fitting the trace's peak
+        committed load, then shrinks it by ``1 + overcommitment``; 0.0
+        means "just fits the peak".  Clears any explicit ``n_servers``.
+        """
         return self._replace(overcommitment=float(overcommitment), n_servers=None)
 
     def with_server_shape(self, cores: float, memory_mb: float) -> "Scenario":
+        """Set the homogeneous per-server capacity (default 48 cores, 128 GB)."""
         return self._replace(cores_per_server=float(cores), memory_per_server_mb=float(memory_mb))
 
     def with_partitions(self, n_partitions: int = 4) -> "Scenario":
-        """Enable priority-pool partitioning (Section 5.2.1)."""
+        """Enable priority-pool partitioning (Section 5.2.1).
+
+        Servers are split into ``n_partitions`` deflatable pools (one per
+        priority level) plus an on-demand pool, sized by each class's
+        committed-capacity share of the trace.
+        """
         return self._replace(partitioned=True, n_partitions=int(n_partitions))
 
     def with_min_fraction(self, min_fraction: float) -> "Scenario":
+        """Set the QoS floor (Eq. 2): no VM deflates below this fraction."""
         return self._replace(min_fraction=float(min_fraction))
 
     def with_admission(self, admission: str) -> "Scenario":
+        """Admission controller by registered name (kind ``admission``)."""
         validate("admission", admission)
         return self._replace(admission=admission)
 
     def with_scorer(self, scorer: str) -> "Scenario":
+        """Placement scorer by registered name (kind ``scorer``)."""
         validate("scorer", scorer)
         return self._replace(scorer=scorer)
 
     def with_collectors(self, *collectors: str) -> "Scenario":
+        """Attach metrics collectors by registered name (kind ``metrics``).
+
+        Each collector's ``finalize`` payload lands in the result's
+        ``collected`` dict under the collector's name.  Replaces (does not
+        extend) the current collector tuple.
+        """
         for name in collectors:
             validate("metrics", name)
         return self._replace(collectors=tuple(collectors))
 
     def with_engine(self, engine: str) -> "Scenario":
+        """Execution backend by registered name (kind ``engine``)."""
         validate("engine", engine)
         return self._replace(engine=engine)
 
@@ -140,8 +238,9 @@ class Scenario:
             if value != default:
                 if f.name == "collectors":
                     value = list(value)
-                elif f.name == "workload":
-                    value = dict(value)  # never alias internal state out
+                elif f.name in ("workload", "failures"):
+                    # Never alias internal state out, nested payloads included.
+                    value = copy.deepcopy(dict(value))
                 out[f.name] = value
         return out
 
@@ -155,8 +254,9 @@ class Scenario:
         kwargs = dict(spec)
         if "collectors" in kwargs:
             kwargs["collectors"] = tuple(kwargs["collectors"])
-        if "workload" in kwargs and kwargs["workload"] is not None:
-            kwargs["workload"] = dict(kwargs["workload"])
+        for key in ("workload", "failures"):
+            if kwargs.get(key) is not None:
+                kwargs[key] = dict(kwargs[key])
         return cls(**kwargs)
 
     # -- execution glue ----------------------------------------------------------
@@ -196,4 +296,5 @@ class Scenario:
             "explicit traces" if self.traces is not None else "no workload"
         )
         label = f"{self.name}: " if self.name else ""
-        return f"{label}{source} | policy={self.policy} | {size}"
+        fail = f" | failures={self.failures['model']}" if self.failures else ""
+        return f"{label}{source} | policy={self.policy} | {size}{fail}"

@@ -47,7 +47,9 @@ def run_sweep(
     """Run scenarios serially (``workers`` in {None, 0, 1}) or in parallel.
 
     Results are returned in scenario order either way, and the parallel
-    path is bit-identical to the serial one.
+    path is bit-identical to the serial one — simulator runs are
+    deterministic in their scenario, including failure-injected ones
+    (schedules are generated from the spec's seed, never shared state).
 
     ``chunksize`` defaults to ``Pool.map``'s heuristic (~4 chunks per
     worker): scenarios in one chunk are pickled together, so a grid sharing

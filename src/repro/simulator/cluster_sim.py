@@ -19,6 +19,12 @@ CPU usage (4 levels); bin-packing and deflation consider CPU cores and
 memory; the same trace is replayed while the server count shrinks to raise
 overcommitment.
 
+Transient-server failures (revocations, capacity dips) attach through
+:meth:`ClusterSimulator.attach_failures`: the injector drives a merged
+VM + failure event stream through the same handlers (see
+:mod:`repro.failures`), while simulators without an injector run the
+original loop untouched.
+
 Hot-path design (profiled on 20k-VM traces; every change is bit-identical
 to :mod:`repro.simulator.reference`, the pinned pre-optimization snapshot —
 see ``tests/simulator/test_golden_equivalence.py``.  One deliberate
@@ -188,6 +194,16 @@ class ClusterSimulator:
             raise SimulationError("empty trace set")
         self.traces = traces
         self.config = config
+        #: Optional failure injector (see :meth:`attach_failures`); when
+        #: None the replay runs the original failure-free loop untouched.
+        self._injector = None
+        #: Liveness mask over servers, created lazily on the first
+        #: revocation (None = everything alive, the failure-free fast path).
+        self._server_alive: np.ndarray | None = None
+        #: When not None, :meth:`_preempt` appends each victim here — the
+        #: injector uses it to attribute preemption cascades triggered by
+        #: failure-driven placements.
+        self._preempt_log: list[int] | None = None
         self._policy: DeflationPolicy | None = (
             None if config.policy == "preemption" else get_policy(config.policy)
         )
@@ -364,10 +380,45 @@ class ClusterSimulator:
             for lvl, k in self._pool_of_level.items():
                 self._vm_pool[self.vm_deflatable & (lvls == lvl)] = k
 
+    # -- failure injection -----------------------------------------------------------
+
+    def attach_failures(self, injector) -> None:
+        """Attach a :class:`~repro.failures.injector.FailureInjector`.
+
+        With an injector attached, :meth:`run` hands the replay to
+        :meth:`FailureInjector.drive`, which merges the injector's
+        revocation/capacity-dip schedule (plus dynamically requeued
+        restarts) into the VM event stream and calls back into the same
+        ``_handle_start`` / ``_handle_end`` handlers.  Without one, the
+        original array-sorted loop runs bit-identically to the pinned
+        reference.  The engine calls this for scenarios carrying a
+        ``failures`` spec; direct simulator users may call it before
+        :meth:`run`.
+        """
+        self._injector = injector
+
+    def _mark_revoked(self, server: int) -> None:
+        """Take a server out of service permanently (failure injection).
+
+        Zeroing the capacity makes the server infeasible for every normal
+        placement test; the liveness mask additionally guards the one case
+        capacity alone cannot — deflation-aware admission of a VM whose
+        own reclaimable pool covers its entire demand (a zero floor), which
+        would otherwise "fit" on a dead server and poison the scorer's
+        capacity-normalized ranking with divisions by zero.
+        """
+        if self._server_alive is None:
+            self._server_alive = np.ones(self.config.n_servers, dtype=bool)
+        self._server_alive[server] = False
+        self.server_cap[server] = 0.0
+        self._cap_eps[server] = 1e-9
+
     # -- main loop -----------------------------------------------------------------
 
     def run(self) -> ClusterSimResult:
         self._refresh_derived()  # pick up any post-build surgery
+        if self._injector is not None:
+            return self._collect(self._injector.drive(self))
         n = len(self.traces)
         # Structured sort: ends (kind 0) before starts (kind 1) at the same
         # interval, ties broken by VM index — the exact key the old Python
@@ -405,16 +456,26 @@ class ClusterSimulator:
         return self._pool_members[self._vm_pool[vm]]
 
     def _handle_start(self, t: float, vm: int) -> None:
-        out = self.outcomes[vm]
+        if not self._place(t, vm):
+            self._reject(t, vm, self.outcomes[vm])
+
+    def _place(self, t: float, vm: int) -> bool:
+        """Admit ``vm`` onto the best feasible server; False if none can.
+
+        This is the placement path shared by trace arrivals, evacuations
+        off revoked servers, and requeued restarts: feasibility filtering
+        (admission component), no-deflation preference, scoring, admission
+        bookkeeping, and the post-admit rebalance.  Rejection bookkeeping
+        stays with the callers — an arrival that fails is *rejected*, an
+        evacuee that fails is *lost*.
+        """
         demand = self.vm_caps[vm]
         candidates = self._candidate_servers(vm)
         if candidates.size == 0:
-            self._reject(t, vm, out)
-            return
+            return False
 
         if self._policy is None:
-            self._place_preemption(t, vm, candidates)
-            return
+            return self._place_preemption(t, vm, candidates)
 
         # Prefer servers that can host the VM without deflating anyone —
         # "when there is surplus capacity in the cluster, the cloud manager
@@ -438,14 +499,16 @@ class ClusterSimulator:
                 pool_idx = candidates[no_deflation]
             else:
                 pool_idx = self._admission.feasible(self, vm, candidates)
+                if self._server_alive is not None and pool_idx.size:
+                    pool_idx = pool_idx[self._server_alive[pool_idx]]
                 if pool_idx.size == 0:
-                    self._reject(t, vm, out)
-                    return
+                    return False
         else:
             feas_idx = self._admission.feasible(self, vm, candidates)
+            if self._server_alive is not None and feas_idx.size:
+                feas_idx = feas_idx[self._server_alive[feas_idx]]
             if feas_idx.size == 0:
-                self._reject(t, vm, out)
-                return
+                return False
             no_deflation = (
                 self.committed[feas_idx] + demand <= self._cap_eps[feas_idx]
             ).all(axis=1)
@@ -472,6 +535,7 @@ class ClusterSimulator:
 
         self._admit(t, vm, server)
         self._rebalance(t, server)
+        return True
 
     def _choose_server(
         self,
@@ -518,11 +582,12 @@ class ClusterSimulator:
         for c in self._collectors:
             c.on_reject(t, vm, self)
 
-    def _handle_end(self, t: float, vm: int) -> None:
-        out = self.outcomes[vm]
-        if not out.placed or out.preempted:
-            return
-        server = int(self.vm_server[vm])
+    def _detach(self, vm: int, server: int) -> None:
+        """Remove a VM from a server's bookkeeping (no outcome changes).
+
+        Shared by normal departures, preemptions, and failure-injected
+        evacuations/kills; the caller decides what the removal *means*.
+        """
         self.committed[server] -= self.vm_caps[vm]
         self._committed_cores -= float(self.vm_caps[vm, 0])
         del self.residents[server][vm]
@@ -532,6 +597,13 @@ class ClusterSimulator:
             self.defl_floor[server] -= self.vm_floor[vm]
             self._srv_cache[server] = None
             self._srv_victims[server] = None
+
+    def _handle_end(self, t: float, vm: int) -> None:
+        out = self.outcomes[vm]
+        if not out.placed or out.preempted:
+            return
+        server = int(self.vm_server[vm])
+        self._detach(vm, server)
         for c in self._collectors:
             c.on_end(t, vm, server, self)
         if self._policy is not None:
@@ -610,8 +682,7 @@ class ClusterSimulator:
 
     # -- preemption baseline ---------------------------------------------------------
 
-    def _place_preemption(self, t: float, vm: int, candidates: np.ndarray) -> None:
-        out = self.outcomes[vm]
+    def _place_preemption(self, t: float, vm: int, candidates: np.ndarray) -> bool:
         demand = self.vm_caps[vm]
         if candidates is self._all_servers:
             free = self.server_cap - self.committed
@@ -621,11 +692,10 @@ class ClusterSimulator:
         fit_idx = candidates[fits]
         if fit_idx.size > 0:
             self._admit(t, vm, self._choose_server(vm, fit_idx, np.maximum(free[fits], 0.0)))
-            return
+            return True
         if self.vm_deflatable[vm]:
             # Low-priority arrivals are not allowed to preempt others.
-            self._reject(t, vm, out)
-            return
+            return False
         # On-demand under pressure: preempt deflatable VMs, lowest priority
         # first, on the server needing the fewest preemptions.  Plans longer
         # than the best one found so far can never win (strictly-fewer
@@ -641,11 +711,11 @@ class ClusterSimulator:
                 best_server, best_victims = s, victims
                 limit = len(best_victims)
         if best_victims is None:
-            self._reject(t, vm, out)
-            return
+            return False
         for victim in best_victims:
             self._preempt(t, victim)
         self._admit(t, vm, best_server)
+        return True
 
     def _preemption_plan(self, server: int, demand: np.ndarray) -> list[int] | None:
         """Victims (ascending priority) freeing enough room, or None."""
@@ -692,19 +762,14 @@ class ClusterSimulator:
         return None
 
     def _preempt(self, t: float, vm: int) -> None:
+        if self._preempt_log is not None:
+            self._preempt_log.append(vm)
         out = self.outcomes[vm]
         out.preempted = True
         self.vm_preempted[vm] = True
         out.end_interval = t
         server = int(self.vm_server[vm])
-        self.committed[server] -= self.vm_caps[vm]
-        self._committed_cores -= float(self.vm_caps[vm, 0])
-        del self.residents[server][vm]
-        del self.resident_deflatable[server][vm]
-        self.defl_cap[server] -= self.vm_caps[vm]
-        self.defl_floor[server] -= self.vm_floor[vm]
-        self._srv_cache[server] = None
-        self._srv_victims[server] = None
+        self._detach(vm, server)
         self._append_history_one(vm, t, 0.0)
         self._last_frac[vm] = 0.0
         for c in self._collectors:
@@ -867,6 +932,16 @@ class ClusterSimulator:
                     )
                 revenue[name] = total
 
+        collected = {c.name: c.finalize(self) for c in self._collectors}
+        total_capacity = float(self.server_cap[:, 0].sum())
+        if self._injector is not None:
+            # The injector's aggregate revocation/dip metrics ride along
+            # with the collector payloads (plain scalars, cache-friendly).
+            collected["failure-injection"] = self._injector.summary()
+            # Revoked/dipped servers have mutated server_cap rows; report
+            # the nominal provisioned capacity, not what survived.
+            total_capacity = self._injector.nominal_total_cores()
+
         result = ClusterSimResult(
             config=self.config,
             n_vms=len(self.traces),
@@ -879,14 +954,14 @@ class ClusterSimulator:
                 (self.vm_reclaim_failure & ~self.vm_rejected).sum()
             ),
             peak_committed_cores=peak_committed,
-            total_capacity_cores=float(self.server_cap[:, 0].sum()),
+            total_capacity_cores=total_capacity,
             throughput_loss=(lost_work / demanded_work) if demanded_work > 0 else 0.0,
             mean_deflation=(deflation_sum / deflation_weight) if deflation_weight else 0.0,
             revenue=revenue,
             revenue_per_server={
                 name: rev / self.config.n_servers for name, rev in revenue.items()
             },
-            collected={c.name: c.finalize(self) for c in self._collectors},
+            collected=collected,
         )
         return result
 

@@ -199,6 +199,12 @@ class MetricsCollector:
     def on_rebalance(self, t: float, server: int, sim) -> None:
         pass
 
+    def on_revocation(self, t: float, server: int, sim) -> None:
+        """A transient server was revoked (failure injection only)."""
+
+    def on_capacity_dip(self, t: float, server: int, scale: float, sim) -> None:
+        """A server's capacity was scaled to ``scale`` (1.0 = restored)."""
+
     def finalize(self, sim) -> object:
         return None
 
@@ -264,6 +270,32 @@ class CommittedTimelineCollector(MetricsCollector):
 
     def finalize(self, sim):
         return list(self.points)
+
+
+@register("metrics", "failure-log")
+class FailureLogCollector(MetricsCollector):
+    """Records every injected infrastructure failure, in event order.
+
+    Payload: list of ``(interval, event, server, scale)`` tuples where
+    ``event`` is ``"revoke"`` or ``"dip"`` (``scale`` is the remaining
+    capacity fraction; a dip ending reports ``scale == 1.0``).  Only
+    meaningful on scenarios with a ``failures`` spec — without injection
+    the payload is an empty list.
+    """
+
+    name = "failure-log"
+
+    def __init__(self) -> None:
+        self.events: list[tuple[float, str, int, float]] = []
+
+    def on_revocation(self, t, server, sim):
+        self.events.append((t, "revoke", server, 0.0))
+
+    def on_capacity_dip(self, t, server, scale, sim):
+        self.events.append((t, "dip", server, float(scale)))
+
+    def finalize(self, sim):
+        return list(self.events)
 
 
 @register("metrics", "rejection-log")

@@ -17,8 +17,8 @@ def results():
 
 
 class TestRegistry:
-    def test_seventeen_figures(self):
-        assert len(EXPERIMENTS) == 17
+    def test_experiment_count(self):
+        assert len(EXPERIMENTS) == 18  # 17 paper figures + the portfolio study
 
     def test_lookup(self):
         assert get_experiment("fig20") is EXPERIMENTS["fig20"]

@@ -1,0 +1,200 @@
+"""Failure-model schedules: registration, determinism, validation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError, UnknownComponentError
+from repro.failures import ACTIONS, FailureEvent, FailureModel
+from repro.registry import create, names
+from repro.scenario import Scenario  # also triggers `failure`-kind registration
+
+MODELS = (
+    "spot",
+    "exponential-lifetimes",
+    "weibull-lifetimes",
+    "preemption-windows",
+    "capacity-dips",
+    "trace-schedule",
+)
+
+
+def rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+class TestRegistration:
+    def test_all_models_registered(self):
+        assert set(MODELS) <= set(names("failure"))
+
+    def test_unknown_model_fails_loudly(self):
+        with pytest.raises(UnknownComponentError, match="spot"):
+            create("failure", "meteor-strike")
+
+    def test_exponential_is_weibull_shape_one(self):
+        model = create("failure", "exponential-lifetimes", mean_lifetime=100.0)
+        assert model.shape == 1.0
+        assert model.mean_lifetime == 100.0
+
+
+class TestFailureEvent:
+    def test_validates_action(self):
+        with pytest.raises(SimulationError, match="unknown failure action"):
+            FailureEvent(time=1.0, action="explode", server=0)
+        assert "revoke" in ACTIONS and "dip" in ACTIONS
+
+    def test_dip_needs_scale_and_duration(self):
+        with pytest.raises(SimulationError, match="scale"):
+            FailureEvent(time=1.0, action="dip", server=0, scale=1.5, duration=2.0)
+        with pytest.raises(SimulationError, match="duration"):
+            FailureEvent(time=1.0, action="dip", server=0, scale=0.5, duration=0.0)
+
+
+@pytest.mark.parametrize("name", [m for m in MODELS if m != "trace-schedule"])
+class TestDeterminism:
+    def test_same_seed_same_schedule(self, name):
+        model = create("failure", name)
+        a = model.events(20, 500.0, rng(7))
+        b = model.events(20, 500.0, rng(7))
+        assert a == b
+
+    def test_events_inside_cluster_and_horizon(self, name):
+        model = create("failure", name)
+        for ev in model.events(20, 500.0, rng(7)):
+            assert 0 <= ev.server < 20
+            assert 0.0 <= ev.time < 500.0
+
+
+class TestSpot:
+    def test_rate_scales_revocation_count(self):
+        low = create("failure", "spot", rate=0.0005).events(50, 500.0, rng(3))
+        high = create("failure", "spot", rate=0.01).events(50, 500.0, rng(3))
+        assert len(high) > len(low)
+
+    def test_each_server_revoked_at_most_once(self):
+        events = create("failure", "spot", rate=0.05).events(30, 500.0, rng(5))
+        servers = [ev.server for ev in events]
+        assert len(servers) == len(set(servers))
+
+    def test_fraction_limits_transient_pool(self):
+        events = create("failure", "spot", rate=1.0, fraction=0.2).events(
+            20, 5000.0, rng(1)
+        )
+        assert 0 < len({ev.server for ev in events}) <= 4
+
+    def test_validation(self):
+        with pytest.raises(SimulationError, match="rate"):
+            create("failure", "spot", rate=0.0)
+        with pytest.raises(SimulationError, match="fraction"):
+            create("failure", "spot", fraction=1.5)
+
+
+class TestLifetimes:
+    def test_mean_lifetime_controls_survival(self):
+        short = create("failure", "weibull-lifetimes", mean_lifetime=50.0)
+        long = create("failure", "weibull-lifetimes", mean_lifetime=50_000.0)
+        n_short = len(short.events(100, 500.0, rng(2)))
+        n_long = len(long.events(100, 500.0, rng(2)))
+        assert n_short > n_long
+
+    def test_all_revocations(self):
+        events = create("failure", "weibull-lifetimes", mean_lifetime=10.0).events(
+            10, 500.0, rng(0)
+        )
+        assert events and all(ev.action == "revoke" for ev in events)
+
+
+class TestPreemptionWindows:
+    def test_revocations_only_inside_windows(self):
+        model = create(
+            "failure", "preemption-windows", rate=0.5, period=100.0, offset=20.0, width=30.0
+        )
+        events = model.events(40, 1000.0, rng(9))
+        assert events
+        for ev in events:
+            assert (ev.time - 20.0) % 100.0 < 30.0
+
+    def test_window_validation(self):
+        with pytest.raises(SimulationError, match="width"):
+            create("failure", "preemption-windows", period=10.0, width=20.0)
+        with pytest.raises(SimulationError, match="offset"):
+            create("failure", "preemption-windows", period=10.0, width=5.0, offset=12.0)
+
+
+class TestCapacityDips:
+    def test_dips_never_overlap_per_server(self):
+        model = create("failure", "capacity-dips", rate=0.05, mean_duration=20.0)
+        events = model.events(10, 2000.0, rng(4))
+        assert events
+        by_server: dict[int, list] = {}
+        for ev in events:
+            assert ev.action == "dip"
+            by_server.setdefault(ev.server, []).append(ev)
+        for evs in by_server.values():
+            evs.sort(key=lambda e: e.time)
+            for a, b in zip(evs, evs[1:]):
+                assert a.time + a.duration <= b.time + 1e-9
+
+    def test_depth_sets_scale(self):
+        events = create("failure", "capacity-dips", rate=0.05, depth=0.3).events(
+            5, 2000.0, rng(4)
+        )
+        assert events and all(abs(ev.scale - 0.7) < 1e-12 for ev in events)
+
+
+class TestTraceSchedule:
+    def test_parses_explicit_events(self):
+        model = create(
+            "failure",
+            "trace-schedule",
+            events=[
+                {"t": 5, "action": "revoke", "server": 1},
+                {"t": 8, "action": "dip", "server": 0, "scale": 0.5, "duration": 4},
+            ],
+        )
+        events = model.events(4, 100.0, rng(0))
+        assert [ev.action for ev in events] == ["revoke", "dip"]
+        assert events[1].scale == 0.5 and events[1].duration == 4.0
+
+    def test_rejects_out_of_cluster_server(self):
+        model = create(
+            "failure", "trace-schedule", events=[{"t": 5, "action": "revoke", "server": 9}]
+        )
+        with pytest.raises(SimulationError, match="server 9"):
+            model.events(4, 100.0, rng(0))
+
+    def test_rejects_unknown_keys_and_missing_fields(self):
+        with pytest.raises(SimulationError, match="missing"):
+            create("failure", "trace-schedule", events=[{"t": 5, "server": 0}])
+        with pytest.raises(SimulationError, match="unknown"):
+            create(
+                "failure",
+                "trace-schedule",
+                events=[{"t": 5, "action": "revoke", "server": 0, "oops": 1}],
+            )
+
+    def test_events_past_horizon_dropped(self):
+        model = create(
+            "failure", "trace-schedule", events=[{"t": 500, "action": "revoke", "server": 0}]
+        )
+        assert model.events(4, 100.0, rng(0)) == []
+
+
+class TestCustomModelPlugin:
+    def test_registered_plugin_is_addressable_from_scenarios(self):
+        from repro.registry import register, unregister
+
+        @register("failure", "test-blackout")
+        class Blackout(FailureModel):
+            name = "test-blackout"
+
+            def events(self, n_servers, horizon, rng_):
+                return [
+                    FailureEvent(time=1.0, action="revoke", server=s)
+                    for s in range(n_servers)
+                ]
+
+        try:
+            s = Scenario().with_failures("test-blackout")
+            assert s.failures == {"model": "test-blackout"}
+        finally:
+            unregister("failure", "test-blackout")

@@ -209,6 +209,7 @@ class TestScenarioFieldCoverage:
             "name",
             "workload",
             "traces",
+            "failures",  # reviewed: serializes via to_dict, feeds the key
             "policy",
             "n_servers",
             "overcommitment",

@@ -114,6 +114,79 @@ class TestDictRoundTrip:
         assert s.workload["n_vms"] == 5
 
 
+class TestFailureFields:
+    def test_with_failures_builds_spec(self):
+        s = Scenario().with_failures("spot", rate=0.01, seed=3, response="kill")
+        assert s.failures == {
+            "model": "spot",
+            "rate": 0.01,
+            "seed": 3,
+            "response": "kill",
+        }
+
+    def test_with_failures_validates_model_name(self):
+        with pytest.raises(UnknownComponentError, match="spot"):
+            Scenario().with_failures("asteroid")
+
+    def test_with_failures_validates_params_eagerly(self):
+        # A bad spec must fail at declaration time, not mid-sweep.
+        with pytest.raises(SimulationError, match="rate"):
+            Scenario().with_failures("spot", rate=-1)
+        with pytest.raises(SimulationError, match="response"):
+            Scenario().with_failures("spot", response="panic")
+        with pytest.raises(TypeError):
+            Scenario().with_failures("spot", warp_factor=9)
+
+    def test_failure_spec_requires_model_key(self):
+        with pytest.raises(SimulationError, match="model"):
+            Scenario(failures={"rate": 0.01})
+
+    def test_roundtrip_identity_with_failures(self):
+        s = (
+            Scenario(name="rt-fail")
+            .with_workload("azure", n_vms=50, seed=2)
+            .with_policy("priority")
+            .with_overcommitment(0.4)
+            .with_failures(
+                "trace-schedule",
+                events=[{"t": 5, "action": "revoke", "server": 0}],
+                response="kill",
+                restart_delay=2,
+            )
+        )
+        assert Scenario.from_dict(s.to_dict()) == s
+
+    def test_failure_free_to_dict_elides_failures(self):
+        d = Scenario(name="d").with_workload("azure").to_dict()
+        assert "failures" not in d
+
+    def test_without_failures_drops_spec(self):
+        s = Scenario().with_failures("spot", rate=0.01)
+        assert s.without_failures().failures is None
+
+    def test_failures_dict_never_aliased(self):
+        spec = {"model": "spot", "rate": 0.01}
+        s = Scenario(failures=spec)
+        spec["rate"] = 9.9
+        assert s.failures["rate"] == 0.01
+        s.to_dict()["failures"]["rate"] = 9.9
+        assert s.failures["rate"] == 0.01
+
+    def test_nested_failure_payloads_never_aliased(self):
+        # trace-schedule specs carry nested mutable events; a frozen
+        # scenario's cache key must survive caller-side mutation of them.
+        events = [{"t": 5, "action": "revoke", "server": 0}]
+        s = Scenario().with_failures("trace-schedule", events=events)
+        events[0]["t"] = 999
+        assert s.failures["events"][0]["t"] == 5
+        s.to_dict()["failures"]["events"][0]["t"] = 999
+        assert s.failures["events"][0]["t"] == 5
+
+    def test_describe_mentions_failures(self):
+        s = Scenario(name="x").with_workload("azure").with_failures("spot")
+        assert "failures=spot" in s.describe()
+
+
 class TestSimConfig:
     def test_sim_config_carries_every_knob(self):
         s = (

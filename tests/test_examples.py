@@ -16,6 +16,7 @@ FAST = [
     "hybrid_mechanisms.py",
     "feasibility_study.py",
     "scenario_pipeline.py",
+    "failure_injection.py",
 ]
 
 
