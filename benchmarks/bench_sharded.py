@@ -1,0 +1,165 @@
+"""Sharded-engine scaling benchmark: a 100k-VM partitioned trace replay.
+
+The ``sharded`` engine targets traces beyond the single-process engine's
+comfortable range (:mod:`bench_scale_cluster` stops at 20k VMs).  This
+module times the same partitioned scenario end to end — engine
+construction + shard planning + replay + merge — on both engines:
+
+* ``cluster-sim`` — the single-process flat partitioned replay;
+* ``sharded`` at ``workers=1`` and ``workers>=4`` — per-pool shards,
+  serial and fanned out over worker processes.  The engine caps effective
+  workers at the CPU count (oversubscribing cores with CPU-bound shards
+  only adds overhead), so the report records the requested label, the
+  effective count, and the machine's ``cpu_count``.
+
+Every timed pair is verified bit-identical before it is reported (the
+cross-engine golden contract), so the speedup is never bought with drift.
+Two entry points:
+
+* pytest-benchmark tests (``pytest benchmarks/bench_sharded.py
+  --benchmark-only``) at a CI-friendly 20k VMs;
+* :func:`run_sharded_benchmark`, used by ``benchmarks/run_bench.py`` to
+  produce the ``sharded`` section of ``BENCH_cluster.json`` (100k VMs in
+  the full run, 20k with ``--quick``).
+
+The sharded engine wins twice: shards skip the flat partitioned run's
+per-event candidate gathers (each shard *is* its whole cluster, so the
+gather-free array paths apply), and on multi-core machines the pool
+replays overlap.  The largest pool bounds the parallel win (Amdahl), so
+speedups are reported per worker count rather than assumed linear.
+"""
+
+from __future__ import annotations
+
+import os
+import statistics
+import time
+
+import pytest
+
+from repro.registry import create
+from repro.scenario.scenario import Scenario
+from repro.simulator.cluster_sim import ClusterSimConfig, ClusterSimulator
+from repro.simulator.sharded import ShardedEngine, plan_shards
+from repro.traces.azure import AzureTraceConfig, synthesize_azure_trace
+
+#: Default trace size for the full run (the ISSUE's 100k-VM target).
+SHARDED_N_VMS = 100_000
+SHARDED_SEED = 23
+
+#: The timed scenario: the paper's protagonist policy under real pressure.
+SHARDED_OC = 0.3
+SHARDED_POLICY = "proportional"
+
+#: Worker counts timed for the sharded engine.
+WORKER_COUNTS = (1, 4)
+
+
+def sharded_scenario(n_vms: int = SHARDED_N_VMS, seed: int = SHARDED_SEED) -> Scenario:
+    """The benchmark scenario, with the trace synthesized up front."""
+    traces = synthesize_azure_trace(AzureTraceConfig(n_vms=n_vms, seed=seed))
+    # Warm the shared per-record p95 cache so no timed side pays it first.
+    ClusterSimulator(traces, ClusterSimConfig(n_servers=1, policy="preemption"))
+    return (
+        Scenario(name="bench-sharded")
+        .with_traces(traces)
+        .with_policy(SHARDED_POLICY)
+        .with_overcommitment(SHARDED_OC)
+        .with_partitions()
+    )
+
+
+def run_sharded_benchmark(
+    n_vms: int = SHARDED_N_VMS,
+    seed: int = SHARDED_SEED,
+    rounds: int = 1,
+    workers: tuple[int, ...] = WORKER_COUNTS,
+    verify: bool = True,
+    progress=None,
+) -> dict:
+    """Time cluster-sim vs sharded on one scenario; return the report dict."""
+    scenario = sharded_scenario(n_vms, seed)
+    plan = plan_shards(scenario)
+
+    # Rounds are interleaved across the cases (cluster-sim, w1, w4,
+    # cluster-sim, ...) so a slow phase of a shared machine skews every
+    # label equally instead of poisoning whichever case it landed on.
+    cases: list[tuple[str, object]] = [
+        ("cluster-sim", lambda: create("engine", "cluster-sim").run(scenario))
+    ]
+    effective = {}
+    for w in workers:
+        label = f"sharded@w{w}"
+        engine = ShardedEngine(workers=w)
+        effective[label] = engine._resolve_workers(len(plan.specs))
+        cases.append((label, lambda e=engine: e.run(scenario)))
+
+    times: dict[str, list[float]] = {label: [] for label, _ in cases}
+    results = {}
+    for _ in range(rounds):
+        for label, run in cases:
+            t0 = time.perf_counter()
+            results[label] = run()
+            times[label].append(time.perf_counter() - t0)
+    if verify:
+        flat = results["cluster-sim"]
+        for label, result in results.items():
+            if result.sim != flat.sim:
+                raise AssertionError(
+                    f"{label} diverged from cluster-sim at {n_vms} VMs"
+                )
+
+    medians = {label: statistics.median(ts) for label, ts in times.items()}
+    if progress is not None:
+        for label, s in medians.items():
+            progress(label, s)
+    report = {
+        "n_vms": n_vms,
+        "seed": seed,
+        "policy": SHARDED_POLICY,
+        "overcommitment": SHARDED_OC,
+        "n_servers": plan.n_servers,
+        "n_shards": len(plan.specs),
+        "shard_vms": [len(spec.traces) for spec in plan.specs],
+        # Effective workers are capped at the CPU count (oversubscribing
+        # cores with CPU-bound shards only adds overhead), so the recorded
+        # machine matters when comparing entries across hosts.
+        "cpu_count": os.cpu_count(),
+        "rounds": rounds,
+        "cases": {label: round(s, 4) for label, s in medians.items()},
+        "effective_workers": effective,
+    }
+    flat_s = medians["cluster-sim"]
+    for w in workers:
+        shard_s = medians[f"sharded@w{w}"]
+        report[f"speedup_w{w}"] = round(flat_s / shard_s, 3) if shard_s else 0.0
+    return report
+
+
+# -- pytest-benchmark entry points ---------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def scenario_20k():
+    return sharded_scenario(n_vms=20000, seed=SHARDED_SEED)
+
+
+def test_sharded_replay_benchmark(benchmark, scenario_20k):
+    result = benchmark.pedantic(
+        lambda: ShardedEngine(workers=4).run(scenario_20k), rounds=1
+    )
+    assert result.sim.n_placed > 0
+
+
+def test_sharded_matches_and_beats_flat(scenario_20k):
+    """Cheap guard: bit-identical and not slower than the flat replay."""
+    t0 = time.perf_counter()
+    flat = create("engine", "cluster-sim").run(scenario_20k)
+    t_flat = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    sharded = ShardedEngine(workers=4).run(scenario_20k)
+    t_sharded = time.perf_counter() - t0
+    assert flat.sim == sharded.sim
+    assert t_sharded < t_flat, (
+        f"sharded ({t_sharded:.2f}s) should beat cluster-sim ({t_flat:.2f}s)"
+    )

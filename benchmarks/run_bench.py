@@ -30,6 +30,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 
 from bench_scale_cluster import SCALE_N_VMS, run_scale_benchmark  # noqa: E402
+from bench_sharded import SHARDED_N_VMS, run_sharded_benchmark  # noqa: E402
 
 from repro.simulator.cluster_sim import ClusterSimConfig, ClusterSimulator  # noqa: E402
 from repro.traces.azure import AzureTraceConfig, synthesize_azure_trace  # noqa: E402
@@ -82,12 +83,26 @@ def main(argv: list[str] | None = None) -> int:
         "--scale-rounds", type=int, default=None, help="scaling rounds (median; default 3, quick 1)"
     )
     parser.add_argument(
+        "--sharded-n-vms",
+        type=int,
+        default=None,
+        help="sharded-engine trace size (default 100k, quick 20k)",
+    )
+    parser.add_argument(
+        "--sharded-rounds",
+        type=int,
+        default=None,
+        help="sharded rounds (median; default 3, quick 1)",
+    )
+    parser.add_argument(
         "--out", type=Path, default=Path(__file__).resolve().parent.parent / "BENCH_cluster.json"
     )
     args = parser.parse_args(argv)
 
     n_vms = args.n_vms or (5000 if args.quick else SCALE_N_VMS)
     scale_rounds = args.scale_rounds or (1 if args.quick else 3)
+    sharded_n_vms = args.sharded_n_vms or (20000 if args.quick else SHARDED_N_VMS)
+    sharded_rounds = args.sharded_rounds or (1 if args.quick else 3)
 
     print(f"[run_bench] micro benchmarks ({args.rounds} rounds)...", flush=True)
     micro = micro_benchmarks(args.rounds)
@@ -110,12 +125,24 @@ def main(argv: list[str] | None = None) -> int:
 
     scale = run_scale_benchmark(n_vms=n_vms, rounds=scale_rounds, progress=progress)
 
+    print(
+        f"[run_bench] sharded-engine benchmark ({sharded_n_vms} VMs, "
+        f"{sharded_rounds} round(s), cluster-sim vs sharded)...",
+        flush=True,
+    )
+    sharded = run_sharded_benchmark(
+        n_vms=sharded_n_vms,
+        rounds=sharded_rounds,
+        progress=lambda label, s: print(f"  {label:24s} {s:8.3f}s", flush=True),
+    )
+
     report = {
         "schema": 1,
         "python": platform.python_version(),
         "machine": platform.machine(),
         "micro": {"n_vms": MICRO_N_VMS, "rounds": args.rounds, "cases": micro},
         "scale": scale,
+        "sharded": sharded,
     }
     args.out.write_text(json.dumps(report, indent=2) + "\n")
     agg = scale["aggregate"]
@@ -124,6 +151,12 @@ def main(argv: list[str] | None = None) -> int:
           f"(opt {agg['optimized_s']:.1f}s vs ref {agg['reference_s']:.1f}s)")
     if head:
         print(f"[run_bench] headline ({len(head['cases'])} cases): {head['speedup']:.2f}x")
+    print(
+        f"[run_bench] sharded ({sharded['n_vms']} VMs, {sharded['n_shards']} shards): "
+        + ", ".join(
+            f"{k}={sharded[k]:.2f}x" for k in sorted(sharded) if k.startswith("speedup")
+        )
+    )
     print(f"[run_bench] wrote {args.out}")
     return 0
 

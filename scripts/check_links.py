@@ -1,16 +1,22 @@
 #!/usr/bin/env python3
 """Markdown link checker for the docs tree (stdlib only; used by CI).
 
-Checks every ``[text](target)`` link in the given markdown files/directories:
+Checks every link in the given markdown files/directories:
 
-* relative file targets must exist (resolved against the linking file);
+* inline links ``[text](target)`` and reference definitions
+  ``[label]: target`` — relative file targets must exist (resolved against
+  the linking file);
+* reference-style uses ``[text][label]`` / ``[text][]`` — the label must
+  be defined in the same file;
 * ``#anchor`` fragments — standalone or on a relative ``.md`` target —
-  must match a GitHub-style heading slug in the target file;
+  must match an anchor in the target file: a GitHub-style heading slug
+  (including the ``-1``, ``-2`` suffixes GitHub appends to duplicate
+  headings) or an explicit ``<a id="...">`` / ``<a name="...">`` anchor;
 * absolute URLs (http/https/mailto) are *not* fetched: external liveness
   is not this checker's job, and CI must not flake on the network.
 
-Links inside fenced code blocks are ignored. Exit status is the number of
-broken links (0 = everything resolves).
+Links inside fenced code blocks and inline code spans are ignored.  Exit
+status is the number of broken links (0 = everything resolves).
 
 Usage::
 
@@ -26,7 +32,15 @@ from pathlib import Path
 _FENCE = re.compile(r"^(```|~~~)")
 #: Inline links: [text](target) — target captured up to the matching paren.
 _LINK = re.compile(r"\[[^\]\[]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+#: Reference-style uses: [text][label] ([text][] collapses onto the text).
+_REF_USE = re.compile(r"\[([^\]\[]+)\]\[([^\]\[]*)\]")
+#: Reference definitions: [label]: target (up to 3 leading spaces, per spec).
+_REF_DEF = re.compile(r"^ {0,3}\[([^\]\[]+)\]:\s*(\S+)")
 _HEADING = re.compile(r"^(#{1,6})\s+(.*)$")
+#: Explicit HTML anchors authors drop for stable deep links.
+_HTML_ANCHOR = re.compile(r"<a\s+(?:id|name)\s*=\s*[\"']([^\"']+)[\"']", re.IGNORECASE)
+#: Inline code spans (non-greedy; backtick runs of any length).
+_CODE_SPAN = re.compile(r"`+[^`]*`+")
 _EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
 
 
@@ -42,8 +56,13 @@ def strip_code_blocks(text: str) -> list[str]:
     return out
 
 
+def _strip_code_spans(line: str) -> str:
+    """Blank out inline code spans (``arr[i][0]`` must not look like a link)."""
+    return _CODE_SPAN.sub(lambda m: " " * len(m.group(0)), line)
+
+
 def github_slug(heading: str) -> str:
-    """GitHub's anchor slug for a heading (minus duplicate suffixes)."""
+    """GitHub's anchor slug for one heading occurrence (no duplicate suffix)."""
     # Drop inline code/links markup, then non-word punctuation.
     heading = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", heading)
     heading = heading.replace("`", "").strip().lower()
@@ -51,36 +70,67 @@ def github_slug(heading: str) -> str:
     return heading.replace(" ", "-")
 
 
-def heading_slugs(path: Path) -> set[str]:
+def anchor_slugs(path: Path) -> set[str]:
+    """Every anchor a fragment may target in one file.
+
+    Heading slugs carry GitHub's duplicate-disambiguation suffixes (the
+    second ``## Setup`` is ``#setup-1``), and explicit ``<a id>`` /
+    ``<a name>`` anchors count too.
+    """
     slugs: set[str] = set()
+    seen: dict[str, int] = {}
     for line in strip_code_blocks(path.read_text(encoding="utf-8")):
         m = _HEADING.match(line)
         if m:
-            slugs.add(github_slug(m.group(2)))
+            slug = github_slug(m.group(2))
+            n = seen.get(slug, 0)
+            seen[slug] = n + 1
+            slugs.add(slug if n == 0 else f"{slug}-{n}")
+        for anchor in _HTML_ANCHOR.finditer(line):
+            slugs.add(anchor.group(1))
     return slugs
 
 
-def iter_links(path: Path):
-    """(line_number, target) for every inline link outside code blocks."""
+def _iter_clean_lines(path: Path):
     for i, line in enumerate(strip_code_blocks(path.read_text(encoding="utf-8")), 1):
-        for m in _LINK.finditer(line):
-            yield i, m.group(1)
+        yield i, _strip_code_spans(line)
 
 
 def check_file(path: Path) -> list[str]:
-    errors = []
-    for lineno, target in iter_links(path):
+    errors: list[str] = []
+
+    def check_target(lineno: int, target: str) -> None:
         if target.startswith(_EXTERNAL):
-            continue
+            return
         base, _, fragment = target.partition("#")
         dest = path if not base else (path.parent / base).resolve()
         if not dest.exists():
             errors.append(f"{path}:{lineno}: broken link target {target!r}")
-            continue
+            return
         if fragment and dest.suffix == ".md":
-            if github_slug(fragment) not in heading_slugs(dest):
+            if github_slug(fragment) not in anchor_slugs(dest):
                 errors.append(
                     f"{path}:{lineno}: anchor #{fragment} not found in {dest.name}"
+                )
+
+    # Reference definitions: collect the label table, check each target.
+    definitions: dict[str, int] = {}
+    for lineno, line in _iter_clean_lines(path):
+        m = _REF_DEF.match(line)
+        if m and not m.group(1).startswith("^"):  # footnotes are not links
+            definitions[m.group(1).strip().lower()] = lineno
+            check_target(lineno, m.group(2))
+
+    for lineno, line in _iter_clean_lines(path):
+        if _REF_DEF.match(line):
+            continue
+        for m in _LINK.finditer(line):
+            check_target(lineno, m.group(1))
+        for m in _REF_USE.finditer(line):
+            label = (m.group(2) or m.group(1)).strip().lower()
+            if label not in definitions:
+                errors.append(
+                    f"{path}:{lineno}: undefined link reference [{label}]"
                 )
     return errors
 

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import os
 
+from repro.errors import SimulationError
 from repro.experiments.base import check_scale
 from repro.scenario import Scenario, SweepCache, run_sweep
 from repro.simulator.metrics import DEFAULT_POLICIES, OvercommitSweep, SweepPoint
@@ -33,7 +34,11 @@ SWEEP_CACHE = SweepCache(path=os.environ.get("REPRO_SWEEP_CACHE_DIR") or None)
 
 
 def cluster_sweep(
-    scale: str, partitioned: bool = False, seed: int = 31, workers: int | None = None
+    scale: str,
+    partitioned: bool = False,
+    seed: int = 31,
+    workers: int | None = None,
+    engine: str | None = None,
 ) -> OvercommitSweep:
     """The (policy x OC) grid, built through the Scenario pipeline.
 
@@ -42,14 +47,29 @@ def cluster_sweep(
     bit-identical for any worker count and for warm-vs-cold caches, so it
     is deliberately *not* part of the cache key — it only controls how a
     miss is computed.
+
+    ``engine`` selects the execution backend by registered name (``None``
+    keeps the scenario default, ``cluster-sim``).  The ``sharded`` engine
+    shards along priority-pool boundaries, so it requires
+    ``partitioned=True`` — on which it is bit-identical to ``cluster-sim``
+    (see ``docs/engines.md``).  Note that a non-default engine is part of
+    each scenario's cache key.
     """
     check_scale(scale)
+    if engine == "sharded" and not partitioned:
+        raise SimulationError(
+            "the sharded engine requires partitioned placement; pass "
+            "partitioned=True (the grid then matches cluster-sim's "
+            "partitioned grid, not the flat default)"
+        )
     levels = OC_LEVELS_SMALL if scale == "small" else OC_LEVELS
     base = Scenario(name="cluster-sweep").with_workload(
         "azure", n_vms=_SCALE_N_VMS[scale], seed=seed
     )
     if partitioned:
         base = base.with_partitions()
+    if engine is not None:
+        base = base.with_engine(engine)
     scenarios = [
         base.with_policy(policy).with_overcommitment(oc)
         for policy in DEFAULT_POLICIES

@@ -15,9 +15,11 @@ from repro.registry import register_value
 
 
 @register_value("experiment", "fig20")
-def run(scale: str = "small") -> ExperimentResult:
+def run(scale: str = "small", engine: str | None = None) -> ExperimentResult:
+    """Regenerate the figure; ``engine="sharded"`` runs the partitioned
+    variant of the grid on the scale-out engine (see docs/engines.md)."""
     check_scale(scale)
-    sweep = cluster_sweep(scale)
+    sweep = cluster_sweep(scale, partitioned=engine == "sharded", engine=engine)
     result = ExperimentResult(
         figure_id="fig20",
         title="Failure probability vs cluster overcommitment",

@@ -16,10 +16,17 @@ _POLICIES = ("proportional", "priority", "deterministic")
 
 
 @register_value("experiment", "fig21")
-def run(scale: str = "small") -> ExperimentResult:
+def run(scale: str = "small", engine: str | None = None) -> ExperimentResult:
+    """Regenerate the figure; ``engine`` moves the *partitioned* comparison
+    series onto another backend (e.g. ``"sharded"``, which only accepts
+    partitioned scenarios — see docs/engines.md).  The flat main series
+    always runs on the default engine, so the figure's flat-vs-partitioned
+    contrast stays meaningful — and since backends are bit-identical, the
+    printed table is the same for every engine choice.
+    """
     check_scale(scale)
     sweep = cluster_sweep(scale)
-    part = cluster_sweep(scale, partitioned=True)
+    part = cluster_sweep(scale, partitioned=True, engine=engine)
     result = ExperimentResult(
         figure_id="fig21",
         title="Throughput decrease of deflatable VMs vs overcommitment",

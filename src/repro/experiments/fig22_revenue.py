@@ -17,9 +17,11 @@ _PRICINGS = ("static", "priority", "allocation")
 
 
 @register_value("experiment", "fig22")
-def run(scale: str = "small") -> ExperimentResult:
+def run(scale: str = "small", engine: str | None = None) -> ExperimentResult:
+    """Regenerate the figure; ``engine="sharded"`` runs the partitioned
+    variant of the grid on the scale-out engine (see docs/engines.md)."""
     check_scale(scale)
-    sweep = cluster_sweep(scale)
+    sweep = cluster_sweep(scale, partitioned=engine == "sharded", engine=engine)
     result = ExperimentResult(
         figure_id="fig22",
         title="Revenue-per-server increase vs overcommitment (priority deflation)",

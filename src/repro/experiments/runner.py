@@ -10,6 +10,7 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 import time
 
@@ -28,13 +29,31 @@ def main(argv: list[str] | None = None) -> int:
         help=f"figure ids ({', '.join(sorted(EXPERIMENTS))}) or 'all'",
     )
     parser.add_argument("--scale", choices=SCALES, default="small")
+    parser.add_argument(
+        "--engine",
+        default=None,
+        help="execution backend for engine-aware experiments (fig20-22), "
+        "by registered name — e.g. 'sharded' replays the grid on the "
+        "scale-out engine (partitioned variant; see docs/engines.md). "
+        "Experiments without an engine knob ignore this with a warning.",
+    )
     args = parser.parse_args(argv)
 
     ids = sorted(EXPERIMENTS) if "all" in args.figures else args.figures
     for figure_id in ids:
         runner = get_experiment(figure_id)
+        kwargs = {}
+        if args.engine is not None:
+            if "engine" in inspect.signature(runner).parameters:
+                kwargs["engine"] = args.engine
+            else:
+                print(
+                    f"warning: {figure_id} has no engine knob; "
+                    f"ignoring --engine {args.engine}",
+                    file=sys.stderr,
+                )
         start = time.perf_counter()
-        result = runner(args.scale)
+        result = runner(args.scale, **kwargs)
         elapsed = time.perf_counter() - start
         result.print_table()
         print(f"[{figure_id} regenerated in {elapsed:.1f}s at scale={args.scale}]\n")

@@ -149,6 +149,27 @@ class FailureInjector:
         self.absorbed_core_intervals = 0.0
         self.lost_core_intervals = 0.0
 
+    def _accrue(self, metric: str, value: float) -> None:
+        """Add one term to a float summary metric (``downtime_intervals``,
+        ``absorbed_core_intervals``, ``lost_core_intervals``).
+
+        Every accrual flows through here so the arithmetic stays a single
+        left-to-right accumulation; the sharded engine's recording injector
+        overrides this to log each term, letting the shard merger replay
+        the terms in global event order and reproduce the flat run's float
+        accumulation bit for bit.
+        """
+        setattr(self, metric, getattr(self, metric) + value)
+
+    def _after_event(self, sim, t: float, kind: int, key: int) -> None:
+        """Hook called after each merged-stream event is processed.
+
+        ``key`` is the VM index (END/START/REQUEUE) or the server index
+        (REVOKE/DIP_START/DIP_END).  The base injector does nothing; the
+        sharded engine's recording subclass snapshots committed cores and
+        the terms accrued during the event.
+        """
+
     def nominal_total_cores(self) -> float:
         """Provisioned CPU capacity before any failure mutated it."""
         if self._nominal_cap is None:
@@ -226,6 +247,7 @@ class FailureInjector:
                 self._requeue(sim, t, key)
                 if sim._committed_cores > peak:
                     peak = sim._committed_cores
+            self._after_event(sim, t, kind, key)
         return peak
 
     @staticmethod
@@ -268,9 +290,10 @@ class FailureInjector:
             sim._preempt_log = None
         for victim in log:
             self.counts["cascade_preemptions"] += 1
-            self.lost_core_intervals += max(
-                0.0, float(sim.vm_end[victim]) - t
-            ) * float(sim.vm_caps[victim, 0])
+            self._accrue(
+                "lost_core_intervals",
+                max(0.0, float(sim.vm_end[victim]) - t) * float(sim.vm_caps[victim, 0]),
+            )
         return placed
 
     # -- revocations -------------------------------------------------------------
@@ -303,10 +326,10 @@ class FailureInjector:
         cores = float(sim.vm_caps[vm, 0])
         if self._place_tracked(sim, t, vm):
             self.counts["evacuated"] += 1
-            self.absorbed_core_intervals += remaining * cores
+            self._accrue("absorbed_core_intervals", remaining * cores)
         else:
             self.counts["evacuation_lost"] += 1
-            self.lost_core_intervals += remaining * cores
+            self._accrue("lost_core_intervals", remaining * cores)
             self._mark_lost(sim, t, vm, server)
 
     def _kill(self, sim, t: float, vm: int, server: int, heap: list) -> None:
@@ -319,7 +342,7 @@ class FailureInjector:
             self._requeue_pending[vm] = t
             heapq.heappush(heap, (t + self.restart_delay, _REQUEUE, vm, 0.0))
         else:
-            self.lost_core_intervals += max(0.0, end - t) * float(sim.vm_caps[vm, 0])
+            self._accrue("lost_core_intervals", max(0.0, end - t) * float(sim.vm_caps[vm, 0]))
 
     def _requeue(self, sim, t: float, vm: int) -> None:
         kill_t = self._requeue_pending.pop(vm)
@@ -334,12 +357,12 @@ class FailureInjector:
             else:
                 self.counts["on_demand_lost"] -= 1  # it came back after all
             self.counts["recovered"] += 1
-            self.downtime_intervals += t - kill_t
-            self.absorbed_core_intervals += (end - t) * cores
-            self.lost_core_intervals += (t - kill_t) * cores
+            self._accrue("downtime_intervals", t - kill_t)
+            self._accrue("absorbed_core_intervals", (end - t) * cores)
+            self._accrue("lost_core_intervals", (t - kill_t) * cores)
         else:
             self.counts["requeue_lost"] += 1
-            self.lost_core_intervals += (end - kill_t) * cores
+            self._accrue("lost_core_intervals", (end - kill_t) * cores)
 
     def _mark_lost(self, sim, t: float, vm: int, server: int) -> None:
         """Terminate a VM the way a preemption does (flags + history).
@@ -406,6 +429,7 @@ class FailureInjector:
                 break
             victim = min(defl, key=lambda v: (prio[v], v))
             sim._preempt(t, victim)
-            self.lost_core_intervals += max(
-                0.0, float(sim.vm_end[victim]) - t
-            ) * float(sim.vm_caps[victim, 0])
+            self._accrue(
+                "lost_core_intervals",
+                max(0.0, float(sim.vm_end[victim]) - t) * float(sim.vm_caps[victim, 0]),
+            )

@@ -101,3 +101,10 @@ class ClusterSimEngine(Engine):
     def run(self, scenario: Scenario) -> ScenarioResult:
         sim = self.build(scenario)
         return ScenarioResult(scenario=scenario, sim=sim.run())
+
+
+# The second backend — the sharded scale-out engine — lives beside the
+# simulator machinery it reuses; importing it registers ("engine",
+# "sharded").  Imported last so its `from repro.scenario.engine import
+# Engine` sees this module fully defined.
+import repro.simulator.sharded  # noqa: E402,F401

@@ -56,6 +56,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from typing import NamedTuple
 
 import numpy as np
 
@@ -180,6 +181,181 @@ class ClusterSimResult:
         return failures / self.n_deflatable
 
 
+class VMMetricTerms(NamedTuple):
+    """Per-VM metric terms over the deflatable placed population.
+
+    All arrays are aligned with ``sel`` (the ascending VM indices of
+    deflatable placed VMs).  Produced by
+    :meth:`ClusterSimulator._metric_terms`, reduced by
+    :func:`reduce_vm_terms`; the sharded engine concatenates shard-local
+    terms (with ``sel`` mapped to global indices), reorders them by global
+    VM index, and runs the *same* reduction, which is what keeps its merged
+    metrics bit-identical to a flat run.
+    """
+
+    sel: np.ndarray  # global VM indices (ascending)
+    demanded: np.ndarray  # demanded work, core-intervals
+    lost: np.ndarray  # lost work, core-intervals
+    deflation: np.ndarray  # deflation integral, core-intervals
+    alloc_integral: np.ndarray  # sum of per-interval allocation fractions
+    cores: np.ndarray  # CPU capacity
+    lifetimes: np.ndarray  # lifetime, intervals
+    priorities: np.ndarray  # admission-time priority snapshot
+
+
+def reduce_vm_terms(terms: VMMetricTerms) -> dict:
+    """Aggregate per-VM terms exactly as the original metrics pass did.
+
+    Returns ``demanded_work`` / ``lost_work`` / ``deflation_sum`` /
+    ``deflation_weight`` and the ``revenue`` dict over every registered
+    pricing model.  All reductions are order-preserving sequential sums
+    (``cumsum``) over the ``sel`` order, so callers feeding the same terms
+    in the same order get bit-identical floats — the contract both
+    :meth:`ClusterSimulator._collect` and the sharded engine's merger rely
+    on.
+    """
+    sel = terms.sel
+    cores_sel = terms.cores
+    lifetime_sel = terms.lifetimes
+    prio_sel = terms.priorities
+
+    def seq_sum(values: np.ndarray) -> float:
+        return float(np.cumsum(values)[-1]) if values.size else 0.0
+
+    demanded_work = seq_sum(terms.demanded)
+    lost_work = seq_sum(terms.lost)
+    deflation_sum = seq_sum(terms.deflation)
+    deflation_weight = seq_sum(lifetime_sel * cores_sel)
+
+    # All pricing models over the whole population at once.  Per-VM rate
+    # and revenue terms keep the scalar path's operation order
+    # ((cores * lifetime) * rate), so the sums are bit-identical.  A
+    # model that overrides the public revenue() hook (minimum billing
+    # increments, per-VM fees, ...) must not be silently bypassed by the
+    # rate-based vectorization — it falls back to the per-VM calls.
+    mean_alloc = np.divide(
+        terms.alloc_integral,
+        lifetime_sel,
+        out=np.ones(sel.size),
+        where=lifetime_sel != 0.0,
+    )
+    alloc_frac = np.minimum(mean_alloc, 1.0)
+    base_terms = cores_sel * lifetime_sel
+    revenue = {}
+    for name, model in PRICING_MODELS.items():
+        if type(model).revenue is PricingModel.revenue:
+            revenue[name] = seq_sum(base_terms * model.rate_batch(prio_sel, alloc_frac))
+        else:
+            total = 0.0
+            for k in range(sel.size):
+                total += model.revenue(
+                    capacity_units=float(cores_sel[k]),
+                    duration=float(lifetime_sel[k]),
+                    priority=float(prio_sel[k]),
+                    allocation_fraction=float(alloc_frac[k]),
+                )
+            revenue[name] = total
+
+    return {
+        "demanded_work": demanded_work,
+        "lost_work": lost_work,
+        "deflation_sum": deflation_sum,
+        "deflation_weight": deflation_weight,
+        "revenue": revenue,
+    }
+
+
+def vm_class_arrays(traces: VMTraceSet) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-VM ``(caps, priority, deflatable)`` arrays for one trace set.
+
+    The paper's class mapping (Section 7.1.2): interactive VMs are
+    deflatable with priorities from the 95th-percentile CPU usage;
+    batch/unknown VMs are on-demand at priority 1.  The single source of
+    truth shared by :meth:`ClusterSimulator._prepare_vms` and the sharded
+    engine's splitter — the two must agree exactly for cross-engine
+    bit-equivalence, so neither may reimplement it.
+    """
+    n = len(traces)
+    vm_caps = np.zeros((n, _DIMS))
+    vm_prio = np.ones(n)
+    vm_deflatable = np.zeros(n, dtype=bool)
+    for i, rec in enumerate(traces):
+        vm_caps[i, 0] = rec.cores
+        vm_caps[i, 1] = rec.memory_mb
+        if rec.vm_class == VMClass.INTERACTIVE:
+            vm_deflatable[i] = True
+            vm_prio[i] = priority_from_p95(rec.p95_cpu)
+    return vm_caps, vm_prio, vm_deflatable
+
+
+def partition_layout(
+    vm_prio: np.ndarray,
+    vm_deflatable: np.ndarray,
+    vm_caps: np.ndarray,
+    n_servers: int,
+) -> tuple[list[float], np.ndarray]:
+    """Priority-pool server layout for partitioned mode (Section 5.2.1).
+
+    Returns ``(levels, counts)``: the sorted distinct deflatable priority
+    levels present in the trace (rounded to 6 decimals) and the server
+    count of every pool — one pool per level plus a trailing on-demand
+    pool — sized by each class's committed-capacity share of the trace.
+    Pools are laid out contiguously, so pool ``k`` owns global server
+    indices ``[counts[:k].sum(), counts[:k].sum() + counts[k])``.
+
+    Shared by :meth:`ClusterSimulator._assign_partitions` and the sharded
+    engine's splitter (:mod:`repro.simulator.sharded`), which relies on the
+    contiguous layout as its shard boundary — the two must agree exactly
+    for cross-engine bit-equivalence.
+    """
+    levels = sorted(set(np.round(vm_prio[vm_deflatable], 6)))
+    # Demand share per pool (deflatable levels + on-demand pool).
+    shares = []
+    for lvl in levels:
+        mask = vm_deflatable & (np.abs(vm_prio - lvl) < 1e-6)
+        shares.append(vm_caps[mask, 0].sum())
+    shares.append(vm_caps[~vm_deflatable, 0].sum())
+    shares = np.asarray(shares, dtype=np.float64)
+    shares = shares / shares.sum() if shares.sum() > 0 else np.ones_like(shares) / len(shares)
+    counts = np.maximum(1, np.round(shares * n_servers).astype(int))
+    # Trim to exactly n_servers without violating the one-server minimum:
+    # shrink the largest pool that still has more than one server.  Only
+    # when there are more pools than servers is the minimum infeasible —
+    # then drop whole pools, smallest demand share first, so the busiest
+    # priority levels keep their servers.
+    while counts.sum() > n_servers:
+        above_min = counts > 1
+        if np.any(above_min):
+            candidates = np.where(above_min, counts, -1)
+            counts[np.argmax(candidates)] -= 1
+        else:
+            alive = np.nonzero(counts > 0)[0]
+            drop = alive[np.argmin(shares[alive])]
+            counts[drop] = 0
+    while counts.sum() < n_servers:
+        counts[np.argmax(shares)] += 1
+    return levels, counts
+
+
+def vm_pool_assignment(
+    vm_prio: np.ndarray, vm_deflatable: np.ndarray, levels: list[float]
+) -> np.ndarray:
+    """Pool index of every VM under a :func:`partition_layout` of ``levels``.
+
+    Deflatable VMs route to their priority level's pool (unknown levels
+    default to pool 0, preserving the original per-event lookup's
+    behaviour); on-demand VMs route to the trailing pool ``len(levels)``.
+    Shared by :meth:`ClusterSimulator._refresh_derived` and the sharded
+    splitter.
+    """
+    lvls = np.round(vm_prio, 6)
+    pool = np.full(vm_prio.size, len(levels), dtype=np.int64)
+    pool[vm_deflatable] = 0
+    for k, lvl in enumerate(levels):
+        pool[vm_deflatable & (lvls == lvl)] = k
+    return pool
+
+
 class ClusterSimulator:
     """Array-backed replay of one trace against one configuration.
 
@@ -189,8 +365,13 @@ class ClusterSimulator:
     fixed.
     """
 
+    #: Subclasses may allow empty trace sets (the sharded engine replays a
+    #: VM-less pool so its servers still see failure events and count
+    #: toward capacity); the public simulator keeps rejecting them.
+    _allow_empty = False
+
     def __init__(self, traces: VMTraceSet, config: ClusterSimConfig) -> None:
-        if len(traces) == 0:
+        if len(traces) == 0 and not self._allow_empty:
             raise SimulationError("empty trace set")
         self.traces = traces
         self.config = config
@@ -223,9 +404,7 @@ class ClusterSimulator:
 
     def _prepare_vms(self) -> None:
         n = len(self.traces)
-        self.vm_caps = np.zeros((n, _DIMS))
-        self.vm_prio = np.ones(n)
-        self.vm_deflatable = np.zeros(n, dtype=bool)
+        self.vm_caps, self.vm_prio, self.vm_deflatable = vm_class_arrays(self.traces)
         #: Hosting server per VM (-1 = not placed).
         self.vm_server = np.full(n, -1, dtype=np.int64)
         # Outcome flags mirrored as arrays so _collect can count and slice
@@ -239,18 +418,13 @@ class ClusterSimulator:
         self.vm_lifetime = np.zeros(n, dtype=np.int64)
         self.outcomes: list[VMOutcome] = []
         for i, rec in enumerate(self.traces):
-            self.vm_caps[i, 0] = rec.cores
-            self.vm_caps[i, 1] = rec.memory_mb
-            deflatable = rec.vm_class == VMClass.INTERACTIVE
-            self.vm_deflatable[i] = deflatable
-            self.vm_prio[i] = priority_from_p95(rec.p95_cpu) if deflatable else 1.0
             self.vm_start[i] = rec.start_interval
             self.vm_end[i] = rec.end_interval
             self.vm_lifetime[i] = rec.lifetime_intervals
             self.outcomes.append(
                 VMOutcome(
                     vm_index=i,
-                    deflatable=deflatable,
+                    deflatable=bool(self.vm_deflatable[i]),
                     priority=float(self.vm_prio[i]),
                     cores=float(rec.cores),
                     end_interval=float(rec.end_interval),
@@ -317,32 +491,9 @@ class ClusterSimulator:
 
     def _assign_partitions(self) -> None:
         cfg = self.config
-        levels = sorted(set(np.round(self.vm_prio[self.vm_deflatable], 6)))
-        # Demand share per pool (deflatable levels + on-demand pool).
-        shares = []
-        for lvl in levels:
-            mask = self.vm_deflatable & (np.abs(self.vm_prio - lvl) < 1e-6)
-            shares.append(self.vm_caps[mask, 0].sum())
-        shares.append(self.vm_caps[~self.vm_deflatable, 0].sum())
-        shares = np.asarray(shares, dtype=np.float64)
-        shares = shares / shares.sum() if shares.sum() > 0 else np.ones_like(shares) / len(shares)
-        counts = np.maximum(1, np.round(shares * cfg.n_servers).astype(int))
-        # Trim to exactly n_servers without violating the one-server minimum:
-        # shrink the largest pool that still has more than one server.  Only
-        # when there are more pools than servers is the minimum infeasible —
-        # then drop whole pools, smallest demand share first, so the busiest
-        # priority levels keep their servers.
-        while counts.sum() > cfg.n_servers:
-            above_min = counts > 1
-            if np.any(above_min):
-                candidates = np.where(above_min, counts, -1)
-                counts[np.argmax(candidates)] -= 1
-            else:
-                alive = np.nonzero(counts > 0)[0]
-                drop = alive[np.argmin(shares[alive])]
-                counts[drop] = 0
-        while counts.sum() < cfg.n_servers:
-            counts[np.argmax(shares)] += 1
+        levels, counts = partition_layout(
+            self.vm_prio, self.vm_deflatable, self.vm_caps, cfg.n_servers
+        )
         pools = np.repeat(np.arange(len(counts)), counts)
         self.server_pool = pools[: cfg.n_servers]
         self._pool_of_level = {lvl: k for k, lvl in enumerate(levels)}
@@ -372,13 +523,9 @@ class ClusterSimulator:
         self._demand_norm = self.vm_caps / self.server_cap[0]
         self._vm_caps_eps = self.vm_caps - 1e-9
         if self.config.partitioned:
-            lvls = np.round(self.vm_prio, 6)
-            n = len(self.traces)
-            self._vm_pool = np.full(n, self._on_demand_pool, dtype=np.int64)
-            # The old per-event lookup defaulted unknown levels to pool 0.
-            self._vm_pool[self.vm_deflatable] = 0
-            for lvl, k in self._pool_of_level.items():
-                self._vm_pool[self.vm_deflatable & (lvls == lvl)] = k
+            self._vm_pool = vm_pool_assignment(
+                self.vm_prio, self.vm_deflatable, list(self._pool_of_level)
+            )
 
     # -- failure injection -----------------------------------------------------------
 
@@ -850,7 +997,14 @@ class ClusterSimulator:
             alloc[n:] = 0.0
         return alloc
 
-    def _collect(self, peak_committed: float) -> ClusterSimResult:
+    def _metric_terms(self) -> "VMMetricTerms":
+        """Per-VM metric terms over the deflatable placed population.
+
+        The terms are pure per-VM quantities (no cross-VM accumulation), so
+        they can be computed shard-locally and re-reduced in global VM order
+        by the sharded engine; :func:`reduce_vm_terms` performs the exact
+        reductions :meth:`_collect` applies to them.
+        """
         records = self.traces.records
         sel = np.nonzero(self.vm_deflatable & self.vm_placed)[0]
 
@@ -889,48 +1043,31 @@ class ClusterSimulator:
             deflation_t[k] = float((1.0 - alloc).sum()) * cores
             alloc_integral[k] = float(alloc.sum())
 
-        def seq_sum(terms: np.ndarray) -> float:
-            return float(np.cumsum(terms)[-1]) if terms.size else 0.0
-
-        demanded_work = seq_sum(demanded_t)
-        lost_work = seq_sum(lost_t)
-        deflation_sum = seq_sum(deflation_t)
-        deflation_weight = seq_sum(lifetime_sel * cores_sel)
-
-        # All pricing models over the whole population at once.  Per-VM rate
-        # and revenue terms keep the scalar path's operation order
-        # ((cores * lifetime) * rate), so the sums are bit-identical.  A
-        # model that overrides the public revenue() hook (minimum billing
-        # increments, per-VM fees, ...) must not be silently bypassed by the
-        # rate-based vectorization — it falls back to the per-VM calls.
-        mean_alloc = np.divide(
-            alloc_integral,
-            lifetime_sel,
-            out=np.ones(sel.size),
-            where=lifetime_sel != 0.0,
-        )
-        alloc_frac = np.minimum(mean_alloc, 1.0)
         # Bill at the admission-time priority snapshot (VMOutcome.priority),
         # exactly as the reference does — post-build surgery on vm_prio
         # affects deflation decisions, not the agreed price.
         prio_sel = np.array(
             [self.outcomes[i].priority for i in sel.tolist()], dtype=np.float64
         )
-        base_terms = cores_sel * lifetime_sel
-        revenue = {}
-        for name, model in PRICING_MODELS.items():
-            if type(model).revenue is PricingModel.revenue:
-                revenue[name] = seq_sum(base_terms * model.rate_batch(prio_sel, alloc_frac))
-            else:
-                total = 0.0
-                for k in range(sel.size):
-                    total += model.revenue(
-                        capacity_units=float(cores_sel[k]),
-                        duration=float(lifetime_sel[k]),
-                        priority=float(prio_sel[k]),
-                        allocation_fraction=float(alloc_frac[k]),
-                    )
-                revenue[name] = total
+        return VMMetricTerms(
+            sel=sel,
+            demanded=demanded_t,
+            lost=lost_t,
+            deflation=deflation_t,
+            alloc_integral=alloc_integral,
+            cores=cores_sel,
+            lifetimes=lifetime_sel,
+            priorities=prio_sel,
+        )
+
+    def _collect(self, peak_committed: float) -> ClusterSimResult:
+        terms = self._metric_terms()
+        agg = reduce_vm_terms(terms)
+        demanded_work = agg["demanded_work"]
+        lost_work = agg["lost_work"]
+        deflation_sum = agg["deflation_sum"]
+        deflation_weight = agg["deflation_weight"]
+        revenue = agg["revenue"]
 
         collected = {c.name: c.finalize(self) for c in self._collectors}
         total_capacity = float(self.server_cap[:, 0].sum())

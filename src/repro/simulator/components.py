@@ -29,6 +29,7 @@ import numpy as np
 
 from repro.core.placement import vectorized_cosine_scores
 from repro.core.resources import NUM_RESOURCES
+from repro.errors import SimulationError
 from repro.registry import register
 
 #: Feasibility slack shared with the simulator's float comparisons.
@@ -179,34 +180,94 @@ class MetricsCollector:
 
     Subclasses override only the hooks they need; ``finalize`` returns the
     payload stored under the collector's name in
-    ``ClusterSimResult.collected``.
+    ``ClusterSimResult.collected``.  Hooks are called *after* the
+    simulator's own bookkeeping for the event, so the ``sim`` argument
+    already reflects the event's effect (e.g. ``on_admit`` sees the VM in
+    ``sim.residents[server]``).  Collectors read the simulator's
+    documented array state but must never mutate it, and must not assume a
+    particular engine: under the ``sharded`` engine each shard drives its
+    own collector instance over shard-local indices, and the per-shard
+    ``finalize`` payloads are folded together by :meth:`merge_shards`.
     """
 
     name: str = "abstract"
 
     def on_admit(self, t: float, vm: int, server: int, sim) -> None:
-        pass
+        """VM ``vm`` was admitted onto ``server`` at interval ``t``.
+
+        Fires for trace arrivals and for failure-driven placements
+        (evacuations off revoked servers, requeued restarts).
+        """
 
     def on_reject(self, t: float, vm: int, sim) -> None:
-        pass
+        """Arriving VM ``vm`` was rejected at admission control.
+
+        Only trace arrivals can be rejected; a failed evacuation or
+        restart surfaces as :meth:`on_preempt` of the victim instead.
+        """
 
     def on_preempt(self, t: float, vm: int, server: int, sim) -> None:
-        pass
+        """VM ``vm`` was terminated early on ``server``.
+
+        Covers baseline preemptions (an on-demand arrival evicting
+        deflatable residents), failure kills, lost evacuees, and dip-driven
+        evictions under the preemption baseline.
+        """
 
     def on_end(self, t: float, vm: int, server: int, sim) -> None:
-        pass
+        """VM ``vm`` reached its natural end of life on ``server``."""
 
     def on_rebalance(self, t: float, server: int, sim) -> None:
-        pass
+        """``server``'s deflatable allocations were recomputed.
+
+        Fires after every admission and departure on a server hosting
+        deflatable VMs — including the zero-pressure fast path, where the
+        allocations are provably unchanged but observers still run.
+        """
 
     def on_revocation(self, t: float, server: int, sim) -> None:
-        """A transient server was revoked (failure injection only)."""
+        """Transient ``server`` was revoked at interval ``t`` (failure injection).
+
+        The server's capacity is already zeroed and it will never return;
+        resident handling (evacuation or kill) follows this call, so the
+        residents are still attached when the hook observes them.  Never
+        fires on failure-free scenarios.
+        """
 
     def on_capacity_dip(self, t: float, server: int, scale: float, sim) -> None:
-        """A server's capacity was scaled to ``scale`` (1.0 = restored)."""
+        """``server``'s capacity was scaled to ``scale`` (failure injection).
+
+        ``scale`` is the remaining capacity fraction in ``(0, 1)`` when a
+        dip starts, and exactly ``1.0`` when it ends and full capacity is
+        restored.  ``sim.server_cap[server]`` already reflects the new
+        capacity; the squeeze/reinflate rebalance follows this call.
+        Never fires on failure-free scenarios.
+        """
 
     def finalize(self, sim) -> object:
+        """Payload stored under this collector's name in ``collected``."""
         return None
+
+    def merge_shards(self, payloads: list, shards: list) -> object:
+        """Fold per-shard ``finalize`` payloads into the flat-run payload.
+
+        The ``sharded`` engine gives every shard its own collector
+        instance; this hook must combine their payloads into exactly what
+        one instance observing the flat run would have produced —
+        remapping shard-local VM/server indices through ``shards`` (one
+        map per payload, with ``vm_global``, ``server_offset`` and
+        ``n_servers`` attributes) and restoring the global event order
+        where the payload is order-sensitive.
+
+        The default raises: a collector without an exact merge (e.g.
+        ``timeline``, whose payload samples the *cluster-wide* committed
+        series with no per-entry ordering key) is rejected by the sharded
+        engine up front rather than silently mis-merged.
+        """
+        raise SimulationError(
+            f"metrics collector {self.name!r} does not support sharded "
+            "merging; run this scenario on the 'cluster-sim' engine"
+        )
 
 
 @register("metrics", "event-counts")
@@ -242,6 +303,14 @@ class EventCountCollector(MetricsCollector):
     def finalize(self, sim):
         return dict(self.counts)
 
+    def merge_shards(self, payloads, shards):
+        """Integer counts over disjoint event partitions: sum per key."""
+        merged = dict.fromkeys(self.counts, 0)
+        for payload in payloads:
+            for key, value in payload.items():
+                merged[key] = merged.get(key, 0) + value
+        return merged
+
 
 @register("metrics", "timeline")
 class CommittedTimelineCollector(MetricsCollector):
@@ -249,6 +318,12 @@ class CommittedTimelineCollector(MetricsCollector):
 
     Payload: list of ``(interval, committed_cores)`` points, suitable for
     plotting utilization over the replay.
+
+    Deliberately does **not** implement ``merge_shards``: each point
+    samples the cluster-*wide* committed sum, and the entries carry no
+    per-event ordering key, so per-shard series cannot be interleaved back
+    into the flat run's exact point sequence.  Scenarios using it must run
+    on the ``cluster-sim`` engine (the sharded engine rejects it eagerly).
     """
 
     name = "timeline"
@@ -297,6 +372,27 @@ class FailureLogCollector(MetricsCollector):
     def finalize(self, sim):
         return list(self.events)
 
+    def merge_shards(self, payloads, shards):
+        """Remap servers to global indices, restore the global event order.
+
+        Failure events sort by ``(t, kind, server)`` in the injector's
+        merged stream; the kind is recoverable from the entry itself
+        (revocations, then dip ends — ``scale == 1.0`` — then dip starts),
+        so the flat run's exact ordering can be reconstructed.
+        """
+        entries = []
+        for payload, shard in zip(payloads, shards):
+            for t, event, server, scale in payload:
+                entries.append((t, event, server + shard.server_offset, scale))
+
+        def sort_key(entry):
+            t, event, _server, scale = entry
+            kind = 2 if event == "revoke" else (3 if scale == 1.0 else 4)
+            return (t, kind, entry[2])
+
+        entries.sort(key=sort_key)
+        return entries
+
 
 @register("metrics", "rejection-log")
 class RejectionLogCollector(MetricsCollector):
@@ -312,3 +408,16 @@ class RejectionLogCollector(MetricsCollector):
 
     def finalize(self, sim):
         return list(self.rejections)
+
+    def merge_shards(self, payloads, shards):
+        """Remap VMs to global indices, restore the global event order.
+
+        Rejections only happen at arrival (START) events, which sort by
+        ``(t, vm)`` within one interval, so the merged order is exact.
+        """
+        entries = []
+        for payload, shard in zip(payloads, shards):
+            for t, vm, deflatable in payload:
+                entries.append((t, int(shard.vm_global[vm]), deflatable))
+        entries.sort(key=lambda entry: (entry[0], entry[1]))
+        return entries

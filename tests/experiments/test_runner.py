@@ -26,3 +26,32 @@ class TestCLI:
     def test_bad_scale_rejected(self):
         with pytest.raises(SystemExit):
             main(["fig03", "--scale", "galactic"])
+
+    def test_engine_flag_forwarded(self, capsys):
+        assert main(["fig20", "--engine", "sharded"]) == 0
+        out = capsys.readouterr().out
+        assert "fig20" in out
+
+    def test_engine_flag_warns_when_unsupported(self, capsys):
+        assert main(["fig03", "--engine", "sharded"]) == 0
+        err = capsys.readouterr().err
+        assert "no engine knob" in err
+
+
+class TestEngineAwareSweep:
+    def test_sharded_grid_matches_cluster_sim(self):
+        """fig20-22's shared grid is bit-identical across engines."""
+        from repro.experiments.cluster_sweep import cluster_sweep
+
+        flat = cluster_sweep("small", partitioned=True)
+        sharded = cluster_sweep("small", partitioned=True, engine="sharded")
+        for policy, points in flat.points.items():
+            other = sharded.points[policy]
+            assert [p.result for p in points] == [p.result for p in other]
+
+    def test_sharded_requires_partitioned(self):
+        from repro.errors import SimulationError
+        from repro.experiments.cluster_sweep import cluster_sweep
+
+        with pytest.raises(SimulationError, match="partitioned"):
+            cluster_sweep("small", engine="sharded")

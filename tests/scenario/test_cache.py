@@ -37,6 +37,7 @@ class TestKeys:
             base.with_scorer("most-available"),
             base.with_collectors("event-counts"),
             base.named("other-name"),
+            base.with_engine("sharded"),
         ]
         keys = {scenario_key(v) for v in variants}
         assert len(keys) == len(variants), "every field must feed the key"
@@ -199,6 +200,23 @@ class TestSweepIntegration:
                     assert pa.result == pb.result
         finally:
             SWEEP_CACHE.clear()
+
+
+class TestEngineField:
+    def test_default_engine_elides_so_legacy_keys_are_unchanged(self):
+        """A scenario spelling the default engine explicitly shares the
+        key of one that never mentions it — pre-engine cache entries stay
+        valid (docs/scenario-schema.md, "The engine field")."""
+        base = base_scenario()
+        assert "engine" not in base.to_dict()
+        assert scenario_key(base.with_engine("cluster-sim")) == scenario_key(base)
+
+    def test_non_default_engine_round_trips_and_changes_key(self):
+        s = base_scenario()._replace(partitioned=True).with_engine("sharded")
+        spec = s.to_dict()
+        assert spec["engine"] == "sharded"
+        assert Scenario.from_dict(spec) == s
+        assert scenario_key(s) != scenario_key(s.with_engine("cluster-sim"))
 
 
 class TestScenarioFieldCoverage:

@@ -1,0 +1,147 @@
+"""Unit tests for the docs link checker (``scripts/check_links.py``).
+
+The checker gates the CI docs job, so it needs its own tests: a checker
+that silently passes broken anchors (or flags valid ones) corrupts the
+whole docs-stay-honest discipline.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+_SCRIPT = Path(__file__).resolve().parents[2] / "scripts" / "check_links.py"
+_spec = importlib.util.spec_from_file_location("check_links", _SCRIPT)
+check_links = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(check_links)
+
+
+def write(tmp_path: Path, name: str, text: str) -> Path:
+    p = tmp_path / name
+    p.parent.mkdir(parents=True, exist_ok=True)
+    p.write_text(text, encoding="utf-8")
+    return p
+
+
+class TestSlugs:
+    @pytest.mark.parametrize(
+        "heading,slug",
+        [
+            ("Plain Heading", "plain-heading"),
+            ("With `code` bits", "with-code-bits"),
+            ("Punctuation, (dropped)!", "punctuation-dropped"),
+            ("[linked](target.md) heading", "linked-heading"),
+            ("Hyphen-ated words", "hyphen-ated-words"),
+        ],
+    )
+    def test_github_slug(self, heading, slug):
+        assert check_links.github_slug(heading) == slug
+
+    def test_duplicate_headings_get_suffixes(self, tmp_path):
+        page = write(
+            tmp_path, "page.md", "# Setup\ntext\n## Setup\nmore\n## Setup\n"
+        )
+        assert {"setup", "setup-1", "setup-2"} <= check_links.anchor_slugs(page)
+
+    def test_html_anchors_count(self, tmp_path):
+        page = write(tmp_path, "page.md", '<a id="pinned"></a>\n<a name="legacy">\n')
+        assert {"pinned", "legacy"} <= check_links.anchor_slugs(page)
+
+    def test_headings_in_code_blocks_ignored(self, tmp_path):
+        page = write(tmp_path, "page.md", "```\n# not a heading\n```\n# Real\n")
+        slugs = check_links.anchor_slugs(page)
+        assert "real" in slugs and "not-a-heading" not in slugs
+
+
+class TestCheckFile:
+    def test_valid_relative_link_and_anchor(self, tmp_path):
+        write(tmp_path, "other.md", "# Target Section\n")
+        page = write(
+            tmp_path, "page.md", "[ok](other.md) and [ok](other.md#target-section)\n"
+        )
+        assert check_links.check_file(page) == []
+
+    def test_broken_file_target(self, tmp_path):
+        page = write(tmp_path, "page.md", "[nope](missing.md)\n")
+        errors = check_links.check_file(page)
+        assert len(errors) == 1 and "missing.md" in errors[0]
+
+    def test_broken_anchor(self, tmp_path):
+        write(tmp_path, "other.md", "# Only Section\n")
+        page = write(tmp_path, "page.md", "[nope](other.md#absent)\n")
+        errors = check_links.check_file(page)
+        assert len(errors) == 1 and "#absent" in errors[0]
+
+    def test_same_file_fragment(self, tmp_path):
+        page = write(tmp_path, "page.md", "# Intro\n[up](#intro) [bad](#outro)\n")
+        errors = check_links.check_file(page)
+        assert len(errors) == 1 and "#outro" in errors[0]
+
+    def test_duplicate_heading_anchor_resolves(self, tmp_path):
+        write(tmp_path, "other.md", "## Round\n## Round\n")
+        page = write(tmp_path, "page.md", "[second](other.md#round-1)\n")
+        assert check_links.check_file(page) == []
+
+    def test_external_urls_not_fetched(self, tmp_path):
+        page = write(
+            tmp_path, "page.md", "[x](https://example.invalid/nope) [y](mailto:a@b)\n"
+        )
+        assert check_links.check_file(page) == []
+
+    def test_links_in_code_ignored(self, tmp_path):
+        page = write(
+            tmp_path,
+            "page.md",
+            "```\n[no](missing.md)\n```\ninline `[no](missing.md)` code\n",
+        )
+        assert check_links.check_file(page) == []
+
+    def test_reference_definitions_checked(self, tmp_path):
+        write(tmp_path, "real.md", "# Here\n")
+        page = write(
+            tmp_path,
+            "page.md",
+            "See [the page][good] and [more][bad].\n\n"
+            "[good]: real.md#here\n[bad]: gone.md\n",
+        )
+        errors = check_links.check_file(page)
+        assert len(errors) == 1 and "gone.md" in errors[0]
+
+    def test_undefined_reference_flagged(self, tmp_path):
+        page = write(tmp_path, "page.md", "A [dangling][nowhere] reference.\n")
+        errors = check_links.check_file(page)
+        assert len(errors) == 1 and "nowhere" in errors[0]
+
+    def test_collapsed_reference_uses_text_as_label(self, tmp_path):
+        page = write(tmp_path, "page.md", "[Spec][] here.\n\n[spec]: page.md\n")
+        assert check_links.check_file(page) == []
+
+    def test_indexing_prose_is_not_a_reference(self, tmp_path):
+        page = write(tmp_path, "page.md", "use `arr[i][0]` to index\n")
+        assert check_links.check_file(page) == []
+
+
+class TestMain:
+    def test_exit_status_counts_errors(self, tmp_path, monkeypatch, capsys):
+        write(tmp_path, "docs/a.md", "[bad](gone.md)\n[worse](also-gone.md)\n")
+        monkeypatch.chdir(tmp_path)
+        assert check_links.main(["docs"]) == 2
+        out = capsys.readouterr()
+        assert "2 broken links" in out.out
+
+    def test_clean_tree_exits_zero(self, tmp_path, monkeypatch):
+        write(tmp_path, "docs/a.md", "# A\n[b](b.md)\n")
+        write(tmp_path, "docs/b.md", "# B\n[a](a.md#a)\n")
+        monkeypatch.chdir(tmp_path)
+        assert check_links.main(["docs"]) == 0
+
+    def test_repo_docs_pass_with_anchors(self):
+        """The real tree must stay clean under the extended checker."""
+        repo = Path(__file__).resolve().parents[2]
+        files = [repo / "README.md", *sorted((repo / "docs").rglob("*.md"))]
+        errors = []
+        for f in files:
+            errors.extend(check_links.check_file(f))
+        assert errors == []

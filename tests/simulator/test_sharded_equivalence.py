@@ -1,0 +1,237 @@
+"""Golden cross-engine bit-equivalence: ``sharded`` vs ``cluster-sim``.
+
+The sharded engine (:mod:`repro.simulator.sharded`) splits a partitioned
+scenario into per-pool sub-scenarios, replays them (possibly in parallel
+worker processes), and merges the shard results.  Like the optimized
+simulator's golden suite against the pinned reference
+(``test_golden_equivalence.py``), the contract is **bit-identity**: every
+observable of the merged :class:`ClusterSimResult` — counts, the peak
+committed-cores trajectory maximum, throughput loss, mean deflation, all
+revenue dicts, collector payloads, and the failure-injection summary —
+must equal the flat partitioned run exactly, for all four policies, with
+and without failure injection, for any worker count.
+
+This is the merge discipline every future distributed engine must keep:
+per-VM metric terms re-reduced in global VM order, event deltas and
+order-sensitive float accruals replayed in global ``(t, kind, key)``
+order, and failure schedules sliced from the flat schedule rather than
+re-generated.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.scenario import Scenario, run_sweep
+from repro.simulator.sharded import ShardedEngine, plan_shards
+from repro.traces.azure import AzureTraceConfig, synthesize_azure_trace
+from repro.traces.schema import VMTraceSet
+
+POLICIES = ("proportional", "priority", "deterministic", "preemption")
+
+#: Result fields compared one by one (better pytest diffs than a single ==).
+_FIELDS = (
+    "n_vms",
+    "n_deflatable",
+    "n_placed",
+    "n_rejected_deflatable",
+    "n_rejected_on_demand",
+    "n_preempted",
+    "n_reclaim_failures",
+    "peak_committed_cores",
+    "total_capacity_cores",
+    "throughput_loss",
+    "mean_deflation",
+    "revenue",
+    "revenue_per_server",
+    "collected",
+)
+
+
+@pytest.fixture(scope="module")
+def base_scenario():
+    # Tight cluster (~50% OC target): real deflation, rejections, and
+    # preemptions on every policy — the non-trivial merge paths.
+    return (
+        Scenario(name="cross-engine")
+        .with_workload("azure", n_vms=500, seed=2024)
+        .with_overcommitment(0.5)
+        .with_partitions()
+    )
+
+
+def assert_cross_engine_identical(scenario):
+    flat = scenario.run(engine="cluster-sim")
+    sharded = scenario.run(engine="sharded")
+    for name in _FIELDS:
+        exp, act = getattr(flat.sim, name), getattr(sharded.sim, name)
+        assert exp == act, f"{name}: cluster-sim={exp!r} sharded={act!r}"
+    assert flat.sim == sharded.sim  # config + every field, in one shot
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+def test_failure_free_bit_identical(base_scenario, policy):
+    assert_cross_engine_identical(base_scenario.with_policy(policy))
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+def test_spot_evacuate_bit_identical(base_scenario, policy):
+    """Deflation-first evacuation off revoked servers, merged exactly."""
+    assert_cross_engine_identical(
+        base_scenario.with_policy(policy).with_failures(
+            "spot", rate=0.004, seed=7, response="evacuate"
+        )
+    )
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+def test_spot_kill_requeue_bit_identical(base_scenario, policy):
+    """Kill-and-requeue adds dynamic REQUEUE events; still exact."""
+    assert_cross_engine_identical(
+        base_scenario.with_policy(policy).with_failures(
+            "spot", rate=0.004, seed=7, response="kill", restart_delay=2
+        )
+    )
+
+
+@pytest.mark.parametrize("policy", ("proportional", "preemption"))
+def test_capacity_dips_bit_identical(base_scenario, policy):
+    """Dips squeeze/reinflate (or evict, on the baseline) per shard."""
+    assert_cross_engine_identical(
+        base_scenario.with_policy(policy).with_failures(
+            "capacity-dips", rate=0.004, depth=0.5, mean_duration=12, seed=3
+        )
+    )
+
+
+def test_collectors_merge_bit_identical(base_scenario):
+    """Mergeable collectors reproduce the flat payloads exactly.
+
+    ``event-counts`` merges by summation; ``rejection-log`` and
+    ``failure-log`` additionally remap shard-local indices to global ones
+    and restore the global event order.
+    """
+    scenario = (
+        base_scenario.with_policy("proportional")
+        .with_collectors("event-counts", "rejection-log", "failure-log")
+        .with_failures("spot", rate=0.004, seed=7, response="evacuate")
+    )
+    assert_cross_engine_identical(scenario)
+
+
+def test_explicit_traces_and_servers(base_scenario):
+    """Explicit trace sets and explicit cluster sizes shard too."""
+    traces = synthesize_azure_trace(AzureTraceConfig(n_vms=300, seed=9))
+    scenario = (
+        Scenario(name="explicit")
+        .with_traces(traces)
+        .with_servers(24)
+        .with_partitions()
+        .with_policy("priority")
+    )
+    assert_cross_engine_identical(scenario)
+
+
+def test_workers_do_not_change_results(base_scenario, monkeypatch):
+    """Worker count is an execution knob: serial == parallel, bit for bit.
+
+    Effective workers are capped at the CPU count, so the cap is lifted
+    here to force the real pool path even on single-core CI runners.
+    """
+    import repro.simulator.sharded as sharded_mod
+
+    monkeypatch.setattr(sharded_mod.os, "cpu_count", lambda: 8)
+    scenario = base_scenario.with_policy("proportional").with_failures(
+        "spot", rate=0.004, seed=7, response="kill", restart_delay=2
+    )
+    serial = ShardedEngine(workers=1).run(scenario)
+    parallel = ShardedEngine(workers=4).run(scenario)
+    assert serial.sim == parallel.sim
+
+
+def test_sharded_inside_run_sweep(base_scenario):
+    """Sharded scenarios ride run_sweep's own pool (shards fall back to
+    serial inside daemon workers) and still match the flat grid."""
+    grid = [
+        base_scenario.with_policy(policy).with_overcommitment(oc)
+        for policy in ("proportional", "preemption")
+        for oc in (0.2, 0.5)
+    ]
+    flat = run_sweep(grid)
+    sharded = run_sweep([s.with_engine("sharded") for s in grid], workers=2)
+    for f, s in zip(flat, sharded):
+        assert f.sim == s.sim
+
+
+class TestShardPlan:
+    def test_pools_cover_cluster_disjointly(self, base_scenario):
+        plan = plan_shards(base_scenario.with_policy("proportional"))
+        assert sum(spec.config.n_servers for spec in plan.specs) == plan.n_servers
+        offsets = [spec.server_offset for spec in plan.specs]
+        assert offsets == sorted(offsets)
+        # every VM lands in exactly one shard
+        all_vms = np.concatenate([spec.vm_global for spec in plan.specs])
+        assert sorted(all_vms.tolist()) == list(range(500))
+
+    def test_failure_slices_partition_the_flat_schedule(self, base_scenario):
+        scenario = base_scenario.with_policy("proportional").with_failures(
+            "spot", rate=0.01, seed=7
+        )
+        plan = plan_shards(scenario)
+        total = sum(len(spec.failures) for spec in plan.specs)
+        assert total > 0
+        for spec in plan.specs:
+            for ev in spec.failures:
+                assert 0 <= ev.server < spec.config.n_servers
+
+    def test_non_partitioned_rejected(self):
+        scenario = Scenario().with_workload("azure", n_vms=50, seed=1)
+        with pytest.raises(SimulationError, match="partitioned"):
+            plan_shards(scenario)
+
+    def test_unmergeable_collector_rejected(self, base_scenario):
+        scenario = base_scenario.with_collectors("timeline")
+        with pytest.raises(SimulationError, match="timeline"):
+            plan_shards(scenario)
+
+    def test_pools_outnumbering_servers_rejected(self):
+        traces = synthesize_azure_trace(AzureTraceConfig(n_vms=60, seed=3))
+        scenario = (
+            Scenario().with_traces(traces).with_servers(3).with_partitions()
+        )
+        with pytest.raises(SimulationError, match="outnumber"):
+            plan_shards(scenario)
+
+    def test_empty_pool_still_contributes_capacity(self):
+        """An all-interactive trace leaves the on-demand pool VM-less; its
+        servers still count toward capacity and still absorb failures."""
+        from repro.core.vm import VMClass
+
+        cfg = AzureTraceConfig(
+            n_vms=120, seed=5, class_mix={VMClass.INTERACTIVE: 1.0}
+        )
+        traces = synthesize_azure_trace(cfg)
+        scenario = (
+            Scenario(name="all-interactive")
+            .with_traces(traces)
+            .with_servers(12)
+            .with_partitions()
+            .with_policy("proportional")
+            .with_failures("spot", rate=0.01, seed=11)
+        )
+        plan = plan_shards(scenario)
+        assert any(len(spec.traces) == 0 for spec in plan.specs)
+        assert_cross_engine_identical(scenario)
+
+
+def test_tiny_cluster_one_server_pools():
+    """Near the one-server-per-pool minimum, shard boundaries still hold."""
+    records = synthesize_azure_trace(AzureTraceConfig(n_vms=200, seed=13)).records
+    scenario = (
+        Scenario(name="tiny-cluster")
+        .with_traces(VMTraceSet(records))
+        .with_servers(10)
+        .with_partitions()
+        .with_policy("deterministic")
+    )
+    assert_cross_engine_identical(scenario)
