@@ -1,13 +1,19 @@
 """Tracked cluster-performance benchmark runner.
 
 Runs the micro cluster benchmarks (small-trace replays, the dense-resident
-bookkeeping stress, trace synthesis) and the 20k-VM scaling comparison
-against the pinned pre-optimization simulator, then writes the medians to
+bookkeeping stress, trace synthesis), the 20k-VM scaling comparison
+against the pinned pre-optimization simulator, the sharded-engine 100k-VM
+comparison, and the churn-path overhead suite, then writes the medians to
 ``BENCH_cluster.json`` so the perf trajectory is visible across PRs::
 
     PYTHONPATH=src python benchmarks/run_bench.py                 # full (20k VMs)
     PYTHONPATH=src python benchmarks/run_bench.py --quick         # CI scale (5k VMs)
     PYTHONPATH=src python benchmarks/run_bench.py --out custom.json
+    PYTHONPATH=src python benchmarks/run_bench.py --only churn    # refresh one section
+
+``--only`` reruns just the named sections and merges them into the
+existing output file (other sections are preserved verbatim), so a PR
+touching one path can refresh its entry without paying for a full run.
 
 The scaling section reports per-case optimized/reference wall-times and the
 headline aggregate (proportional + preemption across overcommitment
@@ -29,6 +35,7 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 
+from bench_churn import CHURN_N_VMS, run_churn_benchmark  # noqa: E402
 from bench_scale_cluster import SCALE_N_VMS, run_scale_benchmark  # noqa: E402
 from bench_sharded import SHARDED_N_VMS, run_sharded_benchmark  # noqa: E402
 
@@ -38,6 +45,9 @@ from repro.traces.azure import AzureTraceConfig, synthesize_azure_trace  # noqa:
 #: Micro cases: small enough to run with several rounds every time.
 MICRO_N_VMS = 300
 MICRO_SEED = 6
+
+#: Report sections, each refreshable independently via ``--only``.
+_SECTIONS = ("micro", "scale", "sharded", "churn")
 
 
 def _median_time(fn, rounds: int) -> float:
@@ -95,6 +105,25 @@ def main(argv: list[str] | None = None) -> int:
         help="sharded rounds (median; default 3, quick 1)",
     )
     parser.add_argument(
+        "--churn-n-vms",
+        type=int,
+        default=None,
+        help="churn-path trace size (default 20k, quick 5k)",
+    )
+    parser.add_argument(
+        "--churn-rounds",
+        type=int,
+        default=None,
+        help="churn rounds (median; default 3, quick 1)",
+    )
+    parser.add_argument(
+        "--only",
+        choices=_SECTIONS,
+        nargs="+",
+        default=None,
+        help="rerun only these sections, merging into the existing output file",
+    )
+    parser.add_argument(
         "--out", type=Path, default=Path(__file__).resolve().parent.parent / "BENCH_cluster.json"
     )
     args = parser.parse_args(argv)
@@ -103,60 +132,100 @@ def main(argv: list[str] | None = None) -> int:
     scale_rounds = args.scale_rounds or (1 if args.quick else 3)
     sharded_n_vms = args.sharded_n_vms or (20000 if args.quick else SHARDED_N_VMS)
     sharded_rounds = args.sharded_rounds or (1 if args.quick else 3)
+    churn_n_vms = args.churn_n_vms or (5000 if args.quick else CHURN_N_VMS)
+    churn_rounds = args.churn_rounds or (1 if args.quick else 3)
+    sections = set(args.only) if args.only else set(_SECTIONS)
 
-    print(f"[run_bench] micro benchmarks ({args.rounds} rounds)...", flush=True)
-    micro = micro_benchmarks(args.rounds)
-    for name, t in micro.items():
-        print(f"  {name:28s} {t:8.4f}s")
+    host = {"python": platform.python_version(), "machine": platform.machine()}
+    report: dict = {"schema": 1, **host}
+    partial = bool(args.only) and args.out.exists()
+    if partial:
+        # Partial refresh: keep the other sections verbatim.  The
+        # top-level host metadata still describes the host of the last
+        # full run, so each refreshed section gets its own "host" stamp
+        # below — otherwise its numbers would be misattributed.
+        report = json.loads(args.out.read_text())
 
-    print(
-        f"[run_bench] scaling benchmark ({n_vms} VMs, {scale_rounds} round(s), "
-        "optimized vs reference)...",
-        flush=True,
-    )
+    if "micro" in sections:
+        print(f"[run_bench] micro benchmarks ({args.rounds} rounds)...", flush=True)
+        micro = micro_benchmarks(args.rounds)
+        for name, t in micro.items():
+            print(f"  {name:28s} {t:8.4f}s")
+        report["micro"] = {"n_vms": MICRO_N_VMS, "rounds": args.rounds, "cases": micro}
 
-    def progress(name, case):
+    if "scale" in sections:
         print(
-            f"  {name:24s} opt={case['optimized_s']:8.3f}s "
-            f"ref={case['reference_s']:8.3f}s speedup={case['speedup']:5.2f}x"
-            f"{'  [headline]' if case['headline'] else ''}",
+            f"[run_bench] scaling benchmark ({n_vms} VMs, {scale_rounds} round(s), "
+            "optimized vs reference)...",
             flush=True,
         )
 
-    scale = run_scale_benchmark(n_vms=n_vms, rounds=scale_rounds, progress=progress)
+        def progress(name, case):
+            print(
+                f"  {name:24s} opt={case['optimized_s']:8.3f}s "
+                f"ref={case['reference_s']:8.3f}s speedup={case['speedup']:5.2f}x"
+                f"{'  [headline]' if case['headline'] else ''}",
+                flush=True,
+            )
 
-    print(
-        f"[run_bench] sharded-engine benchmark ({sharded_n_vms} VMs, "
-        f"{sharded_rounds} round(s), cluster-sim vs sharded)...",
-        flush=True,
-    )
-    sharded = run_sharded_benchmark(
-        n_vms=sharded_n_vms,
-        rounds=sharded_rounds,
-        progress=lambda label, s: print(f"  {label:24s} {s:8.3f}s", flush=True),
-    )
-
-    report = {
-        "schema": 1,
-        "python": platform.python_version(),
-        "machine": platform.machine(),
-        "micro": {"n_vms": MICRO_N_VMS, "rounds": args.rounds, "cases": micro},
-        "scale": scale,
-        "sharded": sharded,
-    }
-    args.out.write_text(json.dumps(report, indent=2) + "\n")
-    agg = scale["aggregate"]
-    head = scale.get("headline")
-    print(f"[run_bench] aggregate: {agg['speedup']:.2f}x "
-          f"(opt {agg['optimized_s']:.1f}s vs ref {agg['reference_s']:.1f}s)")
-    if head:
-        print(f"[run_bench] headline ({len(head['cases'])} cases): {head['speedup']:.2f}x")
-    print(
-        f"[run_bench] sharded ({sharded['n_vms']} VMs, {sharded['n_shards']} shards): "
-        + ", ".join(
-            f"{k}={sharded[k]:.2f}x" for k in sorted(sharded) if k.startswith("speedup")
+        report["scale"] = run_scale_benchmark(
+            n_vms=n_vms, rounds=scale_rounds, progress=progress
         )
-    )
+
+    if "sharded" in sections:
+        print(
+            f"[run_bench] sharded-engine benchmark ({sharded_n_vms} VMs, "
+            f"{sharded_rounds} round(s), cluster-sim vs sharded)...",
+            flush=True,
+        )
+        report["sharded"] = run_sharded_benchmark(
+            n_vms=sharded_n_vms,
+            rounds=sharded_rounds,
+            progress=lambda label, s: print(f"  {label:24s} {s:8.3f}s", flush=True),
+        )
+
+    if "churn" in sections:
+        print(
+            f"[run_bench] churn-path benchmark ({churn_n_vms} VMs, "
+            f"{churn_rounds} round(s), failure regimes vs failure-free)...",
+            flush=True,
+        )
+        report["churn"] = run_churn_benchmark(
+            n_vms=churn_n_vms,
+            rounds=churn_rounds,
+            progress=lambda label, s: print(f"  {label:24s} {s:8.3f}s", flush=True),
+        )
+
+    if partial:
+        for section in sections:
+            report[section]["host"] = host
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    if "scale" in sections:
+        scale = report["scale"]
+        agg = scale["aggregate"]
+        head = scale.get("headline")
+        print(f"[run_bench] aggregate: {agg['speedup']:.2f}x "
+              f"(opt {agg['optimized_s']:.1f}s vs ref {agg['reference_s']:.1f}s)")
+        if head:
+            print(f"[run_bench] headline ({len(head['cases'])} cases): {head['speedup']:.2f}x")
+    if "sharded" in sections:
+        sharded = report["sharded"]
+        print(
+            f"[run_bench] sharded ({sharded['n_vms']} VMs, {sharded['n_shards']} shards): "
+            + ", ".join(
+                f"{k}={sharded[k]:.2f}x" for k in sorted(sharded) if k.startswith("speedup")
+            )
+        )
+    if "churn" in sections:
+        churn = report["churn"]
+        print(
+            f"[run_bench] churn ({churn['n_vms']} VMs): "
+            + ", ".join(
+                f"{k.removeprefix('overhead_')}={churn[k]:.2f}x"
+                for k in sorted(churn)
+                if k.startswith("overhead_")
+            )
+        )
     print(f"[run_bench] wrote {args.out}")
     return 0
 

@@ -14,6 +14,7 @@ from collections.abc import Callable
 
 from repro.errors import ReproError, UnknownComponentError
 from repro.experiments import (  # noqa: F401  (imports trigger registration)
+    churn,
     fig03_app_perf,
     fig05_cpu_feasibility,
     fig06_by_class,

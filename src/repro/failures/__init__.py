@@ -1,26 +1,38 @@
-"""Transient-failure injection: revocations and capacity dips as components.
+"""Transient-failure injection: server churn as pluggable components.
 
 The subsystem has two halves:
 
 * :mod:`repro.failures.models` — :class:`FailureModel` schedule generators
   registered under the ``failure`` registry kind (``spot``,
-  ``exponential-lifetimes``, ``weibull-lifetimes``, ``preemption-windows``,
-  ``capacity-dips``, ``trace-schedule``);
+  ``correlated-spot``, ``exponential-lifetimes``, ``weibull-lifetimes``,
+  ``preemption-windows``, ``capacity-dips``, ``elastic-pool``,
+  ``trace-schedule``);
 * :mod:`repro.failures.injector` — the :class:`FailureInjector` that merges
   a schedule into the cluster simulator's event loop and implements the
-  revocation responses (deflation-first evacuation vs. kill-and-requeue).
+  revocation responses (deflation-first evacuation — instant, or rationed
+  by warning-time evacuation budgets — vs. kill-and-requeue), plus server
+  arrivals for elastic pools.
 
 Scenarios opt in declaratively::
 
     Scenario().with_workload("azure", n_vms=500)\\
               .with_policy("proportional")\\
-              .with_failures("spot", rate=0.002, seed=7, response="evacuate")
+              .with_topology(racks=8)\\
+              .with_failures("correlated-spot", rate=0.002, seed=7,
+                             warning_intervals=3, evacuation_budget=2)
 
 See ``docs/failures.md`` for the full tour.
 """
 
 from repro.failures.injector import RESPONSES, FailureInjector
-from repro.failures.models import ACTIONS, FailureEvent, FailureModel
+from repro.failures.models import (
+    ACTIONS,
+    FailureEvent,
+    FailureModel,
+    check_topology,
+    rack_split,
+    resolve_topology,
+)
 
 __all__ = [
     "ACTIONS",
@@ -28,4 +40,7 @@ __all__ = [
     "FailureEvent",
     "FailureInjector",
     "FailureModel",
+    "check_topology",
+    "rack_split",
+    "resolve_topology",
 ]

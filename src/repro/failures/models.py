@@ -30,8 +30,17 @@ Registered models:
 * ``preemption-windows`` — temporally-constrained preemptions à la
   Kadupitiya et al.: revocations can only strike inside recurring windows
   (e.g. the provider reclaims capacity during business hours).
+* ``correlated-spot`` — topology-aware spot revocations: servers belong to
+  racks/zones (from the scenario's ``topology`` or the model's own
+  ``racks`` split) and a hazard event revokes a whole blast-radius group
+  at once, the way real reclamations arrive in rack/zone-correlated
+  bursts.  With singleton groups it degenerates to ``spot`` exactly
+  (bit-identical schedules from the same seed).
 * ``capacity-dips`` — per-server Poisson arrivals of temporary capacity
   reductions with exponential durations.
+* ``elastic-pool`` — churn: spot-style revocations *plus* a Poisson
+  process of server **arrivals**, so transient capacity flows back in;
+  arrived servers are themselves transient and can be revoked later.
 * ``trace-schedule`` — an explicit, fully declarative event list (the
   escape hatch for replaying measured revocation traces).
 
@@ -66,24 +75,26 @@ from repro.errors import SimulationError
 from repro.registry import register
 
 #: Actions a failure event can carry.
-ACTIONS = ("revoke", "dip")
+ACTIONS = ("revoke", "dip", "arrive")
 
 
 @dataclass(frozen=True)
 class FailureEvent:
-    """One scheduled infrastructure failure.
+    """One scheduled infrastructure event.
 
-    ``action`` is ``"revoke"`` (the server leaves permanently at ``time``)
-    or ``"dip"`` (its capacity is scaled by ``scale`` for ``duration``
-    intervals, then restored).  Times are trace intervals, matching the VM
-    trace clock.
+    ``action`` is ``"revoke"`` (the server leaves permanently at ``time``),
+    ``"dip"`` (its capacity is scaled by ``scale`` for ``duration``
+    intervals, then restored), or ``"arrive"`` (a *new* server joins the
+    cluster at ``time``; arrival indices must be contiguous —
+    ``n_servers``, ``n_servers + 1``, ... in time order).  Times are trace
+    intervals, matching the VM trace clock.
     """
 
     time: float
     action: str
     server: int
     scale: float = 1.0  # remaining capacity fraction during a dip
-    duration: float = 0.0  # dip length in intervals (ignored for revoke)
+    duration: float = 0.0  # dip length in intervals (ignored otherwise)
 
     def __post_init__(self) -> None:
         if self.action not in ACTIONS:
@@ -99,6 +110,70 @@ class FailureEvent:
                 raise SimulationError("dip scale must be in (0, 1)")
             if self.duration <= 0:
                 raise SimulationError("dip duration must be > 0 intervals")
+
+
+def check_topology(spec: dict) -> dict:
+    """Validate a scenario ``topology`` spec's shape (cluster-size-agnostic).
+
+    Two declarative forms: ``{"racks": R}`` splits the cluster contiguously
+    into ``R`` near-equal blast-radius groups, ``{"groups": [[0, 1], [2],
+    ...]}`` lists explicit server groups (servers not listed form singleton
+    groups).  Full index-range validation happens at resolve time, when the
+    cluster size is known.
+    """
+    if not isinstance(spec, dict):
+        raise SimulationError("topology spec must be a dict")
+    unknown = sorted(set(spec) - {"racks", "groups"})
+    if unknown:
+        raise SimulationError(f"unknown topology keys {unknown}; valid: ['groups', 'racks']")
+    if ("racks" in spec) == ("groups" in spec):
+        raise SimulationError('topology spec needs exactly one of "racks" or "groups"')
+    if "racks" in spec:
+        if int(spec["racks"]) < 1:
+            raise SimulationError("topology racks must be >= 1")
+    else:
+        seen: set[int] = set()
+        for group in spec["groups"]:
+            for s in group:
+                s = int(s)
+                if s < 0:
+                    raise SimulationError("topology server indices must be >= 0")
+                if s in seen:
+                    raise SimulationError(f"server {s} appears in more than one topology group")
+                seen.add(s)
+    return spec
+
+
+def rack_split(n_servers: int, racks: int) -> np.ndarray:
+    """Contiguous near-equal rack assignment: per-server group ids.
+
+    Group sizes differ by at most one; with ``racks >= n_servers`` every
+    server is its own group (blast radius 1).
+    """
+    if racks < 1:
+        raise SimulationError("topology racks must be >= 1")
+    return (np.arange(n_servers) * racks) // n_servers
+
+
+def resolve_topology(spec: dict | None, n_servers: int) -> np.ndarray | None:
+    """Per-server group-id array for a ``topology`` spec (None passes through)."""
+    if spec is None:
+        return None
+    check_topology(spec)
+    if "racks" in spec:
+        return rack_split(n_servers, int(spec["racks"]))
+    ids = np.arange(n_servers)  # default: every server its own group
+    next_id = n_servers
+    for group in spec["groups"]:
+        for s in group:
+            if int(s) >= n_servers:
+                raise SimulationError(
+                    f"topology group lists server {int(s)} but the cluster "
+                    f"has only {n_servers} servers"
+                )
+            ids[int(s)] = next_id
+        next_id += 1
+    return ids
 
 
 class FailureModel(abc.ABC):
@@ -120,6 +195,23 @@ class FailureModel(abc.ABC):
         Events may be returned in any order; the injector sorts them
         deterministically before the replay.
         """
+
+    def events_with_topology(
+        self,
+        n_servers: int,
+        horizon: float,
+        rng: np.random.Generator,
+        group_ids: np.ndarray | None,
+    ) -> list[FailureEvent]:
+        """Schedule generation with the scenario's resolved topology.
+
+        ``group_ids`` is the per-server blast-radius group array from the
+        scenario's ``topology`` field (None when the scenario declares
+        none).  The injector always calls this entry point; the default
+        ignores the topology and delegates to :meth:`events`, so existing
+        models are untouched.  Topology-aware models override it.
+        """
+        return self.events(n_servers, horizon, rng)
 
 
 def _check_fraction(fraction: float) -> float:
@@ -176,6 +268,154 @@ class SpotRevocations(FailureModel):
             if t >= horizon:
                 break
             victim = transient.pop(int(rng.integers(len(transient))))
+            out.append(FailureEvent(time=float(t), action="revoke", server=int(victim)))
+        return out
+
+
+@register("failure", "correlated-spot")
+class CorrelatedSpotRevocations(FailureModel):
+    """Topology-aware spot revocations: whole blast-radius groups at once.
+
+    Real spot/harvest reclamations are not independent per server — a rack
+    decommission or a zone-level capacity clawback takes out a correlated
+    group in one burst.  Hazard events arrive at cluster-level rate
+    ``rate`` per surviving *group*-interval and each revokes an entire
+    surviving group (all its servers at the same instant), so with
+    near-equal groups the *expected revoked-server volume matches*
+    ``spot`` at the same ``rate`` — burstiness is the only thing that
+    changes, which is what makes the correlated-vs-independent frontier
+    comparison meaningful.
+
+    Groups come from the scenario's ``topology`` field when present
+    (:meth:`Scenario.with_topology`), else from the model's own ``racks``
+    parameter (contiguous near-equal split).  With blast radius 1 (racks
+    >= servers, or singleton topology groups) the rng draw sequence is
+    identical to ``spot``'s, so the schedule — and therefore the whole
+    replay — reproduces ``spot`` bit for bit.
+    """
+
+    name = "correlated-spot"
+
+    def __init__(self, rate: float = 0.001, fraction: float = 1.0, racks: int = 8) -> None:
+        if rate <= 0:
+            raise SimulationError("rate must be > 0 revocations per server-interval")
+        if racks < 1:
+            raise SimulationError("racks must be >= 1")
+        self.rate = rate
+        self.fraction = _check_fraction(fraction)
+        self.racks = int(racks)
+
+    def events(self, n_servers, horizon, rng):
+        return self.events_with_topology(n_servers, horizon, rng, None)
+
+    def events_with_topology(self, n_servers, horizon, rng, group_ids):
+        transient = _transient_servers(n_servers, self.fraction, rng)
+        if group_ids is None:
+            group_ids = rack_split(n_servers, self.racks)
+        # Surviving groups, restricted to their transient members, ordered
+        # by ascending group id (== ascending lowest member, matching the
+        # order spot walks its transient list in the singleton case).
+        groups: list[list[int]] = []
+        by_id: dict[int, list[int]] = {}
+        for s in transient.tolist():
+            gid = int(group_ids[s])
+            if gid not in by_id:
+                by_id[gid] = []
+                groups.append(by_id[gid])
+            by_id[gid].append(s)
+        out: list[FailureEvent] = []
+        t = 0.0
+        while groups:
+            # Group-level hazard: one event per rate * surviving-groups,
+            # revoking a whole group — the per-*server* revocation volume
+            # therefore matches spot's in expectation (and the draw
+            # sequence matches it exactly when every group is a singleton).
+            t += rng.exponential(1.0 / (self.rate * len(groups)))
+            if t >= horizon:
+                break
+            victims = groups.pop(int(rng.integers(len(groups))))
+            out.extend(
+                FailureEvent(time=float(t), action="revoke", server=int(s))
+                for s in victims
+            )
+        return out
+
+
+@register("failure", "elastic-pool")
+class ElasticPool(FailureModel):
+    """Churning transient pool: spot revocations plus server arrivals.
+
+    Revocations follow the ``spot`` hazard (rate ``rate`` per surviving
+    transient server-interval); independently, fresh transient servers
+    arrive as a Poisson process at ``arrival_rate`` servers per interval
+    (capped at ``max_arrivals`` when given).  Arrived servers take the
+    next contiguous indices (``n_servers``, ``n_servers + 1``, ...), join
+    the revocable population immediately, and can themselves be revoked
+    later — so capacity flows both ways, the defining property of elastic
+    transient pools.
+
+    The interleaving is exact: the revocation hazard is memoryless, so
+    whenever an arrival lands before the next drawn revocation the gap is
+    simply re-drawn from the (larger) population at the arrival instant.
+    """
+
+    name = "elastic-pool"
+
+    def __init__(
+        self,
+        rate: float = 0.001,
+        arrival_rate: float = 0.01,
+        fraction: float = 1.0,
+        max_arrivals: int | None = None,
+    ) -> None:
+        if rate <= 0:
+            raise SimulationError("rate must be > 0 revocations per server-interval")
+        if arrival_rate <= 0:
+            raise SimulationError("arrival_rate must be > 0 servers per interval")
+        if max_arrivals is not None and max_arrivals < 0:
+            raise SimulationError("max_arrivals must be >= 0")
+        self.rate = rate
+        self.arrival_rate = arrival_rate
+        self.fraction = _check_fraction(fraction)
+        self.max_arrivals = max_arrivals
+
+    def events(self, n_servers, horizon, rng):
+        # Arrival times first (one exponential stream), then the revocation
+        # hazard over the piecewise-constant alive population.
+        arrival_times: list[float] = []
+        t = 0.0
+        while self.max_arrivals is None or len(arrival_times) < self.max_arrivals:
+            t += rng.exponential(1.0 / self.arrival_rate)
+            if t >= horizon:
+                break
+            arrival_times.append(float(t))
+        out = [
+            FailureEvent(time=ta, action="arrive", server=int(n_servers + j))
+            for j, ta in enumerate(arrival_times)
+        ]
+        alive = _transient_servers(n_servers, self.fraction, rng).tolist()
+        t = 0.0
+        next_arrival = 0
+        while True:
+            if not alive:
+                if next_arrival >= len(arrival_times):
+                    break
+                t = arrival_times[next_arrival]
+                alive.append(n_servers + next_arrival)
+                next_arrival += 1
+                continue
+            gap = rng.exponential(1.0 / (self.rate * len(alive)))
+            if next_arrival < len(arrival_times) and t + gap >= arrival_times[next_arrival]:
+                # An arrival lands first: grow the population and re-draw
+                # from the arrival instant (memoryless hazard).
+                t = arrival_times[next_arrival]
+                alive.append(n_servers + next_arrival)
+                next_arrival += 1
+                continue
+            t += gap
+            if t >= horizon:
+                break
+            victim = alive.pop(int(rng.integers(len(alive))))
             out.append(FailureEvent(time=float(t), action="revoke", server=int(victim)))
         return out
 
@@ -340,11 +580,14 @@ class TraceSchedule(FailureModel):
     """Explicit, fully declarative failure schedule.
 
     ``events`` is a list of plain dicts — ``{"t": 10, "action": "revoke",
-    "server": 3}`` or ``{"t": 20, "action": "dip", "server": 1,
-    "scale": 0.5, "duration": 12}`` — so measured revocation traces can be
-    replayed verbatim and the whole schedule rides inside the scenario's
-    ``failures`` dict (and therefore inside sweep-cache keys).  Events
-    whose server index falls outside the cluster are rejected loudly.
+    "server": 3}``, ``{"t": 20, "action": "dip", "server": 1,
+    "scale": 0.5, "duration": 12}``, or ``{"t": 30, "action": "arrive",
+    "server": 8}`` — so measured churn traces can be replayed verbatim and
+    the whole schedule rides inside the scenario's ``failures`` dict (and
+    therefore inside sweep-cache keys).  Arrivals must use the next
+    contiguous indices past the cluster (the injector validates); any
+    other event whose server index falls outside the cluster plus its
+    arrivals is rejected loudly.
     """
 
     name = "trace-schedule"
@@ -373,10 +616,12 @@ class TraceSchedule(FailureModel):
         self._events = tuple(parsed)
 
     def events(self, n_servers, horizon, rng):
+        n_total = n_servers + sum(1 for ev in self._events if ev.action == "arrive")
         for ev in self._events:
-            if ev.server >= n_servers:
+            if ev.action != "arrive" and ev.server >= n_total:
                 raise SimulationError(
                     f"trace-schedule targets server {ev.server} but the cluster "
                     f"has only {n_servers} servers"
+                    + (f" plus {n_total - n_servers} arrivals" if n_total > n_servers else "")
                 )
         return [ev for ev in self._events if ev.time < horizon]

@@ -95,7 +95,9 @@ class ClusterSimEngine(Engine):
             )
         sim = ClusterSimulator(traces, scenario.sim_config(n_servers))
         if scenario.failures is not None:
-            sim.attach_failures(FailureInjector.from_spec(scenario.failures))
+            sim.attach_failures(
+                FailureInjector.from_spec(scenario.failures, topology=scenario.topology)
+            )
         return sim
 
     def run(self, scenario: Scenario) -> ScenarioResult:

@@ -23,7 +23,7 @@ import dataclasses
 from dataclasses import dataclass
 
 from repro.errors import SimulationError
-from repro.failures import FailureInjector  # also registers the `failure` kind
+from repro.failures import FailureInjector, check_topology  # registers `failure` kind
 from repro.registry import validate
 from repro.simulator.cluster_sim import ClusterSimConfig
 from repro.traces.schema import VMTraceSet
@@ -50,10 +50,17 @@ class Scenario:
     workload: dict | None = None
     traces: VMTraceSet | None = None
     #: Declarative failure spec — ``{"model": <registered failure name>,
-    #: **model_params, "seed": ..., "response": ..., "restart_delay": ...}``
-    #: — or None for a failure-free replay (the default; None elides from
-    #: ``to_dict``, so failure-free cache keys are unchanged).
+    #: **model_params, "seed": ..., "response": ..., "restart_delay": ...,
+    #: "warning_intervals": ..., "evacuation_budget": ...}`` — or None for
+    #: a failure-free replay (the default; None elides from ``to_dict``,
+    #: so failure-free cache keys are unchanged).
     failures: dict | None = None
+    #: Cluster topology — ``{"racks": R}`` (contiguous near-equal split)
+    #: or ``{"groups": [[0, 1], ...]}`` (explicit blast-radius groups) —
+    #: consumed by topology-aware failure models (``correlated-spot``);
+    #: None (the default, elided from ``to_dict``) means no declared
+    #: topology, so pre-existing cache keys are unchanged.
+    topology: dict | None = None
     policy: str = "proportional"
     n_servers: int | None = None
     overcommitment: float | None = None
@@ -89,6 +96,9 @@ class Scenario:
                     'failure spec needs a "model" key naming a registered failure model'
                 )
             object.__setattr__(self, "failures", copy.deepcopy(dict(self.failures)))
+        if self.topology is not None:
+            check_topology(self.topology)
+            object.__setattr__(self, "topology", copy.deepcopy(dict(self.topology)))
 
     # -- fluent builder ----------------------------------------------------------
 
@@ -146,8 +156,16 @@ class Scenario:
           revoked server) or ``"kill"`` (kill-and-requeue);
         * ``restart_delay`` — intervals between a kill and the requeued
           restart (``response="kill"``); ``None`` disables requeueing;
+        * ``warning_intervals`` — revocation warning window
+          (``response="evacuate"``): revocations become timed drains with
+          one budgeted evacuation tick per interval and a
+          straggler-killing deadline; omit for instant evacuation;
+        * ``evacuation_budget`` — per-tick migration ration during a
+          drain: an int ``k`` (VMs per interval) or ``{"cores": c}``;
         * everything else is passed to the model constructor (e.g.
-          ``rate=0.002`` for ``spot``).
+          ``rate=0.002`` for ``spot``, ``racks=4`` for
+          ``correlated-spot``, ``arrival_rate=0.01`` for
+          ``elastic-pool``).
 
         The spec is plain data: it serializes through :meth:`to_dict`,
         crosses process boundaries in parallel sweeps, and changes the
@@ -166,6 +184,35 @@ class Scenario:
     def without_failures(self) -> "Scenario":
         """Drop the failure spec (back to a failure-free replay)."""
         return self._replace(failures=None)
+
+    def with_topology(
+        self,
+        racks: int | None = None,
+        groups: "list[list[int]] | None" = None,
+    ) -> "Scenario":
+        """Declare the cluster's blast-radius topology.
+
+        Exactly one of ``racks`` / ``groups``: ``racks=R`` splits the
+        resolved cluster contiguously into ``R`` near-equal groups;
+        ``groups=[[0, 1], [4]]`` lists explicit server groups (servers not
+        listed form singleton groups).  Topology-aware failure models
+        (``correlated-spot``) revoke whole groups at once; models without
+        topology awareness ignore it.  The spec is plain data — it rides
+        through ``to_dict`` and changes the sweep-cache key — and is
+        resolved against the actual server count at run time.
+        """
+        if (racks is None) == (groups is None):
+            raise SimulationError("give exactly one of racks or groups")
+        if racks is not None:
+            spec: dict = {"racks": int(racks)}
+        else:
+            spec = {"groups": [[int(s) for s in group] for group in groups]}
+        check_topology(spec)
+        return self._replace(topology=spec)
+
+    def without_topology(self) -> "Scenario":
+        """Drop the topology declaration."""
+        return self._replace(topology=None)
 
     def with_servers(self, n_servers: int) -> "Scenario":
         """Fix the cluster size explicitly (clears any OC target)."""
@@ -238,7 +285,7 @@ class Scenario:
             if value != default:
                 if f.name == "collectors":
                     value = list(value)
-                elif f.name in ("workload", "failures"):
+                elif f.name in ("workload", "failures", "topology"):
                     # Never alias internal state out, nested payloads included.
                     value = copy.deepcopy(dict(value))
                 out[f.name] = value
@@ -254,7 +301,7 @@ class Scenario:
         kwargs = dict(spec)
         if "collectors" in kwargs:
             kwargs["collectors"] = tuple(kwargs["collectors"])
-        for key in ("workload", "failures"):
+        for key in ("workload", "failures", "topology"):
             if kwargs.get(key) is not None:
                 kwargs[key] = dict(kwargs[key])
         return cls(**kwargs)

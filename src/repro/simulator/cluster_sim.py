@@ -465,6 +465,14 @@ class ClusterSimulator:
         # for tie-breaking.
         self.residents: list[dict[int, None]] = [{} for _ in range(s)]
         self.resident_deflatable: list[dict[int, None]] = [{} for _ in range(s)]
+        #: Provisioned fleet size at construction; server arrivals (elastic
+        #: transient pools) grow the live arrays past it but never this.
+        self._n_initial_servers = s
+        #: Servers currently draining toward an evacuation deadline; while
+        #: non-zero, placement filters candidates through the liveness mask
+        #: (a draining server keeps its capacity, so capacity checks alone
+        #: cannot exclude it).
+        self._draining_servers = 0
         #: Incrementally maintained ``committed[:, 0].sum()`` (exact: core
         #: counts are integers, so adds/subtracts never lose bits).
         self._committed_cores = 0.0
@@ -555,10 +563,64 @@ class ClusterSimulator:
         capacity-normalized ranking with divisions by zero.
         """
         if self._server_alive is None:
-            self._server_alive = np.ones(self.config.n_servers, dtype=bool)
+            self._server_alive = np.ones(len(self.residents), dtype=bool)
         self._server_alive[server] = False
         self.server_cap[server] = 0.0
         self._cap_eps[server] = 1e-9
+
+    def _mark_draining(self, server: int) -> None:
+        """Stop placements onto a server pending revocation (warning window).
+
+        The server keeps its capacity — residents run and rebalance as
+        usual until the evacuation deadline — so exclusion works through
+        the liveness mask plus the ``_draining_servers`` placement filter,
+        not through zeroed capacity.
+        """
+        if self._server_alive is None:
+            self._server_alive = np.ones(len(self.residents), dtype=bool)
+        self._server_alive[server] = False
+        self._draining_servers += 1
+
+    def _end_draining(self, server: int) -> None:
+        """The drain resolved (deadline reached); the server stays dead."""
+        self._draining_servers -= 1
+
+    def _attach_server(self, index: int) -> None:
+        """Attach one arriving server at nominal shape (failure injection).
+
+        Grows every per-server array and cache by one row.  Arrivals must
+        be contiguous — ``index`` is the current server count — so global
+        and shard-local replays agree on numbering.  In partitioned mode
+        the arrival joins pool ``arrival-ordinal mod n_pools``, a static
+        rule the sharded engine's slicer replicates.
+        """
+        n = len(self.residents)
+        if index != n:
+            raise SimulationError(
+                f"server arrivals must be contiguous: expected index {n}, got {index}"
+            )
+        cfg = self.config
+        row = np.array([[cfg.cores_per_server, cfg.memory_per_server_mb]])
+        self.server_cap = np.vstack([self.server_cap, row])
+        self._cap_eps = np.vstack([self._cap_eps, row + 1e-9])
+        zero = np.zeros((1, _DIMS))
+        self.committed = np.vstack([self.committed, zero])
+        self.reclaimed = np.vstack([self.reclaimed, zero])
+        self.defl_cap = np.vstack([self.defl_cap, zero])
+        self.defl_floor = np.vstack([self.defl_floor, zero])
+        self.residents.append({})
+        self.resident_deflatable.append({})
+        self._srv_cache.append(None)
+        self._srv_victims.append(None)
+        self._all_servers = np.arange(n + 1)
+        if self._server_alive is not None:
+            self._server_alive = np.append(self._server_alive, True)
+        if cfg.partitioned:
+            pool = (index - self._n_initial_servers) % len(self._pool_members)
+            self.server_pool = np.append(self.server_pool, pool)
+            self._pool_members[pool] = np.append(self._pool_members[pool], index)
+        else:
+            self.server_pool = np.append(self.server_pool, -1)
 
     # -- main loop -----------------------------------------------------------------
 
@@ -618,6 +680,13 @@ class ClusterSimulator:
         """
         demand = self.vm_caps[vm]
         candidates = self._candidate_servers(vm)
+        if self._draining_servers:
+            # Draining servers keep full capacity until their deadline, so
+            # only the liveness mask can exclude them (this also drops
+            # already-revoked servers, which zeroed capacity would have
+            # excluded anyway).  Gated on the counter: failure-free runs
+            # and drain-free failure runs never pay the gather.
+            candidates = candidates[self._server_alive[candidates]]
         if candidates.size == 0:
             return False
 
@@ -742,6 +811,24 @@ class ClusterSimulator:
             del self.resident_deflatable[server][vm]
             self.defl_cap[server] -= self.vm_caps[vm]
             self.defl_floor[server] -= self.vm_floor[vm]
+            self._srv_cache[server] = None
+            self._srv_victims[server] = None
+
+    def _reattach(self, vm: int, server: int) -> None:
+        """Exact inverse of :meth:`_detach` (no collectors, no history).
+
+        Used by the failure injector when a budgeted drain migration finds
+        no destination: the VM never left the (still-running) source, so
+        its bookkeeping is restored verbatim and the evacuation retries at
+        the next tick.
+        """
+        self.committed[server] += self.vm_caps[vm]
+        self._committed_cores += float(self.vm_caps[vm, 0])
+        self.residents[server][vm] = None
+        if self.vm_deflatable[vm]:
+            self.resident_deflatable[server][vm] = None
+            self.defl_cap[server] += self.vm_caps[vm]
+            self.defl_floor[server] += self.vm_floor[vm]
             self._srv_cache[server] = None
             self._srv_victims[server] = None
 

@@ -30,6 +30,7 @@ import numpy as np
 from repro.core.placement import vectorized_cosine_scores
 from repro.core.resources import NUM_RESOURCES
 from repro.errors import SimulationError
+from repro.failures.injector import _ARRIVAL, _DEADLINE, _DIP_END, _DIP_START, _REVOKE
 from repro.registry import register
 
 #: Feasibility slack shared with the simulator's float comparisons.
@@ -244,6 +245,24 @@ class MetricsCollector:
         Never fires on failure-free scenarios.
         """
 
+    def on_server_arrival(self, t: float, server: int, sim) -> None:
+        """A new ``server`` joined the cluster at interval ``t`` (elastic pools).
+
+        The simulator's per-server arrays already include the arrival
+        (``sim.server_cap[server]`` is its nominal shape) and it is a
+        normal placement candidate from this instant.  Never fires on
+        failure-free scenarios.
+        """
+
+    def on_evacuation_deadline(self, t: float, server: int, sim) -> None:
+        """A draining ``server``'s warning window closed (failure injection).
+
+        Fires after the stragglers that budgeted evacuation could not move
+        were killed and the server's capacity was zeroed for good.  Only
+        warned revocations (``warning_intervals``) produce deadlines; the
+        preceding warning fired :meth:`on_revocation`.
+        """
+
     def finalize(self, sim) -> object:
         """Payload stored under this collector's name in ``collected``."""
         return None
@@ -349,16 +368,23 @@ class CommittedTimelineCollector(MetricsCollector):
 
 @register("metrics", "failure-log")
 class FailureLogCollector(MetricsCollector):
-    """Records every injected infrastructure failure, in event order.
+    """Records every injected infrastructure event, in event order.
 
     Payload: list of ``(interval, event, server, scale)`` tuples where
-    ``event`` is ``"revoke"`` or ``"dip"`` (``scale`` is the remaining
-    capacity fraction; a dip ending reports ``scale == 1.0``).  Only
-    meaningful on scenarios with a ``failures`` spec — without injection
-    the payload is an empty list.
+    ``event`` is ``"revoke"`` (for a warned revocation this is the warning
+    instant), ``"dip"``, ``"arrive"``, or ``"deadline"`` (``scale`` is the
+    remaining capacity fraction: a dip ending or an arrival reports
+    ``1.0``, a revocation or deadline ``0.0``).  Only meaningful on
+    scenarios with a ``failures`` spec — without injection the payload is
+    an empty list.
     """
 
     name = "failure-log"
+
+    #: The injector's intra-interval ordering codes per entry type (see
+    #: ``repro.failures.injector``); used to restore the global event
+    #: order when merging shard payloads.
+    _KINDS = {"arrive": _ARRIVAL, "revoke": _REVOKE, "deadline": _DEADLINE}
 
     def __init__(self) -> None:
         self.events: list[tuple[float, str, int, float]] = []
@@ -369,6 +395,12 @@ class FailureLogCollector(MetricsCollector):
     def on_capacity_dip(self, t, server, scale, sim):
         self.events.append((t, "dip", server, float(scale)))
 
+    def on_server_arrival(self, t, server, sim):
+        self.events.append((t, "arrive", server, 1.0))
+
+    def on_evacuation_deadline(self, t, server, sim):
+        self.events.append((t, "deadline", server, 0.0))
+
     def finalize(self, sim):
         return list(self.events)
 
@@ -377,17 +409,19 @@ class FailureLogCollector(MetricsCollector):
 
         Failure events sort by ``(t, kind, server)`` in the injector's
         merged stream; the kind is recoverable from the entry itself
-        (revocations, then dip ends — ``scale == 1.0`` — then dip starts),
-        so the flat run's exact ordering can be reconstructed.
+        (``_KINDS`` plus the dip-end/dip-start split on ``scale == 1.0``),
+        so the flat run's exact ordering can be reconstructed.  Server
+        remapping goes through :meth:`ShardMap.to_global_server` because
+        arrived servers live past the shard's contiguous base range.
         """
         entries = []
         for payload, shard in zip(payloads, shards):
             for t, event, server, scale in payload:
-                entries.append((t, event, server + shard.server_offset, scale))
+                entries.append((t, event, shard.to_global_server(server), scale))
 
         def sort_key(entry):
             t, event, _server, scale = entry
-            kind = 2 if event == "revoke" else (3 if scale == 1.0 else 4)
+            kind = self._KINDS.get(event, _DIP_END if scale == 1.0 else _DIP_START)
             return (t, kind, entry[2])
 
         entries.sort(key=sort_key)

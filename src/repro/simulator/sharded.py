@@ -60,7 +60,17 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import SimulationError
-from repro.failures.injector import _DIP_END, _DIP_START, _REVOKE, FailureInjector
+from repro.failures.injector import (
+    _ARRIVAL,
+    _DEADLINE,
+    _DIP_END,
+    _DIP_START,
+    _END,
+    _EVAC,
+    _REVOKE,
+    _START,
+    FailureInjector,
+)
 from repro.failures.models import FailureEvent, FailureModel
 from repro.registry import create, register
 from repro.scenario.engine import Engine, resolve_workload
@@ -87,6 +97,7 @@ _FLOAT_SUMMARY_METRICS = (
     "downtime_intervals",
     "absorbed_core_intervals",
     "lost_core_intervals",
+    "arrived_nominal_cores",
 )
 
 
@@ -99,7 +110,17 @@ class ShardMap:
 
     vm_global: np.ndarray  # shard-local VM index -> global VM index
     server_offset: int  # shard-local server 0 == this global index
-    n_servers: int  # servers owned by the shard
+    n_servers: int  # servers owned by the shard at construction
+    #: Global indices of servers that *arrive* into this shard mid-run
+    #: (elastic pools), in arrival order: shard-local server
+    #: ``n_servers + i`` is global ``arrival_globals[i]``.
+    arrival_globals: tuple[int, ...] = ()
+
+    def to_global_server(self, local: int) -> int:
+        """Global index of a shard-local server (base range or arrival)."""
+        if local < self.n_servers:
+            return self.server_offset + local
+        return self.arrival_globals[local - self.n_servers]
 
 
 @dataclass
@@ -109,7 +130,7 @@ class ShardSpec:
     Plain picklable data: sub-trace, a *non-partitioned* simulator config,
     the local→global index maps, and (for failure-injected scenarios) the
     pre-sliced, locally-reindexed failure schedule plus the injector's
-    response knobs.
+    response/drain knobs.
     """
 
     shard_id: int
@@ -120,6 +141,9 @@ class ShardSpec:
     failures: tuple[FailureEvent, ...] | None
     response: str
     restart_delay: float | None
+    warning_intervals: float | None = None
+    evacuation_budget: int | dict | None = None
+    arrival_globals: tuple[int, ...] = ()
 
     @property
     def map(self) -> ShardMap:
@@ -127,6 +151,7 @@ class ShardSpec:
             vm_global=self.vm_global,
             server_offset=self.server_offset,
             n_servers=self.config.n_servers,
+            arrival_globals=self.arrival_globals,
         )
 
 
@@ -183,24 +208,37 @@ def plan_shards(scenario: Scenario) -> ShardPlan:
     vm_pool = vm_pool_assignment(vm_prio, vm_deflatable, levels)
 
     # Failure schedule: generate the flat schedule once, slice per pool.
+    # Arrivals route to pool ``ordinal mod n_pools`` — the same static rule
+    # ``ClusterSimulator._attach_server`` applies in the flat partitioned
+    # replay — and take the next shard-local indices past the shard's base
+    # servers, so later events on arrived servers remap through the same
+    # table the merger uses to restore global indices.
     sliced: list[tuple[FailureEvent, ...] | None] = [None] * len(counts)
+    arrival_globals: list[list[int]] = [[] for _ in counts]
     response, restart_delay = "evacuate", 1.0
+    warning_intervals: float | None = None
+    evacuation_budget: int | dict | None = None
     if scenario.failures is not None:
-        injector = FailureInjector.from_spec(scenario.failures)
+        injector = FailureInjector.from_spec(scenario.failures, topology=scenario.topology)
         response, restart_delay = injector.response, injector.restart_delay
-        rng = np.random.default_rng(injector.seed)
-        schedule = injector.model.events(n_servers, float(traces.horizon()), rng)
+        warning_intervals = injector.warning_intervals
+        evacuation_budget = injector.evacuation_budget
+        schedule = injector.schedule(n_servers, float(traces.horizon()))
+        local_of: dict[int, tuple[int, int]] = {}  # arrived global -> (pool, local)
+        arrived = sorted(ev.server for ev in schedule if ev.action == "arrive")
+        for g in arrived:  # ascending global == arrival (time) order
+            k = (g - n_servers) % len(counts)
+            local = int(counts[k]) + len(arrival_globals[k])
+            arrival_globals[k].append(g)
+            local_of[g] = (k, local)
         per_pool: list[list[FailureEvent]] = [[] for _ in counts]
         for ev in schedule:
             if ev.server >= n_servers:
-                raise SimulationError(
-                    f"failure model {injector.model.name!r} scheduled server "
-                    f"{ev.server} on a {n_servers}-server cluster"
-                )
-            k = int(np.searchsorted(offsets, ev.server, side="right")) - 1
-            per_pool[k].append(
-                dataclasses.replace(ev, server=ev.server - int(offsets[k]))
-            )
+                k, local = local_of[ev.server]
+            else:
+                k = int(np.searchsorted(offsets, ev.server, side="right")) - 1
+                local = ev.server - int(offsets[k])
+            per_pool[k].append(dataclasses.replace(ev, server=local))
         sliced = [tuple(evs) for evs in per_pool]
 
     specs = []
@@ -227,6 +265,9 @@ def plan_shards(scenario: Scenario) -> ShardPlan:
                 failures=sliced[k],
                 response=response,
                 restart_delay=restart_delay,
+                warning_intervals=warning_intervals,
+                evacuation_budget=evacuation_budget,
+                arrival_globals=tuple(arrival_globals[k]),
             )
         )
     return ShardPlan(n_servers=n_servers, specs=specs)
@@ -308,7 +349,10 @@ class _ShardSimulator(ClusterSimulator):
                     peak = self._committed_cores
             committed = self._committed_cores
             if committed != prev:
-                log.append((t, kind, vm, committed, ()))
+                # Log the injector's ordering codes, not the structured
+                # array's local 0/1 — the merger's (t, kind, key) sort and
+                # its server-vs-VM key remap assume one shared code space.
+                log.append((t, _END if kind == 0 else _START, vm, committed, ()))
                 prev = committed
         return self._collect(peak)
 
@@ -356,9 +400,10 @@ class ShardOutput:
     failure_summary: dict | None
 
 
-#: Kinds whose event key is a server index (remapped by shard offset); all
-#: other kinds key by VM index (remapped through ``vm_global``).
-_SERVER_KEYED_KINDS = (_REVOKE, _DIP_START, _DIP_END)
+#: Kinds whose event key is a server index (remapped through the shard
+#: map's base-range offset or arrival table); all other kinds key by VM
+#: index (remapped through ``vm_global``).
+_SERVER_KEYED_KINDS = (_ARRIVAL, _REVOKE, _DIP_START, _DIP_END, _EVAC, _DEADLINE)
 
 
 def _run_shard(spec: ShardSpec) -> ShardOutput:
@@ -370,12 +415,15 @@ def _run_shard(spec: ShardSpec) -> ShardOutput:
                 _PresetSchedule(spec.failures),
                 response=spec.response,
                 restart_delay=spec.restart_delay,
+                warning_intervals=spec.warning_intervals,
+                evacuation_budget=spec.evacuation_budget,
             )
         )
     result = sim.run()
 
     terms = sim.terms._replace(sel=spec.vm_global[sim.terms.sel])
     log = sim._injector.event_log if sim._injector is not None else sim.event_log
+    shard_map = spec.map
     m = len(log)
     ev_t = np.empty(m, dtype=np.float64)
     ev_kind = np.empty(m, dtype=np.int8)
@@ -386,7 +434,7 @@ def _run_shard(spec: ShardSpec) -> ShardOutput:
         ev_t[i] = t
         ev_kind[i] = kind
         ev_key[i] = (
-            spec.server_offset + key
+            shard_map.to_global_server(key)
             if kind in _SERVER_KEYED_KINDS
             else spec.vm_global[key]
         )
@@ -504,12 +552,17 @@ def merge_shard_outputs(
     agg = reduce_vm_terms(_merge_terms([o.terms for o in outputs]))
 
     # The exact expression the flat simulator evaluates (nominal capacity;
-    # same array layout, same pairwise reduction).
-    total_capacity = float(
-        np.tile(
-            np.array([config.cores_per_server, config.memory_per_server_mb]),
-            (plan.n_servers, 1),
-        )[:, 0].sum()
+    # same array layout, same pairwise reduction), plus the arrival cores
+    # replayed term-by-term in global event order — the same decomposition
+    # ``FailureInjector.nominal_total_cores`` uses, so the sum is exact.
+    total_capacity = (
+        float(
+            np.tile(
+                np.array([config.cores_per_server, config.memory_per_server_mb]),
+                (plan.n_servers, 1),
+            )[:, 0].sum()
+        )
+        + scalars["arrived_nominal_cores"]
     )
 
     collected: dict[str, object] = {}

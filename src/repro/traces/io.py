@@ -2,7 +2,23 @@
 
 Synthetic traces are cheap to regenerate, but the cluster benchmarks reuse
 one trace across many policy runs; saving it keeps experiments exactly
-comparable and makes runs reproducible from an artifact.
+comparable and makes runs reproducible from an artifact.  "Exactly
+comparable" is meant literally: a save → load round-trip is **bit-stable**
+— every numeric field (including the float64 ``cpu_util`` series) comes
+back identical, so a reloaded trace replays to the same results and hashes
+to the same sweep-cache keys as the original.
+
+Two historical wrinkles this module now handles explicitly:
+
+* ``allow_pickle=True`` used to be passed to :func:`numpy.savez_compressed`,
+  which does not take that keyword — it silently stored a bogus scalar
+  array named ``allow_pickle`` *inside* the archive.  New archives no
+  longer contain it; loading tolerates (and ignores) the stray key in
+  legacy archives.  ``allow_pickle`` belongs on the :func:`numpy.load`
+  side only, where the object-dtype id/class arrays genuinely need it.
+* utilization series used to be written as float32 and widened back on
+  load, making round-trips lossy.  They are now persisted as float64;
+  legacy float32 archives still load (at their stored precision).
 """
 
 from __future__ import annotations
@@ -20,6 +36,38 @@ from repro.traces.schema import (
     VMTraceSet,
 )
 
+def _open_archive(path: str | Path) -> np.lib.npyio.NpzFile:
+    """Open a trace archive, translating open-time failures into TraceError.
+
+    Member data is decompressed lazily on access, so readers must also
+    guard the member reads (:func:`_read_members`) — a truncated or
+    bit-rotted member only surfaces there.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise TraceError(f"trace file {path} does not exist")
+    try:
+        return np.load(path, allow_pickle=True)
+    except Exception as exc:  # truncated download, not a zip at all
+        raise TraceError(f"trace file {path} is not a readable .npz archive: {exc}") from exc
+
+
+def _read_members(path: str | Path, build):
+    """Run ``build(archive)`` with every archive failure as TraceError."""
+    with _open_archive(path) as data:
+        try:
+            return build(data)
+        except KeyError as missing:
+            raise TraceError(
+                f"trace file {Path(path)} is missing archive member {missing}"
+            ) from None
+        except TraceError:
+            raise
+        except Exception as exc:  # corrupt member: zlib.error, BadZipFile, ...
+            raise TraceError(
+                f"trace file {Path(path)} has a corrupt archive member: {exc}"
+            ) from exc
+
 
 def save_vm_traces(traces: VMTraceSet, path: str | Path) -> None:
     """Write a VM trace set to a compressed .npz archive."""
@@ -32,29 +80,27 @@ def save_vm_traces(traces: VMTraceSet, path: str | Path) -> None:
         "starts": np.array([r.start_interval for r in traces], dtype=np.int64),
     }
     for i, rec in enumerate(traces):
-        payload[f"util_{i}"] = rec.cpu_util.astype(np.float32)
-    np.savez_compressed(path, **payload, allow_pickle=True)
+        payload[f"util_{i}"] = np.asarray(rec.cpu_util, dtype=np.float64)
+    np.savez_compressed(path, **payload)
 
 
 def load_vm_traces(path: str | Path) -> VMTraceSet:
     """Read a VM trace set produced by :func:`save_vm_traces`."""
-    path = Path(path)
-    if not path.exists():
-        raise TraceError(f"trace file {path} does not exist")
-    with np.load(path, allow_pickle=True) as data:
-        n = data["cores"].size
-        records = [
+
+    def build(data):
+        return [
             VMTraceRecord(
                 vm_id=str(data["vm_ids"][i]),
                 vm_class=VMClass(str(data["classes"][i])),
                 cores=int(data["cores"][i]),
                 memory_mb=float(data["memory_mb"][i]),
                 start_interval=int(data["starts"][i]),
-                cpu_util=data[f"util_{i}"].astype(np.float64),
+                cpu_util=np.asarray(data[f"util_{i}"], dtype=np.float64),
             )
-            for i in range(n)
+            for i in range(data["cores"].size)
         ]
-    return VMTraceSet(records)
+
+    return VMTraceSet(_read_members(path, build))
 
 
 def save_container_traces(traces: ContainerTraceSet, path: str | Path) -> None:
@@ -63,27 +109,25 @@ def save_container_traces(traces: ContainerTraceSet, path: str | Path) -> None:
         "container_ids": np.array([r.container_id for r in traces], dtype=object),
     }
     for i, rec in enumerate(traces):
-        payload[f"mem_{i}"] = rec.mem_util.astype(np.float32)
-        payload[f"membw_{i}"] = rec.mem_bw_util.astype(np.float32)
-        payload[f"disk_{i}"] = rec.disk_util.astype(np.float32)
-        payload[f"net_{i}"] = rec.net_util.astype(np.float32)
-    np.savez_compressed(path, **payload, allow_pickle=True)
+        payload[f"mem_{i}"] = np.asarray(rec.mem_util, dtype=np.float64)
+        payload[f"membw_{i}"] = np.asarray(rec.mem_bw_util, dtype=np.float64)
+        payload[f"disk_{i}"] = np.asarray(rec.disk_util, dtype=np.float64)
+        payload[f"net_{i}"] = np.asarray(rec.net_util, dtype=np.float64)
+    np.savez_compressed(path, **payload)
 
 
 def load_container_traces(path: str | Path) -> ContainerTraceSet:
-    path = Path(path)
-    if not path.exists():
-        raise TraceError(f"trace file {path} does not exist")
-    with np.load(path, allow_pickle=True) as data:
+    def build(data):
         ids = data["container_ids"]
-        records = [
+        return [
             ContainerTraceRecord(
                 container_id=str(ids[i]),
-                mem_util=data[f"mem_{i}"].astype(np.float64),
-                mem_bw_util=data[f"membw_{i}"].astype(np.float64),
-                disk_util=data[f"disk_{i}"].astype(np.float64),
-                net_util=data[f"net_{i}"].astype(np.float64),
+                mem_util=np.asarray(data[f"mem_{i}"], dtype=np.float64),
+                mem_bw_util=np.asarray(data[f"membw_{i}"], dtype=np.float64),
+                disk_util=np.asarray(data[f"disk_{i}"], dtype=np.float64),
+                net_util=np.asarray(data[f"net_{i}"], dtype=np.float64),
             )
             for i in range(ids.size)
         ]
-    return ContainerTraceSet(records)
+
+    return ContainerTraceSet(_read_members(path, build))

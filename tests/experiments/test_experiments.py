@@ -18,7 +18,7 @@ def results():
 
 class TestRegistry:
     def test_experiment_count(self):
-        assert len(EXPERIMENTS) == 18  # 17 paper figures + the portfolio study
+        assert len(EXPERIMENTS) == 19  # 17 paper figures + portfolio + churn
 
     def test_lookup(self):
         assert get_experiment("fig20") is EXPERIMENTS["fig20"]

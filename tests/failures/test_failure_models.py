@@ -10,10 +10,12 @@ from repro.scenario import Scenario  # also triggers `failure`-kind registration
 
 MODELS = (
     "spot",
+    "correlated-spot",
     "exponential-lifetimes",
     "weibull-lifetimes",
     "preemption-windows",
     "capacity-dips",
+    "elastic-pool",
     "trace-schedule",
 )
 
@@ -59,8 +61,11 @@ class TestDeterminism:
 
     def test_events_inside_cluster_and_horizon(self, name):
         model = create("failure", name)
-        for ev in model.events(20, 500.0, rng(7)):
-            assert 0 <= ev.server < 20
+        events = model.events(20, 500.0, rng(7))
+        # Arrivals extend the addressable range past the initial cluster.
+        n_total = 20 + sum(1 for ev in events if ev.action == "arrive")
+        for ev in events:
+            assert 0 <= ev.server < n_total
             assert 0.0 <= ev.time < 500.0
 
 

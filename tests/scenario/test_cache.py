@@ -38,6 +38,7 @@ class TestKeys:
             base.with_collectors("event-counts"),
             base.named("other-name"),
             base.with_engine("sharded"),
+            base.with_topology(racks=2),
         ]
         keys = {scenario_key(v) for v in variants}
         assert len(keys) == len(variants), "every field must feed the key"
@@ -228,6 +229,7 @@ class TestScenarioFieldCoverage:
             "workload",
             "traces",
             "failures",  # reviewed: serializes via to_dict, feeds the key
+            "topology",  # reviewed: serializes via to_dict, feeds the key
             "policy",
             "n_servers",
             "overcommitment",

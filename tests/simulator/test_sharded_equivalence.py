@@ -119,6 +119,74 @@ def test_collectors_merge_bit_identical(base_scenario):
     assert_cross_engine_identical(scenario)
 
 
+@pytest.mark.parametrize("policy", ("proportional", "preemption"))
+def test_correlated_spot_bit_identical(base_scenario, policy):
+    """Whole-rack bursts, sliced (never re-seeded) per shard."""
+    assert_cross_engine_identical(
+        base_scenario.with_policy(policy)
+        .with_topology(racks=4)
+        .with_failures("correlated-spot", rate=0.004, seed=7, response="evacuate")
+    )
+
+
+@pytest.mark.parametrize("policy", ("proportional", "preemption"))
+def test_warning_budget_drain_bit_identical(base_scenario, policy):
+    """Drain ticks and deadlines replay in global (t, kind, key) order."""
+    assert_cross_engine_identical(
+        base_scenario.with_policy(policy).with_failures(
+            "spot",
+            rate=0.004,
+            seed=7,
+            response="evacuate",
+            warning_intervals=3,
+            evacuation_budget=2,
+        )
+    )
+
+
+def test_cores_budget_drain_bit_identical(base_scenario):
+    assert_cross_engine_identical(
+        base_scenario.with_policy("proportional")
+        .with_topology(racks=6)
+        .with_failures(
+            "correlated-spot",
+            rate=0.004,
+            seed=7,
+            warning_intervals=2,
+            evacuation_budget={"cores": 8.0},
+        )
+    )
+
+
+@pytest.mark.parametrize("policy", ("proportional", "preemption"))
+def test_elastic_pool_arrivals_bit_identical(base_scenario, policy):
+    """Mid-run server attach: arrivals route to pools by the static
+    ``ordinal mod n_pools`` rule in both engines, and the nominal-capacity
+    accounting (initial tile sum + arrival accruals) merges exactly."""
+    assert_cross_engine_identical(
+        base_scenario.with_policy(policy).with_failures(
+            "elastic-pool", rate=0.004, arrival_rate=0.02, seed=7
+        )
+    )
+
+
+def test_churn_collectors_merge_bit_identical(base_scenario):
+    """failure-log entries for arrivals and deadlines remap through the
+    shard arrival table and restore the flat event order."""
+    assert_cross_engine_identical(
+        base_scenario.with_policy("proportional")
+        .with_collectors("event-counts", "rejection-log", "failure-log")
+        .with_failures(
+            "elastic-pool",
+            rate=0.004,
+            arrival_rate=0.02,
+            seed=7,
+            warning_intervals=2,
+            evacuation_budget=1,
+        )
+    )
+
+
 def test_explicit_traces_and_servers(base_scenario):
     """Explicit trace sets and explicit cluster sizes shard too."""
     traces = synthesize_azure_trace(AzureTraceConfig(n_vms=300, seed=9))

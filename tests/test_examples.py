@@ -17,6 +17,7 @@ FAST = [
     "feasibility_study.py",
     "scenario_pipeline.py",
     "failure_injection.py",
+    "correlated_failures.py",
     "sharded_engine.py",
 ]
 
