@@ -32,7 +32,7 @@ class SurgePricing(PricingModel):
 
 
 # -- 2b. a plug-in placement scorer: pack the fullest feasible server ---------------
-@register("scorer", "fullest-first")
+@register("scorer", "fullest-first")  # repro-lint: disable=registry-docs (demo plug-in)
 class FullestFirstScorer(PlacementScorer):
     name = "fullest-first"
 

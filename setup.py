@@ -1,5 +1,18 @@
 """Legacy shim so `pip install -e . --no-use-pep517` works without the
-`wheel` package (this environment is offline)."""
-from setuptools import setup
+`wheel` package (this environment is offline).
 
-setup()
+Also the packaging home of the ``repro-lint`` console entry point
+(equivalent to ``python -m repro.analysis``; see docs/analysis.md).
+"""
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    entry_points={
+        "console_scripts": [
+            "repro-lint=repro.analysis.cli:main",
+        ],
+    },
+)

@@ -1,0 +1,35 @@
+"""Static analysis: the ``repro-lint`` AST-based invariant checker.
+
+The determinism, registry, golden-freeze, merge-discipline and docs
+contracts this reproduction rests on (ROADMAP "Established architecture")
+are enforced *statically* here — at review time, in CI, on every file,
+including code paths no test reaches.  Rules are components like
+everything else: registered under kind ``lint`` via
+``@register("lint", name)``, discoverable through :mod:`repro.registry`,
+and suppressible per line (``# repro-lint: disable=<rule>``) or via a
+committed baseline file.
+
+Front doors:
+
+* ``python -m repro.analysis src examples`` (console entry
+  ``repro-lint``) — the CLI, gating CI;
+* :func:`repro.analysis.runner.run_lint` — the library entry tests and
+  tooling use;
+* ``docs/analysis.md`` — the rule catalogue and how to write a rule.
+
+Importing this package registers the stock rule pack (import-driven
+registration, like every other kind).
+"""
+
+from repro.analysis import rules  # noqa: F401  (registers the rule pack)
+from repro.analysis.core import Finding, LintContext, LintRule, ModuleSource
+from repro.analysis.runner import LintReport, run_lint
+
+__all__ = [
+    "Finding",
+    "LintContext",
+    "LintReport",
+    "LintRule",
+    "ModuleSource",
+    "run_lint",
+]

@@ -1,0 +1,5 @@
+"""``python -m repro.analysis`` — the repro-lint invariant checker."""
+
+from repro.analysis.cli import main
+
+raise SystemExit(main())

@@ -1,0 +1,90 @@
+"""Baseline files: grandfathered findings that do not fail the build.
+
+A baseline is a committed JSON file listing findings that existed when a
+rule was introduced (or that are deliberate, with a justifying note).
+``repro-lint --baseline <file>`` subtracts matching findings from the
+failing set; ``--update-baseline`` rewrites the file from the current
+findings, pruning entries that no longer match.
+
+Matching is by :attr:`repro.analysis.core.Finding.fingerprint` — a hash
+of ``(rule, path, source line)`` that ignores line numbers, so unrelated
+edits above a grandfathered line do not resurrect it.  Every entry should
+carry a ``note`` saying *why* the finding is acceptable; entries without
+one are legal but frowned upon in review.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis.core import Finding
+from repro.errors import ReproError
+
+BASELINE_VERSION = 1
+#: Default baseline location, relative to the lint root.
+DEFAULT_BASELINE = "lint-baseline.json"
+
+
+class BaselineError(ReproError):
+    """A baseline file that cannot be read or has the wrong shape."""
+
+
+def load_baseline(path: Path) -> dict[str, dict]:
+    """``fingerprint -> entry`` from a baseline file."""
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise BaselineError(f"cannot read baseline {path}: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("version") != BASELINE_VERSION:
+        raise BaselineError(
+            f"baseline {path} has unsupported format "
+            f"(expected {{'version': {BASELINE_VERSION}, 'findings': [...]}})"
+        )
+    entries = payload.get("findings", [])
+    table: dict[str, dict] = {}
+    for entry in entries:
+        if not isinstance(entry, dict) or "fingerprint" not in entry:
+            raise BaselineError(f"baseline {path}: malformed entry {entry!r}")
+        table[entry["fingerprint"]] = entry
+    return table
+
+
+def split_baselined(
+    findings: list[Finding], table: dict[str, dict]
+) -> tuple[list[Finding], list[Finding]]:
+    """Partition findings into (new, grandfathered) against a baseline.
+
+    A baseline fingerprint matches every finding with the same content
+    (two identical offending lines in one file share an entry — the
+    baseline grandfathers the *pattern at that path*, documented
+    behaviour rather than an accident).
+    """
+    new: list[Finding] = []
+    old: list[Finding] = []
+    for f in findings:
+        (old if f.fingerprint in table else new).append(f)
+    return new, old
+
+
+def write_baseline(path: Path, findings: list[Finding], notes: dict[str, str] | None = None) -> None:
+    """Serialize ``findings`` as the new baseline (sorted, stable)."""
+    notes = notes or {}
+    seen: set[str] = set()
+    entries = []
+    for f in sorted(findings, key=lambda f: (f.path, f.rule, f.line)):
+        if f.fingerprint in seen:
+            continue
+        seen.add(f.fingerprint)
+        entry = {
+            "rule": f.rule,
+            "path": f.path,
+            "snippet": f.snippet,
+            "fingerprint": f.fingerprint,
+        }
+        note = notes.get(f.fingerprint)
+        if note:
+            entry["note"] = note
+        entries.append(entry)
+    payload = {"version": BASELINE_VERSION, "findings": entries}
+    path.write_text(json.dumps(payload, indent=2, sort_keys=False) + "\n", encoding="utf-8")

@@ -1,0 +1,339 @@
+"""Core types for the ``repro-lint`` static-analysis subsystem.
+
+The checker mirrors the component-registry idiom the rest of the repo
+uses: every rule is a small class registered under kind ``lint``
+(``@register("lint", name)``), discovered through
+:mod:`repro.registry`, and runnable by name.  This module holds the
+pieces every rule shares:
+
+* :class:`Finding` — one diagnostic, with a stable content fingerprint
+  (rule + path + source line, line-number independent) so baselines
+  survive unrelated edits;
+* :class:`ModuleSource` — a lazily-parsed source file with its
+  suppression table (``# repro-lint: disable=<rule>`` comments);
+* :class:`LintRule` — the rule base class (file scope or repo scope);
+* :class:`LintContext` — what a rule may see: the repo root, every
+  collected module, and the docs tree.
+
+Rules must be *pure readers*: they parse and report, never import the
+code under analysis (importing would execute it and drag in heavyweight
+dependencies — the whole point of a static pass is to check code no test
+runs).
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+#: Path fragments (as consecutive directory pairs) that mark the
+#: determinism-critical simulation core: all randomness there must flow
+#: from an explicitly seeded, passed-in generator, and no wall-clock or
+#: unordered-set iteration may influence results (ROADMAP: serial ==
+#: parallel == sharded, warm == cold).
+SIM_PATH_PARTS: tuple[tuple[str, str], ...] = (
+    ("repro", "simulator"),
+    ("repro", "failures"),
+    ("repro", "scenario"),
+)
+
+_SUPPRESS = re.compile(r"#\s*repro-lint:\s*disable=([\w\-, ]+)")
+_SUPPRESS_FILE = re.compile(r"#\s*repro-lint:\s*disable-file=([\w\-, ]+)")
+
+
+def _contains_pair(parts: tuple[str, ...], pair: tuple[str, str]) -> bool:
+    return any(parts[i : i + 2] == pair for i in range(len(parts) - 1))
+
+
+def in_sim_path(rel: str) -> bool:
+    """True for files inside the determinism-critical simulation core."""
+    parts = tuple(Path(rel).parts)
+    return any(_contains_pair(parts, pair) for pair in SIM_PATH_PARTS)
+
+
+def is_test_path(rel: str) -> bool:
+    return "tests" in Path(rel).parts
+
+
+def is_benchmark_path(rel: str) -> bool:
+    return "benchmarks" in Path(rel).parts
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic emitted by a rule.
+
+    ``snippet`` is the stripped source line the finding anchors to; the
+    fingerprint hashes ``rule + path + snippet`` (never the line number),
+    so a baseline entry keeps matching when unrelated edits shift the
+    file.
+    """
+
+    rule: str
+    path: str  # posix, relative to the lint root
+    line: int
+    message: str
+    snippet: str = ""
+    #: When False, neither suppression comments nor baselines silence this
+    #: finding (used where the violation *is* an illegitimate suppression).
+    suppressible: bool = True
+
+    @property
+    def fingerprint(self) -> str:
+        digest = hashlib.sha256(
+            f"{self.rule}::{self.path}::{self.snippet}".encode()
+        ).hexdigest()
+        return digest[:16]
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule}: {self.message}"
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+            "snippet": self.snippet,
+            "fingerprint": self.fingerprint,
+        }
+
+
+class ModuleSource:
+    """One python source file, parsed lazily and at most once.
+
+    Exposes the raw text, split lines, the AST (``tree`` is ``None`` when
+    the file does not parse — the runner reports a ``syntax-error``
+    finding instead of every rule tripping over it), and the suppression
+    table parsed from ``# repro-lint: disable=...`` comments.
+    """
+
+    def __init__(self, path: Path, rel: str, text: str | None = None) -> None:
+        self.path = path
+        self.rel = rel
+        self.text = path.read_text(encoding="utf-8") if text is None else text
+        self.lines = self.text.splitlines()
+        self._tree: ast.AST | None = None
+        self._parsed = False
+        self.syntax_error: SyntaxError | None = None
+        self._suppressions: dict[int, set[str]] | None = None
+        self._file_suppressions: set[str] | None = None
+
+    @property
+    def tree(self) -> ast.AST | None:
+        if not self._parsed:
+            self._parsed = True
+            try:
+                self._tree = ast.parse(self.text, filename=str(self.path))
+            except SyntaxError as exc:  # reported once by the runner
+                self.syntax_error = exc
+                self._tree = None
+        return self._tree
+
+    def _parse_suppressions(self) -> None:
+        line_table: dict[int, set[str]] = {}
+        file_table: set[str] = set()
+        for lineno, line in enumerate(self.lines, 1):
+            m = _SUPPRESS_FILE.search(line)
+            if m:
+                file_table.update(r.strip() for r in m.group(1).split(",") if r.strip())
+                continue
+            m = _SUPPRESS.search(line)
+            if m:
+                rules = {r.strip() for r in m.group(1).split(",") if r.strip()}
+                line_table.setdefault(lineno, set()).update(rules)
+        self._suppressions = line_table
+        self._file_suppressions = file_table
+
+    def suppressed(self, rule: str, line: int) -> bool:
+        """True when ``rule`` is disabled on ``line`` (or file-wide)."""
+        if self._suppressions is None:
+            self._parse_suppressions()
+        assert self._suppressions is not None and self._file_suppressions is not None
+        if rule in self._file_suppressions:
+            return True
+        return rule in self._suppressions.get(line, set())
+
+    def snippet(self, line: int) -> str:
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1].strip()
+        return ""
+
+    def finding(
+        self,
+        rule: str,
+        node_or_line: ast.AST | int,
+        message: str,
+        *,
+        suppressible: bool = True,
+    ) -> Finding:
+        """Build a finding anchored at an AST node (or explicit line)."""
+        line = (
+            node_or_line
+            if isinstance(node_or_line, int)
+            else getattr(node_or_line, "lineno", 1)
+        )
+        return Finding(
+            rule=rule,
+            path=self.rel,
+            line=line,
+            message=message,
+            snippet=self.snippet(line),
+            suppressible=suppressible,
+        )
+
+
+@dataclass
+class LintContext:
+    """Everything a rule may inspect: the root, the modules, the docs."""
+
+    root: Path
+    modules: list[ModuleSource] = field(default_factory=list)
+
+    def doc_path(self, rel: str) -> Path:
+        return self.root / rel
+
+    def read_doc(self, rel: str) -> str | None:
+        """A docs file's text, or None when it does not exist."""
+        p = self.root / rel
+        if not p.exists():
+            return None
+        return p.read_text(encoding="utf-8")
+
+
+class LintRule:
+    """Base class for lint rules (register subclasses under kind ``lint``).
+
+    ``scope`` picks the entry point the runner calls:
+
+    * ``"file"`` — :meth:`check` runs once per collected module;
+    * ``"repo"`` — :meth:`check_repo` runs once per lint invocation, for
+      cross-file contracts (docs catalogues, schema round-trips).
+
+    Both yield :class:`Finding`; suppression and baseline filtering
+    happen in the runner, so rules stay oblivious to them.
+    """
+
+    name: str = "abstract"
+    scope: str = "file"
+    description: str = ""
+
+    def check(self, module: ModuleSource, ctx: LintContext):
+        """Findings for one module (file-scope rules)."""
+        return ()
+
+    def check_repo(self, ctx: LintContext):
+        """Findings for the whole tree (repo-scope rules)."""
+        return ()
+
+
+class ImportMap(ast.NodeVisitor):
+    """Which local names are bound to determinism-relevant modules.
+
+    Rules resolve attribute chains against this map instead of guessing:
+    ``import numpy as np`` makes ``np.random.rand`` recognisable, as do
+    ``import numpy.random as npr`` / ``from numpy.random import rand`` /
+    ``from random import randint`` / ``import time as clock`` — the
+    aliasing games a naive grep cannot follow.
+    """
+
+    def __init__(self, tree: ast.AST | None) -> None:
+        self.random_aliases: set[str] = set()  # names bound to stdlib `random`
+        self.random_funcs: dict[str, str] = {}  # local name -> random.<fn>
+        self.numpy_aliases: set[str] = set()  # names bound to `numpy`
+        self.npr_aliases: set[str] = set()  # names bound to `numpy.random`
+        self.npr_funcs: dict[str, str] = {}  # local name -> numpy.random.<fn>
+        self.time_aliases: set[str] = set()
+        self.time_funcs: dict[str, str] = {}
+        self.datetime_mod_aliases: set[str] = set()  # names bound to `datetime`
+        self.datetime_cls_aliases: set[str] = set()  # names bound to datetime.datetime/date
+        self.registry_funcs: dict[str, str] = {}  # local name -> repro.registry.<fn>
+        self.registry_mod_aliases: set[str] = set()  # names bound to repro.registry
+        if tree is not None:
+            self.visit(tree)
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            bound = alias.asname or alias.name.partition(".")[0]
+            if alias.name == "random":
+                self.random_aliases.add(bound)
+            elif alias.name == "numpy":
+                self.numpy_aliases.add(bound)
+            elif alias.name == "numpy.random":
+                if alias.asname:
+                    self.npr_aliases.add(alias.asname)
+                else:
+                    self.numpy_aliases.add("numpy")
+            elif alias.name == "time":
+                self.time_aliases.add(bound)
+            elif alias.name == "datetime":
+                self.datetime_mod_aliases.add(bound)
+            elif alias.name == "repro.registry" and alias.asname:
+                self.registry_mod_aliases.add(alias.asname)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        mod = node.module or ""
+        for alias in node.names:
+            bound = alias.asname or alias.name
+            if mod == "random":
+                self.random_funcs[bound] = f"random.{alias.name}"
+            elif mod == "numpy" and alias.name == "random":
+                self.npr_aliases.add(bound)
+            elif mod == "numpy.random":
+                self.npr_funcs[bound] = f"numpy.random.{alias.name}"
+            elif mod == "time":
+                self.time_funcs[bound] = f"time.{alias.name}"
+            elif mod == "datetime" and alias.name in ("datetime", "date"):
+                self.datetime_cls_aliases.add(bound)
+            elif mod == "repro.registry":
+                self.registry_funcs[bound] = alias.name
+            elif mod == "repro" and alias.name == "registry":
+                self.registry_mod_aliases.add(bound)
+
+    # -- chain resolution helpers ------------------------------------------------
+
+    def numpy_random_attr(self, node: ast.expr) -> str | None:
+        """``numpy.random.<fn>`` attribute name when ``node`` is one."""
+        if isinstance(node, ast.Attribute):
+            value = node.value
+            if isinstance(value, ast.Name) and value.id in self.npr_aliases:
+                return node.attr
+            if (
+                isinstance(value, ast.Attribute)
+                and value.attr == "random"
+                and isinstance(value.value, ast.Name)
+                and value.value.id in self.numpy_aliases
+            ):
+                return node.attr
+        elif isinstance(node, ast.Name) and node.id in self.npr_funcs:
+            return self.npr_funcs[node.id].rpartition(".")[2]
+        return None
+
+    def stdlib_random_attr(self, node: ast.expr) -> str | None:
+        """``random.<fn>`` attribute name when ``node`` is one."""
+        if isinstance(node, ast.Attribute):
+            value = node.value
+            if isinstance(value, ast.Name) and value.id in self.random_aliases:
+                return node.attr
+        elif isinstance(node, ast.Name) and node.id in self.random_funcs:
+            return self.random_funcs[node.id].rpartition(".")[2]
+        return None
+
+    def registry_call(self, node: ast.expr) -> str | None:
+        """The registry function name when ``node`` calls into it.
+
+        Recognises ``register(...)`` (from ``from repro.registry import
+        register``) and ``registry.register(...)`` (module alias).
+        """
+        if isinstance(node, ast.Name) and node.id in self.registry_funcs:
+            return self.registry_funcs[node.id]
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id in self.registry_mod_aliases
+        ):
+            return node.attr
+        return None

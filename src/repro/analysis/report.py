@@ -1,0 +1,42 @@
+"""Reporters: human-readable text and machine-readable JSON."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.runner import LintReport
+
+
+def format_text(report: LintReport, *, verbose: bool = False) -> str:
+    """``file:line: rule: message`` lines plus a one-line summary."""
+    lines = [f.format() for f in report.findings]
+    if verbose and report.baselined:
+        lines.append("")
+        lines.append(f"baselined (not failing the run): {len(report.baselined)}")
+        lines.extend(f"  {f.format()}" for f in report.baselined)
+    summary = (
+        f"checked {report.files} files with {len(report.rules)} rules: "
+        f"{len(report.findings)} findings"
+    )
+    extras = []
+    if report.baselined:
+        extras.append(f"{len(report.baselined)} baselined")
+    if report.suppressed:
+        extras.append(f"{report.suppressed} suppressed")
+    if extras:
+        summary += f" ({', '.join(extras)})"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def format_json(report: LintReport) -> str:
+    """Stable JSON payload (findings sorted by the runner)."""
+    payload = {
+        "files": report.files,
+        "rules": report.rules,
+        "findings": [f.to_dict() for f in report.findings],
+        "baselined": [f.to_dict() for f in report.baselined],
+        "suppressed": report.suppressed,
+        "exit_code": report.exit_code,
+    }
+    return json.dumps(payload, indent=2)

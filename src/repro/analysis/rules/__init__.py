@@ -1,0 +1,15 @@
+"""The stock rule pack; importing this package registers every rule.
+
+Mirrors the registry convention (docs/registry.md "Registration is
+import-driven"): a new rule module must be imported here to be
+discoverable under kind ``lint``.
+"""
+
+from repro.analysis.rules import (  # noqa: F401  (imports trigger registration)
+    determinism,
+    docs_links,
+    golden,
+    merge,
+    registry_rules,
+    scenario_schema,
+)

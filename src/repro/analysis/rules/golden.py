@@ -1,0 +1,108 @@
+"""Golden-freeze rule: the pinned reference simulator stays a yardstick.
+
+``repro/simulator/reference.py`` is the verbatim pre-optimization
+snapshot the golden bit-equivalence suite measures against (ROADMAP:
+"don't optimize the reference").  Two statically checkable ways that
+discipline erodes:
+
+* production code starts *importing* the reference (coupling the live
+  pipeline to the yardstick, so "optimizing" it becomes tempting) — only
+  ``tests/`` and ``benchmarks/`` may import it;
+* the reference file itself sprouts lint suppressions or loses its
+  do-not-optimize sentinel — the usual first signs of somebody editing
+  the snapshot instead of the live simulator.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.core import (
+    LintContext,
+    LintRule,
+    ModuleSource,
+    is_benchmark_path,
+    is_test_path,
+)
+from repro.registry import register
+
+_REFERENCE_MODULE = "repro.simulator.reference"
+#: The reference docstring's commitment line; losing it in an edit is the
+#: tripwire for "someone rewrote the yardstick".
+_SENTINEL = "Do not optimize this module"
+
+
+@register("lint", "golden-freeze")
+class GoldenFreezeRule(LintRule):
+    """Non-test code must not import (or water down) the golden reference."""
+
+    name = "golden-freeze"
+    scope = "file"
+    description = (
+        "repro/simulator/reference.py is the frozen golden yardstick: only "
+        "tests/ and benchmarks/ may import it, and the file itself must "
+        "keep its do-not-optimize sentinel and stay free of lint "
+        "suppressions"
+    )
+
+    def check(self, module: ModuleSource, ctx: LintContext):
+        rel_posix = module.rel.replace("\\", "/")
+        if rel_posix.endswith("repro/simulator/reference.py"):
+            yield from self._check_reference_file(module)
+            return
+        if is_test_path(module.rel) or is_benchmark_path(module.rel):
+            return
+        tree = module.tree
+        if tree is None:
+            return
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == _REFERENCE_MODULE or alias.name.startswith(
+                        _REFERENCE_MODULE + "."
+                    ):
+                        yield module.finding(
+                            self.name,
+                            node,
+                            "non-test code imports the frozen golden reference "
+                            f"({_REFERENCE_MODULE}); only tests/ and benchmarks/ may",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                mod = node.module or ""
+                if mod == _REFERENCE_MODULE or mod.startswith(_REFERENCE_MODULE + "."):
+                    yield module.finding(
+                        self.name,
+                        node,
+                        "non-test code imports from the frozen golden reference "
+                        f"({_REFERENCE_MODULE}); only tests/ and benchmarks/ may",
+                    )
+                elif mod == "repro.simulator" and any(
+                    alias.name == "reference" for alias in node.names
+                ):
+                    yield module.finding(
+                        self.name,
+                        node,
+                        "non-test code imports the frozen golden reference "
+                        "(repro.simulator.reference); only tests/ and benchmarks/ may",
+                    )
+
+    def _check_reference_file(self, module: ModuleSource):
+        # suppressible=False: a suppression comment inside the yardstick is
+        # exactly the violation, so it must not be able to silence itself.
+        for lineno, line in enumerate(module.lines, 1):
+            if "repro-lint:" in line:
+                yield module.finding(
+                    self.name,
+                    lineno,
+                    "the golden reference must not carry lint suppressions — "
+                    "fix the live simulator instead of silencing the yardstick",
+                    suppressible=False,
+                )
+        if _SENTINEL not in module.text:
+            yield module.finding(
+                self.name,
+                1,
+                f"the golden reference lost its {_SENTINEL!r} sentinel — "
+                "restore the frozen header (and revert any 'optimization')",
+                suppressible=False,
+            )

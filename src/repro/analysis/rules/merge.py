@@ -1,0 +1,159 @@
+"""Merge-discipline rules for the sharded scale-out engine.
+
+The ``sharded`` engine is bit-identical to the flat run only because of
+two contracts (docs/engines.md):
+
+* every concrete ``MetricsCollector`` either implements ``merge_shards``
+  (an exact fold of per-shard payloads) or *declares itself unmergeable*
+  with ``mergeable = False`` — silence is how a collector ends up
+  silently mis-merged or rejected at run time deep inside a sweep;
+* every ``FailureModel`` draws all randomness from the ``rng`` argument —
+  schedules are generated once from the flat seed and *sliced* per shard,
+  so a model touching ``np.random`` module state (or constructing its own
+  generator) breaks serial == sharded equivalence in a way no golden
+  fixture may cover.
+
+Both are enforced at the registration site: any class decorated
+``@register("metrics", ...)`` / ``@register("failure", ...)`` is checked,
+so new components cannot dodge the contract by living in a new module.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import ImportMap, LintContext, LintRule, ModuleSource
+from repro.registry import register
+
+
+def _registered_kinds(node: ast.ClassDef, imports: ImportMap) -> set[str]:
+    """Registry kinds a class is registered under via its decorators."""
+    kinds: set[str] = set()
+    for deco in node.decorator_list:
+        if not isinstance(deco, ast.Call):
+            continue
+        if imports.registry_call(deco.func) not in ("register", "register_value"):
+            continue
+        if deco.args and isinstance(deco.args[0], ast.Constant):
+            value = deco.args[0].value
+            if isinstance(value, str):
+                kinds.add(value)
+    return kinds
+
+
+def _iter_registered_classes(
+    module: ModuleSource, kind: str
+) -> Iterator[tuple[ast.ClassDef, ImportMap]]:
+    tree = module.tree
+    if tree is None:
+        return
+    imports = ImportMap(tree)
+    if not imports.registry_funcs and not imports.registry_mod_aliases:
+        return
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef) and kind in _registered_kinds(node, imports):
+            yield node, imports
+
+
+@register("lint", "collector-merge-discipline")
+class CollectorMergeDisciplineRule(LintRule):
+    """Registered metrics collectors implement merge_shards or opt out."""
+
+    name = "collector-merge-discipline"
+    scope = "file"
+    description = (
+        "every @register('metrics', ...) collector must implement "
+        "merge_shards (exact per-shard fold) or declare `mergeable = "
+        "False` so the sharded engine rejects it eagerly and documentedly"
+    )
+
+    def check(self, module: ModuleSource, ctx: LintContext):
+        for node, _ in _iter_registered_classes(module, "metrics"):
+            has_merge = any(
+                isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and stmt.name == "merge_shards"
+                for stmt in node.body
+            )
+            declares_unmergeable = False
+            for stmt in node.body:
+                targets: list[ast.expr] = []
+                value: ast.expr | None = None
+                if isinstance(stmt, ast.Assign):
+                    targets, value = stmt.targets, stmt.value
+                elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                    targets, value = [stmt.target], stmt.value
+                if (
+                    any(isinstance(t, ast.Name) and t.id == "mergeable" for t in targets)
+                    and isinstance(value, ast.Constant)
+                    and value.value is False
+                ):
+                    declares_unmergeable = True
+            if not has_merge and not declares_unmergeable:
+                yield module.finding(
+                    self.name,
+                    node,
+                    f"metrics collector {node.name} neither implements "
+                    "merge_shards nor declares `mergeable = False` — the "
+                    "sharded engine's merge discipline requires one or the other",
+                )
+
+
+class _NumpyRandomUseVisitor(ast.NodeVisitor):
+    """Collects numpy.random uses in executable positions (not annotations)."""
+
+    def __init__(self, imports: ImportMap) -> None:
+        self.imports = imports
+        self.hits: list[tuple[ast.AST, str]] = []
+
+    def _scan_function(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        # Only the body executes; arg/return annotations are type-speak
+        # (rng: np.random.Generator is the *sanctioned* signature).
+        for stmt in node.body:
+            self.visit(stmt)
+
+    visit_FunctionDef = _scan_function
+    visit_AsyncFunctionDef = _scan_function
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self.visit(node.value)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        fn = self.imports.numpy_random_attr(node)
+        if fn is not None and fn != "Generator":
+            self.hits.append((node, fn))
+            return
+        self.generic_visit(node)
+
+    def visit_Name(self, node: ast.Name) -> None:
+        if node.id in self.imports.npr_funcs:
+            self.hits.append((node, self.imports.npr_funcs[node.id].rpartition(".")[2]))
+
+
+@register("lint", "failure-rng-discipline")
+class FailureRngDisciplineRule(LintRule):
+    """Registered failure models draw only from the passed rng."""
+
+    name = "failure-rng-discipline"
+    scope = "file"
+    description = (
+        "every @register('failure', ...) model must route all randomness "
+        "through the rng passed to events()/events_with_topology(); "
+        "touching np.random (seeding, default_rng, module draws) breaks "
+        "the sliced-schedule determinism serial == sharded relies on"
+    )
+
+    def check(self, module: ModuleSource, ctx: LintContext):
+        for node, imports in _iter_registered_classes(module, "failure"):
+            visitor = _NumpyRandomUseVisitor(imports)
+            for stmt in node.body:
+                visitor.visit(stmt)
+            for hit, fn in visitor.hits:
+                yield module.finding(
+                    self.name,
+                    hit,
+                    f"failure model {node.name} touches np.random.{fn} — all "
+                    "randomness must come from the passed rng (schedules are "
+                    "generated once from the flat seed and sliced per shard)",
+                )

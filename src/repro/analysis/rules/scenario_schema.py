@@ -1,0 +1,125 @@
+"""Scenario round-trip rule: fields, wire format, and docs stay in sync.
+
+``Scenario.to_dict`` / ``from_dict`` are generic over the dataclass
+fields, so the wire format cannot drift from the fields themselves — but
+two things still can:
+
+* the special-case key lists inside ``to_dict`` / ``from_dict`` (the
+  nested-payload deep copies for ``workload`` / ``failures`` /
+  ``topology``) can reference keys that are no longer fields, silently
+  becoming dead special-cases when a field is renamed;
+* ``docs/scenario-schema.md`` — the contract sweep-cache keys are derived
+  from — can miss a newly added field entirely, which is how a cache-key
+  change ships undocumented.
+
+This rule parses the ``Scenario`` dataclass statically (never imports
+it) and checks both.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.core import LintContext, LintRule, ModuleSource
+from repro.registry import register
+
+_SCENARIO_REL = "repro/scenario/scenario.py"
+_SCHEMA_DOC = "docs/scenario-schema.md"
+
+
+def _scenario_module(ctx: LintContext) -> ModuleSource | None:
+    for module in ctx.modules:
+        if module.rel.replace("\\", "/").endswith(_SCENARIO_REL):
+            return module
+    return None
+
+
+def _scenario_class(module: ModuleSource) -> ast.ClassDef | None:
+    tree = module.tree
+    if tree is None:
+        return None
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef) and node.name == "Scenario":
+            return node
+    return None
+
+
+def scenario_fields(cls: ast.ClassDef) -> dict[str, int]:
+    """Dataclass field name -> line, from annotated class-level assigns."""
+    fields: dict[str, int] = {}
+    for stmt in cls.body:
+        if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+            if not stmt.target.id.startswith("_"):
+                fields[stmt.target.id] = stmt.lineno
+    return fields
+
+
+def _string_literals(node: ast.AST) -> list[tuple[str, int]]:
+    out = []
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Constant) and isinstance(sub.value, str):
+            out.append((sub.value, sub.lineno))
+    return out
+
+
+@register("lint", "scenario-schema-docs")
+class ScenarioSchemaDocsRule(LintRule):
+    """Scenario fields are documented; serialization special-cases are real."""
+
+    name = "scenario-schema-docs"
+    scope = "repo"
+    description = (
+        "every Scenario dataclass field must have a row in "
+        "docs/scenario-schema.md (cache keys are derived from to_dict, so "
+        "an undocumented field is an undocumented cache-key change), and "
+        "the key lists special-cased in to_dict/from_dict must name real "
+        "fields"
+    )
+
+    def check_repo(self, ctx: LintContext):
+        module = _scenario_module(ctx)
+        if module is None:
+            return  # tree under lint does not contain the scenario layer
+        cls = _scenario_class(module)
+        if cls is None:
+            yield module.finding(
+                self.name, 1, "repro/scenario/scenario.py no longer defines class Scenario"
+            )
+            return
+        fields = scenario_fields(cls)
+
+        doc_text = ctx.read_doc(_SCHEMA_DOC)
+        if doc_text is None:
+            yield module.finding(
+                self.name,
+                cls,
+                f"{_SCHEMA_DOC} is missing — the Scenario wire format must stay "
+                "documented (cache keys are derived from it)",
+            )
+        else:
+            for name, lineno in sorted(fields.items(), key=lambda kv: kv[1]):
+                if f"`{name}`" not in doc_text:
+                    yield module.finding(
+                        self.name,
+                        lineno,
+                        f"Scenario field {name!r} has no row in {_SCHEMA_DOC} — "
+                        "document the field (it feeds to_dict and therefore "
+                        "sweep-cache keys, or must be consciously exempted there)",
+                    )
+
+        # The serialization methods special-case nested-payload keys; each
+        # literal key they name must still be a field.
+        for stmt in cls.body:
+            if not isinstance(stmt, ast.FunctionDef):
+                continue
+            if stmt.name not in ("to_dict", "from_dict", "__post_init__"):
+                continue
+            for value, lineno in _string_literals(stmt):
+                if value in ("workload", "failures", "topology", "collectors", "traces"):
+                    if value not in fields:
+                        yield module.finding(
+                            self.name,
+                            lineno,
+                            f"{stmt.name} special-cases key {value!r} which is not "
+                            "a Scenario field — dead special-case after a rename?",
+                        )

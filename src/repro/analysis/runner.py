@@ -1,0 +1,162 @@
+"""Collect sources, run rules, filter suppressions and baselines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis import rules as _rules  # noqa: F401  (registers the rule pack)
+from repro.analysis.baseline import load_baseline, split_baselined
+from repro.analysis.core import Finding, LintContext, LintRule, ModuleSource
+from repro.errors import UnknownComponentError
+from repro.registry import create, names
+
+#: Directory names never descended into when collecting sources.
+_SKIP_DIRS = {".git", "__pycache__", ".hypothesis", ".pytest_cache", ".benchmarks"}
+
+
+def detect_root(paths: list[Path]) -> Path:
+    """The repo root the lint run is anchored to.
+
+    Walks up from the first path looking for the repo shape (a directory
+    holding ``docs/`` and ``src/``, or a ``.git``); falls back to the
+    current directory.  Repo-scope rules read docs relative to this root,
+    and finding paths are reported relative to it.
+    """
+    start = paths[0].resolve() if paths else Path.cwd()
+    if start.is_file():
+        start = start.parent
+    for candidate in (start, *start.parents):
+        if (candidate / "docs").is_dir() and (candidate / "src").is_dir():
+            return candidate
+        if (candidate / ".git").exists():
+            return candidate
+    return Path.cwd()
+
+
+def collect_sources(paths: list[Path], root: Path) -> list[ModuleSource]:
+    """Every ``*.py`` under ``paths``, as :class:`ModuleSource` (sorted)."""
+    files: list[Path] = []
+    for p in paths:
+        p = p.resolve()
+        if p.is_dir():
+            files.extend(
+                f
+                for f in sorted(p.rglob("*.py"))
+                if not (_SKIP_DIRS & set(f.relative_to(p).parts))
+            )
+        elif p.suffix == ".py":
+            files.append(p)
+    modules = []
+    seen: set[Path] = set()
+    for f in files:
+        if f in seen:
+            continue
+        seen.add(f)
+        try:
+            rel = f.relative_to(root.resolve()).as_posix()
+        except ValueError:
+            rel = str(f)
+        modules.append(ModuleSource(f, rel))
+    return modules
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint run (before formatting)."""
+
+    findings: list[Finding] = field(default_factory=list)  # failing the run
+    baselined: list[Finding] = field(default_factory=list)
+    suppressed: int = 0
+    files: int = 0
+    rules: list[str] = field(default_factory=list)
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.findings else 0
+
+
+def build_rules(select: list[str] | None = None) -> list[LintRule]:
+    """Instantiate the rule pack (optionally a named subset)."""
+    available = names("lint")
+    wanted = available if select is None else select
+    rules: list[LintRule] = []
+    for name in wanted:
+        if name not in available:
+            raise UnknownComponentError(
+                f"unknown lint rule {name!r}; available: {available}"
+            )
+        rules.append(create("lint", name))
+    return rules
+
+
+def run_lint(
+    paths: list[Path],
+    *,
+    root: Path | None = None,
+    select: list[str] | None = None,
+    baseline_path: Path | None = None,
+) -> LintReport:
+    """Run the (selected) rule pack over ``paths``.
+
+    Findings are filtered in two layers: per-line / per-file suppression
+    comments (counted, never shown), then the baseline (shown separately
+    by the reporters, never failing the run).  Non-suppressible findings
+    bypass both.
+    """
+    root = detect_root(paths) if root is None else root
+    modules = collect_sources(paths, root)
+    ctx = LintContext(root=root, modules=modules)
+    rules = build_rules(select)
+
+    raw: list[Finding] = []
+    for module in modules:
+        if module.tree is None and module.syntax_error is not None:
+            err = module.syntax_error
+            raw.append(
+                Finding(
+                    rule="syntax-error",
+                    path=module.rel,
+                    line=err.lineno or 1,
+                    message=f"file does not parse: {err.msg}",
+                    snippet=(err.text or "").strip(),
+                    suppressible=False,
+                )
+            )
+        for rule in rules:
+            if rule.scope == "file":
+                raw.extend(rule.check(module, ctx))
+    for rule in rules:
+        if rule.scope == "repo":
+            raw.extend(rule.check_repo(ctx))
+
+    by_rel = {m.rel: m for m in modules}
+    kept: list[Finding] = []
+    suppressed = 0
+    for f in raw:
+        module = by_rel.get(f.path)
+        if (
+            f.suppressible
+            and module is not None
+            and module.suppressed(f.rule, f.line)
+        ):
+            suppressed += 1
+            continue
+        kept.append(f)
+    kept.sort(key=lambda f: (f.path, f.line, f.rule))
+
+    baselined: list[Finding] = []
+    if baseline_path is not None and baseline_path.exists():
+        table = load_baseline(baseline_path)
+        suppressible = [f for f in kept if f.suppressible]
+        hard = [f for f in kept if not f.suppressible]
+        new, baselined = split_baselined(suppressible, table)
+        kept = sorted(new + hard, key=lambda f: (f.path, f.line, f.rule))
+
+    return LintReport(
+        findings=kept,
+        baselined=baselined,
+        suppressed=suppressed,
+        files=len(modules),
+        rules=[r.name for r in rules],
+    )

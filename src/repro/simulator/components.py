@@ -192,6 +192,12 @@ class MetricsCollector:
     """
 
     name: str = "abstract"
+    #: Merge-discipline declaration (enforced statically by repro-lint):
+    #: a concrete collector either overrides :meth:`merge_shards` or sets
+    #: ``mergeable = False`` to state — in code, not prose — that its
+    #: payload has no exact per-shard fold.  The sharded engine rejects
+    #: ``mergeable = False`` collectors eagerly.
+    mergeable: bool = True
 
     def on_admit(self, t: float, vm: int, server: int, sim) -> None:
         """VM ``vm`` was admitted onto ``server`` at interval ``t``.
@@ -341,11 +347,14 @@ class CommittedTimelineCollector(MetricsCollector):
     Deliberately does **not** implement ``merge_shards``: each point
     samples the cluster-*wide* committed sum, and the entries carry no
     per-event ordering key, so per-shard series cannot be interleaved back
-    into the flat run's exact point sequence.  Scenarios using it must run
-    on the ``cluster-sim`` engine (the sharded engine rejects it eagerly).
+    into the flat run's exact point sequence.  ``mergeable = False``
+    declares that (the collector-merge-discipline lint rule insists every
+    collector choose); scenarios using it must run on the ``cluster-sim``
+    engine — the sharded engine rejects it eagerly.
     """
 
     name = "timeline"
+    mergeable = False
 
     def __init__(self) -> None:
         self.points: list[tuple[float, float]] = []

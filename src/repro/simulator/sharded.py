@@ -179,7 +179,10 @@ def plan_shards(scenario: Scenario) -> ShardPlan:
         )
     for name in scenario.collectors:
         collector = create("metrics", name)
-        if type(collector).merge_shards is MetricsCollector.merge_shards:
+        if (
+            type(collector).merge_shards is MetricsCollector.merge_shards
+            or not getattr(collector, "mergeable", True)
+        ):
             raise SimulationError(
                 f"metrics collector {name!r} does not implement merge_shards; "
                 "it cannot observe a sharded replay exactly — drop it or run "

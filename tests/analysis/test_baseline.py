@@ -1,0 +1,90 @@
+"""Baseline files: round-trip, matching semantics, note preservation."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.baseline import (
+    BaselineError,
+    load_baseline,
+    split_baselined,
+    write_baseline,
+)
+from repro.analysis.core import Finding
+
+
+def _finding(rule="r", path="p.py", line=1, snippet="x = 1"):
+    return Finding(rule=rule, path=path, line=line, message="m", snippet=snippet)
+
+
+class TestRoundTrip:
+    def test_write_then_load(self, tmp_path):
+        f = _finding()
+        target = tmp_path / "baseline.json"
+        write_baseline(target, [f])
+        table = load_baseline(target)
+        assert f.fingerprint in table
+        assert table[f.fingerprint]["rule"] == "r"
+        assert table[f.fingerprint]["snippet"] == "x = 1"
+
+    def test_duplicate_fingerprints_collapse_to_one_entry(self, tmp_path):
+        # Two identical offending lines share a fingerprint by design.
+        a = _finding(line=3)
+        b = _finding(line=9)
+        target = tmp_path / "baseline.json"
+        write_baseline(target, [a, b])
+        assert len(load_baseline(target)) == 1
+
+    def test_notes_survive_rewrites(self, tmp_path):
+        f = _finding()
+        target = tmp_path / "baseline.json"
+        write_baseline(target, [f], notes={f.fingerprint: "justified because reasons"})
+        entry = load_baseline(target)[f.fingerprint]
+        assert entry["note"] == "justified because reasons"
+
+
+class TestMatching:
+    def test_split_partitions_by_fingerprint(self, tmp_path):
+        old = _finding(snippet="old_line()")
+        new = _finding(snippet="new_line()")
+        target = tmp_path / "baseline.json"
+        write_baseline(target, [old])
+        fresh, grandfathered = split_baselined([old, new], load_baseline(target))
+        assert fresh == [new]
+        assert grandfathered == [old]
+
+    def test_line_moves_keep_matching(self, tmp_path):
+        target = tmp_path / "baseline.json"
+        write_baseline(target, [_finding(line=5)])
+        moved = _finding(line=50)
+        fresh, grandfathered = split_baselined([moved], load_baseline(target))
+        assert fresh == [] and grandfathered == [moved]
+
+    def test_edited_snippet_stops_matching(self, tmp_path):
+        target = tmp_path / "baseline.json"
+        write_baseline(target, [_finding(snippet="before()")])
+        edited = _finding(snippet="after()")
+        fresh, _ = split_baselined([edited], load_baseline(target))
+        assert fresh == [edited]
+
+
+class TestErrors:
+    def test_unreadable_json(self, tmp_path):
+        p = tmp_path / "b.json"
+        p.write_text("not json", encoding="utf-8")
+        with pytest.raises(BaselineError):
+            load_baseline(p)
+
+    def test_wrong_version(self, tmp_path):
+        p = tmp_path / "b.json"
+        p.write_text(json.dumps({"version": 999, "findings": []}), encoding="utf-8")
+        with pytest.raises(BaselineError):
+            load_baseline(p)
+
+    def test_malformed_entry(self, tmp_path):
+        p = tmp_path / "b.json"
+        p.write_text(json.dumps({"version": 1, "findings": [{"rule": "r"}]}), encoding="utf-8")
+        with pytest.raises(BaselineError):
+            load_baseline(p)

@@ -1,0 +1,59 @@
+"""Fixture tests for the golden-freeze rule."""
+
+from __future__ import annotations
+
+REF = "src/repro/simulator/reference.py"
+PROD = "src/repro/simulator/cluster_sim.py"
+
+_FROZEN_HEADER = '"""Reference simulator. Do not optimize this module."""\n'
+
+
+class TestImportBans:
+    def test_plain_import_fires(self, lint_snippet):
+        code = "import repro.simulator.reference\n"
+        hits = lint_snippet(code, "golden-freeze", rel=PROD)
+        assert len(hits) == 1 and "golden reference" in hits[0].message
+
+    def test_from_module_import_fires(self, lint_snippet):
+        code = "from repro.simulator.reference import simulate\n"
+        assert len(lint_snippet(code, "golden-freeze", rel=PROD)) == 1
+
+    def test_from_package_import_reference_fires(self, lint_snippet):
+        code = "from repro.simulator import reference\n"
+        assert len(lint_snippet(code, "golden-freeze", rel=PROD)) == 1
+
+    def test_tests_may_import_it(self, lint_snippet):
+        code = "from repro.simulator import reference\n"
+        assert lint_snippet(code, "golden-freeze", rel="tests/golden/test_ref.py") == []
+
+    def test_benchmarks_may_import_it(self, lint_snippet):
+        code = "import repro.simulator.reference\n"
+        assert lint_snippet(code, "golden-freeze", rel="benchmarks/bench_ref.py") == []
+
+    def test_sibling_imports_are_clean(self, lint_snippet):
+        code = "from repro.simulator import components\n"
+        assert lint_snippet(code, "golden-freeze", rel=PROD) == []
+
+
+class TestReferenceFileItself:
+    def test_clean_frozen_file_passes(self, lint_snippet):
+        assert lint_snippet(_FROZEN_HEADER + "x = 1\n", "golden-freeze", rel=REF) == []
+
+    def test_suppression_comment_in_reference_fires_unsuppressibly(self, lint_snippet):
+        code = _FROZEN_HEADER + "x = 1  # repro-lint: disable=golden-freeze\n"
+        hits = lint_snippet(code, "golden-freeze", rel=REF)
+        assert len(hits) == 1
+        assert hits[0].suppressible is False
+
+    def test_missing_sentinel_fires_unsuppressibly(self, lint_snippet):
+        hits = lint_snippet('"""Reference simulator."""\nx = 1\n', "golden-freeze", rel=REF)
+        assert len(hits) == 1
+        assert "sentinel" in hits[0].message
+        assert hits[0].suppressible is False
+
+    def test_real_reference_module_is_clean_at_head(self, lint_snippet, repo_root):
+        ref = repo_root / "src" / "repro" / "simulator" / "reference.py"
+        hits = lint_snippet(
+            ref.read_text(encoding="utf-8"), "golden-freeze", rel=REF
+        )
+        assert hits == []

@@ -1,0 +1,113 @@
+"""Fixture tests for the sharded-engine merge-discipline rules."""
+
+from __future__ import annotations
+
+MOD = "src/repro/simulator/snippet.py"
+
+_IMPORTS = "import numpy as np\nfrom repro.registry import register\n"
+
+
+class TestCollectorMergeDiscipline:
+    def test_collector_without_merge_or_declaration_fires(self, lint_snippet):
+        code = _IMPORTS + (
+            "@register('metrics', 'bad')\n"
+            "class Bad:\n"
+            "    def on_event(self, ev):\n"
+            "        pass\n"
+        )
+        hits = lint_snippet(code, "collector-merge-discipline", rel=MOD)
+        assert len(hits) == 1 and "Bad" in hits[0].message
+
+    def test_merge_shards_satisfies(self, lint_snippet):
+        code = _IMPORTS + (
+            "@register('metrics', 'good')\n"
+            "class Good:\n"
+            "    def merge_shards(self, shards):\n"
+            "        pass\n"
+        )
+        assert lint_snippet(code, "collector-merge-discipline", rel=MOD) == []
+
+    def test_mergeable_false_satisfies(self, lint_snippet):
+        code = _IMPORTS + (
+            "@register('metrics', 'optout')\n"
+            "class OptOut:\n"
+            "    mergeable = False\n"
+        )
+        assert lint_snippet(code, "collector-merge-discipline", rel=MOD) == []
+
+    def test_annotated_mergeable_false_satisfies(self, lint_snippet):
+        code = _IMPORTS + (
+            "@register('metrics', 'optout')\n"
+            "class OptOut:\n"
+            "    mergeable: bool = False\n"
+        )
+        assert lint_snippet(code, "collector-merge-discipline", rel=MOD) == []
+
+    def test_mergeable_true_does_not_satisfy(self, lint_snippet):
+        code = _IMPORTS + (
+            "@register('metrics', 'bad')\n"
+            "class Bad:\n"
+            "    mergeable = True\n"
+        )
+        assert len(lint_snippet(code, "collector-merge-discipline", rel=MOD)) == 1
+
+    def test_non_metrics_registrations_are_ignored(self, lint_snippet):
+        code = _IMPORTS + "@register('policy', 'p')\nclass P:\n    pass\n"
+        assert lint_snippet(code, "collector-merge-discipline", rel=MOD) == []
+
+
+class TestFailureRngDiscipline:
+    def test_module_draw_inside_failure_model_fires(self, lint_snippet):
+        code = _IMPORTS + (
+            "@register('failure', 'bad')\n"
+            "class Bad:\n"
+            "    def events(self, horizon, rng):\n"
+            "        return np.random.exponential(1.0)\n"
+        )
+        hits = lint_snippet(code, "failure-rng-discipline", rel=MOD)
+        assert len(hits) == 1 and "np.random.exponential" in hits[0].message
+
+    def test_private_default_rng_fires(self, lint_snippet):
+        # A model building its own generator dodges the sliced flat-seed
+        # schedule even if the seed "looks" deterministic.
+        code = _IMPORTS + (
+            "@register('failure', 'bad')\n"
+            "class Bad:\n"
+            "    def __init__(self, seed):\n"
+            "        self.rng = np.random.default_rng(seed)\n"
+        )
+        assert len(lint_snippet(code, "failure-rng-discipline", rel=MOD)) == 1
+
+    def test_passed_rng_draws_are_clean(self, lint_snippet):
+        code = _IMPORTS + (
+            "@register('failure', 'good')\n"
+            "class Good:\n"
+            "    def events(self, horizon, rng):\n"
+            "        return rng.exponential(1.0, size=4)\n"
+        )
+        assert lint_snippet(code, "failure-rng-discipline", rel=MOD) == []
+
+    def test_generator_annotations_are_sanctioned(self, lint_snippet):
+        code = _IMPORTS + (
+            "@register('failure', 'good')\n"
+            "class Good:\n"
+            "    def events(self, horizon, rng: np.random.Generator):\n"
+            "        return rng.poisson(2.0)\n"
+        )
+        assert lint_snippet(code, "failure-rng-discipline", rel=MOD) == []
+
+    def test_annotated_attribute_declaration_is_clean(self, lint_snippet):
+        code = _IMPORTS + (
+            "@register('failure', 'good')\n"
+            "class Good:\n"
+            "    rng: np.random.Generator\n"
+        )
+        assert lint_snippet(code, "failure-rng-discipline", rel=MOD) == []
+
+    def test_unregistered_classes_are_ignored(self, lint_snippet):
+        code = _IMPORTS + (
+            "class Helper:\n"
+            "    def noise(self):\n"
+            "        return np.random.rand()\n"
+        )
+        assert lint_snippet(code, "failure-rng-discipline", rel=MOD) == []

@@ -1,0 +1,135 @@
+"""Fixture tests for the registry-discipline rules."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis.rules.registry_rules import documented_names
+from repro.analysis.runner import run_lint
+
+MOD = "src/repro/policies/snippet.py"
+
+_IMPORT = "from repro.registry import register\n"
+
+
+class TestCallDiscipline:
+    def test_known_kind_literal_name_is_clean(self, lint_snippet):
+        code = _IMPORT + "@register('policy', 'my-policy')\nclass P:\n    pass\n"
+        assert lint_snippet(code, "registry-call-discipline", rel=MOD) == []
+
+    def test_unknown_kind_fires(self, lint_snippet):
+        code = _IMPORT + "@register('frobnicator', 'x')\nclass P:\n    pass\n"
+        hits = lint_snippet(code, "registry-call-discipline", rel=MOD)
+        assert len(hits) == 1 and "unknown registry kind" in hits[0].message
+
+    def test_computed_kind_fires(self, lint_snippet):
+        code = _IMPORT + "KIND = 'policy'\n@register(KIND, 'x')\nclass P:\n    pass\n"
+        hits = lint_snippet(code, "registry-call-discipline", rel=MOD)
+        assert len(hits) == 1 and "string literal" in hits[0].message
+
+    def test_computed_name_fires_outside_tests(self, lint_snippet):
+        code = _IMPORT + "name = 'x'\n@register('policy', name)\nclass P:\n    pass\n"
+        hits = lint_snippet(code, "registry-call-discipline", rel=MOD)
+        assert len(hits) == 1 and "explicit string literal" in hits[0].message
+
+    def test_tests_are_fully_exempt(self, lint_snippet):
+        # tests/ probes the registry machinery itself (unknown kinds for
+        # error paths, computed names for throwaway components).
+        code = _IMPORT + "name = 'x'\n@register('frobnicator', name)\nclass P:\n    pass\n"
+        rel = "tests/registry/test_snippet.py"
+        assert lint_snippet(code, "registry-call-discipline", rel=rel) == []
+
+    def test_unknown_kind_in_create_lookup_fires(self, lint_snippet):
+        code = "from repro.registry import create\nx = create('frobnicator', 'x')\n"
+        assert len(lint_snippet(code, "registry-call-discipline", rel=MOD)) == 1
+
+    def test_keyword_arguments_resolve(self, lint_snippet):
+        code = _IMPORT + "@register(kind='policy', name='kw-style')\nclass P:\n    pass\n"
+        assert lint_snippet(code, "registry-call-discipline", rel=MOD) == []
+
+    def test_module_alias_call_resolves(self, lint_snippet):
+        code = (
+            "from repro import registry\n"
+            "@registry.register('frobnicator', 'x')\nclass P:\n    pass\n"
+        )
+        assert len(lint_snippet(code, "registry-call-discipline", rel=MOD)) == 1
+
+    def test_files_without_registry_imports_skip_cheaply(self, lint_snippet):
+        code = "def register(kind, name):\n    pass\nregister(1, 2)\n"
+        assert lint_snippet(code, "registry-call-discipline", rel=MOD) == []
+
+
+class TestDocumentedNames:
+    def test_backticks_cover(self):
+        assert documented_names("row: `alpha`, `beta`", {"alpha", "beta"}) >= {
+            "alpha",
+            "beta",
+        }
+
+    def test_lexical_range_covers_registered_between(self):
+        covered = documented_names(
+            "`fig03` … `fig22`", {"fig03", "fig07", "fig22", "fig99"}
+        )
+        assert {"fig03", "fig07", "fig22"} <= covered
+        assert "fig99" not in covered
+
+    def test_ascii_ellipsis_range(self):
+        covered = documented_names("`a01` ... `a05`", {"a03"})
+        assert "a03" in covered
+
+
+class TestRegistryDocsRepoRule:
+    def _run(self, root: Path):
+        return run_lint(
+            [root / "src"], root=root, select=["registry-docs"], baseline_path=None
+        ).findings
+
+    def test_uncatalogued_registration_fires(self, make_repo):
+        root = make_repo(
+            {
+                "src/repro/policies/p.py": _IMPORT
+                + "@register('policy', 'novel-policy')\nclass P:\n    pass\n",
+                "docs/registry.md": "| policy | `old-policy` |\n",
+            }
+        )
+        hits = self._run(root)
+        assert len(hits) == 1
+        assert "novel-policy" in hits[0].message
+        assert hits[0].path == "src/repro/policies/p.py"
+
+    def test_catalogued_registration_is_clean(self, make_repo):
+        root = make_repo(
+            {
+                "src/repro/policies/p.py": _IMPORT
+                + "@register('policy', 'novel-policy')\nclass P:\n    pass\n",
+                "docs/registry.md": "| policy | `novel-policy` |\n",
+            }
+        )
+        assert self._run(root) == []
+
+    def test_missing_catalogue_fires_once(self, make_repo):
+        root = make_repo(
+            {
+                "src/repro/policies/p.py": _IMPORT
+                + "@register('policy', 'x')\nclass P:\n    pass\n",
+            }
+        )
+        hits = self._run(root)
+        assert len(hits) == 1 and "docs/registry.md is missing" in hits[0].message
+
+    def test_test_registrations_are_exempt(self, make_repo):
+        root = make_repo(
+            {
+                "src/repro/__init__.py": "",
+                "tests/test_p.py": _IMPORT
+                + "@register('policy', 'throwaway')\nclass P:\n    pass\n",
+                "docs/registry.md": "nothing\n",
+            }
+        )
+        report = run_lint(
+            [root / "src", root / "tests"],
+            root=root,
+            select=["registry-docs"],
+            baseline_path=None,
+        )
+        assert report.findings == []

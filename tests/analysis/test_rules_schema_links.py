@@ -1,0 +1,136 @@
+"""Fixture tests for the repo-scope docs rules (scenario schema, links)."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis.runner import run_lint
+
+_SCENARIO = (
+    "from dataclasses import dataclass\n"
+    "@dataclass\n"
+    "class Scenario:\n"
+    "    name: str\n"
+    "    seed: int\n"
+    "    workload: dict\n"
+    "    def to_dict(self):\n"
+    "        return {'workload': dict(self.workload)}\n"
+)
+
+_SCHEMA_DOC = "| `name` | | `seed` | | `workload` |\n"
+
+
+def _run(root: Path, rule: str, paths: list[str] | None = None):
+    targets = [root / p for p in (paths or ["src"])]
+    return run_lint(targets, root=root, select=[rule], baseline_path=None).findings
+
+
+class TestScenarioSchemaDocs:
+    def test_documented_fields_pass(self, make_repo):
+        root = make_repo(
+            {
+                "src/repro/scenario/scenario.py": _SCENARIO,
+                "docs/scenario-schema.md": _SCHEMA_DOC,
+            }
+        )
+        assert _run(root, "scenario-schema-docs") == []
+
+    def test_undocumented_field_fires_at_its_line(self, make_repo):
+        root = make_repo(
+            {
+                "src/repro/scenario/scenario.py": _SCENARIO,
+                "docs/scenario-schema.md": "| `name` | | `workload` |\n",
+            }
+        )
+        hits = _run(root, "scenario-schema-docs")
+        assert len(hits) == 1
+        assert "'seed'" in hits[0].message
+        assert hits[0].line == 5  # the AnnAssign line of `seed`
+
+    def test_missing_schema_doc_fires(self, make_repo):
+        root = make_repo({"src/repro/scenario/scenario.py": _SCENARIO})
+        hits = _run(root, "scenario-schema-docs")
+        assert len(hits) == 1 and "scenario-schema.md is missing" in hits[0].message
+
+    def test_dead_special_case_key_fires(self, make_repo):
+        # `workload` special-cased in to_dict but no longer a field.
+        code = _SCENARIO.replace("    workload: dict\n", "")
+        root = make_repo(
+            {
+                "src/repro/scenario/scenario.py": code,
+                "docs/scenario-schema.md": _SCHEMA_DOC,
+            }
+        )
+        hits = _run(root, "scenario-schema-docs")
+        assert len(hits) == 1 and "dead special-case" in hits[0].message
+
+    def test_rule_is_silent_when_scenario_layer_not_linted(self, make_repo):
+        root = make_repo(
+            {"src/repro/other/mod.py": "x = 1\n", "docs/scenario-schema.md": "\n"}
+        )
+        assert _run(root, "scenario-schema-docs") == []
+
+
+class TestDocsLinks:
+    def test_clean_tree_passes(self, make_repo):
+        root = make_repo(
+            {
+                "README.md": "See [the guide](docs/guide.md).\n",
+                "docs/guide.md": "# Guide\n",
+                "src/repro/__init__.py": "",
+            }
+        )
+        assert _run(root, "docs-links") == []
+
+    def test_broken_relative_link_fires(self, make_repo):
+        root = make_repo(
+            {
+                "README.md": "See [the guide](docs/missing.md).\n",
+                "docs/guide.md": "# Guide\n",
+                "src/repro/__init__.py": "",
+            }
+        )
+        hits = _run(root, "docs-links")
+        assert len(hits) >= 1
+        assert hits[0].path == "README.md" and hits[0].line == 1
+
+    def test_broken_anchor_fires(self, make_repo):
+        root = make_repo(
+            {
+                "README.md": "Jump to [setup](docs/guide.md#no-such-heading).\n",
+                "docs/guide.md": "# Guide\n\n## Setup\n",
+                "src/repro/__init__.py": "",
+            }
+        )
+        assert len(_run(root, "docs-links")) == 1
+
+    def test_matching_anchor_passes(self, make_repo):
+        root = make_repo(
+            {
+                "README.md": "Jump to [setup](docs/guide.md#setup).\n",
+                "docs/guide.md": "# Guide\n\n## Setup\n",
+                "src/repro/__init__.py": "",
+            }
+        )
+        assert _run(root, "docs-links") == []
+
+    def test_prose_mention_of_missing_docs_page_fires(self, make_repo):
+        # No link syntax at all — `docs/phantom.md` appears in inline code.
+        root = make_repo(
+            {
+                "README.md": "The catalogue lives in `docs/phantom.md`.\n",
+                "docs/guide.md": "# Guide\n",
+                "src/repro/__init__.py": "",
+            }
+        )
+        hits = _run(root, "docs-links")
+        assert len(hits) == 1 and "phantom" in hits[0].message
+
+    def test_external_urls_are_never_fetched(self, make_repo):
+        root = make_repo(
+            {
+                "README.md": "[paper](https://example.invalid/paper.pdf)\n",
+                "src/repro/__init__.py": "",
+            }
+        )
+        assert _run(root, "docs-links") == []

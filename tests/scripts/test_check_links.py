@@ -123,6 +123,38 @@ class TestCheckFile:
         assert check_links.check_file(page) == []
 
 
+class TestReferencedDocs:
+    """Top-page mentions of docs/ files must exist even outside link syntax."""
+
+    def test_prose_mention_of_missing_page_flagged(self, tmp_path):
+        write(tmp_path, "README.md", "the catalogue is `docs/phantom.md`\n")
+        errors = check_links.referenced_docs_errors(tmp_path)
+        assert len(errors) == 1
+        page, lineno, msg = errors[0]
+        assert page.name == "README.md" and lineno == 1
+        assert "docs/phantom.md" in msg
+
+    def test_existing_mentions_pass(self, tmp_path):
+        write(tmp_path, "ROADMAP.md", "see docs/real.md for details\n")
+        write(tmp_path, "docs/real.md", "# Real\n")
+        assert check_links.referenced_docs_errors(tmp_path) == []
+
+    def test_absent_top_pages_are_skipped(self, tmp_path):
+        assert check_links.referenced_docs_errors(tmp_path) == []
+
+    def test_non_top_pages_are_not_scanned(self, tmp_path):
+        write(tmp_path, "docs/inner.md", "mentions docs/phantom.md freely\n")
+        assert check_links.referenced_docs_errors(tmp_path) == []
+
+    def test_main_folds_referenced_docs_into_exit_status(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        write(tmp_path, "README.md", "# Top\n\nsee `docs/phantom.md`\n")
+        monkeypatch.chdir(tmp_path)
+        assert check_links.main(["README.md"]) == 1
+        assert "phantom" in capsys.readouterr().err
+
+
 class TestMain:
     def test_exit_status_counts_errors(self, tmp_path, monkeypatch, capsys):
         write(tmp_path, "docs/a.md", "[bad](gone.md)\n[worse](also-gone.md)\n")
