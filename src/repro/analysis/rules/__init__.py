@@ -10,6 +10,7 @@ from repro.analysis.rules import (  # noqa: F401  (imports trigger registration)
     docs_links,
     golden,
     merge,
+    pool_discipline,
     registry_rules,
     scenario_schema,
 )

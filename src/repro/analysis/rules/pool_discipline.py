@@ -1,0 +1,131 @@
+"""Pool discipline: process fan-out only through the supervised runtime.
+
+``repro/runtime`` (PR 7) exists so that a crashed, hung, or OOM-killed
+worker costs one task instead of the whole sweep.  That guarantee only
+holds if *every* fan-out goes through it: one new ``pool.map`` call in a
+harness quietly reintroduces the all-or-nothing failure mode the runtime
+was built to retire.  This rule bans constructing multiprocessing pools,
+contexts, worker processes, or process-pool executors anywhere in the
+shipped tree except the supervised runtime package itself (tests and
+benchmarks may build ad-hoc processes to exercise machinery).
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from repro.analysis.core import LintContext, LintRule, ModuleSource, is_benchmark_path, is_test_path
+from repro.registry import register
+
+#: The only package allowed to construct process fan-out primitives.
+_RUNTIME_PAIR = ("repro", "runtime")
+
+#: multiprocessing attributes that create pools/contexts/workers.
+_MP_FANOUT = frozenset({"Pool", "Process", "get_context", "Manager"})
+
+#: concurrent.futures process-pool executor (same failure mode, different API).
+_CF_FANOUT = frozenset({"ProcessPoolExecutor"})
+
+
+def _in_runtime(rel: str) -> bool:
+    parts = tuple(Path(rel).parts)
+    return any(parts[i : i + 2] == _RUNTIME_PAIR for i in range(len(parts) - 1))
+
+
+class _FanoutImports(ast.NodeVisitor):
+    """Local names bound to multiprocessing / concurrent.futures fan-out."""
+
+    def __init__(self, tree: ast.AST) -> None:
+        self.mp_aliases: set[str] = set()  # names bound to multiprocessing[.x]
+        self.cf_aliases: set[str] = set()  # names bound to concurrent.futures
+        self.direct: dict[str, str] = {}  # local name -> canonical fan-out fn
+        self.visit(tree)
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            bound = alias.asname or alias.name.partition(".")[0]
+            if alias.name == "multiprocessing" or alias.name.startswith("multiprocessing."):
+                self.mp_aliases.add(bound)
+            elif alias.name == "concurrent.futures":
+                self.cf_aliases.add(bound if alias.asname else "concurrent")
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        mod = node.module or ""
+        for alias in node.names:
+            bound = alias.asname or alias.name
+            if mod == "multiprocessing" or mod.startswith("multiprocessing."):
+                if alias.name in _MP_FANOUT:
+                    self.direct[bound] = f"multiprocessing.{alias.name}"
+            elif mod == "concurrent.futures" and alias.name in _CF_FANOUT:
+                self.direct[bound] = f"concurrent.futures.{alias.name}"
+            elif mod == "concurrent" and alias.name == "futures":
+                self.cf_aliases.add(bound)
+
+
+@register("lint", "pool-discipline")
+class PoolDisciplineRule(LintRule):
+    """Multiprocessing fan-out may only be constructed in repro/runtime."""
+
+    name = "pool-discipline"
+    scope = "file"
+    description = (
+        "multiprocessing pools, contexts, worker processes, and "
+        "ProcessPoolExecutors may only be constructed inside the "
+        "supervised runtime (repro/runtime) — unsupervised fan-out "
+        "reintroduces the one-crash-kills-the-sweep failure mode; "
+        "fan out through repro.runtime.supervised_map instead"
+    )
+
+    def check(self, module: ModuleSource, ctx: LintContext):
+        if _in_runtime(module.rel) or is_test_path(module.rel) or is_benchmark_path(module.rel):
+            return
+        tree = module.tree
+        if tree is None:
+            return
+        imports = _FanoutImports(tree)
+        if not (imports.mp_aliases or imports.cf_aliases or imports.direct):
+            return
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = self._fanout_call(node.func, imports)
+            if target is not None:
+                yield module.finding(
+                    self.name,
+                    node,
+                    f"{target}() constructs process fan-out outside repro/runtime — "
+                    "use repro.runtime.supervised_map (supervision, retries, "
+                    "timeouts) instead of a bare pool",
+                )
+
+    @staticmethod
+    def _fanout_call(func: ast.expr, imports: _FanoutImports) -> str | None:
+        # Bare names bound by `from multiprocessing import Pool` etc.
+        if isinstance(func, ast.Name):
+            return imports.direct.get(func.id)
+        if not isinstance(func, ast.Attribute):
+            return None
+        value = func.value
+        # mp.Pool / mp.get_context / ctx.Pool — the ctx case is any
+        # `.Pool(...)` attribute call, which in a module importing
+        # multiprocessing is a context's pool constructor.
+        if isinstance(value, ast.Name) and value.id in imports.mp_aliases:
+            if func.attr in _MP_FANOUT:
+                return f"multiprocessing.{func.attr}"
+            return None
+        if imports.mp_aliases and func.attr == "Pool":
+            return "<context>.Pool"
+        # concurrent.futures.ProcessPoolExecutor, cf.ProcessPoolExecutor,
+        # and `concurrent.futures` accessed through the bare package name.
+        if func.attr in _CF_FANOUT:
+            if isinstance(value, ast.Name) and value.id in imports.cf_aliases:
+                return f"concurrent.futures.{func.attr}"
+            if (
+                isinstance(value, ast.Attribute)
+                and value.attr == "futures"
+                and isinstance(value.value, ast.Name)
+                and value.value.id in imports.cf_aliases
+            ):
+                return f"concurrent.futures.{func.attr}"
+        return None

@@ -57,3 +57,17 @@ class SimulationError(ReproError):
 
 class TraceError(ReproError):
     """Malformed or inconsistent trace data."""
+
+
+class SweepError(SimulationError):
+    """A supervised sweep had tasks fail after exhausting their retries.
+
+    ``failures`` carries the failed task outcomes (structured
+    :class:`repro.runtime.TaskOutcome` records: scenario index, failure
+    kind, error type/message, attempt count), so callers catching the
+    error can still see exactly what broke without re-parsing messages.
+    """
+
+    def __init__(self, message: str, failures: tuple = ()) -> None:
+        super().__init__(message)
+        self.failures = tuple(failures)

@@ -43,10 +43,14 @@ def cluster_sweep(
     """The (policy x OC) grid, built through the Scenario pipeline.
 
     Results come from :data:`SWEEP_CACHE`; only cache misses simulate.
-    ``workers`` > 1 fans misses out over processes; results are
-    bit-identical for any worker count and for warm-vs-cold caches, so it
-    is deliberately *not* part of the cache key — it only controls how a
-    miss is computed.
+    ``workers`` > 1 fans misses out over supervised worker processes
+    (``docs/robustness.md``): a crashed or hung worker costs one retried
+    scenario, not the grid, and each finished miss is stored back to the
+    cache *as it completes*, so with ``REPRO_SWEEP_CACHE_DIR`` set an
+    interrupted long sweep resumes from what it already simulated.
+    Results are bit-identical for any worker count and for warm-vs-cold
+    caches, so ``workers`` is deliberately *not* part of the cache key —
+    it only controls how a miss is computed.
 
     ``engine`` selects the execution backend by registered name (``None``
     keeps the scenario default, ``cluster-sim``).  The ``sharded`` engine

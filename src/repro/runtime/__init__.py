@@ -1,0 +1,52 @@
+"""Supervised execution runtime: fault-tolerant fan-out for sweeps.
+
+The simulation layers (``repro/scenario``, ``repro/simulator``) describe
+*what* to run; this package owns *how* work fans out across processes —
+and what happens when a worker dies doing it.  The transient-computing
+systems this repo reproduces absorb revocations and keep serving; the
+harness replaying them meets the same bar:
+
+* :func:`supervised_map` — per-task dispatch over supervised worker
+  processes.  A crashed or SIGKILLed worker loses only its in-flight
+  task (retried in a fresh replacement worker, with bounded retries and
+  exponential backoff); a task exceeding its wall-clock timeout gets its
+  worker killed and replaced; a raising task is captured as structured
+  failure data instead of aborting the whole map.
+* :class:`RetryPolicy` — the retry/timeout/backoff knobs, as data.
+* :class:`SweepJournal` — incremental on-disk journal of completed
+  results, so an interrupted run resumes from where it died.
+* :func:`resolve_start_method` — the one place the multiprocessing start
+  method (fork vs spawn, ``REPRO_START_METHOD``) is decided.
+
+Everything executed here is deterministic in its inputs, so retried,
+resumed, and replayed results are bit-identical to a serial run — the
+supervision machinery changes wall-clock behavior only, never floats.
+This is also the only package allowed to construct multiprocessing
+pools, contexts, or worker processes (enforced by the ``pool-discipline``
+repro-lint rule): unsupervised fan-out cannot be reintroduced silently.
+
+Wall-clock reads are legitimately part of supervision (deadlines,
+backoff), which is why this lives outside the ``repro/scenario`` /
+``repro/simulator`` paths where the ``no-wallclock`` lint rule bans
+them: time here steers scheduling, never results.
+"""
+
+from repro.runtime.journal import SweepJournal
+from repro.runtime.supervisor import (
+    RetryPolicy,
+    TaskFailure,
+    TaskOutcome,
+    raise_on_failures,
+    resolve_start_method,
+    supervised_map,
+)
+
+__all__ = [
+    "RetryPolicy",
+    "SweepJournal",
+    "TaskFailure",
+    "TaskOutcome",
+    "raise_on_failures",
+    "resolve_start_method",
+    "supervised_map",
+]

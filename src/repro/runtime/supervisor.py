@@ -1,0 +1,606 @@
+"""Worker supervision: per-task dispatch with retry, timeout, and backoff.
+
+:func:`supervised_map` is the fault-tolerant replacement for
+``multiprocessing.Pool.map``.  The pool's failure mode is all-or-nothing:
+one OOM-killed fork, segfault, or hung task aborts (or hangs) the whole
+map and discards every completed result.  Here each worker process is
+individually supervised over a dedicated duplex pipe:
+
+* **crash** — a worker that dies (``os._exit``, SIGKILL, segfault) loses
+  only its in-flight task; the supervisor reaps it, spawns a replacement,
+  and retries the task with exponential backoff, up to the policy's
+  bounded retry budget.  A retried task always lands in a *fresh* worker,
+  so a poison task cannot take healthy work down with it.
+* **timeout** — a task exceeding the policy's per-task wall-clock budget
+  gets its worker SIGKILLed and replaced; the task is retried or reported
+  as a ``timeout`` failure.
+* **raise** — an exception inside the task function is captured (type,
+  message, traceback) and shipped back as data; the worker stays alive.
+
+Every task produces a :class:`TaskOutcome` — completed value or
+structured :class:`TaskFailure` — in *input order*, so a map over a
+sweep grid degrades gracefully instead of aborting.  Task functions are
+deterministic in their inputs (the repo-wide discipline), so a retried
+task returns bit-identical results: supervision changes wall-clock
+behavior only, never values.
+
+This module is the only place in the library that constructs
+multiprocessing contexts or worker processes (the ``pool-discipline``
+lint rule enforces it).  Wall-clock reads here are supervision plumbing
+— deadlines and backoff — and can never leak into results.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import multiprocessing
+import os
+import time
+import traceback
+from collections import deque
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+from multiprocessing.connection import wait as _wait_ready
+from typing import Any
+
+from repro.errors import SimulationError, SweepError
+
+__all__ = [
+    "RetryPolicy",
+    "TaskFailure",
+    "TaskOutcome",
+    "resolve_start_method",
+    "supervised_map",
+]
+
+#: Failure kinds a task can suffer, in escalating order of violence.
+FAILURE_KINDS = ("raise", "crash", "timeout")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retry/timeout/backoff knobs for supervised execution, as plain data.
+
+    A task is attempted up to ``1 + max_retries`` times; before the k-th
+    retry the supervisor waits ``min(backoff_max, backoff_base *
+    backoff_factor ** (k - 1))`` seconds (other tasks keep running — the
+    backoff parks only the failed task).  ``timeout`` is the per-task
+    wall-clock budget in seconds (None: unlimited).  ``retry_on`` picks
+    which failure kinds are worth retrying: crashes and timeouts are
+    environmental and retried by default, while a raising task is
+    usually deterministic (same scenario, same exception) and fails fast
+    unless ``"raise"`` is included.
+    """
+
+    max_retries: int = 2
+    backoff_base: float = 0.1
+    backoff_factor: float = 2.0
+    backoff_max: float = 5.0
+    timeout: float | None = None
+    retry_on: tuple[str, ...] = ("crash", "timeout")
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise SimulationError("max_retries must be >= 0")
+        if self.backoff_base < 0 or self.backoff_max < 0 or self.backoff_factor < 0:
+            raise SimulationError("backoff knobs must be >= 0")
+        if self.timeout is not None and self.timeout <= 0:
+            raise SimulationError("timeout must be positive (or None for unlimited)")
+        unknown = sorted(set(self.retry_on) - set(FAILURE_KINDS))
+        if unknown:
+            raise SimulationError(
+                f"unknown retry_on kinds {unknown}; valid kinds: {list(FAILURE_KINDS)}"
+            )
+        object.__setattr__(self, "retry_on", tuple(self.retry_on))
+
+    @property
+    def max_attempts(self) -> int:
+        return 1 + self.max_retries
+
+    def backoff(self, failures: int) -> float:
+        """Seconds to park a task after its ``failures``-th failure (1-based)."""
+        if self.backoff_base <= 0:
+            return 0.0
+        return min(self.backoff_max, self.backoff_base * self.backoff_factor ** (failures - 1))
+
+
+@dataclass(frozen=True)
+class TaskFailure:
+    """Structured capture of one task's final failure.
+
+    ``kind`` is ``"raise"`` (exception in the task function), ``"crash"``
+    (the worker process died), or ``"timeout"`` (wall-clock budget
+    exceeded).  Plain picklable data: failures ride inside results across
+    process boundaries and into journals.
+    """
+
+    kind: str
+    error_type: str
+    message: str
+    attempts: int = 1
+    traceback: str = ""
+
+    def describe(self) -> str:
+        return f"{self.kind} after {self.attempts} attempt(s): {self.error_type}: {self.message}"
+
+
+@dataclass(frozen=True)
+class TaskOutcome:
+    """One task's supervised result: value or failure, plus attempt count."""
+
+    index: int
+    status: str  # "ok" | "failed"
+    value: Any = None
+    failure: TaskFailure | None = None
+    attempts: int = 1
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+def resolve_start_method(override: str | None = None) -> str:
+    """The multiprocessing start method supervised execution will use.
+
+    Resolution order: explicit ``override`` argument, then the
+    ``REPRO_START_METHOD`` environment variable, then ``fork`` where the
+    platform offers it (workers inherit the already-imported interpreter
+    — cheap startup, populated registries, and large task payloads shared
+    by inheritance instead of pickling), else the platform default.
+    Results never depend on the choice: fork and spawn sweeps are
+    bit-identical (asserted by the fault-tolerance suite).
+    """
+    method = override or os.environ.get("REPRO_START_METHOD") or None
+    available = multiprocessing.get_all_start_methods()
+    if method is not None:
+        if method not in available:
+            raise SimulationError(
+                f"start method {method!r} is not available on this platform; "
+                f"available: {available}"
+            )
+        return method
+    return "fork" if "fork" in available else multiprocessing.get_start_method()
+
+
+def raise_on_failures(outcomes: Sequence[TaskOutcome], what: str = "sweep") -> None:
+    """Raise :class:`SweepError` summarizing any failed outcomes."""
+    failed = [o for o in outcomes if not o.ok]
+    if not failed:
+        return
+    first = failed[0].failure
+    assert first is not None
+    raise SweepError(
+        f"{len(failed)} of {len(outcomes)} {what} task(s) failed; "
+        f"first failure (task {failed[0].index}): {first.describe()}",
+        failures=tuple(failed),
+    )
+
+
+# -- worker side ---------------------------------------------------------------------
+
+#: Fork-shared task state: ``(fn, items)`` published while a fork-method
+#: map is executing.  Forked workers (including mid-run replacements)
+#: inherit it, so only task *indices* cross the pipe — a grid sharing one
+#: large in-memory trace set is never pickled into the workers at all.
+_FORK_STATE: tuple[Callable, Sequence] | None = None
+
+
+def _worker_main(conn, fn, initializer) -> None:
+    """Worker loop: receive ``(index, item?)``, send ``(index, status, payload)``.
+
+    ``fn`` is None in fork mode (task function and items are inherited
+    via :data:`_FORK_STATE`).  A ``None`` message is the shutdown signal.
+    Exceptions — including ``SystemExit`` from ``sys.exit`` — are shipped
+    back as data; only a hard process death (``os._exit``, signals) ends
+    the loop without a reply, which the supervisor treats as a crash.
+    """
+    if initializer is not None:
+        initializer()
+    items: Sequence | None = None
+    if fn is None:
+        assert _FORK_STATE is not None
+        fn, items = _FORK_STATE
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):
+            return
+        if msg is None:
+            return
+        if len(msg) == 1:
+            index, item = msg[0], items[msg[0]]  # type: ignore[index]
+        else:
+            index, item = msg
+        try:
+            reply = (index, "ok", fn(item))
+        except BaseException as exc:  # noqa: BLE001 — shipped back as data
+            reply = (index, "error", _describe_exception(exc))
+        try:
+            conn.send(reply)
+        except Exception as exc:  # unpicklable result: report, don't die
+            conn.send((index, "error", ("UnpicklableResultError", str(exc), "")))
+
+
+def _describe_exception(exc: BaseException) -> tuple[str, str, str]:
+    return (type(exc).__name__, str(exc), traceback.format_exc())
+
+
+# -- supervisor side -----------------------------------------------------------------
+
+
+@dataclass
+class _Task:
+    index: int
+    item: Any
+    failures: int = 0
+    last_failure: TaskFailure | None = None
+
+
+@dataclass
+class _Worker:
+    process: Any
+    conn: Any
+    task: _Task | None = None
+    deadline: float | None = None
+
+
+class _Supervisor:
+    """One supervised map execution (parallel path)."""
+
+    def __init__(
+        self,
+        fn: Callable,
+        items: Sequence,
+        workers: int,
+        policy: RetryPolicy,
+        method: str,
+        initializer: Callable[[], None] | None,
+        on_complete: Callable[[TaskOutcome], None] | None,
+    ) -> None:
+        self.fn = fn
+        self.items = items
+        self.max_workers = workers
+        self.policy = policy
+        self.method = method
+        self.initializer = initializer
+        self.on_complete = on_complete
+        self.ctx = multiprocessing.get_context(method)
+        self.pending: deque[_Task] = deque(_Task(i, item) for i, item in enumerate(items))
+        self.parked: list[tuple[float, int, _Task]] = []  # (ready_time, seq, task)
+        self.seq = itertools.count()
+        self.workers: list[_Worker] = []
+        self.outcomes: list[TaskOutcome | None] = [None] * len(items)
+        self.done = 0
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def run(self) -> list[TaskOutcome]:
+        global _FORK_STATE
+        fork_mode = self.method == "fork"
+        if fork_mode:
+            _FORK_STATE = (self.fn, self.items)
+        try:
+            self._loop(fork_mode)
+        finally:
+            if fork_mode:
+                _FORK_STATE = None
+            self._shutdown()
+        assert all(o is not None for o in self.outcomes)
+        return list(self.outcomes)  # type: ignore[arg-type]
+
+    def _loop(self, fork_mode: bool) -> None:
+        while self.done < len(self.outcomes):
+            now = time.monotonic()
+            self._unpark(now)
+            self._dispatch(now, fork_mode)
+            timeout = self._wait_budget(now)
+            ready = set(self._wait(timeout))
+            now = time.monotonic()
+            for worker in list(self.workers):
+                if worker.conn in ready:
+                    self._drain(worker)
+                elif worker.process.sentinel in ready:
+                    self._on_crash(worker)
+            self._check_timeouts(now)
+
+    def _shutdown(self) -> None:
+        for worker in self.workers:
+            try:
+                worker.conn.send(None)
+            except (OSError, ValueError):
+                pass
+        for worker in self.workers:
+            worker.process.join(timeout=1.0)
+            if worker.process.is_alive():
+                worker.process.kill()
+                worker.process.join(timeout=1.0)
+            try:
+                worker.conn.close()
+            except OSError:
+                pass
+        self.workers.clear()
+
+    # -- dispatch ----------------------------------------------------------------
+
+    def _unpark(self, now: float) -> None:
+        while self.parked and self.parked[0][0] <= now:
+            self.pending.append(heapq.heappop(self.parked)[2])
+
+    def _dispatch(self, now: float, fork_mode: bool) -> None:
+        while self.pending:
+            worker = self._idle_worker()
+            if worker is None:
+                return
+            task = self.pending.popleft()
+            msg = (task.index,) if fork_mode else (task.index, task.item)
+            try:
+                worker.conn.send(msg)
+            except (OSError, ValueError):
+                # Worker died between spawn and dispatch: requeue, reap.
+                self.pending.appendleft(task)
+                self._on_crash(worker)
+                continue
+            worker.task = task
+            if self.policy.timeout is not None:
+                worker.deadline = now + self.policy.timeout
+
+    def _idle_worker(self) -> _Worker | None:
+        for worker in self.workers:
+            if worker.task is None and worker.process.is_alive():
+                return worker
+        if len(self.workers) < self.max_workers:
+            return self._spawn()
+        return None
+
+    def _spawn(self) -> _Worker | None:
+        parent, child = self.ctx.Pipe(duplex=True)
+        fn = None if self.method == "fork" else self.fn
+        process = self.ctx.Process(
+            target=_worker_main,
+            args=(child, fn, self.initializer),
+            daemon=True,
+            name="repro-supervised-worker",
+        )
+        try:
+            process.start()
+        except OSError:
+            parent.close()
+            child.close()
+            return None
+        child.close()  # the parent end is ours; the child holds its own
+        worker = _Worker(process=process, conn=parent)
+        self.workers.append(worker)
+        return worker
+
+    # -- waiting -----------------------------------------------------------------
+
+    def _wait_budget(self, now: float) -> float | None:
+        """Seconds until the next deadline/unpark, or None for 'until events'."""
+        horizon: float | None = None
+        for worker in self.workers:
+            if worker.deadline is not None:
+                horizon = worker.deadline if horizon is None else min(horizon, worker.deadline)
+        if self.parked:
+            head = self.parked[0][0]
+            horizon = head if horizon is None else min(horizon, head)
+        if horizon is None:
+            return None
+        return max(0.0, horizon - now)
+
+    def _wait(self, timeout: float | None):
+        handles = []
+        for worker in self.workers:
+            handles.append(worker.conn)
+            handles.append(worker.process.sentinel)
+        if not handles:
+            # Nothing in flight: waiting out a backoff window, or repeated
+            # spawn failures (resource exhaustion) left us workerless — in
+            # either case sleep instead of spinning.
+            time.sleep(timeout if timeout is not None else 0.05)
+            return ()
+        return _wait_ready(handles, timeout)
+
+    # -- event handling ----------------------------------------------------------
+
+    def _drain(self, worker: _Worker) -> None:
+        try:
+            while worker.conn.poll():
+                index, status, payload = worker.conn.recv()
+                task = worker.task
+                worker.task = None
+                worker.deadline = None
+                if task is None or task.index != index:
+                    continue  # stale reply from a task already written off
+                if status == "ok":
+                    self._complete(task, payload)
+                else:
+                    error_type, message, tb = payload
+                    self._fail(
+                        task,
+                        TaskFailure(
+                            kind="raise",
+                            error_type=error_type,
+                            message=message,
+                            attempts=task.failures + 1,
+                            traceback=tb,
+                        ),
+                    )
+        except (EOFError, OSError):
+            self._on_crash(worker)
+
+    def _on_crash(self, worker: _Worker) -> None:
+        if worker not in self.workers:
+            return
+        task = worker.task
+        exitcode = worker.process.exitcode
+        self._retire(worker)
+        if task is not None:
+            self._fail(
+                task,
+                TaskFailure(
+                    kind="crash",
+                    error_type="WorkerCrashed",
+                    message=(
+                        f"worker process died (exitcode {exitcode}) while running "
+                        f"task {task.index}"
+                    ),
+                    attempts=task.failures + 1,
+                ),
+            )
+
+    def _check_timeouts(self, now: float) -> None:
+        for worker in list(self.workers):
+            if worker.task is None or worker.deadline is None or now <= worker.deadline:
+                continue
+            if worker.conn.poll():
+                self._drain(worker)  # finished just under the wire
+                continue
+            task = worker.task
+            worker.task = None
+            self._retire(worker, kill=True)
+            assert self.policy.timeout is not None
+            self._fail(
+                task,
+                TaskFailure(
+                    kind="timeout",
+                    error_type="TaskTimeout",
+                    message=(
+                        f"task {task.index} exceeded the {self.policy.timeout:g}s "
+                        "wall-clock budget; its worker was killed"
+                    ),
+                    attempts=task.failures + 1,
+                ),
+            )
+
+    def _retire(self, worker: _Worker, kill: bool = False) -> None:
+        if worker in self.workers:
+            self.workers.remove(worker)
+        if kill and worker.process.is_alive():
+            worker.process.kill()
+        worker.process.join(timeout=5.0)
+        if worker.process.is_alive():
+            worker.process.kill()
+            worker.process.join(timeout=5.0)
+        try:
+            worker.conn.close()
+        except OSError:
+            pass
+
+    # -- outcome accounting ------------------------------------------------------
+
+    def _complete(self, task: _Task, value: Any) -> None:
+        outcome = TaskOutcome(
+            index=task.index, status="ok", value=value, attempts=task.failures + 1
+        )
+        self._record(outcome)
+
+    def _fail(self, task: _Task, failure: TaskFailure) -> None:
+        task.failures += 1
+        task.last_failure = failure
+        retryable = failure.kind in self.policy.retry_on
+        if retryable and task.failures < self.policy.max_attempts:
+            ready = time.monotonic() + self.policy.backoff(task.failures)
+            heapq.heappush(self.parked, (ready, next(self.seq), task))
+            return
+        self._record(
+            TaskOutcome(
+                index=task.index,
+                status="failed",
+                failure=failure,
+                attempts=task.failures,
+            )
+        )
+
+    def _record(self, outcome: TaskOutcome) -> None:
+        assert self.outcomes[outcome.index] is None
+        self.outcomes[outcome.index] = outcome
+        self.done += 1
+        if self.on_complete is not None:
+            self.on_complete(outcome)
+
+
+# -- serial path ---------------------------------------------------------------------
+
+
+def _run_serial(
+    fn: Callable,
+    items: Sequence,
+    policy: RetryPolicy,
+    on_complete: Callable[[TaskOutcome], None] | None,
+) -> list[TaskOutcome]:
+    """In-process execution with the same retry semantics (no crash/timeout
+    protection: there is no worker boundary to supervise)."""
+    outcomes: list[TaskOutcome] = []
+    for index, item in enumerate(items):
+        attempts = 0
+        while True:
+            attempts += 1
+            try:
+                outcome = TaskOutcome(index=index, status="ok", value=fn(item), attempts=attempts)
+                break
+            except Exception as exc:
+                failure = TaskFailure(
+                    kind="raise",
+                    error_type=type(exc).__name__,
+                    message=str(exc),
+                    attempts=attempts,
+                    traceback=traceback.format_exc(),
+                )
+                if "raise" not in policy.retry_on or attempts >= policy.max_attempts:
+                    outcome = TaskOutcome(
+                        index=index, status="failed", failure=failure, attempts=attempts
+                    )
+                    break
+                time.sleep(policy.backoff(attempts))
+        if on_complete is not None:
+            on_complete(outcome)
+        outcomes.append(outcome)
+    return outcomes
+
+
+def supervised_map(
+    fn: Callable,
+    items: Sequence,
+    *,
+    workers: int | None = None,
+    policy: RetryPolicy | None = None,
+    start_method: str | None = None,
+    initializer: Callable[[], None] | None = None,
+    on_complete: Callable[[TaskOutcome], None] | None = None,
+) -> list[TaskOutcome]:
+    """Run ``fn`` over ``items`` under supervision; outcomes in input order.
+
+    ``fn`` must be a module-level callable (workers resolve it by
+    reference under spawn) and deterministic in its item, so retries and
+    worker placement never change values.  ``workers <= 1`` (or a
+    daemonic caller that cannot fork children — e.g. a task already
+    inside a supervised worker) runs in-process with the same
+    retry-on-raise semantics but no crash/timeout protection; a single
+    item with ``workers > 1`` still runs in one supervised worker, so
+    crash containment and timeouts hold for one-task maps too.
+
+    ``policy`` defaults to :class:`RetryPolicy` (2 retries for crashes
+    and timeouts, fail-fast on exceptions, no timeout).  ``start_method``
+    overrides :func:`resolve_start_method`.  ``initializer`` runs once in
+    every fresh worker before its first task (register test components,
+    configure warnings).  ``on_complete`` is invoked in the supervisor
+    process as each task finishes — completion order, not input order —
+    for incremental journaling/caching.
+
+    Returns one :class:`TaskOutcome` per item; callers wanting
+    all-or-nothing semantics can pass the list to
+    :func:`raise_on_failures`.
+    """
+    items = list(items)
+    policy = policy if policy is not None else RetryPolicy()
+    if (
+        workers is None
+        or workers <= 1
+        or not items
+        or multiprocessing.current_process().daemon
+    ):
+        return _run_serial(fn, items, policy, on_complete)
+    method = resolve_start_method(start_method)
+    n = min(int(workers), len(items))
+    return _Supervisor(fn, items, n, policy, method, initializer, on_complete).run()

@@ -30,9 +30,10 @@ failures are declared the same way (``with_failures("spot", rate=...,
 seed=...)``); see ``docs/failures.md``.
 """
 
+from repro.runtime import RetryPolicy, SweepJournal
 from repro.scenario.cache import SweepCache, cacheable, scenario_key
 from repro.scenario.engine import ClusterSimEngine, Engine, resolve_workload
-from repro.scenario.results import ResultSet, ScenarioResult
+from repro.scenario.results import ResultSet, ScenarioFailure, ScenarioResult
 from repro.scenario.scenario import Scenario
 from repro.scenario.sweep import run_scenario, run_sweep
 
@@ -40,9 +41,12 @@ __all__ = [
     "ClusterSimEngine",
     "Engine",
     "ResultSet",
+    "RetryPolicy",
     "Scenario",
+    "ScenarioFailure",
     "ScenarioResult",
     "SweepCache",
+    "SweepJournal",
     "cacheable",
     "resolve_workload",
     "run_scenario",

@@ -157,6 +157,7 @@ class SweepCache:
         self.hits = 0
         self.misses = 0
         self.skipped = 0  # uncacheable scenarios/results seen
+        self.corrupt = 0  # on-disk entries quarantined as <key>.corrupt
 
     # -- core API ----------------------------------------------------------------
 
@@ -187,7 +188,9 @@ class SweepCache:
         if not cacheable(result.scenario):
             self.skipped += 1
             return False
-        if not isinstance(result.sim, ClusterSimResult):
+        if result.error is not None or not isinstance(result.sim, ClusterSimResult):
+            # Failed results are never memoized: a retry/resume must re-run
+            # the scenario, not replay the failure.
             self.skipped += 1
             return False
         try:
@@ -232,6 +235,7 @@ class SweepCache:
             "hits": self.hits,
             "misses": self.misses,
             "skipped": self.skipped,
+            "corrupt": self.corrupt,
             "entries": len(self),
             "backend": "disk" if self.path is not None else "memory",
         }
@@ -266,10 +270,22 @@ class SweepCache:
         try:
             payload = json.loads(text)
             if payload.get("version") != CACHE_FORMAT_VERSION:
-                return None
+                return None  # older layout: a clean miss, never re-parsed as corrupt
             return _payload_to_result(payload)
         except (ValueError, KeyError, TypeError, SimulationError):
-            return None  # corrupt or stale entry: treat as a miss
+            # Corrupt entry (torn write, hand-edited, shape drift): quarantine
+            # it as <key>.corrupt so it is not re-parsed on every lookup and
+            # stays available for post-mortem; the lookup is a miss and the
+            # scenario re-runs, overwriting the slot with a fresh entry.
+            self._quarantine(key)
+            return None
+
+    def _quarantine(self, key: str) -> None:
+        self.corrupt += 1
+        try:
+            os.replace(self._file(key), self.path / f"{key}.corrupt")
+        except OSError:
+            pass  # e.g. unlinked concurrently; the miss already re-runs it
 
     def _write_file(self, key: str, text: str) -> bool:
         assert self.path is not None

@@ -6,6 +6,15 @@ knobs that produced each point (policy, overcommitment target, partitioning)
 without re-deriving them.  A :class:`ResultSet` is an ordered collection of
 results with the filtering/series helpers the figure harnesses need.
 
+Under the supervised runtime a sweep degrades gracefully instead of
+aborting: a scenario whose worker crashed, hung past its timeout, or
+raised (after exhausting retries) yields a *failed* result — ``sim`` is
+None and ``error`` carries the structured :class:`ScenarioFailure` — and
+the surrounding :class:`ResultSet` reports partial completion
+(:meth:`ResultSet.ok`, :meth:`ResultSet.failed`, ``complete``).  Metric
+accessors on a failed result raise :class:`SimulationError` naming the
+captured failure, so partial data cannot silently flow into figures.
+
 Both containers are plain picklable data: parallel sweeps ship them back
 across process boundaries unchanged.
 """
@@ -20,47 +29,101 @@ from repro.simulator.cluster_sim import ClusterSimResult
 
 
 @dataclass(frozen=True)
+class ScenarioFailure:
+    """Structured capture of why one scenario produced no result.
+
+    ``kind`` is ``"raise"`` (the engine raised), ``"crash"`` (the worker
+    process died — OOM kill, segfault, ``os._exit``), or ``"timeout"``
+    (the scenario exceeded the sweep's per-scenario wall-clock budget).
+    ``attempts`` counts every try, retries included.
+    """
+
+    kind: str
+    error_type: str
+    message: str
+    attempts: int = 1
+    traceback: str = ""
+
+    def describe(self) -> str:
+        return f"{self.kind} after {self.attempts} attempt(s): {self.error_type}: {self.message}"
+
+
+@dataclass(frozen=True)
 class ScenarioResult:
-    """Outcome of running one scenario."""
+    """Outcome of running one scenario: metrics, or a captured failure."""
 
     scenario: Scenario
-    sim: ClusterSimResult
+    sim: ClusterSimResult | None
+    #: None for a successful run; on a failed run ``sim`` is None and this
+    #: carries the structured failure (``run_sweep(on_error="collect")``).
+    error: ScenarioFailure | None = None
+
+    def __post_init__(self) -> None:
+        if (self.sim is None) == (self.error is None):
+            raise SimulationError(
+                "a ScenarioResult carries exactly one of sim (success) or error (failure)"
+            )
+
+    @classmethod
+    def from_failure(cls, scenario: Scenario, error: ScenarioFailure) -> "ScenarioResult":
+        return cls(scenario=scenario, sim=None, error=error)
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    @property
+    def status(self) -> str:
+        return "ok" if self.error is None else "failed"
+
+    @property
+    def _metrics(self) -> ClusterSimResult:
+        if self.sim is None:
+            assert self.error is not None
+            raise SimulationError(
+                f"scenario {self.scenario.describe()!r} failed "
+                f"({self.error.describe()}); it has no metrics — filter with "
+                "ResultSet.ok() or check result.ok before reading them"
+            )
+        return self.sim
 
     @property
     def n_servers(self) -> int:
         """The resolved cluster size (explicit or derived from OC target)."""
-        return self.sim.config.n_servers
+        return self._metrics.config.n_servers
 
     @property
     def failure_probability(self) -> float:
-        return self.sim.failure_probability
+        return self._metrics.failure_probability
 
     @property
     def throughput_loss(self) -> float:
-        return self.sim.throughput_loss
+        return self._metrics.throughput_loss
 
     @property
     def mean_deflation(self) -> float:
-        return self.sim.mean_deflation
+        return self._metrics.mean_deflation
 
     @property
     def revenue(self) -> dict[str, float]:
-        return self.sim.revenue
+        return self._metrics.revenue
 
     @property
     def revenue_per_server(self) -> dict[str, float]:
-        return self.sim.revenue_per_server
+        return self._metrics.revenue_per_server
 
     @property
     def achieved_overcommitment(self) -> float:
-        return self.sim.overcommitment
+        return self._metrics.overcommitment
 
     @property
     def collected(self) -> dict[str, object]:
         """Payloads of the scenario's metrics collectors, by name."""
-        return self.sim.collected
+        return self._metrics.collected
 
     def describe(self) -> str:
+        if self.error is not None:
+            return f"{self.scenario.describe()} -> FAILED ({self.error.describe()})"
         return (
             f"{self.scenario.describe()} -> "
             f"fail={self.failure_probability:.3f} "
@@ -87,6 +150,27 @@ class ResultSet:
     def __getitem__(self, idx):
         picked = self.results[idx]
         return ResultSet(picked) if isinstance(idx, slice) else picked
+
+    # -- partial completion ------------------------------------------------------
+
+    @property
+    def complete(self) -> bool:
+        """True when every scenario produced metrics (no captured failures)."""
+        return all(r.ok for r in self.results)
+
+    @property
+    def n_failed(self) -> int:
+        return sum(1 for r in self.results if not r.ok)
+
+    def ok(self) -> "ResultSet":
+        """Only the successful results (what the figure harnesses plot)."""
+        return ResultSet(tuple(r for r in self.results if r.ok))
+
+    def failed(self) -> "ResultSet":
+        """Only the failed results (each carrying its ``error`` facet)."""
+        return ResultSet(tuple(r for r in self.results if not r.ok))
+
+    # -- slicing -----------------------------------------------------------------
 
     def filter(self, **attrs) -> "ResultSet":
         """Results whose scenario matches every given attribute.

@@ -1,25 +1,42 @@
-"""Parallel parameter sweeps over scenarios.
+"""Parallel parameter sweeps over scenarios, on the supervised runtime.
 
 The paper's evaluation is a grid — policies x overcommitment levels x
 pricing models replayed against one trace.  :func:`run_sweep` executes any
 iterable of scenarios and returns an ordered :class:`ResultSet`; with
-``workers > 1`` the scenarios fan out over a ``multiprocessing`` pool.
+``workers > 1`` the scenarios fan out over supervised worker processes
+(:mod:`repro.runtime`): a crashed or SIGKILLed worker loses only its
+in-flight scenario (retried with bounded backoff in a fresh worker), a
+hung scenario is killed at its wall-clock ``timeout``, and a raising
+engine is captured as structured failure data — one bad point degrades
+the grid instead of discarding every completed result.
 
 Scenarios are plain data and every simulator run is deterministic, so the
 parallel path is **bit-identical** to the serial one: the same scenario
-produces the same floats regardless of which process ran it, and results
-come back in input order (``pool.map`` preserves ordering).  The test suite
-asserts this equivalence on Figure 20's grid.
+produces the same floats regardless of which process ran it — or how many
+times supervision had to retry it — and results come back in input order.
+The test suite asserts this equivalence on Figure 20's grid and across
+fork/spawn start methods.
+
+Completed results persist incrementally: through the ``cache``
+(:class:`~repro.scenario.cache.SweepCache`) as each scenario finishes,
+and through an optional ``journal`` (:class:`~repro.runtime.SweepJournal`)
+that also covers uncacheable scenarios, so an interrupted sweep resumes
+from where it died — warm resume bit-identical to a cold run.
 """
 
 from __future__ import annotations
 
-import multiprocessing
+import dataclasses
+import hashlib
+import pickle
 from collections.abc import Iterable
 
+from repro.errors import SimulationError, SweepError
 from repro.registry import create
+from repro.runtime import RetryPolicy, SweepJournal, supervised_map
 from repro.scenario import engine as _engine_module  # noqa: F401  (registers engines)
-from repro.scenario.results import ResultSet, ScenarioResult
+from repro.scenario.cache import scenario_key
+from repro.scenario.results import ResultSet, ScenarioFailure, ScenarioResult
 from repro.scenario.scenario import Scenario
 
 __all__ = ["run_scenario", "run_sweep"]
@@ -30,12 +47,24 @@ def run_scenario(scenario: Scenario) -> ScenarioResult:
     return create("engine", scenario.engine).run(scenario)
 
 
-def _pool_context():
-    # fork shares the already-imported interpreter with workers, which keeps
-    # startup cheap and registries populated; fall back to the platform
-    # default (spawn) elsewhere — workers then re-import via pickled refs.
-    methods = multiprocessing.get_all_start_methods()
-    return multiprocessing.get_context("fork" if "fork" in methods else None)
+def _sweep_fingerprint(scenarios: list[Scenario]) -> str:
+    """Order-sensitive identity of a sweep, for journal binding.
+
+    Cacheable scenarios contribute their canonical
+    :func:`~repro.scenario.cache.scenario_key`; scenarios that cannot be
+    canonically hashed (explicit traces, numpy-scalar params) fall back to
+    a pickle digest — stable within one environment, and a false mismatch
+    merely resets the journal (the sweep re-runs, results unchanged).
+    """
+    digest = hashlib.sha256()
+    for scenario in scenarios:
+        try:
+            token = scenario_key(scenario)
+        except (SimulationError, TypeError):
+            token = hashlib.sha256(pickle.dumps(scenario)).hexdigest()
+        digest.update(token.encode())
+        digest.update(b"\n")
+    return digest.hexdigest()
 
 
 def run_sweep(
@@ -43,45 +72,127 @@ def run_sweep(
     workers: int | None = None,
     chunksize: int | None = None,
     cache=None,
+    *,
+    on_error: str = "raise",
+    retry: RetryPolicy | None = None,
+    timeout: float | None = None,
+    start_method: str | None = None,
+    journal=None,
 ) -> ResultSet:
     """Run scenarios serially (``workers`` in {None, 0, 1}) or in parallel.
 
     Results are returned in scenario order either way, and the parallel
     path is bit-identical to the serial one — simulator runs are
     deterministic in their scenario, including failure-injected ones
-    (schedules are generated from the spec's seed, never shared state).
+    (schedules are generated from the spec's seed, never shared state),
+    so neither worker count nor supervision retries ever change floats.
 
-    ``chunksize`` defaults to ``Pool.map``'s heuristic (~4 chunks per
-    worker): scenarios in one chunk are pickled together, so a grid sharing
-    one explicit ``traces`` object serializes it once per chunk (pickle
-    memoizes within a call), not once per scenario, while chunks stay small
-    enough to load-balance uneven scenario runtimes.
+    Fault tolerance (``docs/robustness.md``):
+
+    * ``retry`` — a :class:`~repro.runtime.RetryPolicy`; the default
+      retries crashed/timed-out scenarios twice with exponential backoff
+      and fails fast on raising engines.
+    * ``timeout`` — shorthand for ``retry``'s per-scenario wall-clock
+      budget in seconds (workers past it are killed and replaced).
+    * ``on_error`` — ``"raise"`` (default, preserving the historical
+      behavior: any scenario still failed after retries aborts the sweep
+      with :class:`~repro.errors.SweepError`) or ``"collect"`` (failed
+      scenarios come back as failed results inside the
+      :class:`ResultSet`, which then reports partial completion).
+    * ``start_method`` — multiprocessing start method override; defaults
+      to ``REPRO_START_METHOD`` / platform resolution
+      (:func:`~repro.runtime.resolve_start_method`).  Fork and spawn
+      sweeps are bit-identical.
 
     ``cache`` is an optional :class:`~repro.scenario.cache.SweepCache`:
     cached scenarios are served without running, only the misses execute
-    (still fanning out when ``workers`` > 1), and fresh results are stored
-    back.  A warm cache returns contents identical to a cold run; scenarios
-    that cannot serialize (explicit traces) bypass the cache transparently.
+    (still fanning out when ``workers`` > 1), and fresh results are
+    stored back *as each scenario completes*, so an aborted sweep keeps
+    what it finished.  A warm cache returns contents identical to a cold
+    run; scenarios that cannot serialize (explicit traces) bypass the
+    cache transparently.
+
+    ``journal`` is an optional :class:`~repro.runtime.SweepJournal` (or a
+    directory path for one): completed results are additionally written
+    to disk incrementally — uncacheable scenarios included — and a rerun
+    of the *same* sweep resumes from the journal, bit-identical to an
+    uninterrupted cold run.  Failed scenarios are never journaled; a
+    resume retries them.
+
+    ``chunksize`` is accepted for backward compatibility and ignored: the
+    supervised runtime dispatches scenarios one at a time (per-task
+    crash attribution and timeouts require it), and with the default fork
+    start method workers inherit the scenario list instead of unpickling
+    chunks, so the old chunk-level pickling economy is moot.
     """
+    del chunksize  # legacy knob of the unsupervised pool path
+    if on_error not in ("raise", "collect"):
+        raise SimulationError(
+            f'on_error must be "raise" or "collect", got {on_error!r}'
+        )
+    policy = retry if retry is not None else RetryPolicy()
+    if timeout is not None:
+        policy = dataclasses.replace(policy, timeout=timeout)
+
     todo = list(scenarios)
-    if cache is None:
-        return ResultSet(tuple(_execute(todo, workers, chunksize)))
+    results: list[ScenarioResult | None] = [None] * len(todo)
 
-    results: list = [cache.get(s) for s in todo]
+    if journal is not None and not isinstance(journal, SweepJournal):
+        journal = SweepJournal(journal)
+    if journal is not None:
+        for index, value in journal.bind(_sweep_fingerprint(todo), len(todo)).items():
+            if isinstance(value, ScenarioResult) and value.ok:
+                results[index] = value
+    if cache is not None:
+        for i, scenario in enumerate(todo):
+            if results[i] is None:
+                results[i] = cache.get(scenario)
+
     miss_idx = [i for i, r in enumerate(results) if r is None]
-    computed = _execute([todo[i] for i in miss_idx], workers, chunksize)
-    for i, result in zip(miss_idx, computed):
-        cache.put(result)
-        results[i] = result
+
+    def _persist(outcome) -> None:
+        # Runs in the supervising process as each scenario completes (in
+        # completion order), so an interrupted sweep keeps its finished work.
+        if not outcome.ok:
+            return
+        original = miss_idx[outcome.index]
+        if cache is not None:
+            cache.put(outcome.value)
+        if journal is not None:
+            journal.record(original, outcome.value)
+
+    outcomes = supervised_map(
+        run_scenario,
+        [todo[i] for i in miss_idx],
+        workers=workers,
+        policy=policy,
+        start_method=start_method,
+        on_complete=_persist,
+    )
+
+    failed = []
+    for outcome in outcomes:
+        original = miss_idx[outcome.index]
+        if outcome.ok:
+            results[original] = outcome.value
+        else:
+            failed.append((original, outcome))
+            results[original] = ScenarioResult.from_failure(
+                todo[original],
+                ScenarioFailure(
+                    kind=outcome.failure.kind,
+                    error_type=outcome.failure.error_type,
+                    message=outcome.failure.message,
+                    attempts=outcome.attempts,
+                    traceback=outcome.failure.traceback,
+                ),
+            )
+
+    if failed and on_error == "raise":
+        index, first = failed[0]
+        raise SweepError(
+            f"{len(failed)} of {len(todo)} scenario(s) failed; first failure "
+            f"({todo[index].describe()}): {first.failure.describe()}",
+            failures=tuple(outcome for _, outcome in failed),
+        )
     return ResultSet(tuple(results))
-
-
-def _execute(
-    todo: list[Scenario], workers: int | None, chunksize: int | None
-) -> list[ScenarioResult]:
-    """Run scenarios in input order, serially or over a process pool."""
-    if workers is None or workers <= 1 or len(todo) <= 1:
-        return [run_scenario(s) for s in todo]
-    n = min(int(workers), len(todo))
-    with _pool_context().Pool(processes=n) as pool:
-        return pool.map(run_scenario, todo, chunksize=chunksize)

@@ -53,7 +53,6 @@ it only changes wall-clock time.
 from __future__ import annotations
 
 import dataclasses
-import multiprocessing
 import os
 from dataclasses import dataclass
 
@@ -73,6 +72,7 @@ from repro.failures.injector import (
 )
 from repro.failures.models import FailureEvent, FailureModel
 from repro.registry import create, register
+from repro.runtime import raise_on_failures, supervised_map
 from repro.scenario.engine import Engine, resolve_workload
 from repro.scenario.results import ScenarioResult
 from repro.scenario.scenario import Scenario
@@ -460,17 +460,6 @@ def _run_shard(spec: ShardSpec) -> ShardOutput:
     )
 
 
-#: Fork-shared shard specs: with a fork start method the workers inherit
-#: this module global, so the (large) sub-traces are never pickled into the
-#: pool — only the shard index crosses the pipe.
-_FORK_SPECS: list[ShardSpec] | None = None
-
-
-def _run_shard_by_index(index: int) -> ShardOutput:
-    assert _FORK_SPECS is not None
-    return _run_shard(_FORK_SPECS[index])
-
-
 # -- merging -------------------------------------------------------------------------
 
 
@@ -622,6 +611,15 @@ class ShardedEngine(Engine):
     already-parallel ``run_sweep`` worker (a daemon process, which cannot
     fork children) the shards simply run serially — same results, no
     nested pools.
+
+    Shards execute on the supervised runtime
+    (:func:`repro.runtime.supervised_map`, ``docs/robustness.md``): a
+    crashed shard worker is replaced and its shard retried (deterministic,
+    so the retry is bit-identical), and with the fork start method the
+    workers inherit the (large) shard specs instead of unpickling them —
+    only shard indices cross the pipe.  A shard still failing after its
+    retries aborts the run with :class:`~repro.errors.SweepError`: a
+    merged result is only ever built from every shard.
     """
 
     name = "sharded"
@@ -657,28 +655,12 @@ class ShardedEngine(Engine):
         return max(1, min(int(workers), n_shards, os.cpu_count() or 1))
 
     def _execute(self, specs: list[ShardSpec]) -> list[ShardOutput]:
-        workers = self._resolve_workers(len(specs))
-        if (
-            workers <= 1
-            or len(specs) <= 1
-            or multiprocessing.current_process().daemon
-        ):
-            return [_run_shard(spec) for spec in specs]
-        from repro.scenario.sweep import _pool_context  # deferred: import cycle
-
-        # chunksize=1: with a handful of very uneven shards (the on-demand
-        # pool usually dominates), batching two big shards into one chunk
-        # would serialize them on one worker.
-        ctx = _pool_context()
-        if ctx.get_start_method() == "fork":
-            # Workers inherit the specs through fork; only indices cross
-            # the pipe (sub-traces at 100k VMs are tens of MB).
-            global _FORK_SPECS
-            _FORK_SPECS = specs
-            try:
-                with ctx.Pool(processes=workers) as pool:
-                    return pool.map(_run_shard_by_index, range(len(specs)), chunksize=1)
-            finally:
-                _FORK_SPECS = None
-        with ctx.Pool(processes=workers) as pool:
-            return pool.map(_run_shard, specs, chunksize=1)
+        # supervised_map dispatches shards one at a time (the old
+        # chunksize=1) and falls back to in-process execution for daemonic
+        # callers (a scenario already inside a run_sweep worker) and
+        # workers <= 1 — same results either way.
+        outcomes = supervised_map(
+            _run_shard, specs, workers=self._resolve_workers(len(specs))
+        )
+        raise_on_failures(outcomes, what="shard")
+        return [o.value for o in outcomes]

@@ -1,0 +1,92 @@
+"""Fixture tests for the pool-discipline rule (docs/robustness.md)."""
+
+from __future__ import annotations
+
+MOD = "src/repro/scenario/snippet.py"
+
+
+class TestPoolDiscipline:
+    def test_pool_constructor_fires(self, lint_snippet):
+        code = "import multiprocessing\np = multiprocessing.Pool(4)\n"
+        hits = lint_snippet(code, "pool-discipline", rel=MOD)
+        assert len(hits) == 1 and "multiprocessing.Pool" in hits[0].message
+        assert "supervised_map" in hits[0].message
+
+    def test_get_context_and_context_pool_fire(self, lint_snippet):
+        code = (
+            "import multiprocessing\n"
+            "ctx = multiprocessing.get_context('fork')\n"
+            "with ctx.Pool(2) as pool:\n"
+            "    pass\n"
+        )
+        hits = lint_snippet(code, "pool-discipline", rel=MOD)
+        assert len(hits) == 2
+        assert any("get_context" in h.message for h in hits)
+        assert any("Pool" in h.message for h in hits)
+
+    def test_aliased_import_fires(self, lint_snippet):
+        code = "import multiprocessing as mp\nmp.Process(target=print).start()\n"
+        hits = lint_snippet(code, "pool-discipline", rel=MOD)
+        assert len(hits) == 1 and "multiprocessing.Process" in hits[0].message
+
+    def test_from_import_fires(self, lint_snippet):
+        code = "from multiprocessing import Pool\nPool(8)\n"
+        assert len(lint_snippet(code, "pool-discipline", rel=MOD)) == 1
+
+    def test_process_pool_executor_fires(self, lint_snippet):
+        code = (
+            "from concurrent.futures import ProcessPoolExecutor\n"
+            "ex = ProcessPoolExecutor(4)\n"
+        )
+        hits = lint_snippet(code, "pool-discipline", rel=MOD)
+        assert len(hits) == 1 and "ProcessPoolExecutor" in hits[0].message
+
+    def test_dotted_process_pool_executor_fires(self, lint_snippet):
+        code = (
+            "import concurrent.futures\n"
+            "ex = concurrent.futures.ProcessPoolExecutor(4)\n"
+        )
+        assert len(lint_snippet(code, "pool-discipline", rel=MOD)) == 1
+
+    def test_runtime_package_is_exempt(self, lint_snippet):
+        code = "import multiprocessing\nctx = multiprocessing.get_context('fork')\n"
+        rel = "src/repro/runtime/supervisor.py"
+        assert lint_snippet(code, "pool-discipline", rel=rel) == []
+
+    def test_tests_and_benchmarks_are_exempt(self, lint_snippet):
+        code = "import multiprocessing\nmultiprocessing.Pool(2)\n"
+        assert lint_snippet(code, "pool-discipline", rel="tests/runtime/t.py") == []
+        assert lint_snippet(code, "pool-discipline", rel="benchmarks/b.py") == []
+
+    def test_unrelated_pool_name_is_silent(self, lint_snippet):
+        # A module that never imports multiprocessing may call its own Pool.
+        code = (
+            "class Pool:\n"
+            "    pass\n"
+            "def make():\n"
+            "    return Pool()\n"
+        )
+        assert lint_snippet(code, "pool-discipline", rel=MOD) == []
+
+    def test_non_fanout_multiprocessing_use_is_silent(self, lint_snippet):
+        # Reading state is fine; only constructing fan-out is banned.
+        code = (
+            "import multiprocessing\n"
+            "daemon = multiprocessing.current_process().daemon\n"
+            "methods = multiprocessing.get_all_start_methods()\n"
+        )
+        assert lint_snippet(code, "pool-discipline", rel=MOD) == []
+
+    def test_suppression_comment_is_honored_by_the_runner(self, make_repo):
+        from repro.analysis.runner import run_lint
+
+        root = make_repo(
+            {
+                "src/repro/scenario/mod.py": (
+                    "import multiprocessing\n"
+                    "p = multiprocessing.Pool(2)  # repro-lint: disable=pool-discipline\n"
+                )
+            }
+        )
+        report = run_lint([root / "src"], root=root, select=["pool-discipline"])
+        assert report.findings == [] and report.suppressed == 1

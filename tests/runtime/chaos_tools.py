@@ -1,0 +1,108 @@
+"""The chaos engine: a tests-only engine that misbehaves on purpose.
+
+Registered under kind ``engine`` as ``"chaos"`` (by ``conftest.py``
+importing this module), never shipped in ``src``.  A scenario opts into
+chaos through its *name*::
+
+    chaos:<behavior>@<n>:<tag>
+
+The engine misbehaves on the first ``n`` attempts — ``raise`` (an
+in-worker exception), ``crash`` (``os._exit``), ``kill`` (SIGKILL to its
+own worker), ``hang`` (sleep past any timeout) — then delegates to the
+real ``cluster-sim`` engine, so a surviving run produces genuine
+simulator results the tests can compare bit-for-bit against serial
+baselines.  ``n = 0`` never misbehaves but still counts executions,
+which is how the journal/cache tests observe what actually re-ran.
+
+Attempts are counted in one file per tag under the directory named by
+``REPRO_CHAOS_STATE`` (workers inherit the environment), so tests assert
+exact retry counts across process boundaries.  Chaos sweeps must pin
+``start_method="fork"``: spawn workers re-import the library fresh and
+would not have this tests-only engine registered.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.registry import is_registered, register
+from repro.scenario import Scenario
+from repro.scenario.engine import ClusterSimEngine, Engine
+
+CHAOS_STATE_ENV = "REPRO_CHAOS_STATE"
+
+_BEHAVIORS = ("raise", "crash", "kill", "hang")
+
+#: Chaos sweeps pin fork (workers must inherit the tests-only engine
+#: registration); skip them on platforms without it.
+fork_only = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="chaos sweeps need the fork start method (inherited registry)",
+)
+
+
+def bump(tag: str) -> int:
+    """Record one execution for ``tag``; returns its 1-based ordinal."""
+    root = Path(os.environ[CHAOS_STATE_ENV])
+    root.mkdir(parents=True, exist_ok=True)
+    path = root / f"{tag}.attempts"
+    with open(path, "ab") as fh:
+        fh.write(b"x")
+    return path.stat().st_size
+
+
+def attempts(tag: str) -> int:
+    path = Path(os.environ[CHAOS_STATE_ENV]) / f"{tag}.attempts"
+    return path.stat().st_size if path.exists() else 0
+
+
+def _parse(name: str):
+    if not name.startswith("chaos:"):
+        return None
+    directive, _, tag = name[len("chaos:") :].partition(":")
+    behavior, _, n = directive.partition("@")
+    assert behavior in _BEHAVIORS and n.isdigit() and tag, f"bad chaos name {name!r}"
+    return behavior, int(n), tag
+
+
+class ChaosEngine(Engine):
+    """Misbehaves per the scenario-name directive, then runs cluster-sim."""
+
+    name = "chaos"
+
+    def run(self, scenario: Scenario):
+        directive = _parse(scenario.name)
+        if directive is not None:
+            behavior, n, tag = directive
+            attempt = bump(tag)
+            if attempt <= n:
+                if behavior == "raise":
+                    raise RuntimeError(f"chaos raise ({tag}, attempt {attempt})")
+                if behavior == "crash":
+                    os._exit(43)
+                if behavior == "kill":
+                    os.kill(os.getpid(), signal.SIGKILL)
+                time.sleep(600)  # hang: far past any test timeout
+        return ClusterSimEngine().run(scenario)
+
+
+def ensure_registered() -> None:
+    if not is_registered("engine", "chaos"):
+        register("engine", "chaos")(ChaosEngine)
+
+
+def chaos_scenario(behavior: str, n: int, tag: str, *, seed: int = 7) -> Scenario:
+    """A small, fast scenario (≈40 VMs on 3 servers) on the chaos engine."""
+    return (
+        Scenario(name=f"chaos:{behavior}@{n}:{tag}")
+        .with_workload("azure", n_vms=40, seed=seed)
+        .with_policy("proportional")
+        .with_servers(3)
+        .with_engine("chaos")
+    )

@@ -1,0 +1,17 @@
+"""Fixtures for the fault-tolerance suite (docs/robustness.md)."""
+
+from __future__ import annotations
+
+import pytest
+
+import chaos_tools
+
+chaos_tools.ensure_registered()
+
+
+@pytest.fixture
+def chaos_state(tmp_path, monkeypatch):
+    """Fresh chaos attempt-counter directory, exported to workers via env."""
+    state = tmp_path / "chaos-state"
+    monkeypatch.setenv(chaos_tools.CHAOS_STATE_ENV, str(state))
+    return state

@@ -1,0 +1,57 @@
+"""Worker task functions for the supervisor tests.
+
+Kept in a deliberately tiny module (stdlib imports only): under the
+spawn start method every worker child imports the defining module of the
+task function, and a heavyweight import would eat into the short
+wall-clock timeouts these tests assert on.
+
+Tasks carry their own misbehavior directive in the item — ``(state_file,
+n_bad, mode, payload)`` — and count attempts by appending one byte to
+``state_file`` per call, so the tests can assert exact attempt counts
+across worker processes without any shared-memory machinery.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+
+
+def bump(path: str) -> int:
+    """Append one attempt marker; returns this attempt's 1-based ordinal."""
+    with open(path, "ab") as fh:
+        fh.write(b"x")
+    return os.path.getsize(path)
+
+
+def attempts(path: str) -> int:
+    try:
+        return os.path.getsize(path)
+    except OSError:
+        return 0
+
+
+def flaky(arg):
+    """Misbehave (`mode`) on the first ``n_bad`` attempts, then succeed."""
+    path, n_bad, mode, payload = arg
+    attempt = bump(path)
+    if attempt <= n_bad:
+        if mode == "raise":
+            raise ValueError(f"flaky raise (attempt {attempt})")
+        if mode == "crash":
+            os._exit(43)
+        if mode == "kill":
+            os.kill(os.getpid(), signal.SIGKILL)
+        if mode == "hang":
+            time.sleep(600)
+        raise AssertionError(f"unknown flaky mode {mode!r}")
+    return ("done", payload * 2)
+
+
+def double(x):
+    return 2 * x
+
+
+def return_lambda(_x):
+    return lambda: None  # unpicklable: the worker cannot ship it back

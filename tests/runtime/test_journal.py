@@ -1,0 +1,131 @@
+"""SweepJournal: binding, torn entries, and resume-equals-cold sweeps."""
+
+from __future__ import annotations
+
+import pytest
+from chaos_tools import attempts, chaos_scenario
+
+from repro.errors import SimulationError
+from repro.runtime import SweepJournal
+from repro.scenario import SweepCache, run_sweep
+
+
+class TestJournalUnit:
+    def test_fresh_bind_returns_empty_and_round_trips(self, tmp_path):
+        journal = SweepJournal(tmp_path / "j")
+        assert journal.bind("fp-1", 3) == {}
+        assert journal.record(0, {"v": 1.5})
+        assert journal.record(2, ("a", (1, 2)))
+        assert len(journal) == 2
+        resumed = SweepJournal(tmp_path / "j")
+        assert resumed.bind("fp-1", 3) == {0: {"v": 1.5}, 2: ("a", (1, 2))}
+
+    def test_record_requires_bind(self, tmp_path):
+        journal = SweepJournal(tmp_path / "j")
+        with pytest.raises(SimulationError, match="bound"):
+            journal.record(0, 1)
+
+    def test_fingerprint_mismatch_resets(self, tmp_path):
+        journal = SweepJournal(tmp_path / "j")
+        journal.bind("fp-1", 2)
+        journal.record(0, "stale")
+        other = SweepJournal(tmp_path / "j")
+        assert other.bind("fp-2", 2) == {}  # different sweep: wiped
+        assert len(other) == 0
+
+    def test_n_items_mismatch_resets(self, tmp_path):
+        journal = SweepJournal(tmp_path / "j")
+        journal.bind("fp-1", 2)
+        journal.record(1, "stale")
+        assert SweepJournal(tmp_path / "j").bind("fp-1", 5) == {}
+
+    def test_torn_entry_is_dropped_individually(self, tmp_path):
+        journal = SweepJournal(tmp_path / "j")
+        journal.bind("fp-1", 3)
+        journal.record(0, "keep")
+        journal.record(1, "tear")
+        (tmp_path / "j" / "entry-000001.pkl").write_bytes(b"\x80garbage")
+        assert SweepJournal(tmp_path / "j").bind("fp-1", 3) == {0: "keep"}
+
+    def test_out_of_range_entries_are_ignored(self, tmp_path):
+        journal = SweepJournal(tmp_path / "j")
+        journal.bind("fp-1", 2)
+        journal.record(0, "ok")
+        journal.record(7, "beyond")  # e.g. a manifest hand-edit shrank the sweep
+        assert SweepJournal(tmp_path / "j").bind("fp-1", 2) == {0: "ok"}
+
+    def test_unpicklable_value_returns_false(self, tmp_path):
+        journal = SweepJournal(tmp_path / "j")
+        journal.bind("fp-1", 1)
+        assert not journal.record(0, lambda: None)
+        assert len(journal) == 0
+
+    def test_clear_drops_entries_and_manifest(self, tmp_path):
+        journal = SweepJournal(tmp_path / "j")
+        journal.bind("fp-1", 1)
+        journal.record(0, "x")
+        journal.clear()
+        assert len(journal) == 0
+        assert not (tmp_path / "j" / "manifest.json").exists()
+        with pytest.raises(SimulationError):
+            journal.record(0, "x")  # clear() also unbinds
+
+
+class TestSweepResume:
+    def test_interrupted_sweep_resumes_bit_identical_to_cold_run(
+        self, chaos_state, tmp_path, monkeypatch
+    ):
+        """Journal half a sweep, 'lose' the rest, resume: only the missing
+        scenarios re-run, and the resumed ResultSet equals an uninterrupted
+        cold run byte for byte."""
+        grid = [chaos_scenario("raise", 0, f"s{i}", seed=20 + i) for i in range(4)]
+        journal = SweepJournal(tmp_path / "journal")
+        first = run_sweep(grid, journal=journal)
+        assert len(journal) == 4
+        assert all(attempts(f"s{i}") == 1 for i in range(4))
+
+        # Simulate dying before entries 1 and 3 hit the disk.
+        for index in (1, 3):
+            (tmp_path / "journal" / f"entry-{index:06d}.pkl").unlink()
+
+        resumed = run_sweep(grid, journal=SweepJournal(tmp_path / "journal"))
+        assert [attempts(f"s{i}") for i in range(4)] == [1, 2, 1, 2]
+
+        # Independent cold run (fresh counters, no journal) for comparison.
+        monkeypatch.setenv("REPRO_CHAOS_STATE", str(tmp_path / "cold-state"))
+        cold = run_sweep(grid)
+        for f, r, c in zip(first, resumed, cold):
+            assert f == r == c
+
+    def test_journal_covers_scenarios_the_cache_cannot(self, chaos_state, tmp_path):
+        """Numpy-scalar workload params make a scenario uncacheable
+        (no canonical key); the journal persists it anyway, so a resume
+        skips the re-run even though the cache missed."""
+        import numpy as np
+
+        s = chaos_scenario("raise", 0, "unkeyed").with_workload(
+            "azure", n_vms=np.int64(40), seed=np.int64(7)
+        )
+        cache = SweepCache(tmp_path / "cache")
+        journal = SweepJournal(tmp_path / "journal")
+        run_sweep([s], cache=cache, journal=journal)
+        assert len(cache) == 0 and cache.skipped >= 1  # the cache couldn't hold it
+        assert len(journal) == 1 and attempts("unkeyed") == 1
+
+        again = run_sweep([s], cache=SweepCache(tmp_path / "cache"), journal=journal)
+        assert attempts("unkeyed") == 1  # served from the journal, not re-run
+        assert len(again) == 1 and again[0].ok
+
+    def test_rebinding_a_different_grid_resets_instead_of_leaking(
+        self, chaos_state, tmp_path
+    ):
+        journal = SweepJournal(tmp_path / "journal")
+        grid_a = [chaos_scenario("raise", 0, "a0"), chaos_scenario("raise", 0, "a1", seed=9)]
+        run_sweep(grid_a, journal=journal)
+        assert len(journal) == 2
+
+        grid_b = [chaos_scenario("raise", 0, "b0", seed=11)]
+        rs = run_sweep(grid_b, journal=SweepJournal(tmp_path / "journal"))
+        assert attempts("b0") == 1  # grid B actually ran (nothing leaked)
+        assert len(rs) == 1
+        assert len(SweepJournal(tmp_path / "journal")) == 1

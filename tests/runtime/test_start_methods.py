@@ -1,0 +1,45 @@
+"""Start-method plumbing: fork == spawn == serial, env-var selection."""
+
+from __future__ import annotations
+
+import multiprocessing
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.scenario import Scenario, run_sweep
+
+fork_available = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="fork start method unavailable",
+)
+
+
+def small_grid():
+    base = (
+        Scenario(name="start-methods")
+        .with_workload("azure", n_vms=40, seed=3)
+        .with_servers(3)
+    )
+    return [base.with_policy(p) for p in ("proportional", "priority", "preemption")]
+
+
+class TestBitIdentity:
+    @fork_available
+    def test_fork_spawn_and_serial_sweeps_are_identical(self):
+        grid = small_grid()
+        serial = run_sweep(grid)
+        fork = run_sweep(grid, workers=2, start_method="fork")
+        spawn = run_sweep(grid, workers=2, start_method="spawn")
+        for s, f, p in zip(serial, fork, spawn):
+            assert s == f == p  # scenario + full sim payload, bit for bit
+
+    def test_env_var_steers_the_sweep(self, monkeypatch):
+        # Point the default at spawn: the sweep must still match serial.
+        monkeypatch.setenv("REPRO_START_METHOD", "spawn")
+        grid = small_grid()[:2]
+        assert run_sweep(grid, workers=2) == run_sweep(grid)
+
+    def test_unknown_method_is_rejected_eagerly(self):
+        with pytest.raises(SimulationError, match="not available"):
+            run_sweep(small_grid(), workers=2, start_method="not-a-method")

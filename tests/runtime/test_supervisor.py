@@ -1,0 +1,243 @@
+"""supervised_map: crash/timeout/raise handling, retries, backoff, ordering."""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+
+import pytest
+import sv_tasks
+
+from repro.errors import SimulationError, SweepError
+from repro.runtime import (
+    RetryPolicy,
+    TaskOutcome,
+    raise_on_failures,
+    resolve_start_method,
+    supervised_map,
+)
+
+FORK = "fork" in multiprocessing.get_all_start_methods()
+fork_only = pytest.mark.skipif(not FORK, reason="fork start method unavailable")
+
+#: Snappy backoff so retry tests stay fast without changing semantics.
+FAST = RetryPolicy(backoff_base=0.01, backoff_max=0.05)
+
+
+def counter(tmp_path, tag):
+    return str(tmp_path / f"{tag}.attempts")
+
+
+def ok_item(payload=1):
+    # os.devnull keeps the attempt file inert; n_bad=-1 never misbehaves
+    # (the devnull "counter" always reads as attempt 0).
+    return (os.devnull, -1, "raise", payload)
+
+
+class TestHappyPath:
+    def test_results_in_input_order(self, tmp_path):
+        outcomes = supervised_map(sv_tasks.double, list(range(8)), workers=3)
+        assert [o.index for o in outcomes] == list(range(8))
+        assert [o.value for o in outcomes] == [2 * i for i in range(8)]
+        assert all(o.ok and o.attempts == 1 for o in outcomes)
+
+    def test_serial_fallbacks_match_parallel(self):
+        items = list(range(5))
+        for workers in (None, 0, 1):
+            outcomes = supervised_map(sv_tasks.double, items, workers=workers)
+            assert [o.value for o in outcomes] == [0, 2, 4, 6, 8]
+
+    def test_single_item_runs_in_process(self):
+        outcomes = supervised_map(sv_tasks.double, [21], workers=8)
+        assert outcomes[0].value == 42
+
+    def test_on_complete_fires_once_per_task(self):
+        seen = []
+        supervised_map(sv_tasks.double, list(range(6)), workers=2, on_complete=seen.append)
+        assert sorted(o.index for o in seen) == list(range(6))
+        assert all(isinstance(o, TaskOutcome) for o in seen)
+
+
+class TestCrash:
+    def test_crash_is_retried_in_fresh_worker(self, tmp_path):
+        path = counter(tmp_path, "crash-once")
+        [outcome] = supervised_map(
+            sv_tasks.flaky, [(path, 1, "crash", 10)], workers=2, policy=FAST
+        )
+        # workers=2 forces the parallel path even for one real task.
+        assert outcome.ok and outcome.value == ("done", 20)
+        assert outcome.attempts == 2
+        assert sv_tasks.attempts(path) == 2
+
+    def test_sigkill_mid_grid_spares_other_tasks(self, tmp_path):
+        items = [ok_item(i) for i in range(6)]
+        path = counter(tmp_path, "kill")
+        items[3] = (path, 1, "kill", 3)
+        outcomes = supervised_map(sv_tasks.flaky, items, workers=3, policy=FAST)
+        assert all(o.ok for o in outcomes)
+        assert [o.value for o in outcomes] == [("done", 2 * i) for i in range(6)]
+        assert outcomes[3].attempts == 2
+        assert all(o.attempts == 1 for o in outcomes if o.index != 3)
+
+    def test_crash_exhausts_retry_budget(self, tmp_path):
+        path = counter(tmp_path, "always-crash")
+        policy = RetryPolicy(max_retries=1, backoff_base=0.01)
+        outcomes = supervised_map(
+            sv_tasks.flaky,
+            [ok_item(0), (path, 99, "crash", 1), ok_item(2)],
+            workers=2,
+            policy=policy,
+        )
+        assert outcomes[0].ok and outcomes[2].ok
+        bad = outcomes[1]
+        assert not bad.ok and bad.failure.kind == "crash"
+        assert bad.attempts == 2 and sv_tasks.attempts(path) == 2
+        assert "exitcode" in bad.failure.message
+
+    @fork_only
+    def test_backoff_delays_retries(self, tmp_path):
+        path = counter(tmp_path, "backoff")
+        policy = RetryPolicy(max_retries=3, backoff_base=0.4, backoff_factor=1.0)
+        start = time.monotonic()
+        [outcome] = supervised_map(
+            sv_tasks.flaky, [(path, 2, "crash", 1)], workers=2,
+            policy=policy, start_method="fork",
+        )
+        elapsed = time.monotonic() - start
+        assert outcome.ok and outcome.attempts == 3
+        assert elapsed >= 0.8  # two parked retries at >= 0.4s each
+
+
+class TestRaise:
+    def test_raise_fails_fast_by_default(self, tmp_path):
+        path = counter(tmp_path, "raiser")
+        outcomes = supervised_map(
+            sv_tasks.flaky, [(path, 99, "raise", 1), ok_item(5)], workers=2
+        )
+        bad = outcomes[0]
+        assert not bad.ok and bad.failure.kind == "raise"
+        assert bad.failure.error_type == "ValueError"
+        assert "flaky raise" in bad.failure.message
+        assert "ValueError" in bad.failure.traceback
+        assert bad.attempts == 1 and sv_tasks.attempts(path) == 1
+        assert outcomes[1].ok
+
+    def test_raise_retry_is_opt_in(self, tmp_path):
+        path = counter(tmp_path, "raise-once")
+        policy = RetryPolicy(retry_on=("raise", "crash", "timeout"), backoff_base=0.01)
+        [outcome] = supervised_map(
+            sv_tasks.flaky, [(path, 1, "raise", 4)], workers=2, policy=policy
+        )
+        assert outcome.ok and outcome.value == ("done", 8)
+        assert outcome.attempts == 2 and sv_tasks.attempts(path) == 2
+
+    def test_serial_path_retries_raises_with_same_policy(self, tmp_path):
+        path = counter(tmp_path, "serial-raise")
+        policy = RetryPolicy(retry_on=("raise",), backoff_base=0.0)
+        [outcome] = supervised_map(
+            sv_tasks.flaky, [(path, 1, "raise", 7)], workers=None, policy=policy
+        )
+        assert outcome.ok and outcome.attempts == 2
+
+    def test_unpicklable_result_is_reported_not_fatal(self):
+        outcomes = supervised_map(
+            sv_tasks.return_lambda, [1, 2], workers=2
+        )
+        assert all(not o.ok for o in outcomes)
+        assert all(o.failure.error_type == "UnpicklableResultError" for o in outcomes)
+
+
+class TestTimeout:
+    def test_hung_task_is_killed_and_retried(self, tmp_path):
+        path = counter(tmp_path, "hang-once")
+        policy = RetryPolicy(timeout=2.0, backoff_base=0.01)
+        start = time.monotonic()
+        [outcome] = supervised_map(
+            sv_tasks.flaky, [(path, 1, "hang", 6)], workers=2, policy=policy
+        )
+        elapsed = time.monotonic() - start
+        assert outcome.ok and outcome.value == ("done", 12)
+        assert outcome.attempts == 2 and sv_tasks.attempts(path) == 2
+        assert elapsed < 60  # the 600s sleep was cut short by the kill
+
+    def test_timeout_exhaustion_reports_structured_failure(self, tmp_path):
+        path = counter(tmp_path, "always-hang")
+        policy = RetryPolicy(max_retries=1, timeout=0.5, backoff_base=0.01)
+        outcomes = supervised_map(
+            sv_tasks.flaky, [(path, 99, "hang", 1), ok_item(2)], workers=2, policy=policy
+        )
+        bad = outcomes[0]
+        assert not bad.ok and bad.failure.kind == "timeout"
+        assert bad.attempts == 2
+        assert "wall-clock budget" in bad.failure.message
+        assert outcomes[1].ok
+
+
+class TestPolicy:
+    def test_backoff_schedule(self):
+        policy = RetryPolicy(backoff_base=0.1, backoff_factor=2.0, backoff_max=0.35)
+        assert policy.backoff(1) == pytest.approx(0.1)
+        assert policy.backoff(2) == pytest.approx(0.2)
+        assert policy.backoff(3) == pytest.approx(0.35)  # capped
+        assert RetryPolicy(backoff_base=0.0).backoff(5) == 0.0
+        assert RetryPolicy().max_attempts == 3
+
+    def test_policy_validation(self):
+        with pytest.raises(SimulationError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(SimulationError):
+            RetryPolicy(timeout=0.0)
+        with pytest.raises(SimulationError):
+            RetryPolicy(backoff_base=-0.1)
+        with pytest.raises(SimulationError, match="unknown retry_on"):
+            RetryPolicy(retry_on=("crash", "oom"))
+
+    def test_raise_on_failures(self):
+        ok = TaskOutcome(index=0, status="ok", value=1)
+        raise_on_failures([ok])  # no-op
+        from repro.runtime import TaskFailure
+
+        bad = TaskOutcome(
+            index=1,
+            status="failed",
+            failure=TaskFailure(kind="crash", error_type="WorkerCrashed", message="boom"),
+            attempts=3,
+        )
+        with pytest.raises(SweepError, match="1 of 2 shard task") as info:
+            raise_on_failures([ok, bad], what="shard")
+        assert isinstance(info.value, SimulationError)
+        assert info.value.failures == (bad,)
+
+
+class TestStartMethods:
+    def test_env_var_and_override_resolution(self, monkeypatch):
+        monkeypatch.delenv("REPRO_START_METHOD", raising=False)
+        assert resolve_start_method() in multiprocessing.get_all_start_methods()
+        monkeypatch.setenv("REPRO_START_METHOD", "spawn")
+        assert resolve_start_method() == "spawn"
+        if FORK:
+            assert resolve_start_method("fork") == "fork"  # override beats env
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(SimulationError, match="not available"):
+            resolve_start_method("definitely-not-a-method")
+
+    def test_spawn_crash_retry(self, tmp_path):
+        path = counter(tmp_path, "spawn-crash")
+        [outcome] = supervised_map(
+            sv_tasks.flaky,
+            [(path, 1, "crash", 9)],
+            workers=2,
+            policy=FAST,
+            start_method="spawn",
+        )
+        assert outcome.ok and outcome.value == ("done", 18)
+        assert outcome.attempts == 2 and sv_tasks.attempts(path) == 2
+
+    @fork_only
+    def test_fork_and_spawn_return_identical_outcomes(self):
+        items = list(range(5))
+        fork = supervised_map(sv_tasks.double, items, workers=2, start_method="fork")
+        spawn = supervised_map(sv_tasks.double, items, workers=2, start_method="spawn")
+        assert fork == spawn

@@ -1,0 +1,121 @@
+"""run_sweep under injected faults: the docs/robustness.md acceptance bar."""
+
+from __future__ import annotations
+
+import pytest
+from chaos_tools import attempts, chaos_scenario, fork_only
+
+from repro.errors import SimulationError, SweepError
+from repro.runtime import RetryPolicy
+from repro.scenario import SweepCache, SweepJournal, run_sweep
+
+#: Snappy backoff so retries cost milliseconds, not the default tenths.
+FAST = RetryPolicy(backoff_base=0.01, backoff_max=0.05)
+
+
+def grid_with(bad, n_good=4):
+    """``n_good`` well-behaved (but run-counting) scenarios plus ``bad``."""
+    scenarios = [chaos_scenario("raise", 0, f"good-{i}", seed=10 + i) for i in range(n_good)]
+    scenarios.insert(n_good // 2, bad)
+    return scenarios
+
+
+@fork_only
+class TestCrashContainment:
+    def test_sigkilled_worker_spares_the_rest_and_stays_bit_identical(self, chaos_state):
+        """The acceptance test: SIGKILL a worker mid-grid; every other
+        scenario still completes, and the retried scenario's results are
+        bit-identical to a serial run of the same grid."""
+        grid = grid_with(chaos_scenario("kill", 1, "victim"))
+        parallel = run_sweep(grid, workers=3, retry=FAST, start_method="fork")
+        assert parallel.complete and len(parallel) == len(grid)
+        assert attempts("victim") == 2  # SIGKILLed once, retried once
+        assert all(attempts(f"good-{i}") == 1 for i in range(4))
+
+        # Counters are now past every directive, so a serial pass runs the
+        # identical scenarios clean — supervision must not have changed a bit.
+        serial = run_sweep(grid)
+        for p, s in zip(parallel, serial):
+            assert p == s  # full dataclass equality: scenario + sim payload
+
+    def test_hard_exit_worker_is_contained_too(self, chaos_state):
+        grid = grid_with(chaos_scenario("crash", 1, "exiter"), n_good=2)
+        rs = run_sweep(grid, workers=2, retry=FAST, start_method="fork")
+        assert rs.complete
+        assert attempts("exiter") == 2
+
+    def test_crash_exhaustion_raises_sweep_error_by_default(self, chaos_state):
+        grid = grid_with(chaos_scenario("crash", 99, "doomed"), n_good=2)
+        policy = RetryPolicy(max_retries=1, backoff_base=0.01)
+        with pytest.raises(SweepError) as info:
+            run_sweep(grid, workers=2, retry=policy, start_method="fork")
+        assert isinstance(info.value, SimulationError)  # legacy handlers still catch
+        assert "crash" in str(info.value)
+        assert len(info.value.failures) == 1
+        assert attempts("doomed") == 2  # the retry budget was honored
+
+
+@fork_only
+class TestCollectMode:
+    def test_partial_results_with_structured_failures(self, chaos_state):
+        grid = grid_with(chaos_scenario("raise", 99, "broken"), n_good=2)
+        rs = run_sweep(grid, workers=2, on_error="collect", start_method="fork")
+        assert len(rs) == len(grid)
+        assert not rs.complete and rs.n_failed == 1
+        assert len(rs.ok()) == 2
+
+        [bad] = rs.failed()
+        assert bad.error.kind == "raise"
+        assert bad.error.error_type == "RuntimeError"
+        assert bad.error.attempts == 1  # raises fail fast by default
+        assert "chaos raise" in bad.error.message
+        assert bad.status == "failed" and not bad.ok
+        with pytest.raises(SimulationError, match="no metrics"):
+            _ = bad.failure_probability
+
+    def test_failed_scenarios_never_enter_cache_or_journal(self, chaos_state, tmp_path):
+        cache = SweepCache(tmp_path / "cache")
+        journal = SweepJournal(tmp_path / "journal")
+        grid = grid_with(chaos_scenario("raise", 99, "broken"), n_good=2)
+        rs = run_sweep(
+            grid, workers=2, cache=cache, journal=journal,
+            on_error="collect", start_method="fork",
+        )
+        assert rs.n_failed == 1
+        assert len(cache) == 2 and len(journal) == 2  # only the good results
+
+
+@fork_only
+class TestTimeouts:
+    def test_hung_scenario_is_killed_and_retried(self, chaos_state):
+        grid = grid_with(chaos_scenario("hang", 1, "sleeper"), n_good=2)
+        rs = run_sweep(
+            grid, workers=2, retry=FAST, timeout=5.0, start_method="fork"
+        )
+        assert rs.complete
+        assert attempts("sleeper") == 2  # killed at the deadline, redone
+
+    def test_timeout_exhaustion_surfaces_as_timeout_failure(self, chaos_state):
+        grid = grid_with(chaos_scenario("hang", 99, "wedged"), n_good=2)
+        policy = RetryPolicy(max_retries=1, timeout=1.0, backoff_base=0.01)
+        rs = run_sweep(
+            grid, workers=2, retry=policy, on_error="collect", start_method="fork"
+        )
+        [bad] = rs.failed()
+        assert bad.error.kind == "timeout" and bad.error.attempts == 2
+        assert len(rs.ok()) == 2
+
+
+@fork_only
+class TestRetriedDeterminism:
+    def test_retried_scenario_equals_unfaulted_twin(self, chaos_state):
+        """The same scenario run without any fault (fresh engine, serial)
+        must produce the byte-identical sim payload a crash-retried parallel
+        run produced."""
+        victim = chaos_scenario("kill", 1, "twin")
+        [retried] = run_sweep(
+            [victim], workers=2, retry=FAST, start_method="fork"
+        )
+        assert attempts("twin") == 2
+        clean = run_sweep([victim.with_engine("cluster-sim")])
+        assert retried.sim == clean[0].sim

@@ -138,6 +138,86 @@ class TestRoundTrip:
         assert len(cache) == 0 and cache.skipped >= 1
 
 
+class TestQuarantine:
+    """Corrupt on-disk entries are renamed ``<key>.corrupt``, not re-parsed
+    forever (docs/robustness.md)."""
+
+    def _seed_entry(self, tmp_path):
+        path = tmp_path / "sweeps"
+        cache = SweepCache(path)
+        s = base_scenario()
+        run_sweep([s], cache=cache)
+        [entry] = path.glob("*.json")
+        return path, cache, s, entry
+
+    def test_corrupt_entry_is_quarantined_and_counted(self, tmp_path):
+        path, cache, s, entry = self._seed_entry(tmp_path)
+        entry.write_text("{ torn mid-write")
+        assert cache.get(s) is None
+        assert not entry.exists(), "the corrupt file must move aside"
+        quarantined = path / f"{entry.stem}.corrupt"
+        assert quarantined.exists(), "quarantined for post-mortem, not deleted"
+        assert cache.corrupt == 1 and cache.stats()["corrupt"] == 1
+        # The next lookup is a clean miss, not another quarantine.
+        assert cache.get(s) is None and cache.corrupt == 1
+
+    def test_shape_drift_is_quarantined_too(self, tmp_path):
+        # Valid JSON whose payload no longer matches the dataclasses.
+        import json
+
+        path, cache, s, entry = self._seed_entry(tmp_path)
+        payload = json.loads(entry.read_text())
+        payload["sim"] = {"only": "junk"}
+        entry.write_text(json.dumps(payload))
+        assert cache.get(s) is None
+        assert cache.corrupt == 1 and (path / f"{entry.stem}.corrupt").exists()
+
+    def test_version_mismatch_is_a_clean_miss_not_corruption(self, tmp_path):
+        import json
+
+        path, cache, s, entry = self._seed_entry(tmp_path)
+        payload = json.loads(entry.read_text())
+        payload["version"] = 999
+        entry.write_text(json.dumps(payload))
+        assert cache.get(s) is None
+        assert cache.corrupt == 0 and entry.exists()  # stale, not quarantined
+
+    def test_len_and_clear_ignore_quarantined_files(self, tmp_path):
+        path, cache, s, entry = self._seed_entry(tmp_path)
+        entry.write_text("{ torn")
+        assert cache.get(s) is None
+        assert len(cache) == 0  # the .corrupt file is not an entry
+        run_sweep([s], cache=cache)  # re-run refills the slot
+        assert len(cache) == 1
+        cache.clear()
+        assert len(cache) == 0
+        assert (path / f"{entry.stem}.corrupt").exists(), (
+            "clear() must leave quarantined files for post-mortem"
+        )
+
+    def test_rerun_overwrites_the_quarantined_slot(self, tmp_path):
+        path, cache, s, entry = self._seed_entry(tmp_path)
+        entry.write_text("{ torn")
+        assert cache.get(s) is None
+        cold = run_sweep([s], cache=cache)
+        warm = run_sweep([s], cache=cache)
+        assert warm[0].sim == cold[0].sim
+        assert cache.hits >= 1
+
+    def test_failed_results_are_never_stored(self, tmp_path):
+        from repro.scenario import ScenarioFailure, ScenarioResult
+
+        cache = SweepCache(tmp_path / "sweeps")
+        failed = ScenarioResult.from_failure(
+            base_scenario(),
+            ScenarioFailure(kind="crash", error_type="WorkerCrashed", message="boom"),
+        )
+        skipped_before = cache.skipped
+        assert not cache.put(failed)
+        assert cache.skipped == skipped_before + 1
+        assert len(cache) == 0
+
+
 class TestSweepIntegration:
     def test_mixed_hits_and_misses_keep_order(self):
         cache = SweepCache()
