@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Compare a coverage report against the committed baseline (stdlib only).
+
+Reads the JSON written by ``measure_coverage.py`` (or ``pytest --cov
+--cov-report=json``), compares ``totals.percent_covered`` with
+``coverage-baseline.json`` at the repo root, and fails **only** on a
+regression of more than ``TOLERANCE_PTS`` percentage points — coverage is
+reported, not gated on, and the tolerance also absorbs the small gap
+between the ``coverage`` package and the stdlib fallback tracer
+(docs/testing.md#coverage).
+
+Usage::
+
+    python scripts/check_coverage.py coverage.json                    # compare
+    python scripts/check_coverage.py coverage.json --update-baseline  # accept
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BASELINE = REPO_ROOT / "coverage-baseline.json"
+TOLERANCE_PTS = 2.0
+
+
+def read_percent(report: Path) -> tuple[float, str]:
+    data = json.loads(report.read_text(encoding="utf-8"))
+    percent = float(data["totals"]["percent_covered"])
+    tool = str(data.get("meta", {}).get("tool", "coverage"))
+    return percent, tool
+
+
+def main(argv: list[str]) -> int:
+    update = "--update-baseline" in argv
+    paths = [a for a in argv if not a.startswith("-")]
+    if len(paths) != 1:
+        print("usage: check_coverage.py REPORT.json [--update-baseline]", file=sys.stderr)
+        return 2
+    percent, tool = read_percent(Path(paths[0]))
+
+    if update or not BASELINE.exists():
+        BASELINE.write_text(
+            json.dumps({"percent_covered": round(percent, 2), "tool": tool}, indent=2) + "\n",
+            encoding="utf-8",
+        )
+        print(f"baseline updated: {percent:.2f}% ({tool}) -> {BASELINE.name}")
+        return 0
+
+    baseline = json.loads(BASELINE.read_text(encoding="utf-8"))
+    floor = float(baseline["percent_covered"]) - TOLERANCE_PTS
+    verdict = "OK" if percent >= floor else "REGRESSION"
+    print(
+        f"coverage {percent:.2f}% ({tool}) vs baseline "
+        f"{baseline['percent_covered']:.2f}% ({baseline.get('tool', '?')}), "
+        f"floor {floor:.2f}%: {verdict}"
+    )
+    if percent < floor:
+        print(
+            "coverage regressed by more than "
+            f"{TOLERANCE_PTS:g} points; if deliberate, re-run with "
+            "--update-baseline and commit coverage-baseline.json",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -99,6 +99,53 @@ class CollectorMergeDisciplineRule(LintRule):
                 )
 
 
+@register("lint", "collector-snapshot-discipline")
+class CollectorSnapshotDisciplineRule(LintRule):
+    """Registered metrics collectors implement snapshot/restore or opt out."""
+
+    name = "collector-snapshot-discipline"
+    scope = "file"
+    description = (
+        "every @register('metrics', ...) collector must implement both "
+        "snapshot() and restore() (exact mid-replay state round-trip for "
+        "checkpoint/resume) or declare `snapshottable = False` so capture "
+        "rejects it eagerly and documentedly"
+    )
+
+    def check(self, module: ModuleSource, ctx: LintContext):
+        for node, _ in _iter_registered_classes(module, "metrics"):
+            methods = {
+                stmt.name
+                for stmt in node.body
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+            }
+            has_pair = "snapshot" in methods and "restore" in methods
+            opted_out = False
+            for stmt in node.body:
+                targets: list[ast.expr] = []
+                value: ast.expr | None = None
+                if isinstance(stmt, ast.Assign):
+                    targets, value = stmt.targets, stmt.value
+                elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                    targets, value = [stmt.target], stmt.value
+                if (
+                    any(isinstance(t, ast.Name) and t.id == "snapshottable" for t in targets)
+                    and isinstance(value, ast.Constant)
+                    and value.value is False
+                ):
+                    opted_out = True
+            if not has_pair and not opted_out:
+                missing = sorted({"snapshot", "restore"} - methods)
+                yield module.finding(
+                    self.name,
+                    node,
+                    f"metrics collector {node.name} is missing {'/'.join(missing)} "
+                    "and does not declare `snapshottable = False` — "
+                    "checkpoint/resume needs the exact state round-trip or an "
+                    "explicit opt-out",
+                )
+
+
 class _NumpyRandomUseVisitor(ast.NodeVisitor):
     """Collects numpy.random uses in executable positions (not annotations)."""
 

@@ -62,6 +62,7 @@ failure-free scenarios bit-identical to the pinned reference.
 
 from __future__ import annotations
 
+import copy
 import heapq
 
 import numpy as np
@@ -173,6 +174,11 @@ class FailureInjector:
         )
         self.evacuation_budget = evacuation_budget
         self.topology = topology
+        #: The declarative ``failures`` spec this injector was built from
+        #: (:meth:`from_spec` only; None for direct construction).  Snapshot
+        #: restores compare it to decide between resuming the stored event
+        #: heap verbatim and rebuilding a fresh schedule for a what-if fork.
+        self.spec: dict | None = None
         self._reset()
 
     @staticmethod
@@ -232,7 +238,7 @@ class FailureInjector:
         warning_intervals = params.pop("warning_intervals", None)
         evacuation_budget = params.pop("evacuation_budget", None)
         model = create("failure", name, **params)
-        return cls(
+        injector = cls(
             model,
             seed=seed,
             response=response,
@@ -241,6 +247,8 @@ class FailureInjector:
             evacuation_budget=evacuation_budget,
             topology=topology,
         )
+        injector.spec = copy.deepcopy(spec)
+        return injector
 
     # -- per-run state -----------------------------------------------------------
 
@@ -252,6 +260,10 @@ class FailureInjector:
         self._drain_queue: dict[int, list[int]] = {}  # server -> pending VMs
         self._nominal_cap: np.ndarray | None = None
         self._initial_cores = 0.0
+        #: The merged VM + failure event heap and running peak, owned by
+        #: :meth:`start` / :meth:`step` (``drive`` is their composition).
+        self._heap: list[tuple[float, int, int, float]] | None = None
+        self._peak = 0.0
         self.counts = {
             "revocations": 0,
             "capacity_dips": 0,
@@ -372,21 +384,38 @@ class FailureInjector:
         Called by :meth:`ClusterSimulator.run` when an injector is
         attached; uses the simulator's own ``_handle_start`` /
         ``_handle_end`` so placement, deflation, and metrics behave exactly
-        as in the failure-free loop.
+        as in the failure-free loop.  ``drive`` is exactly :meth:`start`
+        followed by an unbounded :meth:`step` — the split exists so
+        checkpoint/resume (``ClusterSimulator.run_until``) can stop the
+        replay at an event boundary without changing how events process.
+        """
+        self.start(sim)
+        self.step(sim)
+        return self._peak
+
+    def start(self, sim, vm_entries: list | None = None) -> None:
+        """Reset state and build the merged event heap without driving it.
+
+        ``vm_entries`` overrides the VM side of the stream with an explicit
+        remainder (``(t, _END|_START, vm, 0.0)`` tuples) — the snapshot
+        restore path uses it to fork a warm failure-free prefix into this
+        injector's schedule without replaying the prefix's VM events.
         """
         self._reset()
         self._nominal_cap = sim.server_cap.copy()
         self._initial_cores = float(self._nominal_cap[:, 0].sum())
-        n = len(sim.traces)
         horizon = float(sim.traces.horizon())
         schedule = self.schedule(sim.config.n_servers, horizon)
 
-        ends = sim.vm_end.tolist()
-        starts = sim.vm_start.tolist()
         heap: list[tuple[float, int, int, float]] = []
-        for i in range(n):
-            heap.append((float(ends[i]), _END, i, 0.0))
-            heap.append((float(starts[i]), _START, i, 0.0))
+        if vm_entries is None:
+            ends = sim.vm_end.tolist()
+            starts = sim.vm_start.tolist()
+            for i in range(len(sim.traces)):
+                heap.append((float(ends[i]), _END, i, 0.0))
+                heap.append((float(starts[i]), _START, i, 0.0))
+        else:
+            heap.extend(vm_entries)
         for ev in schedule:
             if ev.action == "revoke":
                 heap.append((ev.time, _REVOKE, ev.server, 0.0))
@@ -397,9 +426,27 @@ class FailureInjector:
                 heap.append((ev.time + ev.duration, _DIP_END, ev.server, 0.0))
         self._check_dip_overlap(schedule)
         heapq.heapify(heap)
+        self._heap = heap
+        self._peak = 0.0
 
-        peak = 0.0
-        while heap:
+    def step(self, sim, until: float | None = None) -> bool:
+        """Process events with ``t < until`` (all of them when None).
+
+        Returns True when the stream is exhausted.  Every event key
+        ``(t, kind, key)`` in the heap is unique, so pops follow a strict
+        total order regardless of the heap's internal layout — which is
+        what lets a snapshot store the remaining entries as a sorted list
+        and re-heapify on restore without changing replay order.  Dynamic
+        pushes (requeues, evacuation ticks, deadlines) never schedule
+        before the current event, so stopping at ``until`` processes
+        exactly the events an uninterrupted run would have processed
+        before that boundary.
+        """
+        heap = self._heap
+        if heap is None:
+            raise SimulationError("injector.step() before start()")
+        peak = self._peak
+        while heap and (until is None or heap[0][0] < until):
             t, kind, key, aux = heapq.heappop(heap)
             if kind == _END:
                 sim._handle_end(t, key)
@@ -424,7 +471,89 @@ class FailureInjector:
                 if sim._committed_cores > peak:
                     peak = sim._committed_cores
             self._after_event(sim, t, kind, key)
-        return peak
+        self._peak = peak
+        return not heap
+
+    # -- snapshot/restore ---------------------------------------------------------
+
+    def state_snapshot(self) -> dict:
+        """Copy of the injector's mutable mid-replay state (plus the heap).
+
+        Everything a resumed replay needs to continue bit-identically:
+        accruals and counts, revocation/dip/drain/requeue bookkeeping, the
+        nominal-capacity matrix, and the remaining event heap stored as a
+        sorted list (safe: pop order only depends on the entry *set*, see
+        :meth:`step`).  The constructor identity (``spec`` + topology)
+        rides along so a restore can tell a pure resume from a what-if
+        fork into a different failure regime.
+        """
+        if self._heap is None:
+            raise SimulationError("injector has not driven a replay yet")
+        return {
+            "spec": copy.deepcopy(self.spec),
+            "topology": copy.deepcopy(self.topology),
+            "revoked": sorted(self._revoked),
+            "dip_active": dict(self._dip_active),
+            "requeue_pending": dict(self._requeue_pending),
+            "draining": dict(self._draining),
+            "drain_queue": {s: list(q) for s, q in self._drain_queue.items()},
+            "nominal_cap": self._nominal_cap.copy(),
+            "initial_cores": self._initial_cores,
+            "counts": dict(self.counts),
+            "downtime_intervals": self.downtime_intervals,
+            "absorbed_core_intervals": self.absorbed_core_intervals,
+            "lost_core_intervals": self.lost_core_intervals,
+            "arrived_nominal_cores": self.arrived_nominal_cores,
+            "heap": tuple(sorted(self._heap)),
+            "peak": self._peak,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Reinstate a :meth:`state_snapshot` for a verbatim resume.
+
+        Only valid when this injector drives the *same* failure stream the
+        snapshot was taken under (same spec, seed, and topology) — the
+        caller (:mod:`repro.simulator.snapshot`) checks that; a different
+        spec must rebuild via :meth:`start` instead.
+        """
+        self._revoked = set(state["revoked"])
+        self._dip_active = dict(state["dip_active"])
+        self._requeue_pending = dict(state["requeue_pending"])
+        self._draining = dict(state["draining"])
+        self._drain_queue = {s: list(q) for s, q in state["drain_queue"].items()}
+        self._nominal_cap = state["nominal_cap"].copy()
+        self._initial_cores = state["initial_cores"]
+        self.counts = dict(state["counts"])
+        self.downtime_intervals = state["downtime_intervals"]
+        self.absorbed_core_intervals = state["absorbed_core_intervals"]
+        self.lost_core_intervals = state["lost_core_intervals"]
+        self.arrived_nominal_cores = state["arrived_nominal_cores"]
+        heap = [tuple(entry) for entry in state["heap"]]
+        heapq.heapify(heap)
+        self._heap = heap
+        self._peak = state["peak"]
+
+    @staticmethod
+    def state_is_pristine(state: dict) -> bool:
+        """True when the snapshot saw no failure activity before its boundary.
+
+        A pristine prefix (no revocations, dips, arrivals, drains, or
+        requeues processed; all accruals zero) is shared by *every* failure
+        regime, so it may be forked into a different spec; a contaminated
+        prefix may only be resumed under the spec that produced it.
+        """
+        return (
+            not state["revoked"]
+            and not state["dip_active"]
+            and not state["requeue_pending"]
+            and not state["draining"]
+            and not state["drain_queue"]
+            and all(v == 0 for v in state["counts"].values())
+            and state["downtime_intervals"] == 0.0
+            and state["absorbed_core_intervals"] == 0.0
+            and state["lost_core_intervals"] == 0.0
+            and state["arrived_nominal_cores"] == 0.0
+        )
 
     @staticmethod
     def _check_dip_overlap(schedule) -> None:

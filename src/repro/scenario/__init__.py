@@ -32,10 +32,12 @@ seed=...)``); see ``docs/failures.md``.
 
 from repro.runtime import RetryPolicy, SweepJournal
 from repro.scenario.cache import SweepCache, cacheable, scenario_key
-from repro.scenario.engine import ClusterSimEngine, Engine, resolve_workload
+from repro.scenario.engine import ClusterSimEngine, Engine, resolve_cluster, resolve_workload
 from repro.scenario.results import ResultSet, ScenarioFailure, ScenarioResult
 from repro.scenario.scenario import Scenario
-from repro.scenario.sweep import run_scenario, run_sweep
+from repro.scenario.stream import ScenarioStream, StreamTick
+from repro.scenario.sweep import fork_sweep, run_scenario, run_sweep
+from repro.simulator.snapshot import SimSnapshot
 
 __all__ = [
     "ClusterSimEngine",
@@ -45,9 +47,14 @@ __all__ = [
     "Scenario",
     "ScenarioFailure",
     "ScenarioResult",
+    "ScenarioStream",
+    "SimSnapshot",
+    "StreamTick",
     "SweepCache",
     "SweepJournal",
     "cacheable",
+    "fork_sweep",
+    "resolve_cluster",
     "resolve_workload",
     "run_scenario",
     "run_sweep",

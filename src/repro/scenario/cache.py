@@ -44,13 +44,18 @@ CACHE_FORMAT_VERSION = 1
 def scenario_key(scenario: Scenario) -> str:
     """Canonical cache key: sha256 over the scenario's sorted-key JSON.
 
-    Raises :class:`SimulationError` for scenarios that cannot serialize
-    (explicit traces); use :func:`cacheable` to probe first.
+    Checkpoint-carrying scenarios key on the declarative fields *plus* the
+    snapshot's own fingerprint — the same scenario forked from a different
+    warm prefix is a different run and must not collide.  Raises
+    :class:`SimulationError` for scenarios that cannot serialize (explicit
+    traces); use :func:`cacheable` to probe first.
     """
     payload = {
         "version": CACHE_FORMAT_VERSION,
-        "scenario": scenario.to_dict(),
+        "scenario": scenario.without_checkpoint().to_dict(),
     }
+    if scenario.checkpoint is not None:
+        payload["checkpoint"] = scenario.checkpoint.fingerprint()
     canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode()).hexdigest()
 
@@ -113,12 +118,22 @@ _CONFIG_FIELDS = tuple(f.name for f in dataclasses.fields(ClusterSimConfig))
 
 def _result_to_payload(result: ScenarioResult) -> dict:
     sim = result.sim
-    return {
+    scenario = result.scenario
+    payload = {
         "version": CACHE_FORMAT_VERSION,
-        "scenario": result.scenario.to_dict(),
+        # A snapshot is live state and does not serialize to JSON; the
+        # checkpoint already shaped the key via its fingerprint, so the
+        # stored scenario is the declarative remainder.  Disk hits for
+        # checkpointed runs therefore come back with ``scenario.checkpoint
+        # is None`` (the *result* values are still bit-identical); the
+        # in-memory backend stores the live object and keeps it.
+        "scenario": scenario.without_checkpoint().to_dict(),
         "config": _encode({f: getattr(sim.config, f) for f in _CONFIG_FIELDS}),
         "sim": _encode({f: getattr(sim, f) for f in _SIM_FIELDS}),
     }
+    if scenario.checkpoint is not None:
+        payload["checkpoint"] = scenario.checkpoint.fingerprint()
+    return payload
 
 
 def _payload_to_result(payload: dict) -> ScenarioResult:

@@ -59,6 +59,24 @@ def resolve_workload(scenario: Scenario) -> VMTraceSet:
     return traces
 
 
+def resolve_cluster(scenario: Scenario) -> tuple[VMTraceSet, int]:
+    """Materialize ``(traces, n_servers)`` exactly as the engine would.
+
+    The paper's sizing method: an explicit ``n_servers`` wins; otherwise
+    the minimum cluster fitting the trace's peak committed load is shrunk
+    to the target overcommitment.  Shared by :meth:`ClusterSimEngine.build`,
+    the sharded planner, and :func:`~repro.scenario.sweep.fork_sweep`'s
+    boundary validation — all three must agree on the resolved cluster.
+    """
+    traces = resolve_workload(scenario)
+    if scenario.n_servers is not None:
+        return traces, scenario.n_servers
+    target = scenario.overcommitment if scenario.overcommitment is not None else 0.0
+    return traces, servers_for_overcommitment(
+        traces, target, cores_per_server=scenario.cores_per_server
+    )
+
+
 class Engine(abc.ABC):
     """Executes scenarios.  Subclasses register under kind ``engine``."""
 
@@ -83,21 +101,17 @@ class ClusterSimEngine(Engine):
         pre-run surgery flow (``engine.build(s)`` then mutate then
         ``sim.run()``) works for failure-injected studies too.
         """
-        traces = resolve_workload(scenario)
-        if scenario.n_servers is not None:
-            n_servers = scenario.n_servers
-        else:
-            # The paper's method: size the minimum cluster fitting the peak,
-            # then shrink it to hit the target overcommitment.
-            target = scenario.overcommitment if scenario.overcommitment is not None else 0.0
-            n_servers = servers_for_overcommitment(
-                traces, target, cores_per_server=scenario.cores_per_server
-            )
+        traces, n_servers = resolve_cluster(scenario)
         sim = ClusterSimulator(traces, scenario.sim_config(n_servers))
         if scenario.failures is not None:
             sim.attach_failures(
                 FailureInjector.from_spec(scenario.failures, topology=scenario.topology)
             )
+        if scenario.checkpoint is not None:
+            # Restore after the injector attaches: the snapshot decides
+            # between a verbatim resume and a what-if fork by comparing
+            # its stored spec against the attached injector's.
+            sim.restore(scenario.checkpoint)
         return sim
 
     def run(self, scenario: Scenario) -> ScenarioResult:

@@ -73,6 +73,13 @@ class Scenario:
     scorer: str = "cosine"
     collectors: tuple[str, ...] = ()
     engine: str = "cluster-sim"
+    #: Optional warm starting point: a
+    #: :class:`~repro.simulator.snapshot.SimSnapshot` restored into the
+    #: built simulator before the replay, so the run resumes (or forks) at
+    #: the snapshot's boundary instead of re-simulating the prefix.  Like
+    #: ``traces``, a snapshot is live state, not declarative data — it
+    #: pickles across sweep workers but never serializes to a dict.
+    checkpoint: object | None = None
 
     def __post_init__(self) -> None:
         if self.workload is not None and self.traces is not None:
@@ -270,12 +277,43 @@ class Scenario:
         validate("engine", engine)
         return self._replace(engine=engine)
 
+    def with_checkpoint(self, snapshot) -> "Scenario":
+        """Resume (or fork) the replay from a simulator snapshot.
+
+        ``snapshot`` is a :class:`~repro.simulator.snapshot.SimSnapshot`
+        taken by :meth:`ClusterSimulator.snapshot` on a simulator built
+        from a compatible scenario: same workload, sizing, policy, and
+        component fields.  Only the what-if axes may differ — ``name``,
+        ``failures``, ``topology`` — and then only when the snapshot's
+        prefix is failure-pristine (:func:`~repro.scenario.sweep.fork_sweep`
+        validates the boundary up front; the restore itself re-checks).
+        The engine restores the snapshot into the built simulator before
+        replaying, so the prefix is never re-simulated and the result is
+        bit-identical to a cold run of the same scenario.
+        """
+        from repro.simulator.snapshot import SimSnapshot
+
+        if not isinstance(snapshot, SimSnapshot):
+            raise SimulationError(
+                f"with_checkpoint needs a SimSnapshot, got {type(snapshot).__name__}"
+            )
+        return self._replace(checkpoint=snapshot)
+
+    def without_checkpoint(self) -> "Scenario":
+        """Drop the checkpoint (back to a cold replay from t=0)."""
+        return self._replace(checkpoint=None)
+
     # -- serialization -----------------------------------------------------------
 
     def to_dict(self) -> dict:
         """Plain-dict form (defaults elided; ``traces`` cannot be serialized)."""
         if self.traces is not None:
             raise SimulationError("scenarios with explicit traces do not serialize to dicts")
+        if self.checkpoint is not None:
+            raise SimulationError(
+                "scenarios with a checkpoint do not serialize to dicts; "
+                "drop it with without_checkpoint() first"
+            )
         out: dict = {}
         for f in dataclasses.fields(self):
             if f.name == "traces":
@@ -294,7 +332,7 @@ class Scenario:
     @classmethod
     def from_dict(cls, spec: dict) -> "Scenario":
         """Build a scenario from a plain dict, rejecting unknown keys."""
-        known = {f.name for f in dataclasses.fields(cls)} - {"traces"}
+        known = {f.name for f in dataclasses.fields(cls)} - {"traces", "checkpoint"}
         unknown = sorted(set(spec) - known)
         if unknown:
             raise SimulationError(f"unknown scenario keys {unknown}; valid keys: {sorted(known)}")
@@ -344,4 +382,5 @@ class Scenario:
         )
         label = f"{self.name}: " if self.name else ""
         fail = f" | failures={self.failures['model']}" if self.failures else ""
-        return f"{label}{source} | policy={self.policy} | {size}{fail}"
+        warm = f" | checkpoint@t={self.checkpoint.at:g}" if self.checkpoint is not None else ""
+        return f"{label}{source} | policy={self.policy} | {size}{fail}{warm}"

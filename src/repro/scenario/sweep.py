@@ -39,7 +39,7 @@ from repro.scenario.cache import scenario_key
 from repro.scenario.results import ResultSet, ScenarioFailure, ScenarioResult
 from repro.scenario.scenario import Scenario
 
-__all__ = ["run_scenario", "run_sweep"]
+__all__ = ["fork_sweep", "run_scenario", "run_sweep"]
 
 
 def run_scenario(scenario: Scenario) -> ScenarioResult:
@@ -196,3 +196,129 @@ def run_sweep(
             failures=tuple(outcome for _, outcome in failed),
         )
     return ResultSet(tuple(results))
+
+
+#: The only fields a fork variant may change relative to its base: the
+#: label and the what-if failure axes.  Everything else (workload, sizing,
+#: policy, components) shapes the warm prefix itself, so changing it would
+#: make the shared checkpoint a lie.
+_FORK_AXES = ("name", "failures", "topology")
+
+
+def fork_sweep(
+    base: Scenario,
+    variants: Iterable[Scenario],
+    at: float,
+    workers: int | None = None,
+    cache=None,
+    *,
+    on_error: str = "raise",
+    retry: RetryPolicy | None = None,
+    timeout: float | None = None,
+    start_method: str | None = None,
+    journal=None,
+) -> ResultSet:
+    """Fork one warm prefix into many what-if branches, then sweep them.
+
+    Simulates ``base`` once up to the event boundary ``at``, snapshots it,
+    and runs every variant resumed from that snapshot via
+    :func:`run_sweep` — sharing the prefix instead of re-simulating it per
+    branch, a multiplier on top of :class:`~repro.scenario.cache.SweepCache`
+    for sweeps whose grid only varies the failure axes.  Results are
+    **bit-identical** to a cold ``run_sweep`` of the same variants
+    (``tests/scenario/test_fork_sweep.py`` pins this).
+
+    Variants may differ from ``base`` only in ``name`` / ``failures`` /
+    ``topology``.  The fork boundary is validated up front: every failure
+    schedule involved — the base's and each differing variant's — must be
+    silent before ``at`` (a variant keeping the base's exact
+    failures+topology is a pure resume and is always legal).  Schedules
+    that fire earlier would make the shared prefix diverge from a cold
+    run; pick an earlier boundary instead.
+
+    ``workers`` / ``cache`` / ``on_error`` / ``retry`` / ``timeout`` /
+    ``start_method`` / ``journal`` pass through to :func:`run_sweep`
+    unchanged — checkpointed scenarios cache under their snapshot's
+    fingerprint and journal like any other scenario.
+    """
+    from repro.failures import FailureInjector
+    from repro.scenario.engine import ClusterSimEngine, resolve_cluster
+
+    at = float(at)
+    if at <= 0.0:
+        raise SimulationError(f"fork boundary must be > 0, got {at}")
+    if base.engine != "cluster-sim":
+        raise SimulationError(
+            f"fork_sweep snapshots the 'cluster-sim' engine; base uses {base.engine!r}"
+        )
+    if base.checkpoint is not None:
+        raise SimulationError("fork_sweep base already carries a checkpoint; fork from a cold base")
+
+    branches = list(variants)
+    if not branches:
+        raise SimulationError("fork_sweep needs at least one variant")
+    fixed = [
+        f.name
+        for f in dataclasses.fields(Scenario)
+        if f.name not in _FORK_AXES and f.name != "checkpoint"
+    ]
+    for variant in branches:
+        if variant.checkpoint is not None:
+            raise SimulationError(
+                f"variant {variant.name!r} already carries a checkpoint; "
+                "fork_sweep attaches the shared one itself"
+            )
+        for name in fixed:
+            if getattr(variant, name) != getattr(base, name):
+                raise SimulationError(
+                    f"variant {variant.name!r} changes {name!r}; fork variants may "
+                    f"only change {list(_FORK_AXES)} (anything else reshapes the "
+                    "shared prefix)"
+                )
+
+    # Boundary validation.  A variant keeping the base's exact
+    # failures+topology resumes the stored stream verbatim — always legal.
+    # Once any variant *diverges*, the shared prefix must be pristine: the
+    # base's schedule and every diverging schedule must be silent before
+    # the boundary.  Each distinct schedule expands once; the restore
+    # re-checks per variant (defense in depth), but failing here names the
+    # culprit before any simulation time is spent.
+    diverging = [
+        v for v in branches if (v.failures, v.topology) != (base.failures, base.topology)
+    ]
+    if diverging:
+        traces, n_servers = resolve_cluster(base)
+        horizon = float(traces.horizon())
+        checked: set[str] = set()
+        for scenario in [base, *diverging]:
+            if scenario.failures is None:
+                continue
+            token = repr((sorted(scenario.failures.items()), scenario.topology))
+            if token in checked:
+                continue
+            checked.add(token)
+            injector = FailureInjector.from_spec(
+                scenario.failures, topology=scenario.topology
+            )
+            early = sum(1 for ev in injector.schedule(n_servers, horizon) if ev.time < at)
+            if early:
+                label = scenario.name or scenario.failures["model"]
+                raise SimulationError(
+                    f"cannot fork at t={at}: the failure schedule of {label!r} has "
+                    f"{early} event(s) before the boundary; fork earlier or adjust "
+                    "the schedule"
+                )
+
+    warm = ClusterSimEngine().build(base)
+    warm.run_until(at)
+    snapshot = warm.snapshot()
+    return run_sweep(
+        [variant.with_checkpoint(snapshot) for variant in branches],
+        workers=workers,
+        cache=cache,
+        on_error=on_error,
+        retry=retry,
+        timeout=timeout,
+        start_method=start_method,
+        journal=journal,
+    )

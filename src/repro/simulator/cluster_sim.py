@@ -385,6 +385,14 @@ class ClusterSimulator:
         #: injector uses it to attribute preemption cascades triggered by
         #: failure-driven placements.
         self._preempt_log: list[int] | None = None
+        #: Open event stream for checkpoint/resume (:meth:`run_until`);
+        #: None until a stream is opened — :meth:`run` then executes the
+        #: original one-shot loop untouched.
+        self._stream: dict | None = None
+        #: Per-VM metric terms finalized by :meth:`compact_history` before
+        #: their history rows were dropped (streaming bounded-memory mode);
+        #: consulted by :meth:`_metric_terms` instead of recomputing.
+        self._final_terms: dict[str, np.ndarray] | None = None
         self._policy: DeflationPolicy | None = (
             None if config.policy == "preemption" else get_policy(config.policy)
         )
@@ -624,14 +632,17 @@ class ClusterSimulator:
 
     # -- main loop -----------------------------------------------------------------
 
-    def run(self) -> ClusterSimResult:
-        self._refresh_derived()  # pick up any post-build surgery
-        if self._injector is not None:
-            return self._collect(self._injector.drive(self))
+    def _build_events(self) -> np.ndarray:
+        """Structured ``(t, kind, vm)`` event array, globally sorted.
+
+        Ends (kind 0) before starts (kind 1) at the same interval, ties
+        broken by VM index — the exact key the old Python
+        ``events.sort(key=...)`` used, minus the per-element lambda calls.
+        Shared by the one-shot loop and the resumable stream; both iterate
+        the same ``tolist()`` scalars, which is what keeps an interrupted
+        replay bit-identical to an uninterrupted one.
+        """
         n = len(self.traces)
-        # Structured sort: ends (kind 0) before starts (kind 1) at the same
-        # interval, ties broken by VM index — the exact key the old Python
-        # ``events.sort(key=...)`` used, minus the per-element lambda calls.
         events = np.empty(
             2 * n, dtype=[("t", np.float64), ("kind", np.int8), ("vm", np.int64)]
         )
@@ -642,7 +653,16 @@ class ClusterSimulator:
         events["kind"][n:] = 1
         events["vm"][n:] = np.arange(n)
         events.sort(order=("t", "kind", "vm"))
+        return events
 
+    def run(self) -> ClusterSimResult:
+        if self._stream is not None:
+            # A stream is open (run_until / snapshot restore): finish it.
+            return self._collect(self._step_stream(None))
+        self._refresh_derived()  # pick up any post-build surgery
+        if self._injector is not None:
+            return self._collect(self._injector.drive(self))
+        events = self._build_events()
         peak_committed = 0.0
         handle_start, handle_end = self._handle_start, self._handle_end
         for t, kind, vm in zip(
@@ -655,6 +675,163 @@ class ClusterSimulator:
                 if self._committed_cores > peak_committed:
                     peak_committed = self._committed_cores
         return self._collect(peak_committed)
+
+    # -- checkpoint/resume ---------------------------------------------------------
+
+    def _ensure_stream(self) -> None:
+        """Open the resumable event stream (idempotent).
+
+        Mirrors the top of :meth:`run` exactly: derived caches refresh
+        once, then either the injector's merged heap starts or the
+        failure-free event array is staged with a cursor.
+        """
+        if self._stream is not None:
+            return
+        self._refresh_derived()  # pick up any post-build surgery
+        if self._injector is not None:
+            self._injector.start(self)
+            self._stream = {"mode": "heap", "at": 0.0}
+            return
+        events = self._build_events()
+        self._stream = {
+            "mode": "array",
+            "t": events["t"].tolist(),
+            "kind": events["kind"].tolist(),
+            "vm": events["vm"].tolist(),
+            "cursor": 0,
+            "peak": 0.0,
+            "at": 0.0,
+        }
+
+    def _step_stream(self, until: float | None) -> float:
+        """Advance the open stream through events ``t < until``; returns peak."""
+        stream = self._stream
+        if stream["mode"] == "heap":
+            self._injector.step(self, until)
+            peak = self._injector._peak
+        else:
+            t_list, kind_list, vm_list = stream["t"], stream["kind"], stream["vm"]
+            i, n = stream["cursor"], len(t_list)
+            peak = stream["peak"]
+            handle_start, handle_end = self._handle_start, self._handle_end
+            while i < n and (until is None or t_list[i] < until):
+                if kind_list[i] == 0:
+                    handle_end(t_list[i], vm_list[i])
+                else:
+                    handle_start(t_list[i], vm_list[i])
+                    if self._committed_cores > peak:
+                        peak = self._committed_cores
+                i += 1
+            stream["cursor"] = i
+            stream["peak"] = peak
+        if until is not None and until > stream["at"]:
+            stream["at"] = until
+        return peak
+
+    def run_until(self, t: float) -> None:
+        """Advance the replay through every event strictly before ``t``.
+
+        Opens the resumable stream on first use; subsequent calls must not
+        move backwards.  After any number of ``run_until`` steps,
+        :meth:`run` finishes the remainder and collects — bit-identical to
+        one uninterrupted :meth:`run`.  :meth:`snapshot` freezes the state
+        at the current boundary.
+        """
+        t = float(t)
+        self._ensure_stream()
+        if t < self._stream["at"]:
+            raise SimulationError(
+                f"run_until({t}) would move backwards (stream is at "
+                f"{self._stream['at']}); snapshots, not rewinds, go back in time"
+            )
+        self._step_stream(t)
+
+    def snapshot(self):
+        """Freeze the current :meth:`run_until` boundary as a `SimSnapshot`."""
+        from repro.simulator.snapshot import capture
+
+        return capture(self)
+
+    def restore(self, snap) -> None:
+        """Reinstate a :meth:`snapshot` into this freshly built simulator."""
+        from repro.simulator.snapshot import restore_into
+
+        restore_into(self, snap)
+
+    def _terms_for_vm(self, i: int) -> tuple[float, float, float, float]:
+        """One VM's ``(demanded, lost, deflation, alloc_integral)`` terms.
+
+        The same arithmetic :meth:`_metric_terms` applies, including its
+        never-deflated fast path, so finalizing a VM early (streaming
+        compaction) yields bit-identical floats to computing it at collect
+        time.
+        """
+        rec = self.traces.records[i]
+        cores = float(self.vm_caps[i, 0])
+        demanded = float(rec.cpu_util.sum()) * cores
+        times, _ = self._history_of(i)
+        if not self.vm_preempted[i] and times.size <= 1:
+            return demanded, 0.0, 0.0, float(rec.lifetime_intervals)
+        alloc = self._allocation_series(rec, self.outcomes[i])
+        lost = float(np.maximum(rec.cpu_util - alloc, 0.0).sum()) * cores
+        deflation = float((1.0 - alloc).sum()) * cores
+        return demanded, lost, deflation, float(alloc.sum())
+
+    def compact_history(self, before: float) -> int:
+        """Finalize VMs that ended before ``before`` and drop their history.
+
+        The bounded-memory half of streaming: a long trace advances with
+        :meth:`run_until` and periodically compacts, keeping the history
+        log proportional to the *live* population instead of the whole
+        trace.  Per-VM metric terms are pure once a VM's events are behind
+        the stream boundary (requeued restarts always fire before the VM's
+        own end), so they are computed now, cached in ``_final_terms``, and
+        the rows dropped; :meth:`_metric_terms` serves them back verbatim.
+        Returns the number of history rows dropped.
+        """
+        stream = self._stream
+        if stream is None:
+            raise SimulationError("compact_history requires an open stream (run_until)")
+        before = float(before)
+        if before > stream["at"]:
+            raise SimulationError(
+                f"compact_history({before}) is ahead of the stream boundary "
+                f"{stream['at']}: only fully processed prefixes can be finalized"
+            )
+        n = len(self.traces)
+        if self._final_terms is None:
+            self._final_terms = {
+                "mask": np.zeros(n, dtype=bool),
+                "demanded": np.zeros(n),
+                "lost": np.zeros(n),
+                "deflation": np.zeros(n),
+                "alloc_integral": np.zeros(n),
+            }
+        final = self._final_terms
+        newly = np.nonzero(
+            self.vm_deflatable & self.vm_placed & (self.vm_end < before) & ~final["mask"]
+        )[0]
+        pending = self._injector._requeue_pending if self._injector is not None else None
+        for i in newly.tolist():
+            if pending and i in pending:
+                continue  # a restart is still in flight; finalize later
+            d, lost, defl, alloc = self._terms_for_vm(i)
+            final["mask"][i] = True
+            final["demanded"][i] = d
+            final["lost"][i] = lost
+            final["deflation"][i] = defl
+            final["alloc_integral"][i] = alloc
+        nh = self._hist_n
+        keep = ~final["mask"][self._hist_vm[:nh]]
+        kept = int(keep.sum())
+        dropped = nh - kept
+        if dropped:
+            for name in ("_hist_vm", "_hist_t", "_hist_f"):
+                arr = getattr(self, name)
+                arr[:kept] = arr[:nh][keep]
+            self._hist_n = kept
+            self._hist_sorted = None
+        return dropped
 
     # -- event handlers -----------------------------------------------------------
 
@@ -1117,7 +1294,16 @@ class ClusterSimulator:
         else:
             trivial = np.zeros(0, dtype=bool)
 
+        final = self._final_terms
         for k, i in enumerate(sel.tolist()):
+            if final is not None and final["mask"][i]:
+                # Finalized during streaming compaction (its history rows
+                # are gone); serve the cached terms back verbatim.
+                demanded_t[k] = final["demanded"][i]
+                lost_t[k] = final["lost"][i]
+                deflation_t[k] = final["deflation"][i]
+                alloc_integral[k] = final["alloc_integral"][i]
+                continue
             rec = records[i]
             cores = float(cores_sel[k])
             u_sum = float(rec.cpu_util.sum())

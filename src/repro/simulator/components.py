@@ -198,6 +198,13 @@ class MetricsCollector:
     #: payload has no exact per-shard fold.  The sharded engine rejects
     #: ``mergeable = False`` collectors eagerly.
     mergeable: bool = True
+    #: Snapshot-discipline declaration (enforced statically by repro-lint,
+    #: ``collector-snapshot-discipline``): a concrete collector either
+    #: overrides :meth:`snapshot` *and* :meth:`restore` or sets
+    #: ``snapshottable = False`` to state that its run cannot be
+    #: checkpointed.  ``ClusterSimulator.snapshot()`` rejects
+    #: ``snapshottable = False`` collectors eagerly.
+    snapshottable: bool = True
 
     def on_admit(self, t: float, vm: int, server: int, sim) -> None:
         """VM ``vm`` was admitted onto ``server`` at interval ``t``.
@@ -294,6 +301,31 @@ class MetricsCollector:
             "merging; run this scenario on the 'cluster-sim' engine"
         )
 
+    def snapshot(self) -> object:
+        """Image of the collector's mutable state, for a mid-run checkpoint.
+
+        Called by :meth:`ClusterSimulator.snapshot` at an event boundary.
+        The returned object must be a *copy* (never alias live state — the
+        simulator keeps running after the snapshot) and must round-trip
+        through :meth:`restore` on a fresh instance such that the restored
+        collector's ``finalize`` is bit-identical to an uninterrupted run.
+
+        The default raises: a collector holding mutable state without an
+        exact snapshot (declared via ``snapshottable = False``) is rejected
+        at snapshot time rather than silently resumed with reset state.
+        """
+        raise SimulationError(
+            f"metrics collector {self.name!r} does not support snapshots; "
+            "run this scenario without checkpoints"
+        )
+
+    def restore(self, state: object) -> None:
+        """Reinstate a :meth:`snapshot` payload on a fresh instance."""
+        raise SimulationError(
+            f"metrics collector {self.name!r} does not support snapshots; "
+            "run this scenario without checkpoints"
+        )
+
 
 @register("metrics", "event-counts")
 class EventCountCollector(MetricsCollector):
@@ -336,6 +368,12 @@ class EventCountCollector(MetricsCollector):
                 merged[key] = merged.get(key, 0) + value
         return merged
 
+    def snapshot(self):
+        return dict(self.counts)
+
+    def restore(self, state):
+        self.counts = dict(state)
+
 
 @register("metrics", "timeline")
 class CommittedTimelineCollector(MetricsCollector):
@@ -373,6 +411,15 @@ class CommittedTimelineCollector(MetricsCollector):
 
     def finalize(self, sim):
         return list(self.points)
+
+    def snapshot(self):
+        # Unlike merging (no per-entry ordering key across shards), a
+        # checkpoint is a clean temporal cut: the recorded prefix plus the
+        # resumed suffix is exactly the uninterrupted series.
+        return list(self.points)
+
+    def restore(self, state):
+        self.points = list(state)
 
 
 @register("metrics", "failure-log")
@@ -436,6 +483,12 @@ class FailureLogCollector(MetricsCollector):
         entries.sort(key=sort_key)
         return entries
 
+    def snapshot(self):
+        return list(self.events)
+
+    def restore(self, state):
+        self.events = list(state)
+
 
 @register("metrics", "rejection-log")
 class RejectionLogCollector(MetricsCollector):
@@ -464,3 +517,9 @@ class RejectionLogCollector(MetricsCollector):
                 entries.append((t, int(shard.vm_global[vm]), deflatable))
         entries.sort(key=lambda entry: (entry[0], entry[1]))
         return entries
+
+    def snapshot(self):
+        return list(self.rejections)
+
+    def restore(self, state):
+        self.rejections = list(state)

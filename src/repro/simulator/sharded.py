@@ -177,6 +177,12 @@ def plan_shards(scenario: Scenario) -> ShardPlan:
             "requires partitioned placement; use with_partitions() or run "
             "this scenario on the 'cluster-sim' engine"
         )
+    if scenario.checkpoint is not None:
+        raise SimulationError(
+            "the sharded engine cannot resume a checkpoint: a SimSnapshot "
+            "freezes one flat simulator, not per-pool shards — run "
+            "checkpointed scenarios on the 'cluster-sim' engine"
+        )
     for name in scenario.collectors:
         collector = create("metrics", name)
         if (

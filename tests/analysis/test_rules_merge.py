@@ -56,6 +56,80 @@ class TestCollectorMergeDiscipline:
         assert lint_snippet(code, "collector-merge-discipline", rel=MOD) == []
 
 
+class TestCollectorSnapshotDiscipline:
+    def test_collector_without_pair_or_declaration_fires(self, lint_snippet):
+        code = _IMPORTS + (
+            "@register('metrics', 'bad')\n"
+            "class Bad:\n"
+            "    def on_event(self, ev):\n"
+            "        pass\n"
+        )
+        hits = lint_snippet(code, "collector-snapshot-discipline", rel=MOD)
+        assert len(hits) == 1
+        assert "Bad" in hits[0].message
+        assert "restore/snapshot" in hits[0].message  # names both missing methods
+
+    def test_half_a_pair_fires_naming_the_missing_half(self, lint_snippet):
+        code = _IMPORTS + (
+            "@register('metrics', 'half')\n"
+            "class Half:\n"
+            "    def snapshot(self):\n"
+            "        return {}\n"
+        )
+        hits = lint_snippet(code, "collector-snapshot-discipline", rel=MOD)
+        assert len(hits) == 1
+        assert "missing restore " in hits[0].message
+        assert "snapshot/" not in hits[0].message  # snapshot exists
+
+    def test_snapshot_restore_pair_satisfies(self, lint_snippet):
+        code = _IMPORTS + (
+            "@register('metrics', 'good')\n"
+            "class Good:\n"
+            "    def snapshot(self):\n"
+            "        return {}\n"
+            "    def restore(self, state):\n"
+            "        pass\n"
+        )
+        assert lint_snippet(code, "collector-snapshot-discipline", rel=MOD) == []
+
+    def test_snapshottable_false_satisfies(self, lint_snippet):
+        code = _IMPORTS + (
+            "@register('metrics', 'optout')\n"
+            "class OptOut:\n"
+            "    snapshottable = False\n"
+        )
+        assert lint_snippet(code, "collector-snapshot-discipline", rel=MOD) == []
+
+    def test_annotated_snapshottable_false_satisfies(self, lint_snippet):
+        code = _IMPORTS + (
+            "@register('metrics', 'optout')\n"
+            "class OptOut:\n"
+            "    snapshottable: bool = False\n"
+        )
+        assert lint_snippet(code, "collector-snapshot-discipline", rel=MOD) == []
+
+    def test_snapshottable_true_does_not_satisfy(self, lint_snippet):
+        code = _IMPORTS + (
+            "@register('metrics', 'bad')\n"
+            "class Bad:\n"
+            "    snapshottable = True\n"
+        )
+        assert len(lint_snippet(code, "collector-snapshot-discipline", rel=MOD)) == 1
+
+    def test_merge_discipline_opt_out_does_not_transfer(self, lint_snippet):
+        # `mergeable = False` opts out of sharding, not of checkpointing.
+        code = _IMPORTS + (
+            "@register('metrics', 'bad')\n"
+            "class Bad:\n"
+            "    mergeable = False\n"
+        )
+        assert len(lint_snippet(code, "collector-snapshot-discipline", rel=MOD)) == 1
+
+    def test_non_metrics_registrations_are_ignored(self, lint_snippet):
+        code = _IMPORTS + "@register('failure', 'f')\nclass F:\n    pass\n"
+        assert lint_snippet(code, "collector-snapshot-discipline", rel=MOD) == []
+
+
 class TestFailureRngDiscipline:
     def test_module_draw_inside_failure_model_fires(self, lint_snippet):
         code = _IMPORTS + (

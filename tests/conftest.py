@@ -8,6 +8,29 @@ import pytest
 from repro.core.resources import ResourceVector
 from repro.core.vm import VMSpec
 
+#: Default seed for the randomized equivalence layer (docs/testing.md):
+#: CI replays exactly this; override locally to probe fresh ground.
+DEFAULT_FUZZ_SEED = 20260808
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--repro-fuzz-seed",
+        type=int,
+        default=DEFAULT_FUZZ_SEED,
+        help=(
+            "seed for the randomized scenario generator "
+            "(tests/strategies.py); the default is fixed so CI is "
+            "deterministic — pass a fresh one to fuzz new scenarios"
+        ),
+    )
+
+
+@pytest.fixture
+def fuzz_seed(request) -> int:
+    """The randomized-equivalence seed (``--repro-fuzz-seed``)."""
+    return request.config.getoption("--repro-fuzz-seed")
+
 
 @pytest.fixture
 def server_capacity() -> ResourceVector:

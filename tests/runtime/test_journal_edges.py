@@ -1,0 +1,144 @@
+"""SweepJournal edge cases: torn manifests, shared dirs, partial resumes.
+
+The happy paths live in ``test_journal.py``; these are the uglier
+corners the journal's reset-on-mismatch design must survive — a crash
+mid-manifest-write, two different sweeps aimed at one directory, and
+resuming after an ``on_error="collect"`` run that completed only part of
+the grid.  The invariant throughout: a resume is bit-identical to a cold
+run, and a journal never leaks results into the wrong sweep.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from chaos_tools import attempts, chaos_scenario
+
+from repro.runtime import SweepJournal
+from repro.scenario import run_sweep
+
+
+class TestTornManifest:
+    """A crash mid-write can tear the *manifest*, not just entries."""
+
+    @pytest.mark.parametrize(
+        "tear",
+        [
+            b"",  # zero-length file (crash between create and write)
+            b'{"version": 1, "fingerpr',  # truncated JSON
+            b"\x00\x01garbage",  # not JSON at all
+        ],
+        ids=["empty", "truncated", "binary"],
+    )
+    def test_torn_manifest_resets_on_bind(self, tmp_path, tear):
+        journal = SweepJournal(tmp_path / "j")
+        journal.bind("fp-1", 2)
+        journal.record(0, "stale")
+        (tmp_path / "j" / "manifest.json").write_bytes(tear)
+        # The torn manifest can vouch for nothing: entries are discarded
+        # rather than trusted, and the journal rebinds cleanly.
+        fresh = SweepJournal(tmp_path / "j")
+        assert fresh.bind("fp-1", 2) == {}
+        assert fresh.record(1, "new")
+        assert SweepJournal(tmp_path / "j").bind("fp-1", 2) == {1: "new"}
+        manifest = json.loads((tmp_path / "j" / "manifest.json").read_text())
+        assert manifest["fingerprint"] == "fp-1"
+
+    def test_manifest_with_wrong_version_resets(self, tmp_path):
+        journal = SweepJournal(tmp_path / "j")
+        journal.bind("fp-1", 1)
+        journal.record(0, "old-layout")
+        manifest = json.loads((tmp_path / "j" / "manifest.json").read_text())
+        manifest["version"] = 0  # an older journal layout
+        (tmp_path / "j" / "manifest.json").write_text(json.dumps(manifest))
+        assert SweepJournal(tmp_path / "j").bind("fp-1", 1) == {}
+
+
+class TestSharedDirectory:
+    """One directory, two differing sweeps: the second resets the first,
+    and flip-flopping never serves sweep A's results to sweep B."""
+
+    def test_two_sweeps_alternating_on_one_directory(self, chaos_state, tmp_path):
+        grid_a = [chaos_scenario("raise", 0, f"a{i}", seed=20 + i) for i in range(3)]
+        grid_b = [chaos_scenario("raise", 0, f"b{i}", seed=40 + i) for i in range(2)]
+        path = tmp_path / "shared"
+
+        first_a = run_sweep(grid_a, journal=SweepJournal(path))
+        assert [attempts(f"a{i}") for i in range(3)] == [1, 1, 1]
+
+        # B takes the directory: A's entries are wiped, B runs fully.
+        first_b = run_sweep(grid_b, journal=SweepJournal(path))
+        assert [attempts(f"b{i}") for i in range(2)] == [1, 1]
+        assert len(SweepJournal(path)) == 2
+
+        # A returns: nothing of B leaks into it, A re-runs fully and
+        # reproduces its original bits.
+        again_a = run_sweep(grid_a, journal=SweepJournal(path))
+        assert [attempts(f"a{i}") for i in range(3)] == [2, 2, 2]
+        for f, r in zip(first_a, again_a):
+            assert f == r
+
+        # And the directory now vouches for A again, so a further A resume
+        # is served entirely from the journal.
+        served = run_sweep(grid_a, journal=SweepJournal(path))
+        assert [attempts(f"a{i}") for i in range(3)] == [2, 2, 2]
+        for f, r in zip(first_b, run_sweep(grid_b, journal=SweepJournal(path))):
+            assert f == r  # B re-runs (journal reset again), same bits
+        for f, r in zip(first_a, served):
+            assert f == r
+
+    def test_same_grid_on_two_journal_objects_is_a_resume(self, chaos_state, tmp_path):
+        """Two SweepJournal instances on one directory with the *same*
+        sweep cooperate instead of resetting each other."""
+        grid = [chaos_scenario("raise", 0, f"s{i}", seed=60 + i) for i in range(2)]
+        run_sweep(grid, journal=SweepJournal(tmp_path / "j"))
+        run_sweep(grid, journal=SweepJournal(tmp_path / "j"))
+        assert [attempts(f"s{i}") for i in range(2)] == [1, 1]
+
+
+class TestCollectResume:
+    """``on_error="collect"`` completes part of the grid; the journal
+    holds exactly the successes, and a resume retries only the failures."""
+
+    def test_resume_after_partial_collect_run(self, chaos_state, tmp_path):
+        grid = [
+            chaos_scenario("raise", 0, "ok0", seed=20),
+            chaos_scenario("raise", 1, "flaky", seed=21),  # fails once, then works
+            chaos_scenario("raise", 0, "ok1", seed=22),
+        ]
+        journal = SweepJournal(tmp_path / "journal")
+        partial = run_sweep(grid, journal=journal, on_error="collect")
+        assert [r.ok for r in partial] == [True, False, True]
+        assert len(journal) == 2  # failures are never journaled
+
+        resumed = run_sweep(grid, journal=SweepJournal(tmp_path / "journal"))
+        # Only the failed scenario re-ran; the successes were served.
+        assert (attempts("ok0"), attempts("flaky"), attempts("ok1")) == (1, 2, 1)
+        assert all(r.ok for r in resumed)
+
+        # Bit-identity against an uninterrupted cold run of the same grid
+        # (fresh counters so the flaky scenario's chaos budget is spent).
+        cold_grid = [
+            chaos_scenario("raise", 0, "cold0", seed=20),
+            chaos_scenario("raise", 0, "cold1", seed=21),
+            chaos_scenario("raise", 0, "cold2", seed=22),
+        ]
+        cold = run_sweep(cold_grid)
+        for r, c in zip(resumed, cold):
+            assert r.sim == c.sim
+
+    def test_collect_resume_collects_a_still_failing_scenario(self, chaos_state, tmp_path):
+        grid = [
+            chaos_scenario("raise", 0, "fine", seed=30),
+            chaos_scenario("raise", 9, "doomed", seed=31),  # beyond any retry
+        ]
+        journal = SweepJournal(tmp_path / "journal")
+        first = run_sweep(grid, journal=journal, on_error="collect")
+        assert [r.ok for r in first] == [True, False]
+
+        again = run_sweep(grid, journal=SweepJournal(tmp_path / "journal"), on_error="collect")
+        assert attempts("fine") == 1  # served from the journal
+        assert attempts("doomed") == 2  # retried on resume, failed again
+        assert [r.ok for r in again] == [True, False]
+        assert again[1].error.error_type == "RuntimeError"

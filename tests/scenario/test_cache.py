@@ -322,5 +322,8 @@ class TestScenarioFieldCoverage:
             "scorer",
             "collectors",
             "engine",
+            # reviewed: live state like `traces` — never serializes
+            # (to_dict raises); keys the cache via snapshot.fingerprint()
+            "checkpoint",
         }
         assert {f.name for f in dataclasses.fields(Scenario)} == known

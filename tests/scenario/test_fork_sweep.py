@@ -1,0 +1,206 @@
+"""`fork_sweep`: one warm prefix, many what-if branches, cold-run bits.
+
+The contract (docs/testing.md#snapshotresume-round-trip): forking ``base``
+at ``t`` and sweeping the variants is **bit-identical** to a cold
+``run_sweep`` of the same variants — sharing the prefix is an execution
+optimization, never a science change.  Illegal forks (variants reshaping
+the prefix, schedules firing before the boundary, contaminated prefixes
+forked into different specs) are refused eagerly, never approximated.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.failures import FailureInjector
+from repro.runtime import SweepJournal
+from repro.scenario import Scenario, SweepCache, fork_sweep, resolve_cluster, run_sweep
+
+
+@pytest.fixture(scope="module")
+def base():
+    return (
+        Scenario(name="fork-base")
+        .with_workload("azure", n_vms=300, seed=2024)
+        .with_overcommitment(0.5)
+        .with_policy("proportional")
+        .with_collectors("event-counts", "failure-log")
+    )
+
+
+@pytest.fixture(scope="module")
+def boundary(base):
+    traces, _ = resolve_cluster(base)
+    return 0.4 * float(traces.horizon())
+
+
+def what_if_branches(base, boundary):
+    """A free prefix forked across declarative what-ifs: no failures at
+    all, single- and double-revocation schedules, a kill-and-requeue
+    branch, and a capacity dip — every event past the boundary."""
+
+    def schedule(name, events, **extra):
+        return base.named(name).with_failures("trace-schedule", events=events, **extra)
+
+    return [
+        base.named("branch-free"),
+        schedule("branch-revoke-0", [{"t": boundary + 5.0, "server": 0, "action": "revoke"}]),
+        schedule(
+            "branch-revoke-2-3",
+            [
+                {"t": boundary + 5.0, "server": 2, "action": "revoke"},
+                {"t": boundary + 20.0, "server": 3, "action": "revoke"},
+            ],
+        ),
+        schedule(
+            "branch-kill",
+            [{"t": boundary + 5.0, "server": 0, "action": "revoke"}],
+            response="kill",
+            restart_delay=2,
+        ),
+        schedule(
+            "branch-dip",
+            [
+                {
+                    "t": boundary + 10.0,
+                    "server": 1,
+                    "action": "dip",
+                    "scale": 0.5,
+                    "duration": 12.0,
+                }
+            ],
+        ),
+    ]
+
+
+def assert_results_identical(forked, cold) -> None:
+    assert len(forked) == len(cold)
+    for f, c in zip(forked, cold):
+        assert f.sim == c.sim, f"{c.scenario.name}: fork diverged from cold"
+
+
+class TestForkEqualsCold:
+    def test_free_prefix_forked_across_regimes(self, base, boundary):
+        branches = what_if_branches(base, boundary)
+        assert_results_identical(
+            fork_sweep(base, branches, at=boundary), run_sweep(branches)
+        )
+
+    def test_parallel_fork_identical(self, base, boundary):
+        branches = what_if_branches(base, boundary)
+        assert_results_identical(
+            fork_sweep(base, branches, at=boundary, workers=2), run_sweep(branches)
+        )
+
+    def test_pure_resume_of_a_contaminated_prefix(self, base, boundary):
+        """Variants keeping the base's exact failures+topology resume the
+        stored stream verbatim — legal even when failures already landed
+        before the boundary."""
+        spotted = base.with_failures("spot", rate=0.006, seed=3, response="evacuate")
+        branches = [spotted.named("resume-a"), spotted.named("resume-b")]
+        assert_results_identical(
+            fork_sweep(spotted, branches, at=boundary), run_sweep(branches)
+        )
+
+    def test_stochastic_what_ifs_fork_before_their_first_event(self, base):
+        """Seeded random regimes (spot seeds, a correlated rack burst)
+        fork legally at any boundary preceding every schedule's first
+        event; the boundary here is derived from the schedules themselves
+        so the test stays seed-robust."""
+        branches = [
+            base.named("spot-7").with_failures("spot", rate=0.004, seed=7, response="evacuate"),
+            base.named("spot-11").with_failures("spot", rate=0.004, seed=11, response="evacuate"),
+            base.named("racks")
+            .with_topology(racks=4)
+            .with_failures("correlated-spot", rate=0.004, seed=7, response="evacuate"),
+        ]
+        traces, n_servers = resolve_cluster(base)
+        horizon = float(traces.horizon())
+        first_event = min(
+            ev.time
+            for b in branches
+            for ev in FailureInjector.from_spec(b.failures, topology=b.topology).schedule(
+                n_servers, horizon
+            )
+        )
+        at = 0.9 * first_event
+        assert at > 0.0
+        assert_results_identical(fork_sweep(base, branches, at=at), run_sweep(branches))
+
+    def test_fork_composes_with_cache(self, base, boundary, tmp_path):
+        branches = what_if_branches(base, boundary)
+        cache = SweepCache(tmp_path / "cache")
+        first = fork_sweep(base, branches, at=boundary, cache=cache)
+        assert len(cache) == len(branches)
+        warm_cache = SweepCache(tmp_path / "cache")
+        again = fork_sweep(base, branches, at=boundary, cache=warm_cache)
+        assert warm_cache.stats()["hits"] == len(branches)
+        assert_results_identical(again, first)
+        assert_results_identical(first, run_sweep(branches))
+
+    def test_fork_composes_with_journal(self, base, boundary, tmp_path):
+        """Checkpointed scenarios journal like any other: losing entries
+        mid-sweep and resuming reproduces the cold bits."""
+        branches = what_if_branches(base, boundary)
+        first = fork_sweep(base, branches, at=boundary, journal=tmp_path / "journal")
+        assert len(SweepJournal(tmp_path / "journal")) == len(branches)
+        (tmp_path / "journal" / "entry-000001.pkl").unlink()
+        resumed = fork_sweep(
+            base, branches, at=boundary, journal=SweepJournal(tmp_path / "journal")
+        )
+        assert_results_identical(resumed, first)
+
+
+class TestForkRefusals:
+    def test_non_positive_boundary(self, base):
+        with pytest.raises(SimulationError, match="boundary"):
+            fork_sweep(base, [base.named("x")], at=0.0)
+
+    def test_no_variants(self, base):
+        with pytest.raises(SimulationError, match="at least one"):
+            fork_sweep(base, [], at=10.0)
+
+    def test_sharded_base_engine(self, base):
+        sharded = base.with_partitions().with_engine("sharded")
+        with pytest.raises(SimulationError, match="cluster-sim"):
+            fork_sweep(sharded, [sharded.named("x")], at=10.0)
+
+    def test_variant_reshaping_the_prefix(self, base):
+        with pytest.raises(SimulationError, match="policy"):
+            fork_sweep(base, [base.with_policy("priority")], at=10.0)
+        with pytest.raises(SimulationError, match="overcommitment"):
+            fork_sweep(base, [base.with_overcommitment(0.2)], at=10.0)
+
+    def test_variant_already_checkpointed(self, base, boundary):
+        from repro.scenario import ClusterSimEngine
+
+        sim = ClusterSimEngine().build(base)
+        sim.run_until(boundary)
+        tainted = base.with_checkpoint(sim.snapshot())
+        with pytest.raises(SimulationError, match="already carries a checkpoint"):
+            fork_sweep(base, [tainted], at=boundary)
+        with pytest.raises(SimulationError, match="cold base"):
+            fork_sweep(tainted, [base.named("x")], at=boundary)
+
+    def test_variant_schedule_firing_before_the_boundary(self, base, boundary):
+        early = base.named("early").with_failures(
+            "trace-schedule",
+            events=[{"t": boundary / 2, "server": 0, "action": "revoke"}],
+        )
+        with pytest.raises(SimulationError, match="before the boundary"):
+            fork_sweep(base, [early], at=boundary)
+
+    def test_contaminated_prefix_forked_into_a_different_spec(self, base, boundary):
+        """Failures landed before the boundary under the base's spec: the
+        prefix is not shareable with a *different* regime."""
+        contaminated = base.with_failures(
+            "trace-schedule",
+            events=[{"t": boundary / 2, "server": 0, "action": "revoke"}],
+        )
+        diverging = base.named("what-if").with_failures(
+            "trace-schedule",
+            events=[{"t": boundary + 5.0, "server": 1, "action": "revoke"}],
+        )
+        with pytest.raises(SimulationError, match="before the boundary"):
+            fork_sweep(contaminated, [diverging], at=boundary)

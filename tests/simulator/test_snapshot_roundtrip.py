@@ -1,0 +1,210 @@
+"""Golden snapshot/resume bit-equivalence (docs/testing.md).
+
+The checkpoint contract: run to ``t``, :meth:`snapshot`, restore into a
+freshly built simulator, run to the end — bit-identical to the
+uninterrupted run, for all four policies x every failure regime x
+{flat, partitioned}.  Snapshots must survive pickle (they ride to sweep
+workers under fork *and* spawn), so every round trip here goes through
+bytes.  Like the golden-reference and cross-engine suites, fields are
+compared one by one first for readable diffs, then the whole result.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.runtime import resolve_start_method
+from repro.scenario import ClusterSimEngine, Scenario, resolve_cluster, run_sweep
+
+POLICIES = ("proportional", "priority", "deterministic", "preemption")
+
+_FIELDS = (
+    "n_vms",
+    "n_deflatable",
+    "n_placed",
+    "n_rejected_deflatable",
+    "n_rejected_on_demand",
+    "n_preempted",
+    "n_reclaim_failures",
+    "peak_committed_cores",
+    "total_capacity_cores",
+    "throughput_loss",
+    "mean_deflation",
+    "revenue",
+    "revenue_per_server",
+    "collected",
+)
+
+#: Failure regimes the matrix crosses with every policy and both shapes.
+REGIMES = {
+    "failure-free": lambda s: s,
+    "spot-evacuate": lambda s: s.with_failures("spot", rate=0.004, seed=7, response="evacuate"),
+    "spot-kill": lambda s: s.with_failures(
+        "spot", rate=0.004, seed=7, response="kill", restart_delay=2
+    ),
+    "correlated": lambda s: s.with_topology(racks=4).with_failures(
+        "correlated-spot", rate=0.004, seed=7, response="evacuate"
+    ),
+    "warned-drain": lambda s: s.with_failures(
+        "spot", rate=0.004, seed=7, response="evacuate", warning_intervals=3, evacuation_budget=2
+    ),
+    "elastic": lambda s: s.with_failures("elastic-pool", rate=0.004, arrival_rate=0.02, seed=7),
+    "capacity-dips": lambda s: s.with_failures(
+        "capacity-dips", rate=0.004, depth=0.5, mean_duration=12, seed=3
+    ),
+}
+
+
+@pytest.fixture(scope="module")
+def base_scenario():
+    # Tight cluster: real deflation, rejections, evacuations on every policy.
+    return (
+        Scenario(name="roundtrip")
+        .with_workload("azure", n_vms=300, seed=2024)
+        .with_overcommitment(0.5)
+        .with_collectors("event-counts", "failure-log")
+    )
+
+
+@pytest.fixture(scope="module")
+def boundary(base_scenario):
+    """A mid-trace event boundary: activity both before and after it."""
+    traces, _ = resolve_cluster(base_scenario)
+    return 0.4 * float(traces.horizon())
+
+
+def shaped(scenario, shape: str) -> Scenario:
+    return scenario.with_partitions() if shape == "partitioned" else scenario
+
+
+def roundtrip(scenario, at: float):
+    """Cold run + pickled save→restore→run; returns ``(cold, resumed)``."""
+    cold = scenario.run()
+    engine = ClusterSimEngine()
+    warm = engine.build(scenario)
+    warm.run_until(at)
+    snap = pickle.loads(pickle.dumps(warm.snapshot()))
+    target = engine.build(scenario)
+    target.restore(snap)
+    return cold, target.run()
+
+
+def assert_roundtrip_identical(scenario, at: float) -> None:
+    cold, resumed = roundtrip(scenario, at)
+    for name in _FIELDS:
+        exp, act = getattr(cold.sim, name), getattr(resumed, name)
+        assert exp == act, f"{name}: cold={exp!r} resumed={act!r}"
+    assert cold.sim == resumed  # config + every field, in one shot
+
+
+@pytest.mark.parametrize("shape", ("flat", "partitioned"))
+@pytest.mark.parametrize("regime", REGIMES)
+@pytest.mark.parametrize("policy", POLICIES)
+def test_save_restore_run_bit_identical(base_scenario, boundary, policy, regime, shape):
+    scenario = REGIMES[regime](shaped(base_scenario.with_policy(policy), shape))
+    assert_roundtrip_identical(scenario, boundary)
+
+
+def test_snapshot_at_zero_replays_the_whole_trace(base_scenario):
+    """A boundary before the first event: the restore carries everything."""
+    scenario = REGIMES["spot-evacuate"](base_scenario.with_policy("proportional"))
+    assert_roundtrip_identical(scenario, 1e-9)
+
+
+def test_chained_checkpoints_bit_identical(base_scenario, boundary):
+    """snapshot → restore → run further → snapshot again → restore → run."""
+    scenario = REGIMES["warned-drain"](base_scenario.with_policy("priority"))
+    cold = scenario.run()
+    engine = ClusterSimEngine()
+
+    first = engine.build(scenario)
+    first.run_until(boundary / 2)
+    snap1 = pickle.loads(pickle.dumps(first.snapshot()))
+
+    second = engine.build(scenario)
+    second.restore(snap1)
+    second.run_until(boundary)
+    snap2 = pickle.loads(pickle.dumps(second.snapshot()))
+
+    third = engine.build(scenario)
+    third.restore(snap2)
+    assert cold.sim == third.run()
+
+
+def test_fingerprint_is_deterministic_and_boundary_sensitive(base_scenario, boundary):
+    scenario = REGIMES["spot-kill"](base_scenario.with_policy("proportional"))
+    engine = ClusterSimEngine()
+
+    def snap_at(at):
+        sim = engine.build(scenario)
+        sim.run_until(at)
+        return sim.snapshot()
+
+    a, b = snap_at(boundary), snap_at(boundary)
+    assert a.fingerprint() == b.fingerprint()  # independent builds, same bits
+    assert snap_at(boundary / 2).fingerprint() != a.fingerprint()
+    # Pickling preserves the fingerprint exactly (it rides to workers).
+    assert pickle.loads(pickle.dumps(a)).fingerprint() == a.fingerprint()
+
+
+def test_recapture_after_restore_is_bit_identical(base_scenario, boundary):
+    """Restoring and immediately re-freezing reproduces the same snapshot —
+    restore loses nothing and invents nothing."""
+    scenario = REGIMES["elastic"](shaped(base_scenario.with_policy("deterministic"), "partitioned"))
+    engine = ClusterSimEngine()
+    warm = engine.build(scenario)
+    warm.run_until(boundary)
+    snap = warm.snapshot()
+    target = engine.build(scenario)
+    target.restore(pickle.loads(pickle.dumps(snap)))
+    assert target.snapshot().fingerprint() == snap.fingerprint()
+
+
+def test_run_until_is_monotonic(base_scenario, boundary):
+    sim = ClusterSimEngine().build(base_scenario.with_policy("proportional"))
+    sim.run_until(boundary)
+    sim.run_until(boundary)  # idempotent at the same boundary
+    with pytest.raises(SimulationError, match="backward"):
+        sim.run_until(boundary / 2)
+
+
+def test_snapshot_requires_an_open_stream(base_scenario):
+    sim = ClusterSimEngine().build(base_scenario.with_policy("proportional"))
+    with pytest.raises(SimulationError, match="run_until"):
+        sim.snapshot()
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("start_method", ("fork", "spawn"))
+def test_checkpointed_sweep_across_start_methods(base_scenario, boundary, start_method):
+    """Snapshots ride to workers under both start methods, bit-identically.
+
+    Spawn workers re-import and unpickle everything; fork workers inherit
+    memory.  Neither may change a float.
+    """
+    try:
+        resolve_start_method(start_method)
+    except SimulationError:
+        pytest.skip(f"start method {start_method!r} unavailable on this platform")
+    scenarios = [
+        REGIMES[regime](shaped(base_scenario.with_policy(policy), shape))
+        for policy, regime, shape in (
+            ("proportional", "spot-evacuate", "flat"),
+            ("priority", "warned-drain", "partitioned"),
+            ("deterministic", "elastic", "flat"),
+            ("preemption", "capacity-dips", "partitioned"),
+        )
+    ]
+    cold = [s.run() for s in scenarios]
+    engine = ClusterSimEngine()
+    warm_grid = []
+    for s in scenarios:
+        sim = engine.build(s)
+        sim.run_until(boundary)
+        warm_grid.append(s.with_checkpoint(sim.snapshot()))
+    resumed = run_sweep(warm_grid, workers=2, start_method=start_method)
+    for c, r in zip(cold, resumed):
+        assert c.sim == r.sim
