@@ -1,0 +1,125 @@
+"""Priority-policy frontier benchmark: a 100k-VM water-fill replay.
+
+The closed-form breakpoint water-fill (docs/performance.md, "Deliberate
+numerical changes") plus the batched departure hot path moved the priority
+policy from the slowest replay in ``BENCH_cluster.json`` to headline
+territory; this module tracks how far up the ISSUE/ROADMAP "million-VM
+event loop" axis that buys.  It times the optimized simulator alone at a
+scale the pinned reference cannot reach in benchmark time (the reference's
+per-event scans put a 100k-VM priority replay in the tens of minutes), and
+keeps the bit-identity claim honest two ways instead:
+
+* a verification replay at ``VERIFY_N_VMS`` asserts optimized ==
+  reference end to end before any big case is timed;
+* the golden, randomized-equivalence and water-fill equivalence suites
+  pin the same code paths at test scale on every PR.
+
+Two entry points:
+
+* pytest-benchmark tests (``pytest benchmarks/bench_priority_scale.py
+  --benchmark-only``) at a CI-friendly 20k VMs;
+* :func:`run_priority_benchmark`, used by ``benchmarks/run_bench.py`` to
+  produce the ``priority`` section of ``BENCH_cluster.json`` (100k VMs in
+  the full run, 20k with ``--quick``).
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+
+import pytest
+
+from repro.simulator.cluster_sim import (
+    ClusterSimConfig,
+    ClusterSimulator,
+    servers_for_overcommitment,
+)
+from repro.simulator.reference import ReferenceClusterSimulator
+from repro.traces.azure import AzureTraceConfig, synthesize_azure_trace
+
+#: Default trace size for the full run (the ISSUE's >= 100k-VM target).
+PRIORITY_N_VMS = 100_000
+PRIORITY_SEED = 29
+
+#: Overcommitment regimes timed for the big trace; 0.6 is the historical
+#: pain point (11.8s at 20k VMs under the old bisection).
+PRIORITY_OCS = (0.3, 0.6)
+
+#: Scale of the optimized-vs-reference verification replay.
+VERIFY_N_VMS = 5_000
+
+
+def priority_trace(n_vms: int = PRIORITY_N_VMS, seed: int = PRIORITY_SEED):
+    traces = synthesize_azure_trace(AzureTraceConfig(n_vms=n_vms, seed=seed))
+    # Warm the shared per-record p95 cache so no timed run pays it first.
+    ClusterSimulator(traces, ClusterSimConfig(n_servers=1, policy="preemption"))
+    return traces
+
+
+def replay(simulator_cls, traces, oc: float):
+    """One end-to-end run: sizing + construction + replay + metrics."""
+    n_servers = servers_for_overcommitment(traces, oc)
+    config = ClusterSimConfig(n_servers=n_servers, policy="priority")
+    return simulator_cls(traces, config).run()
+
+
+def run_priority_benchmark(
+    n_vms: int = PRIORITY_N_VMS,
+    seed: int = PRIORITY_SEED,
+    rounds: int = 2,
+    ocs: tuple[float, ...] = PRIORITY_OCS,
+    verify: bool = True,
+    progress=None,
+) -> dict:
+    """Time the optimized priority replay at scale; return the report dict."""
+    report: dict = {
+        "n_vms": n_vms,
+        "seed": seed,
+        "rounds": rounds,
+        "policy": "priority",
+        "cases": {},
+    }
+    if verify:
+        small = priority_trace(VERIFY_N_VMS, seed)
+        for oc in ocs:
+            opt = replay(ClusterSimulator, small, oc)
+            ref = replay(ReferenceClusterSimulator, small, oc)
+            if opt != ref:
+                raise AssertionError(
+                    f"optimized diverged from reference on priority@oc{oc} "
+                    f"at {VERIFY_N_VMS} VMs"
+                )
+        report["verified_vs_reference_at_n_vms"] = VERIFY_N_VMS
+    traces = priority_trace(n_vms, seed)
+    n_events = 2 * len(traces)
+    for oc in ocs:
+        times = []
+        for _ in range(rounds):
+            t0 = time.perf_counter()
+            result = replay(ClusterSimulator, traces, oc)
+            times.append(time.perf_counter() - t0)
+        assert result.n_placed > 0
+        sec = statistics.median(times)
+        case_name = f"priority@oc{oc:.1f}"
+        report["cases"][case_name] = {
+            "optimized_s": round(sec, 4),
+            "events_per_s": round(n_events / sec),
+        }
+        if progress is not None:
+            progress(case_name, report["cases"][case_name])
+    return report
+
+
+# -- pytest-benchmark entry points ---------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def traces_20k():
+    return priority_trace(n_vms=20_000, seed=PRIORITY_SEED)
+
+
+@pytest.mark.parametrize("oc", PRIORITY_OCS, ids=lambda v: f"oc{v}")
+def test_priority_replay_optimized(benchmark, traces_20k, oc):
+    result = benchmark.pedantic(replay, args=(ClusterSimulator, traces_20k, oc), rounds=1)
+    assert result.n_placed > 0

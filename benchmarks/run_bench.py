@@ -3,8 +3,9 @@
 Runs the micro cluster benchmarks (small-trace replays, the dense-resident
 bookkeeping stress, trace synthesis), the 20k-VM scaling comparison
 against the pinned pre-optimization simulator, the sharded-engine 100k-VM
-comparison, and the churn-path overhead suite, then writes the medians to
-``BENCH_cluster.json`` so the perf trajectory is visible across PRs::
+comparison, the churn-path overhead suite, and the 100k-VM priority-policy
+frontier run, then writes the medians to ``BENCH_cluster.json`` so the
+perf trajectory is visible across PRs::
 
     PYTHONPATH=src python benchmarks/run_bench.py                 # full (20k VMs)
     PYTHONPATH=src python benchmarks/run_bench.py --quick         # CI scale (5k VMs)
@@ -36,6 +37,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 
 from bench_churn import CHURN_N_VMS, run_churn_benchmark  # noqa: E402
+from bench_priority_scale import PRIORITY_N_VMS, run_priority_benchmark  # noqa: E402
 from bench_scale_cluster import SCALE_N_VMS, run_scale_benchmark  # noqa: E402
 from bench_sharded import SHARDED_N_VMS, run_sharded_benchmark  # noqa: E402
 
@@ -47,7 +49,7 @@ MICRO_N_VMS = 300
 MICRO_SEED = 6
 
 #: Report sections, each refreshable independently via ``--only``.
-_SECTIONS = ("micro", "scale", "sharded", "churn")
+_SECTIONS = ("micro", "scale", "sharded", "churn", "priority")
 
 
 def _median_time(fn, rounds: int) -> float:
@@ -117,6 +119,18 @@ def main(argv: list[str] | None = None) -> int:
         help="churn rounds (median; default 3, quick 1)",
     )
     parser.add_argument(
+        "--priority-n-vms",
+        type=int,
+        default=None,
+        help="priority-frontier trace size (default 100k, quick 20k)",
+    )
+    parser.add_argument(
+        "--priority-rounds",
+        type=int,
+        default=None,
+        help="priority-frontier rounds (median; default 2, quick 1)",
+    )
+    parser.add_argument(
         "--only",
         choices=_SECTIONS,
         nargs="+",
@@ -134,6 +148,8 @@ def main(argv: list[str] | None = None) -> int:
     sharded_rounds = args.sharded_rounds or (1 if args.quick else 3)
     churn_n_vms = args.churn_n_vms or (5000 if args.quick else CHURN_N_VMS)
     churn_rounds = args.churn_rounds or (1 if args.quick else 3)
+    priority_n_vms = args.priority_n_vms or (20000 if args.quick else PRIORITY_N_VMS)
+    priority_rounds = args.priority_rounds or (1 if args.quick else 2)
     sections = set(args.only) if args.only else set(_SECTIONS)
 
     host = {"python": platform.python_version(), "machine": platform.machine()}
@@ -196,6 +212,22 @@ def main(argv: list[str] | None = None) -> int:
             progress=lambda label, s: print(f"  {label:24s} {s:8.3f}s", flush=True),
         )
 
+    if "priority" in sections:
+        print(
+            f"[run_bench] priority-frontier benchmark ({priority_n_vms} VMs, "
+            f"{priority_rounds} round(s), optimized only + small-scale verify)...",
+            flush=True,
+        )
+        report["priority"] = run_priority_benchmark(
+            n_vms=priority_n_vms,
+            rounds=priority_rounds,
+            progress=lambda name, case: print(
+                f"  {name:24s} opt={case['optimized_s']:8.3f}s "
+                f"({case['events_per_s']:,} events/s)",
+                flush=True,
+            ),
+        )
+
     if partial:
         for section in sections:
             report[section]["host"] = host
@@ -224,6 +256,14 @@ def main(argv: list[str] | None = None) -> int:
                 f"{k.removeprefix('overhead_')}={churn[k]:.2f}x"
                 for k in sorted(churn)
                 if k.startswith("overhead_")
+            )
+        )
+    if "priority" in sections:
+        prio = report["priority"]
+        print(
+            f"[run_bench] priority frontier ({prio['n_vms']} VMs): "
+            + ", ".join(
+                f"{name}={case['optimized_s']:.1f}s" for name, case in prio["cases"].items()
             )
         )
     print(f"[run_bench] wrote {args.out}")

@@ -1,16 +1,22 @@
-"""Golden-freeze rule: the pinned reference simulator stays a yardstick.
+"""Golden-freeze rule: the pinned references stay yardsticks.
 
-``repro/simulator/reference.py`` is the verbatim pre-optimization
-snapshot the golden bit-equivalence suite measures against (ROADMAP:
-"don't optimize the reference").  Two statically checkable ways that
-discipline erodes:
+The repo keeps verbatim pre-optimization snapshots that the equivalence
+suites measure against (ROADMAP: "don't optimize the reference"):
+
+* ``repro/simulator/reference.py`` — the pre-optimization cluster
+  simulator behind the golden bit-equivalence suite;
+* ``repro/core/waterfill_reference.py`` — the pre-closed-form water-fill
+  bisection behind ``tests/core/test_waterfill_equivalence.py``
+  (docs/performance.md, "Deliberate numerical changes").
+
+Two statically checkable ways that discipline erodes, per frozen module:
 
 * production code starts *importing* the reference (coupling the live
   pipeline to the yardstick, so "optimizing" it becomes tempting) — only
   ``tests/`` and ``benchmarks/`` may import it;
 * the reference file itself sprouts lint suppressions or loses its
   do-not-optimize sentinel — the usual first signs of somebody editing
-  the snapshot instead of the live simulator.
+  the snapshot instead of the live code.
 """
 
 from __future__ import annotations
@@ -26,30 +32,40 @@ from repro.analysis.core import (
 )
 from repro.registry import register
 
-_REFERENCE_MODULE = "repro.simulator.reference"
-#: The reference docstring's commitment line; losing it in an edit is the
+#: Frozen module -> (path suffix identifying the file, parent package that
+#: re-exports it as an attribute).  Extending the freeze to a new snapshot
+#: is one entry here plus fixture cases in tests/analysis/.
+_FROZEN_MODULES: dict[str, tuple[str, str]] = {
+    "repro.simulator.reference": ("repro/simulator/reference.py", "repro.simulator"),
+    "repro.core.waterfill_reference": (
+        "repro/core/waterfill_reference.py",
+        "repro.core",
+    ),
+}
+#: The references' docstring commitment line; losing it in an edit is the
 #: tripwire for "someone rewrote the yardstick".
 _SENTINEL = "Do not optimize this module"
 
 
 @register("lint", "golden-freeze")
 class GoldenFreezeRule(LintRule):
-    """Non-test code must not import (or water down) the golden reference."""
+    """Non-test code must not import (or water down) a golden reference."""
 
     name = "golden-freeze"
     scope = "file"
     description = (
-        "repro/simulator/reference.py is the frozen golden yardstick: only "
-        "tests/ and benchmarks/ may import it, and the file itself must "
-        "keep its do-not-optimize sentinel and stay free of lint "
-        "suppressions"
+        "repro/simulator/reference.py and repro/core/waterfill_reference.py "
+        "are frozen golden yardsticks: only tests/ and benchmarks/ may "
+        "import them, and the files themselves must keep their "
+        "do-not-optimize sentinel and stay free of lint suppressions"
     )
 
     def check(self, module: ModuleSource, ctx: LintContext):
         rel_posix = module.rel.replace("\\", "/")
-        if rel_posix.endswith("repro/simulator/reference.py"):
-            yield from self._check_reference_file(module)
-            return
+        for suffix, _ in _FROZEN_MODULES.values():
+            if rel_posix.endswith(suffix):
+                yield from self._check_reference_file(module)
+                return
         if is_test_path(module.rel) or is_benchmark_path(module.rel):
             return
         tree = module.tree
@@ -58,33 +74,33 @@ class GoldenFreezeRule(LintRule):
         for node in ast.walk(tree):
             if isinstance(node, ast.Import):
                 for alias in node.names:
-                    if alias.name == _REFERENCE_MODULE or alias.name.startswith(
-                        _REFERENCE_MODULE + "."
+                    for frozen in _FROZEN_MODULES:
+                        if alias.name == frozen or alias.name.startswith(frozen + "."):
+                            yield module.finding(
+                                self.name,
+                                node,
+                                "non-test code imports the frozen golden reference "
+                                f"({frozen}); only tests/ and benchmarks/ may",
+                            )
+            elif isinstance(node, ast.ImportFrom):
+                mod = node.module or ""
+                for frozen, (_, parent) in _FROZEN_MODULES.items():
+                    if mod == frozen or mod.startswith(frozen + "."):
+                        yield module.finding(
+                            self.name,
+                            node,
+                            "non-test code imports from the frozen golden reference "
+                            f"({frozen}); only tests/ and benchmarks/ may",
+                        )
+                    elif mod == parent and any(
+                        parent + "." + alias.name == frozen for alias in node.names
                     ):
                         yield module.finding(
                             self.name,
                             node,
                             "non-test code imports the frozen golden reference "
-                            f"({_REFERENCE_MODULE}); only tests/ and benchmarks/ may",
+                            f"({frozen}); only tests/ and benchmarks/ may",
                         )
-            elif isinstance(node, ast.ImportFrom):
-                mod = node.module or ""
-                if mod == _REFERENCE_MODULE or mod.startswith(_REFERENCE_MODULE + "."):
-                    yield module.finding(
-                        self.name,
-                        node,
-                        "non-test code imports from the frozen golden reference "
-                        f"({_REFERENCE_MODULE}); only tests/ and benchmarks/ may",
-                    )
-                elif mod == "repro.simulator" and any(
-                    alias.name == "reference" for alias in node.names
-                ):
-                    yield module.finding(
-                        self.name,
-                        node,
-                        "non-test code imports the frozen golden reference "
-                        "(repro.simulator.reference); only tests/ and benchmarks/ may",
-                    )
 
     def _check_reference_file(self, module: ModuleSource):
         # suppressible=False: a suppression comment inside the yardstick is
@@ -95,7 +111,7 @@ class GoldenFreezeRule(LintRule):
                     self.name,
                     lineno,
                     "the golden reference must not carry lint suppressions — "
-                    "fix the live simulator instead of silencing the yardstick",
+                    "fix the live code instead of silencing the yardstick",
                     suppressible=False,
                 )
         if _SENTINEL not in module.text:

@@ -21,8 +21,20 @@ The proportional-family solver handles the clamping the paper leaves
 implicit: the closed forms of Eqs. 1–4 can push an individual VM below zero
 (or below ``m_i``) when priorities are heterogeneous, so we solve the
 equivalent water-filling problem ``sum_i clip(b_i - alpha * w_i, 0, cap_i)
-= R`` for the level ``alpha`` by bisection, which preserves the papers'
-weighting exactly whenever the unclamped solution is feasible.
+= R`` for the level ``alpha`` exactly: sort the 2n breakpoints where a
+term enters or leaves its linear regime, walk the piecewise-linear clipped
+sum to the active segment, and solve for ``alpha`` in closed form
+(O(n log n), one pass).  This replaced an 80-iteration bisection — the
+repo's first deliberate numerical change; the old solver is pinned
+verbatim in :mod:`repro.core.waterfill_reference` and
+``tests/core/test_waterfill_equivalence.py`` holds the two within 1e-9
+(see docs/performance.md, "Deliberate numerical changes").
+
+Policies also expose :meth:`DeflationPolicy.reclaim_plan`: a reusable
+solver over a fixed (capacities, minimums, priorities) pool.  The cluster
+simulator rebalances the same server membership many times with only the
+required amount changing, so the priority policy hoists its breakpoint
+sort into the plan and answers each solve in O(n).
 """
 
 from __future__ import annotations
@@ -35,7 +47,6 @@ import numpy as np
 from repro.errors import DeflationError, UnknownComponentError
 from repro.registry import RegistryView, register, resolve
 
-_BISECT_ITERS = 80
 _TOL = 1e-9
 
 
@@ -56,53 +67,142 @@ def _validate_inputs(
     return caps, np.minimum(mins, caps), prios
 
 
+class _WaterfillPlan:
+    """Exact sorted-breakpoint water-fill over one fixed ``(base, weight, cap)``.
+
+    Each positive-weight term ``x_i(alpha) = clip(base_i - alpha * weight_i,
+    0, cap_i)`` is constant at ``cap_i`` below ``(base_i - cap_i) / weight_i``,
+    linear in between, and zero above ``base_i / weight_i``; zero-weight terms
+    contribute the alpha-independent ``clip(base_i, 0, cap_i)``.  The clipped
+    sum is therefore piecewise linear and non-increasing in alpha with at most
+    ``2n`` breakpoints.  Building the plan sorts those breakpoints once and
+    prefix-sums the slope/intercept deltas (O(n log n)); each
+    :meth:`reclaim` then finds the active segment with one vectorized
+    comparison and solves for alpha in closed form — no iteration.
+
+    The plan is reusable across ``amount`` values, which is how the cluster
+    simulator amortizes the sort over a server's rebalance storm (see
+    :meth:`DeflationPolicy.reclaim_plan`).
+    """
+
+    __slots__ = ("base", "weight", "cap", "total_cap", "_const", "_cap_sum_pos",
+                 "_alphas", "_values", "_C", "_A", "_B", "_seg0")
+
+    def __init__(self, base: np.ndarray, weight: np.ndarray, cap: np.ndarray) -> None:
+        self.base = base
+        self.weight = weight
+        self.cap = cap
+        self.total_cap = float(cap.sum())
+        pos = weight > 0.0
+        if pos.all():
+            b, w, c = base, weight, cap
+            self._const = 0.0
+        else:
+            b, w, c = base[pos], weight[pos], cap[pos]
+            rest = base[~pos]
+            self._const = float(np.minimum(np.maximum(rest, 0.0), cap[~pos]).sum())
+        self._cap_sum_pos = float(c.sum())
+        if c is b or np.array_equal(b, c):
+            # cap == base (exactly the priority policy's shape: every term is
+            # ``clip(pool_i - alpha * w_i, 0, pool_i)``): the cap-regime
+            # breakpoint ``(b - c) / w`` is exactly 0 for every term, so the
+            # only sweep events are the zero crossings at ``b / w`` — half
+            # the events and no sort interleaving.  The pre-first-event
+            # segment carries the full linear sum (``_seg0`` below); for a
+            # requested amount above that segment's range the solved alpha
+            # goes negative, where ``clip`` pins every term right back at
+            # ``cap == base`` — the same vector the generic sweep's flat
+            # alpha = 0 segment produces.
+            alphas = b / w
+            order = np.argsort(alphas, kind="stable")
+            self._alphas = alphas[order]
+            b_sum = float(b.sum())
+            w_sum = float(w.sum())
+            self._C = None
+            self._A = b_sum - np.cumsum(b[order])
+            self._B = w_sum - np.cumsum(w[order])
+            self._seg0 = (0.0, b_sum, w_sum)
+            self._values = self._const + self._A - self._alphas * self._B
+            return
+        # Sweep events: entering the linear regime at (b-c)/w trades the
+        # constant c_i for the linear term b_i - alpha*w_i; hitting zero at
+        # b/w removes the linear term.  Stable sort keeps tied breakpoints
+        # deterministic (lo-events of equal alpha before hi-events).
+        alphas = np.concatenate([(b - c) / w, b / w])
+        order = np.argsort(alphas, kind="stable")
+        self._alphas = alphas[order]
+        d_const = np.concatenate([-c, np.zeros_like(c)])
+        d_icept = np.concatenate([b, -b])
+        d_slope = np.concatenate([w, -w])
+        # Post-event running state: on the segment right of event j the
+        # clipped sum is const + C[j] + A[j] - alpha * B[j].
+        self._C = np.cumsum(d_const[order]) + self._cap_sum_pos
+        self._A = np.cumsum(d_icept[order])
+        self._B = np.cumsum(d_slope[order])
+        self._seg0 = (self._cap_sum_pos, 0.0, 0.0)
+        # Value of the clipped sum at each event point (continuity: the
+        # post-event segment evaluated at the event's own alpha).
+        self._values = self._const + self._C + self._A - self._alphas * self._B
+
+    def reclaim(self, amount: float) -> np.ndarray:
+        """Per-VM reclaim vector for this pool at the given total ``amount``.
+
+        Same contract (and guard tolerances) as the pinned bisection in
+        :mod:`repro.core.waterfill_reference`: callers guarantee
+        ``0 <= amount <= sum(cap)``; the final in-cap rescale squeezes out
+        the last float rounding so the total matches ``amount`` exactly
+        whenever the pool can express it.
+        """
+        if amount <= _TOL:
+            return np.zeros_like(self.base)
+        if amount >= self.total_cap - _TOL:
+            return self.cap.copy()
+        alphas = self._alphas
+        if alphas.size == 0:
+            # No positive weights: the clipped sum is alpha-independent, so
+            # any level yields the same vector (the bisection's converged
+            # endpoint produced exactly this before its rescale).
+            x = np.minimum(np.maximum(self.base, 0.0), self.cap)
+        else:
+            below = self._values <= amount
+            if not bool(below.any()):
+                # Even past the last breakpoint the zero-weight floor alone
+                # exceeds `amount`: park every weighted term at zero and let
+                # the rescale shrink inside the caps, exactly as the
+                # bisection's converged upper bracket did.
+                alpha = float(alphas[-1])
+            else:
+                j = int(np.argmax(below))
+                if j == 0:
+                    seg_c, seg_a, seg_b = self._seg0
+                else:
+                    seg_c = float(self._C[j - 1]) if self._C is not None else 0.0
+                    seg_a = float(self._A[j - 1])
+                    seg_b = float(self._B[j - 1])
+                if seg_b > 0.0:
+                    alpha = (self._const + seg_c + seg_a - amount) / seg_b
+                else:
+                    # Flat segment (tied breakpoints): every alpha on it maps
+                    # to the same clipped vector; take the right endpoint.
+                    alpha = float(alphas[j])
+            x = np.clip(self.base - alpha * self.weight, 0.0, self.cap)
+        total = float(x.sum())
+        if total > _TOL:
+            x = np.minimum(x * (amount / total), self.cap)
+        return x
+
+
 def _waterfill_reclaim(
     base: np.ndarray, weight: np.ndarray, cap: np.ndarray, amount: float
 ) -> np.ndarray:
     """Solve sum_i clip(base_i - alpha * weight_i, 0, cap_i) = amount for alpha.
 
-    Returns the per-VM reclaim amounts ``x_i``.  The clipped sum is monotone
-    non-increasing in alpha, so bisection converges unconditionally.  Callers
-    guarantee ``0 <= amount <= sum(cap)``.
+    Returns the per-VM reclaim amounts ``x_i`` via the exact breakpoint
+    solver.  Callers guarantee ``0 <= amount <= sum(cap)``.  One-shot entry;
+    repeated solves over the same pool should build a :class:`_WaterfillPlan`
+    (via :meth:`DeflationPolicy.reclaim_plan`) and reuse it.
     """
-    if amount <= _TOL:
-        return np.zeros_like(base)
-    total_cap = float(cap.sum())
-    if amount >= total_cap - _TOL:
-        return cap.copy()
-
-    # One reused scratch buffer and raw ufunc calls with ``out=``: the
-    # bisection evaluates the clipped sum ~80 times per solve and the
-    # per-call allocations plus np.clip dispatch dominated the simulator's
-    # priority-policy runs.  clip(x, 0, cap) == minimum(maximum(x, 0), cap)
-    # bit for bit on finite data, so results are unchanged.
-    tmp = np.empty_like(base)
-
-    def clipped_sum(alpha: float) -> float:
-        np.multiply(weight, alpha, out=tmp)
-        np.subtract(base, tmp, out=tmp)
-        np.maximum(tmp, 0.0, out=tmp)
-        np.minimum(tmp, cap, out=tmp)
-        return float(np.add.reduce(tmp))
-
-    # Bracket: alpha low enough that everything is at cap, high enough that
-    # everything is at zero.
-    wpos = weight[weight > 0]
-    wmin = float(wpos.min()) if wpos.size else 1.0
-    lo = float((base - cap).min() / max(wmin, _TOL)) - 1.0
-    hi = float(base.max() / max(wmin, _TOL)) + 1.0
-    for _ in range(_BISECT_ITERS):
-        mid = 0.5 * (lo + hi)
-        if clipped_sum(mid) > amount:
-            lo = mid
-        else:
-            hi = mid
-    x = np.clip(base - hi * weight, 0.0, cap)
-    # Remove the last drops of bisection error by scaling inside the caps.
-    total = float(x.sum())
-    if total > _TOL:
-        x = np.minimum(x * (amount / total), cap)
-    return x
+    return _WaterfillPlan(base, weight, cap).reclaim(amount)
 
 
 @dataclass(frozen=True)
@@ -169,6 +269,25 @@ class DeflationPolicy(abc.ABC):
         built-ins guard with an exact ``type(self)`` check).
         """
         return self.target_allocations(capacities, minimums, priorities, required)
+
+    def reclaim_plan(self, capacities, minimums, priorities):
+        """Reusable solver over one fixed, pre-validated pool.
+
+        Returns ``solve(required) -> DeflationResult``, bit-identical to
+        calling :meth:`target_allocations_trusted` with the same inputs.
+        The cluster simulator rebalances the same server membership many
+        times with only ``required`` changing (on-demand churn around a
+        stable deflatable set), so a plan lets a policy hoist
+        membership-dependent work — the priority policy's breakpoint sort —
+        out of that loop.  The default simply closes over the trusted entry,
+        so third-party policies keep working unchanged.  Callers must not
+        mutate the arrays while the plan is live.
+        """
+
+        def solve(required: float) -> DeflationResult:
+            return self.target_allocations_trusted(capacities, minimums, priorities, required)
+
+        return solve
 
     # Convenience wrapper shared by all policies.
     def _finalize(
@@ -257,6 +376,33 @@ class PriorityPolicy(DeflationPolicy):
         return self._compute(
             capacities, np.minimum(minimums, capacities), priorities, required
         )
+
+    def reclaim_plan(self, capacities, minimums, priorities):
+        # Exact type check, same discipline as target_allocations_trusted:
+        # a subclass overriding target_allocations (or _compute) must not be
+        # silently bypassed by the cached fast path.
+        if type(self) is not PriorityPolicy:
+            return super().reclaim_plan(capacities, minimums, priorities)
+        caps = capacities
+        mins = np.minimum(minimums, capacities)
+        eff_min = self._effective_min(caps, mins, priorities)
+        pool = caps - eff_min
+        total = float(pool.sum())
+        # Guard order and tolerances below mirror _compute exactly, and the
+        # plan's own entry guards are no-ops behind them, so the cached path
+        # is bit-for-bit the one-shot path.
+        plan = _WaterfillPlan(pool, priorities * pool, pool) if total > _TOL else None
+
+        def solve(required: float) -> DeflationResult:
+            if required <= _TOL or caps.size == 0:
+                return self._finalize(caps, np.zeros_like(caps), max(required, 0.0))
+            if total <= _TOL:
+                return self._finalize(caps, np.zeros_like(caps), required)
+            if required >= total - _TOL:
+                return self._finalize(caps, pool, required)
+            return self._finalize(caps, plan.reclaim(required), required)
+
+        return solve
 
     def _compute(self, caps, mins, prios, required) -> DeflationResult:
         if required <= _TOL or caps.size == 0:

@@ -1,0 +1,74 @@
+"""Pinned pre-closed-form water-fill bisection (golden numeric reference).
+
+This is a verbatim snapshot of ``repro.core.deflation._waterfill_reclaim``
+as it stood *before* the closed-form sorted-breakpoint solver replaced it
+— the repo's first deliberate, golden-tested numerical change (see
+docs/performance.md, "Deliberate numerical changes").  It is kept for one
+purpose: ``tests/core/test_waterfill_equivalence.py`` asserts the
+closed-form solver agrees with this implementation to <= 1e-9 on
+randomized instances and bit-for-bit in every clamped regime, which is
+the evidence that licensed re-pinning the golden suites on the new bits.
+
+Only tests/ and benchmarks/ may import this module (the ``golden-freeze``
+lint rule enforces that statically, exactly as it does for
+``repro.simulator.reference``): production code must use the live solver
+in :mod:`repro.core.deflation`.
+
+Do not optimize this module; it is the yardstick.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_BISECT_ITERS = 80
+_TOL = 1e-9
+
+
+def waterfill_reclaim_bisect(
+    base: np.ndarray, weight: np.ndarray, cap: np.ndarray, amount: float
+) -> np.ndarray:
+    """Solve sum_i clip(base_i - alpha * weight_i, 0, cap_i) = amount for alpha.
+
+    Returns the per-VM reclaim amounts ``x_i``.  The clipped sum is monotone
+    non-increasing in alpha, so bisection converges unconditionally.  Callers
+    guarantee ``0 <= amount <= sum(cap)``.
+    """
+    if amount <= _TOL:
+        return np.zeros_like(base)
+    total_cap = float(cap.sum())
+    if amount >= total_cap - _TOL:
+        return cap.copy()
+
+    # One reused scratch buffer and raw ufunc calls with ``out=``: the
+    # bisection evaluates the clipped sum ~80 times per solve and the
+    # per-call allocations plus np.clip dispatch dominated the simulator's
+    # priority-policy runs.  clip(x, 0, cap) == minimum(maximum(x, 0), cap)
+    # bit for bit on finite data, so results are unchanged.
+    tmp = np.empty_like(base)
+
+    def clipped_sum(alpha: float) -> float:
+        np.multiply(weight, alpha, out=tmp)
+        np.subtract(base, tmp, out=tmp)
+        np.maximum(tmp, 0.0, out=tmp)
+        np.minimum(tmp, cap, out=tmp)
+        return float(np.add.reduce(tmp))
+
+    # Bracket: alpha low enough that everything is at cap, high enough that
+    # everything is at zero.
+    wpos = weight[weight > 0]
+    wmin = float(wpos.min()) if wpos.size else 1.0
+    lo = float((base - cap).min() / max(wmin, _TOL)) - 1.0
+    hi = float(base.max() / max(wmin, _TOL)) + 1.0
+    for _ in range(_BISECT_ITERS):
+        mid = 0.5 * (lo + hi)
+        if clipped_sum(mid) > amount:
+            lo = mid
+        else:
+            hi = mid
+    x = np.clip(base - hi * weight, 0.0, cap)
+    # Remove the last drops of bisection error by scaling inside the caps.
+    total = float(x.sum())
+    if total > _TOL:
+        x = np.minimum(x * (amount / total), cap)
+    return x

@@ -49,7 +49,15 @@ from the reference):
   vectorized: never-deflated VMs take closed-form fast paths, and all
   pricing models are evaluated over the whole VM population with array ops
   (order-preserving ``cumsum`` reductions keep float accumulation
-  bit-identical to the original per-VM loop).
+  bit-identical to the original per-VM loop);
+* ``_rebalance`` solves through per-server :meth:`DeflationPolicy.
+  reclaim_plan` objects cached alongside the resident gathers, so the
+  priority policy's breakpoint sort is paid once per membership change,
+  not once per solve;
+* the observer-free failure-free ``run`` loop coalesces each timestamp's
+  run of departures into one rebalance per touched server
+  (``_handle_end_batch`` documents the equivalence argument; every other
+  execution mode stays strictly per-event).
 """
 
 from __future__ import annotations
@@ -665,15 +673,34 @@ class ClusterSimulator:
         events = self._build_events()
         peak_committed = 0.0
         handle_start, handle_end = self._handle_start, self._handle_end
-        for t, kind, vm in zip(
-            events["t"].tolist(), events["kind"].tolist(), events["vm"].tolist()
-        ):
-            if kind == 0:
-                handle_end(t, vm)
+        t_list = events["t"].tolist()
+        kind_list = events["kind"].tolist()
+        vm_list = events["vm"].tolist()
+        n = len(t_list)
+        # Observer-free failure-free runs coalesce each timestamp's run of
+        # departures into one rebalance per touched server — see
+        # _handle_end_batch for why this is bit-identical to the strictly
+        # per-event loop, which still serves every other execution mode
+        # (collectors attached, injector-driven, streaming).
+        batch_ends = not self._collectors
+        i = 0
+        while i < n:
+            t = t_list[i]
+            if kind_list[i] == 0:
+                if batch_ends:
+                    j = i + 1
+                    while j < n and kind_list[j] == 0 and t_list[j] == t:
+                        j += 1
+                    if j - i > 1:
+                        self._handle_end_batch(t, vm_list[i:j])
+                        i = j
+                        continue
+                handle_end(t, vm_list[i])
             else:
-                handle_start(t, vm)
+                handle_start(t, vm_list[i])
                 if self._committed_cores > peak_committed:
                     peak_committed = self._committed_cores
+            i += 1
         return self._collect(peak_committed)
 
     # -- checkpoint/resume ---------------------------------------------------------
@@ -1020,6 +1047,80 @@ class ClusterSimulator:
         if self._policy is not None:
             self._rebalance(t, server)
 
+    def _handle_end_batch(self, t: float, vms: list) -> None:
+        """One timestamp's departures with a single rebalance per server.
+
+        Only the observer-free, failure-free array path in :meth:`run` calls
+        this; everything else stays strictly per-event.  Equivalence with the
+        sequential loop, in full:
+
+        * Detaches are independent per-VM bookkeeping, applied in the same
+          event order, so the post-batch membership and committed totals are
+          identical.
+        * Rebalance recomputes targets from capacities and the server's
+          *current* pressure (recompute-from-capacity semantics), so one
+          rebalance over the final membership lands on exactly the state the
+          sequential loop's *last* rebalance of that server produced —
+          **provided that final rebalance runs at all**.  The one exception
+          is a batch that detaches *every* deflatable resident of a server:
+          ``_rebalance`` early-returns on an empty deflatable set without
+          touching ``self.reclaimed[server]``, so in the sequential loop the
+          residue left behind comes from the last rebalance that still saw a
+          deflatable resident — an *intermediate* membership this batch
+          never visits.  That residue feeds the availability score of later
+          placements (``used = committed - reclaimed``), so the whole
+          timestamp falls back to strict per-event processing whenever a
+          touched server's deflatable population would be emptied.
+        * The skipped intermediate rebalances could only have appended
+          allocation-history rows at this same timestamp; the piecewise-
+          constant allocation series reads the last row at or before each
+          grid point (``searchsorted(..., side="right")``), so those rows
+          were invisible to every metric, and ``_last_frac`` converges to
+          the same final value either way.
+        * In a failure-free run a departure can never flip a satisfiable
+          server to unsatisfied: the required reclaim drops by the full
+          departing capacity while the reclaimable pool drops by at most
+          that, so no intermediate rebalance could have raised a
+          ``reclaim_failure`` the final one misses.
+
+        Collectors force the per-event path because their hooks observe the
+        sequential intermediate states; the golden and randomized
+        equivalence suites pin all of the above against the unbatched
+        reference simulator and stream/resume replays, and
+        ``tests/simulator/test_batched_ends.py`` pins the emptied-server
+        residue case directly.
+        """
+        outcomes = self.outcomes
+        vm_server = self.vm_server
+        departing: list[tuple[int, int]] = []
+        defl_departing: dict[int, int] = {}
+        for vm in vms:
+            out = outcomes[vm]
+            if not out.placed or out.preempted:
+                continue
+            server = int(vm_server[vm])
+            departing.append((vm, server))
+            if self.vm_deflatable[vm]:
+                defl_departing[server] = defl_departing.get(server, 0) + 1
+        if self._policy is not None and any(
+            n == len(self.resident_deflatable[s]) for s, n in defl_departing.items()
+        ):
+            # A server's deflatable population empties this timestamp: its
+            # reclaimed residue depends on intermediate memberships (see
+            # docstring), so replay the batch exactly as the sequential
+            # loop would.  Rare, and correctness beats the batching win.
+            for vm, server in departing:
+                self._detach(vm, server)
+                self._rebalance(t, server)
+            return
+        touched: dict[int, None] = {}
+        for vm, server in departing:
+            self._detach(vm, server)
+            touched[server] = None
+        if self._policy is not None:
+            for server in touched:
+                self._rebalance(t, server)
+
     def _rebalance(self, t: float, server: int) -> None:
         """Recompute deflatable allocations on one server under its pressure."""
         assert self._policy is not None
@@ -1055,9 +1156,16 @@ class ClusterSimulator:
                 (self.vm_floor[idx, 0], self.vm_floor[idx, 1]),
                 self.vm_prio[idx],
                 np.maximum(caps[:, 0], 1e-12),  # frac denominator
+                # Per-dimension reclaim plans, built lazily on first solve:
+                # the plan hoists membership-dependent work (the priority
+                # policy's breakpoint sort) out of the rebalance storm, and
+                # its lifetime is exactly the cache's — any membership change
+                # drops both.  Results are bit-identical to the one-shot
+                # trusted entry (tests/core/test_deflation_trusted.py).
+                [None] * _DIMS,
             )
             self._srv_cache[server] = cache
-        idx, caps_dim, floors_dim, prios, frac_denom = cache
+        idx, caps_dim, floors_dim, prios, frac_denom, plans = cache
         new_reclaimed = np.zeros((idx.size, _DIMS))
         unsatisfied = False
         for r in range(_DIMS):
@@ -1067,9 +1175,12 @@ class ClusterSimulator:
                 # satisfied reclaim; keep the zero rows without paying its
                 # input validation (typically the memory dimension).
                 continue
-            result = self._policy.target_allocations_trusted(
-                caps_dim[r], floors_dim[r], prios, req
-            )
+            solve = plans[r]
+            if solve is None:
+                solve = plans[r] = self._policy.reclaim_plan(
+                    caps_dim[r], floors_dim[r], prios
+                )
+            result = solve(req)
             new_reclaimed[:, r] = result.reclaimed
             if not result.satisfied:
                 unsatisfied = True

@@ -398,7 +398,17 @@ class CommittedTimelineCollector(MetricsCollector):
         self.points: list[tuple[float, float]] = []
 
     def _record(self, t: float, sim) -> None:
-        self.points.append((t, float(sim.committed[:, 0].sum())))
+        # The optimized simulator maintains the committed-cores total
+        # incrementally; read it instead of re-summing the per-server column
+        # on every event (this collector fires on each admit/end, so the
+        # O(n_servers) sum was the last per-event scan).  Core counts are
+        # integers, so the running float64 total is exact and bit-identical
+        # to the column sum — the golden suite pins that, because the
+        # reference simulator lacks the scalar and takes the fallback.
+        committed = getattr(sim, "_committed_cores", None)
+        if committed is None:
+            committed = float(sim.committed[:, 0].sum())
+        self.points.append((t, float(committed)))
 
     def on_admit(self, t, vm, server, sim):
         self._record(t, sim)

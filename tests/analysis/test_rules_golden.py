@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 REF = "src/repro/simulator/reference.py"
+WREF = "src/repro/core/waterfill_reference.py"
 PROD = "src/repro/simulator/cluster_sim.py"
 
 _FROZEN_HEADER = '"""Reference simulator. Do not optimize this module."""\n'
@@ -35,6 +36,36 @@ class TestImportBans:
         assert lint_snippet(code, "golden-freeze", rel=PROD) == []
 
 
+class TestWaterfillReferenceImportBans:
+    """The pinned water-fill bisection is frozen under the same rule."""
+
+    def test_plain_import_fires(self, lint_snippet):
+        code = "import repro.core.waterfill_reference\n"
+        hits = lint_snippet(code, "golden-freeze", rel=PROD)
+        assert len(hits) == 1 and "waterfill_reference" in hits[0].message
+
+    def test_from_module_import_fires(self, lint_snippet):
+        code = "from repro.core.waterfill_reference import waterfill_reclaim_bisect\n"
+        assert len(lint_snippet(code, "golden-freeze", rel=PROD)) == 1
+
+    def test_from_package_import_reference_fires(self, lint_snippet):
+        code = "from repro.core import waterfill_reference\n"
+        assert len(lint_snippet(code, "golden-freeze", rel=PROD)) == 1
+
+    def test_live_solver_in_same_package_is_clean(self, lint_snippet):
+        code = "from repro.core import deflation\nfrom repro.core.deflation import get_policy\n"
+        assert lint_snippet(code, "golden-freeze", rel=PROD) == []
+
+    def test_tests_may_import_it(self, lint_snippet):
+        code = "from repro.core.waterfill_reference import waterfill_reclaim_bisect\n"
+        rel = "tests/core/test_waterfill_equivalence.py"
+        assert lint_snippet(code, "golden-freeze", rel=rel) == []
+
+    def test_benchmarks_may_import_it(self, lint_snippet):
+        code = "import repro.core.waterfill_reference\n"
+        assert lint_snippet(code, "golden-freeze", rel="benchmarks/bench_wf.py") == []
+
+
 class TestReferenceFileItself:
     def test_clean_frozen_file_passes(self, lint_snippet):
         assert lint_snippet(_FROZEN_HEADER + "x = 1\n", "golden-freeze", rel=REF) == []
@@ -55,5 +86,29 @@ class TestReferenceFileItself:
         ref = repo_root / "src" / "repro" / "simulator" / "reference.py"
         hits = lint_snippet(
             ref.read_text(encoding="utf-8"), "golden-freeze", rel=REF
+        )
+        assert hits == []
+
+
+class TestWaterfillReferenceFileItself:
+    def test_clean_frozen_file_passes(self, lint_snippet):
+        assert lint_snippet(_FROZEN_HEADER + "x = 1\n", "golden-freeze", rel=WREF) == []
+
+    def test_suppression_comment_fires_unsuppressibly(self, lint_snippet):
+        code = _FROZEN_HEADER + "x = 1  # repro-lint: disable=golden-freeze\n"
+        hits = lint_snippet(code, "golden-freeze", rel=WREF)
+        assert len(hits) == 1
+        assert hits[0].suppressible is False
+
+    def test_missing_sentinel_fires_unsuppressibly(self, lint_snippet):
+        hits = lint_snippet('"""Pinned bisection."""\nx = 1\n', "golden-freeze", rel=WREF)
+        assert len(hits) == 1
+        assert "sentinel" in hits[0].message
+        assert hits[0].suppressible is False
+
+    def test_real_waterfill_reference_is_clean_at_head(self, lint_snippet, repo_root):
+        ref = repo_root / "src" / "repro" / "core" / "waterfill_reference.py"
+        hits = lint_snippet(
+            ref.read_text(encoding="utf-8"), "golden-freeze", rel=WREF
         )
         assert hits == []

@@ -111,6 +111,54 @@ def _maybe_warned(rng: np.random.Generator, spec: dict) -> dict:
     return spec
 
 
+def waterfill_stress_scenario(rng: np.random.Generator, index: int = 0) -> Scenario:
+    """Scenario biased toward the water-fill solver's corner regimes.
+
+    The closed-form breakpoint solver (docs/performance.md, "Deliberate
+    numerical changes") has distinct paths for tied breakpoints, saturated
+    pools and degenerate active sets; these scenarios push replays into
+    them: deep overcommitment so solves run cap-adjacent, high QoS floors
+    so pools are nearly exhausted (cap-saturated, with identical per-class
+    VM shapes producing tied breakpoints), and occasional tiny clusters
+    whose servers host only one or two deflatable VMs.  Failure-free by
+    design: the batched departure hot path only runs on the failure-free
+    array loop, and this generator exists to hammer exactly that path
+    against the per-event stream/resume and sharded replays.
+    """
+    tiny = rng.random() < 0.3
+    n_vms = int(rng.integers(8, 26)) if tiny else int(rng.integers(60, 181))
+    scenario = (
+        Scenario(name=f"waterfill-stress-{index}")
+        .with_workload("azure", n_vms=n_vms, seed=int(rng.integers(1, 2**16)))
+        .with_policy(_pick(rng, ("priority", "priority-eq3", "proportional")))
+        .with_scorer(_pick(rng, SCORERS))
+        .with_admission(_pick(rng, ADMISSIONS))
+        # Deep overcommitment keeps servers under pressure, so nearly every
+        # departure triggers a real solve near the pool boundary.
+        .with_overcommitment(float(_pick(rng, (0.4, 0.6, 0.8))))
+    )
+    if rng.random() < 0.5:
+        # High floors shrink every deflatable pool toward zero width.
+        scenario = scenario.with_min_fraction(float(_pick(rng, (0.5, 0.75, 0.9))))
+    if rng.random() < 0.5:
+        # Partitioned arm: overcommitment sizing above can shrink the
+        # cluster below the pool count (which never shards), so pin an
+        # explicit cluster with room for one server per pool while staying
+        # small enough to keep real deflation pressure.
+        scenario = scenario.with_servers(int(rng.integers(8, 16))).with_partitions(
+            int(rng.integers(2, 5))
+        )
+    return scenario
+
+
+def waterfill_stress_batch(seed: int, count: int, start: int = 0) -> list[Scenario]:
+    """Deterministic batch of water-fill-stressing scenarios (same contract
+    as :func:`scenario_batch`: reproduce one failure from (seed, index))."""
+    rng = np.random.default_rng(seed)
+    batch = [waterfill_stress_scenario(rng, index=i) for i in range(start + count)]
+    return batch[start:]
+
+
 def scenario_batch(seed: int, count: int, start: int = 0) -> list[Scenario]:
     """The deterministic batch a property suite iterates.
 

@@ -16,7 +16,7 @@ finds a divergence should be promoted to a pinned regression test.
 from __future__ import annotations
 
 import pytest
-from strategies import scenario_batch
+from strategies import scenario_batch, waterfill_stress_batch
 
 from repro.errors import SimulationError
 from repro.scenario import ClusterSimEngine, resolve_cluster, run_scenario, run_sweep
@@ -74,3 +74,15 @@ def test_randomized_equivalence(fuzz_seed):
 @pytest.mark.slow
 def test_randomized_equivalence_full(fuzz_seed):
     _assert_modes_agree(scenario_batch(fuzz_seed, FULL_N), fuzz_seed)
+
+
+def test_waterfill_stress_equivalence(fuzz_seed):
+    """Water-fill-corner scenarios (tests/strategies.py): the batched
+    failure-free hot path and the closed-form solver against the strictly
+    per-event stream/resume and sharded replays."""
+    _assert_modes_agree(waterfill_stress_batch(fuzz_seed, SMALL_N), fuzz_seed)
+
+
+@pytest.mark.slow
+def test_waterfill_stress_equivalence_full(fuzz_seed):
+    _assert_modes_agree(waterfill_stress_batch(fuzz_seed, FULL_N // 2), fuzz_seed)
