@@ -1,0 +1,54 @@
+"""Lint-pass timing: the whole-program analysis must stay CI-cheap.
+
+The lint-invariants CI job gates every PR with a hard wall-clock budget
+(<60s), so the cost of the per-file rule pack, the ``ProjectIndex``
+build (module graph + symbol table + call graph), and the repo-scope
+rules that consume it is tracked here like any other perf surface.
+Serial and ``--jobs`` timings are both recorded; the parallel phase must
+stay bit-identical to serial, so the only thing it may change is the
+wall-clock.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from pathlib import Path
+
+from repro.analysis.project import ProjectIndex
+from repro.analysis.runner import collect_sources, run_lint
+
+#: The tree the CI gate lints.
+LINT_PATHS = ("src", "examples")
+
+
+def run_lint_benchmark(rounds: int = 3, jobs: int = 2, progress=None) -> dict:
+    root = Path(__file__).resolve().parent.parent
+    paths = [root / p for p in LINT_PATHS]
+
+    def timed(fn) -> float:
+        times = []
+        for _ in range(rounds):
+            t0 = time.perf_counter()
+            fn()
+            times.append(time.perf_counter() - t0)
+        return statistics.median(times)
+
+    index_s = timed(lambda: ProjectIndex(collect_sources(paths, root)))
+    serial_s = timed(lambda: run_lint(paths, root=root, baseline_path=None))
+    jobs_s = timed(lambda: run_lint(paths, root=root, baseline_path=None, jobs=jobs))
+
+    report = run_lint(paths, root=root, baseline_path=None)
+    result = {
+        "paths": list(LINT_PATHS),
+        "rounds": rounds,
+        "files": report.files,
+        "rules": len(report.rules),
+        "index_s": round(index_s, 4),
+        "serial_s": round(serial_s, 4),
+        f"jobs{jobs}_s": round(jobs_s, 4),
+    }
+    if progress is not None:
+        for key in ("index_s", "serial_s", f"jobs{jobs}_s"):
+            progress(key, result[key])
+    return result

@@ -37,6 +37,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 
 from bench_churn import CHURN_N_VMS, run_churn_benchmark  # noqa: E402
+from bench_lint import run_lint_benchmark  # noqa: E402
 from bench_priority_scale import PRIORITY_N_VMS, run_priority_benchmark  # noqa: E402
 from bench_scale_cluster import SCALE_N_VMS, run_scale_benchmark  # noqa: E402
 from bench_sharded import SHARDED_N_VMS, run_sharded_benchmark  # noqa: E402
@@ -49,7 +50,7 @@ MICRO_N_VMS = 300
 MICRO_SEED = 6
 
 #: Report sections, each refreshable independently via ``--only``.
-_SECTIONS = ("micro", "scale", "sharded", "churn", "priority")
+_SECTIONS = ("micro", "scale", "sharded", "churn", "priority", "lint")
 
 
 def _median_time(fn, rounds: int) -> float:
@@ -226,6 +227,17 @@ def main(argv: list[str] | None = None) -> int:
                 f"({case['events_per_s']:,} events/s)",
                 flush=True,
             ),
+        )
+
+    if "lint" in sections:
+        lint_rounds = 1 if args.quick else args.rounds
+        print(
+            f"[run_bench] lint pass ({lint_rounds} round(s), serial + --jobs)...",
+            flush=True,
+        )
+        report["lint"] = run_lint_benchmark(
+            rounds=lint_rounds,
+            progress=lambda label, s: print(f"  {label:24s} {s:8.3f}s", flush=True),
         )
 
     if partial:

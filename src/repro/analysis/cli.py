@@ -75,6 +75,17 @@ def _parser() -> argparse.ArgumentParser:
         help="rewrite the baseline from the current findings and exit 0",
     )
     p.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "fan the per-file phase out over N worker processes via "
+            "supervised_map (findings are bit-identical to a serial run); "
+            "default: serial"
+        ),
+    )
+    p.add_argument(
         "--list-rules",
         action="store_true",
         help="print the registered rules and exit",
@@ -142,7 +153,13 @@ def main(argv: list[str] | None = None) -> int:
                 + (f" ({len(hard)} non-baselinable findings remain)" if hard else "")
             )
             return 1 if hard else 0
-        report = run_lint(paths, root=root, select=select, baseline_path=baseline_path)
+        report = run_lint(
+            paths,
+            root=root,
+            select=select,
+            baseline_path=baseline_path,
+            jobs=args.jobs,
+        )
     except (UnknownComponentError, BaselineError) as exc:
         print(f"repro-lint: {exc}", file=sys.stderr)
         return 2

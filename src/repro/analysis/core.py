@@ -40,6 +40,15 @@ SIM_PATH_PARTS: tuple[tuple[str, str], ...] = (
     ("repro", "scenario"),
 )
 
+#: Superset of :data:`SIM_PATH_PARTS` covered by the whole-program
+#: ``rng-taint`` dataflow rule: the runtime's fan-out machinery also
+#: threads rngs (retry jitter, shard spawning) and is held to the same
+#: seeded-and-threaded discipline, traced through calls rather than
+#: lexically.
+TAINT_PATH_PARTS: tuple[tuple[str, str], ...] = SIM_PATH_PARTS + (
+    ("repro", "runtime"),
+)
+
 _SUPPRESS = re.compile(r"#\s*repro-lint:\s*disable=([\w\-, ]+)")
 _SUPPRESS_FILE = re.compile(r"#\s*repro-lint:\s*disable-file=([\w\-, ]+)")
 
@@ -52,6 +61,12 @@ def in_sim_path(rel: str) -> bool:
     """True for files inside the determinism-critical simulation core."""
     parts = tuple(Path(rel).parts)
     return any(_contains_pair(parts, pair) for pair in SIM_PATH_PARTS)
+
+
+def in_taint_path(rel: str) -> bool:
+    """True for files the whole-program rng-taint rule is responsible for."""
+    parts = tuple(Path(rel).parts)
+    return any(_contains_pair(parts, pair) for pair in TAINT_PATH_PARTS)
 
 
 def is_test_path(rel: str) -> bool:
@@ -188,10 +203,25 @@ class ModuleSource:
 
 @dataclass
 class LintContext:
-    """Everything a rule may inspect: the root, the modules, the docs."""
+    """Everything a rule may inspect: the root, the modules, the docs.
+
+    Repo-scope rules additionally get :attr:`project` — the whole-program
+    :class:`~repro.analysis.project.ProjectIndex` built lazily on first
+    access and shared across rules for the rest of the run.
+    """
 
     root: Path
     modules: list[ModuleSource] = field(default_factory=list)
+    _project: object | None = field(default=None, repr=False, compare=False)
+
+    @property
+    def project(self):
+        """The shared :class:`ProjectIndex` over every collected module."""
+        if self._project is None:
+            from repro.analysis.project import ProjectIndex
+
+            self._project = ProjectIndex(self.modules)
+        return self._project
 
     def doc_path(self, rel: str) -> Path:
         return self.root / rel

@@ -1,0 +1,219 @@
+"""Intraprocedural dataflow: a reusable taint engine + RNG classifiers.
+
+The whole-program rules need one recurring primitive: *which names in
+this function carry a value derived from X?*  :func:`taint_function`
+answers that with a flow-insensitive fixpoint over the function body —
+names (and ``self.attr`` pseudo-names) become tainted when assigned from
+a source expression or from an already-tainted expression, iterated until
+stable.  Flow-insensitivity is deliberately conservative: a name tainted
+on *any* path counts as tainted, which for the lint use cases (is an rng
+threaded here? does this worker touch that global?) errs exactly the
+right way.
+
+On top of the generic engine sit the RNG-specific classifiers the
+``rng-taint`` rule composes: recognising ``np.random.default_rng`` /
+``Generator`` constructions and classifying their seeding
+(:func:`rng_call_kind`), and recognising rng-typed parameters and
+dataclass fields (:func:`rng_params`, :func:`class_rng_fields`).  The
+cross-function propagation lives in the call graph
+(:meth:`repro.analysis.project.ProjectIndex.reachable_from`); this module
+is strictly per-function.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Callable
+
+from repro.analysis.core import ImportMap
+
+#: Upper bound on fixpoint sweeps; taint chains longer than this are
+#: pathological (each sweep propagates one assignment hop).
+_MAX_PASSES = 10
+
+#: numpy.random constructors that yield generator objects.
+RNG_CONSTRUCTORS = frozenset({"default_rng", "Generator"})
+
+
+def _target_names(target: ast.expr) -> list[str]:
+    """Assignable names (and ``self.attr`` pseudo-names) in a target."""
+    if isinstance(target, ast.Name):
+        return [target.id]
+    if isinstance(target, ast.Starred):
+        return _target_names(target.value)
+    if isinstance(target, (ast.Tuple, ast.List)):
+        out: list[str] = []
+        for elt in target.elts:
+            out.extend(_target_names(elt))
+        return out
+    if (
+        isinstance(target, ast.Attribute)
+        and isinstance(target.value, ast.Name)
+        and target.value.id == "self"
+    ):
+        return [f"self.{target.attr}"]
+    return []
+
+
+def taint_function(
+    node: ast.FunctionDef | ast.AsyncFunctionDef | ast.Module,
+    is_source: Callable[[ast.expr], str | None],
+    seeds: dict[str, str] | None = None,
+) -> dict[str, str]:
+    """Tainted name -> label after a flow-insensitive fixpoint.
+
+    ``is_source`` classifies an expression as an original taint source
+    (returning its label) or not (None).  ``seeds`` pre-taints names —
+    parameters, ``self.attr`` fields — before the sweep.  Labels
+    propagate through assignments, tuple unpacking, conditional
+    expressions, subscripts, and ``self`` attribute stores; the *first*
+    label a name acquires wins (labels describe provenance, and a value
+    with two provenances is already suspicious enough to report under
+    either).
+    """
+    env: dict[str, str] = dict(seeds or {})
+
+    def expr_label(expr: ast.expr) -> str | None:
+        label = is_source(expr)
+        if label is not None:
+            return label
+        if isinstance(expr, ast.Name):
+            return env.get(expr.id)
+        if isinstance(expr, ast.Attribute):
+            if isinstance(expr.value, ast.Name) and expr.value.id == "self":
+                return env.get(f"self.{expr.attr}")
+            return expr_label(expr.value)
+        if isinstance(expr, ast.Subscript):
+            return expr_label(expr.value)
+        if isinstance(expr, ast.IfExp):
+            return expr_label(expr.body) or expr_label(expr.orelse)
+        if isinstance(expr, (ast.Tuple, ast.List)):
+            for elt in expr.elts:
+                label = expr_label(elt)
+                if label is not None:
+                    return label
+            return None
+        if isinstance(expr, ast.Call):
+            # A method call on a tainted object stays tainted (rng.spawn(),
+            # copy.deepcopy(rng) does not resolve, but rng.x() does).
+            if isinstance(expr.func, ast.Attribute):
+                return expr_label(expr.func.value)
+            return None
+        if isinstance(expr, ast.NamedExpr):
+            return expr_label(expr.value)
+        return None
+
+    body = node.body if isinstance(node, ast.Module) else node.body
+    for _ in range(_MAX_PASSES):
+        changed = False
+        for stmt in ast.walk(ast.Module(body=list(body), type_ignores=[])):
+            targets: list[ast.expr] = []
+            value: ast.expr | None = None
+            if isinstance(stmt, ast.Assign):
+                targets, value = stmt.targets, stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                targets, value = [stmt.target], stmt.value
+            elif isinstance(stmt, ast.NamedExpr):
+                targets, value = [stmt.target], stmt.value
+            elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+                targets, value = [stmt.target], stmt.iter
+            if value is None:
+                continue
+            label = expr_label(value)
+            if label is None:
+                continue
+            for target in targets:
+                for name in _target_names(target):
+                    if name not in env:
+                        env[name] = label
+                        changed = True
+        if not changed:
+            break
+    return env
+
+
+# -- RNG-specific classifiers ----------------------------------------------------
+
+
+def _is_literal(expr: ast.expr) -> bool:
+    """Compile-time constants: literals, negated literals, literal tuples."""
+    if isinstance(expr, ast.Constant):
+        return True
+    if isinstance(expr, ast.UnaryOp) and isinstance(expr.op, (ast.USub, ast.UAdd)):
+        return _is_literal(expr.operand)
+    if isinstance(expr, (ast.Tuple, ast.List)):
+        return all(_is_literal(e) for e in expr.elts)
+    return False
+
+
+def rng_call_kind(call: ast.expr, imports: ImportMap) -> str | None:
+    """Classify an rng-constructing call's seeding, or None.
+
+    Returns ``"unseeded"`` (``default_rng()`` — a fresh OS-entropy
+    stream, never reproducible), ``"const"`` (every argument is a
+    compile-time literal — a *fixed* stream that ignores the scenario's
+    seed), or ``"data"`` (seeded from runtime data — the sanctioned
+    threading idiom, e.g. ``default_rng(spec["seed"])``).
+    """
+    if not isinstance(call, ast.Call):
+        return None
+    fn = imports.numpy_random_attr(call.func)
+    if fn not in RNG_CONSTRUCTORS:
+        return None
+    if fn == "default_rng" and not call.args and not call.keywords:
+        return "unseeded"
+    exprs = list(call.args) + [k.value for k in call.keywords]
+    if exprs and all(_is_literal(e) for e in exprs):
+        return "const"
+    return "data"
+
+
+def annotation_mentions_generator(ann: ast.expr | None) -> bool:
+    """True when a type annotation names ``Generator`` (numpy's rng type)."""
+    if ann is None:
+        return False
+    for node in ast.walk(ann):
+        if isinstance(node, ast.Attribute) and node.attr == "Generator":
+            return True
+        if isinstance(node, ast.Name) and node.id == "Generator":
+            return True
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            if "Generator" in node.value:  # string annotations
+                return True
+    return False
+
+
+def rng_params(node: ast.FunctionDef | ast.AsyncFunctionDef) -> list[str]:
+    """Parameters that carry a threaded rng, by name or annotation."""
+    params = [*node.args.posonlyargs, *node.args.args, *node.args.kwonlyargs]
+    out = []
+    for arg in params:
+        if arg.arg == "rng" or arg.arg.endswith("_rng"):
+            out.append(arg.arg)
+        elif annotation_mentions_generator(arg.annotation):
+            out.append(arg.arg)
+    return out
+
+
+def class_rng_fields(cls: ast.ClassDef, imports: ImportMap) -> list[str]:
+    """Attributes of ``cls`` that hold an rng.
+
+    Covers both idioms: dataclass-style annotated fields
+    (``rng: np.random.Generator``) and ``__init__`` assignments whose
+    value is rng-tainted (``self._rng = rng`` / ``= default_rng(seed)``).
+    """
+    fields: list[str] = []
+    for stmt in cls.body:
+        if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+            if annotation_mentions_generator(stmt.annotation):
+                fields.append(stmt.target.id)
+    for stmt in cls.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)) and stmt.name == "__init__":
+            seeds = {p: "param" for p in rng_params(stmt)}
+            env = taint_function(
+                stmt, lambda e: "origin" if rng_call_kind(e, imports) else None, seeds
+            )
+            fields.extend(
+                name[len("self.") :] for name in env if name.startswith("self.")
+            )
+    return sorted(set(fields))

@@ -6,11 +6,15 @@ discoverable under kind ``lint``.
 """
 
 from repro.analysis.rules import (  # noqa: F401  (imports trigger registration)
+    conformance,
+    dead_component,
     determinism,
     docs_links,
     golden,
     merge,
     pool_discipline,
     registry_rules,
+    rng_taint,
     scenario_schema,
+    worker_purity,
 )

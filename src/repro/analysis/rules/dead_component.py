@@ -1,0 +1,135 @@
+"""``dead-component``: every registration must have a living reference.
+
+Components are wired by *name strings* — scenario fields
+(``engine="cluster-sim"``, ``failure_model="lunar"``), experiment specs,
+CLI arguments, tests, and docs tables all select registry entries by
+their registered name.  That indirection means deleting the last
+reference to a component is silent: the class still registers, the docs
+row (``registry-docs`` *requires* the row) still lists it, and nothing
+ever constructs it again.  This rule closes the loop: a registration
+whose name appears in no string literal anywhere in the indexed modules,
+no quoted token in the repo's ``tests``/``benchmarks``/``scripts``
+trees, and no backticked token in the docs (EXCLUDING
+``docs/registry.md`` — the mandatory catalogue must not be able to vouch
+for its own entries' liveness) is reported as dead.
+
+The reference scan is deliberately generous — any exact string match
+counts, including comma-separated scenario lists — so a finding here
+means *zero* occurrences outside the registration and its catalogue row.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from repro.analysis.core import LintContext, LintRule
+from repro.analysis.project import ProjectIndex
+from repro.registry import register
+
+RULE = "dead-component"
+
+#: Quoted tokens in un-indexed text (tests, benchmarks, scripts).
+_QUOTED = re.compile(r"[\"']([\w][\w\-./]*)[\"']")
+#: Backticked tokens in markdown docs.
+_BACKTICKED = re.compile(r"`([^`\n]+)`")
+
+#: Directories (relative to the lint root) scanned textually for name
+#: references even when their files are not part of the linted paths.
+_EXTRA_DIRS = ("tests", "benchmarks", "scripts", "examples")
+
+#: The one docs file that may NOT vouch for liveness: registry-docs
+#: forces a row there for every registration, so counting it would make
+#: every component trivially "referenced".
+_CATALOGUE = "docs/registry.md"
+
+
+def _split_tokens(value: str) -> set[str]:
+    """A literal plus its comma/whitespace-separated parts."""
+    tokens = {value.strip()}
+    tokens.update(t for t in re.split(r"[,\s]+", value) if t)
+    return tokens
+
+
+@register("lint", "dead-component")
+class DeadComponentRule(LintRule):
+    """Registrations with no reference outside their own catalogue row."""
+
+    name = RULE
+    scope = "repo"
+    description = (
+        "every registered component name must be referenced by at least "
+        "one string literal, test/benchmark/script token, or docs mention "
+        "outside docs/registry.md — an unreferenced registration is dead "
+        "code the registry hides"
+    )
+
+    def check_repo(self, ctx: LintContext):
+        index: ProjectIndex = ctx.project
+
+        # String-constant AST nodes that *are* registration name args: a
+        # registration never vouches for itself (nor for a same-named
+        # registration of another kind).
+        own_name_nodes: set[int] = set()
+        for reg in index.registrations:
+            args = list(reg.node.args)
+            kwargs = {k.arg: k.value for k in reg.node.keywords if k.arg}
+            for expr in (*args[:2], kwargs.get("kind"), kwargs.get("name")):
+                if expr is not None:
+                    own_name_nodes.add(id(expr))
+
+        referenced: set[str] = set()
+        indexed_rels = {mod.rel for mod in index.modules.values()}
+        for mod in index.modules.values():
+            for node in ast.walk(mod.tree):
+                if (
+                    isinstance(node, ast.Constant)
+                    and isinstance(node.value, str)
+                    and id(node) not in own_name_nodes
+                ):
+                    referenced.update(_split_tokens(node.value))
+
+        for rel_dir in _EXTRA_DIRS:
+            base = ctx.root / rel_dir
+            if not base.is_dir():
+                continue
+            for path in sorted(base.rglob("*.py")):
+                rel = path.relative_to(ctx.root).as_posix()
+                if rel in indexed_rels:
+                    continue  # already scanned precisely, as AST
+                try:
+                    text = path.read_text(encoding="utf-8")
+                except OSError:
+                    continue
+                for m in _QUOTED.finditer(text):
+                    referenced.update(_split_tokens(m.group(1)))
+
+        doc_paths = [
+            p
+            for p in [ctx.root / "README.md", ctx.root / "ROADMAP.md"]
+            if p.is_file()
+        ]
+        docs_dir = ctx.root / "docs"
+        if docs_dir.is_dir():
+            doc_paths.extend(sorted(docs_dir.rglob("*.md")))
+        for path in doc_paths:
+            rel = path.relative_to(ctx.root).as_posix()
+            if rel == _CATALOGUE:
+                continue
+            for m in _BACKTICKED.finditer(path.read_text(encoding="utf-8")):
+                referenced.update(_split_tokens(m.group(1)))
+
+        reported: set[tuple[str, str]] = set()
+        for reg in index.registrations:
+            if (reg.kind, reg.name) in reported:
+                continue
+            reported.add((reg.kind, reg.name))
+            if reg.name not in referenced:
+                yield reg.module.finding(
+                    RULE,
+                    reg.node,
+                    f"{reg.kind} component {reg.name!r} is registered but "
+                    "referenced nowhere — no scenario literal, experiment, "
+                    "test, script, or docs mention outside the registry "
+                    "catalogue; delete it or use it",
+                )

@@ -19,7 +19,14 @@ from __future__ import annotations
 
 import ast
 
-from repro.analysis.core import ImportMap, LintContext, LintRule, ModuleSource, in_sim_path
+from repro.analysis.core import (
+    ImportMap,
+    LintContext,
+    LintRule,
+    ModuleSource,
+    in_sim_path,
+    in_taint_path,
+)
 from repro.registry import register
 
 #: numpy.random attributes that are deterministic plumbing, not draws:
@@ -90,7 +97,15 @@ class NoModuleRngRule(LintRule):
             fn = imports.numpy_random_attr(node.func)
             if fn is not None:
                 if fn == "default_rng":
-                    if not node.args and not node.keywords:
+                    # Inside the taint-covered tree the whole-program
+                    # rng-taint rule owns this check (and more: const
+                    # re-seeds, module-level generators); the lexical
+                    # gate only covers the rest of the linted tree.
+                    if (
+                        not node.args
+                        and not node.keywords
+                        and not in_taint_path(module.rel)
+                    ):
                         yield module.finding(
                             self.name,
                             node,

@@ -1,0 +1,198 @@
+"""``rng-taint``: whole-program RNG provenance for the seeded core.
+
+The determinism contract (serial == parallel == sharded == resumed)
+requires every generator inside ``repro/{simulator,failures,scenario,
+runtime}`` to be *seeded from scenario data and threaded through call
+boundaries*.  The lexical ``no-module-rng`` rule catches module-level
+draws; what it cannot see is provenance — a seeded rng created in one
+module and silently replaced by a fresh constant-seeded stream three
+calls away still produces the same wrong answer on every run, which is
+the worst kind of bug: deterministic, plausible, and decoupled from the
+scenario seed.
+
+This rule uses the :class:`~repro.analysis.project.ProjectIndex` call
+graph plus the :mod:`~repro.analysis.dataflow` classifiers to flag, in
+the covered tree:
+
+* ``default_rng()`` with no seed anywhere (subsuming the retired
+  ``no-module-rng`` gate for these paths) — an OS-entropy stream;
+* an rng constructed at *module scope* (``RNG = default_rng(42)``) —
+  module-level generator state shared across every caller and fork;
+* an rng constructed as a *parameter default* — one stream evaluated at
+  def time, shared by all calls;
+* a *constant-seeded* construction inside a function that already holds
+  a threaded rng (an ``rng``/``*_rng``/``Generator``-annotated parameter
+  or an rng field on its class) — a re-seed that disconnects the stream
+  from the scenario;
+* a constant-seeded construction in a helper with no threaded rng of its
+  own but reachable through the call graph from a function that has one
+  — the cross-module re-seed no per-file rule can observe.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.core import ImportMap, LintContext, LintRule, in_taint_path
+from repro.analysis.dataflow import class_rng_fields, rng_call_kind, rng_params
+from repro.analysis.project import FunctionInfo, ProjectIndex
+from repro.registry import register
+
+RULE = "rng-taint"
+
+
+def _own_nodes(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> Iterator[ast.AST]:
+    """Nodes of a function body, excluding nested def/class subtrees.
+
+    Nested functions are indexed (and scanned) separately; descending
+    into them here would report their findings twice.
+    """
+    stack: list[ast.AST] = list(fn.body)
+    while stack:
+        node = stack.pop()
+        yield node
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                continue
+            stack.append(child)
+
+
+def _short(qualname: str) -> str:
+    return qualname.rpartition(".")[2]
+
+
+@register("lint", "rng-taint")
+class RngTaintRule(LintRule):
+    """Unseeded, module-level, defaulted, or re-seeded rngs in the core."""
+
+    name = RULE
+    scope = "repo"
+    description = (
+        "whole-program rng provenance for repro/{simulator,failures,"
+        "scenario,runtime}: generators must be seeded from scenario data "
+        "and threaded through calls — no unseeded default_rng(), no "
+        "module-level or default-argument generator state, no constant "
+        "re-seeds in or below rng-threaded functions"
+    )
+
+    def check_repo(self, ctx: LintContext):
+        index: ProjectIndex = ctx.project
+        covered = {
+            name: mod
+            for name, mod in index.modules.items()
+            if in_taint_path(mod.rel)
+        }
+        if not covered:
+            return
+        import_maps = {name: ImportMap(mod.tree) for name, mod in covered.items()}
+
+        # Which functions hold a threaded rng: a recognised rng parameter,
+        # or a method on a class with rng-carrying fields.
+        rng_fields: dict[str, list[str]] = {}
+        threaded: set[str] = set()
+        for qual, info in index.functions.items():
+            mod_name = index.module_names.get(info.module.rel)
+            if mod_name not in covered:
+                continue
+            if rng_params(info.node):
+                threaded.add(qual)
+                continue
+            if info.class_qualname is not None:
+                cls = index.classes.get(info.class_qualname)
+                if cls is not None and info.class_qualname not in rng_fields:
+                    rng_fields[info.class_qualname] = class_rng_fields(
+                        cls.node, import_maps[mod_name]
+                    )
+                if rng_fields.get(info.class_qualname):
+                    threaded.add(qual)
+
+        # BFS from every threaded function, keeping one parent per node so
+        # cross-module findings can name the chain that reaches them.
+        parent: dict[str, str | None] = {q: None for q in sorted(threaded)}
+        queue = sorted(threaded)
+        while queue:
+            current = queue.pop(0)
+            for callee in sorted(index.callees(current)):
+                if callee not in parent:
+                    parent[callee] = current
+                    queue.append(callee)
+
+        def chain(qual: str) -> str:
+            hops = [qual]
+            while parent.get(hops[-1]) is not None:
+                hops.append(parent[hops[-1]])
+            return " <- ".join(_short(h) for h in hops)
+
+        for mod_name in sorted(covered):
+            module = covered[mod_name]
+            imports = import_maps[mod_name]
+
+            # Unseeded constructions, anywhere in the module.
+            for node in ast.walk(module.tree):
+                if rng_call_kind(node, imports) == "unseeded":
+                    yield module.finding(
+                        RULE,
+                        node,
+                        "unseeded np.random.default_rng() — an OS-entropy stream "
+                        "can never reproduce; seed from scenario data and thread "
+                        "the generator through calls",
+                    )
+
+            # Module-scope generator state (seeded or not, it is shared
+            # across every caller and duplicated by fork).
+            for gname, stmt in sorted(index.module_globals.get(mod_name, {}).items()):
+                value = getattr(stmt, "value", None)
+                if value is not None and rng_call_kind(value, imports) is not None:
+                    yield module.finding(
+                        RULE,
+                        stmt,
+                        f"module-level generator {gname!r} — rng state at module "
+                        "scope is shared by every caller and forked into workers; "
+                        "construct it inside the seeded entry point instead",
+                    )
+
+            for qual in sorted(q for q, i in index.functions.items()
+                               if index.module_names.get(i.module.rel) == mod_name):
+                info: FunctionInfo = index.functions[qual]
+                fn = info.node
+
+                # Generator constructed as a parameter default: evaluated
+                # once at def time, silently shared by all calls.
+                defaults = list(fn.args.defaults) + [
+                    d for d in fn.args.kw_defaults if d is not None
+                ]
+                for default in defaults:
+                    if rng_call_kind(default, imports) is not None:
+                        yield module.finding(
+                            RULE,
+                            default,
+                            f"{_short(qual)}() constructs an rng as a parameter "
+                            "default — one stream is created at def time and "
+                            "shared across all calls; require the caller to pass "
+                            "a seeded generator",
+                        )
+
+                # Constant re-seeds: in a threaded function directly, or in
+                # a helper reachable from one through the call graph.
+                for node in _own_nodes(fn):
+                    if rng_call_kind(node, imports) != "const":
+                        continue
+                    if qual in threaded:
+                        yield module.finding(
+                            RULE,
+                            node,
+                            f"{_short(qual)}() holds a threaded rng but "
+                            "constructs a constant-seeded generator — the new "
+                            "stream ignores the scenario seed; derive from the "
+                            "threaded rng (rng.spawn()) instead",
+                        )
+                    elif qual in parent:
+                        yield module.finding(
+                            RULE,
+                            node,
+                            f"constant-seeded generator in {_short(qual)}(), "
+                            f"reachable from rng-threaded code ({chain(qual)}) — "
+                            "the fixed stream disconnects results from the "
+                            "scenario seed; accept and use the caller's rng",
+                        )

@@ -1,0 +1,349 @@
+"""``worker-purity``: static race detection for the process fan-out.
+
+Everything that crosses a process boundary in this repo goes through
+``supervised_map`` (the ``pool-discipline`` rule enforces that).  The
+contract its callers rely on — serial == parallel, fork == spawn — holds
+only when the worker function is *pure with respect to process-global
+state*: under ``fork`` a worker inherits (and can observe or mutate a
+copy of) the parent's module globals, while under ``spawn`` it starts
+from a fresh import, so any worker that writes module-level state, a
+closure cell, or a mutable default argument computes different answers
+depending on the start method and on which worker ran first.  The CI
+chaos job can only catch that probabilistically; this rule catches it
+statically.
+
+For every ``supervised_map(...)`` call site the rule resolves the
+callables in its worker slots (the ``fn`` positional/keyword and the
+``initializer`` keyword), walks the
+:class:`~repro.analysis.project.ProjectIndex` call graph to every
+function reachable from the worker body, and flags:
+
+* workers that are lambdas or functions nested inside another function
+  (closures do not survive ``spawn`` pickling, and their cells are
+  fork-shared state);
+* ``global``/``nonlocal`` declarations paired with a write;
+* mutation of a name bound (directly or through an import) to a
+  *mutable* module-level global — subscript stores, augmented
+  assignments, and mutator-method calls (``append``, ``update``, …);
+* mutable default arguments (``def f(acc=[])``) that the body writes to.
+
+Findings name the worker chain so a flagged helper three calls below the
+fan-out is traceable back to its ``supervised_map`` site.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.core import LintContext, LintRule
+from repro.analysis.project import FunctionInfo, ProjectIndex, _dotted
+from repro.registry import register
+
+RULE = "worker-purity"
+
+#: The sanctioned fan-out entry point; worker slots are resolved at its
+#: call sites.  (``run_sweep`` fans out through it with a fixed internal
+#: worker, so its purity is covered transitively.)
+_FANOUT = "repro.runtime.supervisor.supervised_map"
+
+#: Keyword slots at a fan-out call site that run *in the worker process*.
+#: (``on_complete`` runs in the parent and may mutate freely.)
+_WORKER_KWARGS = ("fn", "initializer")
+
+_MUTATOR_METHODS = frozenset(
+    {
+        "append",
+        "extend",
+        "add",
+        "update",
+        "setdefault",
+        "pop",
+        "popitem",
+        "remove",
+        "discard",
+        "clear",
+        "insert",
+        "appendleft",
+        "extendleft",
+    }
+)
+
+_MUTABLE_CONSTRUCTORS = frozenset(
+    {"dict", "list", "set", "bytearray", "defaultdict", "Counter", "deque", "OrderedDict"}
+)
+
+
+def _is_mutable_expr(expr: ast.expr | None) -> bool:
+    """Displays/constructors whose result is a shared mutable object."""
+    if isinstance(expr, (ast.Dict, ast.List, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(expr, ast.Call):
+        fn = expr.func
+        name = fn.id if isinstance(fn, ast.Name) else fn.attr if isinstance(fn, ast.Attribute) else None
+        return name in _MUTABLE_CONSTRUCTORS
+    return False
+
+
+def _local_names(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+    """Names the function binds locally (params + assignments + loops).
+
+    A write to a locally-bound name shadows any same-named global, so it
+    is not a purity violation.  ``global`` declarations re-expose the
+    module binding and are handled separately by the caller.
+    """
+    names = {
+        a.arg
+        for a in [
+            *fn.args.posonlyargs,
+            *fn.args.args,
+            *fn.args.kwonlyargs,
+            *([fn.args.vararg] if fn.args.vararg else []),
+            *([fn.args.kwarg] if fn.args.kwarg else []),
+        ]
+    }
+    declared_global: set[str] = set()
+    for node in ast.walk(fn):
+        if isinstance(node, (ast.Global, ast.Nonlocal)):
+            declared_global.update(node.names)
+        elif isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+            names.add(node.id)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)) and node is not fn:
+            names.add(node.name)
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                names.add(alias.asname or alias.name.partition(".")[0])
+        elif isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                names.add(alias.asname or alias.name)
+    return names - declared_global
+
+
+@register("lint", "worker-purity")
+class WorkerPurityRule(LintRule):
+    """Workers handed to ``supervised_map`` must not mutate shared state."""
+
+    name = RULE
+    scope = "repo"
+    description = (
+        "callables passed to supervised_map worker slots (and everything "
+        "they reach through the call graph) must not write module globals, "
+        "closure cells, or mutable default args — such writes diverge "
+        "between fork and spawn and between worker schedules"
+    )
+
+    def check_repo(self, ctx: LintContext):
+        index: ProjectIndex = ctx.project
+
+        # -- 1. collect worker roots from every fan-out call site ---------------
+        roots: list[tuple[str, FunctionInfo]] = []  # (site description, worker)
+        seen_roots: set[str] = set()
+        for mod_name in sorted(index.modules):
+            module = index.modules[mod_name]
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                dotted = _dotted(node.func)
+                if dotted is None or dotted.rpartition(".")[2] != "supervised_map":
+                    continue
+                fq = index.resolve_in_module(mod_name, dotted)
+                if fq != _FANOUT:
+                    continue
+                slots: list[ast.expr] = []
+                if node.args:
+                    slots.append(node.args[0])
+                for kw in node.keywords:
+                    if kw.arg in _WORKER_KWARGS:
+                        slots.append(kw.value)
+                site = f"{module.rel}:{node.lineno}"
+                for slot in slots:
+                    if isinstance(slot, ast.Lambda):
+                        yield module.finding(
+                            RULE,
+                            slot,
+                            "lambda passed as a supervised_map worker — workers "
+                            "must be module-level functions (picklable under "
+                            "spawn, no closure cells)",
+                        )
+                        continue
+                    sdotted = _dotted(slot)
+                    if sdotted is None:
+                        continue
+                    sfq = index.resolve_in_module(mod_name, sdotted)
+                    resolved = index.resolve(sfq) if sfq else None
+                    if not isinstance(resolved, FunctionInfo):
+                        # A bare name that did not resolve at module scope
+                        # may be a def nested in the enclosing function
+                        # (its qualname carries the function's scope).
+                        if "." not in sdotted and any(
+                            q.startswith(f"{mod_name}.")
+                            and q.endswith(f".{sdotted}")
+                            and q.rpartition(".")[0] in index.functions
+                            for q in index.functions
+                        ):
+                            yield module.finding(
+                                RULE,
+                                slot,
+                                f"supervised_map worker {sdotted} is defined "
+                                "inside another function — closures carry "
+                                "enclosing-scope cells that fork shares and "
+                                "spawn cannot pickle; move the worker to "
+                                "module level",
+                            )
+                        continue
+                    enclosing = resolved.qualname.rpartition(".")[0]
+                    if enclosing in index.functions:
+                        yield module.finding(
+                            RULE,
+                            slot,
+                            f"supervised_map worker {sdotted} is defined inside "
+                            "another function — closures carry enclosing-scope "
+                            "cells that fork shares and spawn cannot pickle; "
+                            "move the worker to module level",
+                        )
+                        continue
+                    if resolved.qualname not in seen_roots:
+                        seen_roots.add(resolved.qualname)
+                        roots.append((site, resolved))
+
+        # -- 2. walk the call graph from each root and check purity -------------
+        checked: set[str] = set()
+        for site, root in sorted(roots, key=lambda r: r[1].qualname):
+            for qual in index.reachable_from([root.qualname]):
+                if qual in checked or qual not in index.functions:
+                    continue
+                checked.add(qual)
+                info = index.functions[qual]
+                label = (
+                    f"worker {root.qualname.rpartition('.')[2]}() at {site}"
+                    if qual == root.qualname
+                    else f"reached from worker "
+                    f"{root.qualname.rpartition('.')[2]}() at {site}"
+                )
+                yield from self._check_function(index, info, label)
+
+    # -- per-function purity checks ----------------------------------------------
+
+    def _check_function(self, index: ProjectIndex, info: FunctionInfo, label: str):
+        fn = info.node
+        module = info.module
+        mod_name = index.module_names.get(module.rel)
+
+        # Names resolving to a *mutable* module-level global, here or in
+        # an imported module (whole-program: `from state import CACHE`).
+        mutable_globals: dict[str, str] = {}
+        own_globals = index.module_globals.get(mod_name, {}) if mod_name else {}
+        for gname, stmt in own_globals.items():
+            if _is_mutable_expr(getattr(stmt, "value", None)):
+                mutable_globals[gname] = f"{mod_name}.{gname}"
+        for local, target in index.bindings.get(mod_name, {}).items() if mod_name else ():
+            owner = index._binding_module(target)
+            if owner is None or target == owner:
+                continue
+            gname = target[len(owner) + 1 :]
+            stmt = index.module_globals.get(owner, {}).get(gname)
+            if stmt is not None and _is_mutable_expr(getattr(stmt, "value", None)):
+                mutable_globals[local] = target
+
+        locals_ = _local_names(fn)
+
+        declared: set[str] = set()
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Global):
+                declared.update(node.names)
+            elif isinstance(node, ast.Nonlocal):
+                declared.update(node.names)
+
+        for node in ast.walk(fn):
+            # Rebinding a declared global/nonlocal name.
+            if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+                if node.id in declared:
+                    yield module.finding(
+                        RULE,
+                        node,
+                        f"writes global {node.id!r} ({label}) — worker-visible "
+                        "module state diverges between fork and spawn",
+                    )
+                continue
+
+            # Subscript store / augmented assignment on a mutable global.
+            target: ast.expr | None = None
+            if isinstance(node, ast.Assign):
+                for t in node.targets:
+                    if isinstance(t, ast.Subscript):
+                        target = t.value
+            elif isinstance(node, ast.AugAssign):
+                target = (
+                    node.target.value
+                    if isinstance(node.target, ast.Subscript)
+                    else node.target
+                )
+            elif isinstance(node, (ast.Delete,)):
+                for t in node.targets:
+                    if isinstance(t, ast.Subscript):
+                        target = t.value
+            if (
+                isinstance(target, ast.Name)
+                and target.id in mutable_globals
+                and target.id not in locals_
+            ):
+                yield module.finding(
+                    RULE,
+                    node,
+                    f"mutates module global {mutable_globals[target.id]} "
+                    f"({label}) — shared mutable state is fork/spawn- and "
+                    "schedule-dependent",
+                )
+                continue
+
+            # Mutator-method calls on a mutable global.
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _MUTATOR_METHODS
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id in mutable_globals
+                and node.func.value.id not in locals_
+            ):
+                yield module.finding(
+                    RULE,
+                    node,
+                    f".{node.func.attr}() on module global "
+                    f"{mutable_globals[node.func.value.id]} ({label}) — shared "
+                    "mutable state is fork/spawn- and schedule-dependent",
+                )
+
+        # Mutable default arguments the body writes to.
+        params = [*fn.args.posonlyargs, *fn.args.args]
+        for param, default in zip(params[len(params) - len(fn.args.defaults) :], fn.args.defaults):
+            self_defaults = _is_mutable_expr(default)
+            if not self_defaults:
+                continue
+            for node in ast.walk(fn):
+                written = (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _MUTATOR_METHODS
+                    and isinstance(node.func.value, ast.Name)
+                    and node.func.value.id == param.arg
+                ) or (
+                    isinstance(node, (ast.Assign, ast.AugAssign))
+                    and any(
+                        isinstance(t, ast.Subscript)
+                        and isinstance(t.value, ast.Name)
+                        and t.value.id == param.arg
+                        for t in (
+                            node.targets
+                            if isinstance(node, ast.Assign)
+                            else [node.target]
+                        )
+                    )
+                )
+                if written:
+                    yield module.finding(
+                        RULE,
+                        node,
+                        f"writes to mutable default argument {param.arg!r} "
+                        f"({label}) — the default is one shared object across "
+                        "calls, accumulating state per process",
+                    )
+                    break

@@ -90,12 +90,52 @@ def build_rules(select: list[str] | None = None) -> list[LintRule]:
     return rules
 
 
+def _file_findings(
+    module: ModuleSource, rules: list[LintRule], ctx: LintContext
+) -> list[Finding]:
+    """The serial per-file phase for one module: syntax + file-scope rules."""
+    out: list[Finding] = []
+    if module.tree is None and module.syntax_error is not None:
+        err = module.syntax_error
+        out.append(
+            Finding(
+                rule="syntax-error",
+                path=module.rel,
+                line=err.lineno or 1,
+                message=f"file does not parse: {err.msg}",
+                snippet=(err.text or "").strip(),
+                suppressible=False,
+            )
+        )
+    for rule in rules:
+        if rule.scope == "file":
+            out.extend(rule.check(module, ctx))
+    return out
+
+
+def _file_phase_task(item: tuple[str, str, tuple[str, ...] | None, str]) -> list[Finding]:
+    """Worker for ``--jobs``: re-read one file, run the file-scope rules.
+
+    Module-level and argument-picklable by construction (the
+    ``worker-purity`` contract this package itself enforces): each worker
+    re-parses its file from the path and rebuilds the rule pack, touching
+    no shared state.  Findings are plain frozen dataclasses, so they
+    pickle back unchanged.
+    """
+    path_str, rel, select, root_str = item
+    module = ModuleSource(Path(path_str), rel)
+    rules = build_rules(None if select is None else list(select))
+    ctx = LintContext(root=Path(root_str), modules=[module])
+    return _file_findings(module, rules, ctx)
+
+
 def run_lint(
     paths: list[Path],
     *,
     root: Path | None = None,
     select: list[str] | None = None,
     baseline_path: Path | None = None,
+    jobs: int | None = None,
 ) -> LintReport:
     """Run the (selected) rule pack over ``paths``.
 
@@ -103,6 +143,12 @@ def run_lint(
     comments (counted, never shown), then the baseline (shown separately
     by the reporters, never failing the run).  Non-suppressible findings
     bypass both.
+
+    ``jobs`` fans the per-file phase out through ``supervised_map`` (the
+    repo's one sanctioned process pool).  Workers return their findings
+    in input order and the repo-scope phase, suppression filter, and sort
+    all run in the parent, so the report is bit-identical to a serial
+    run.
     """
     root = detect_root(paths) if root is None else root
     modules = collect_sources(paths, root)
@@ -110,22 +156,20 @@ def run_lint(
     rules = build_rules(select)
 
     raw: list[Finding] = []
-    for module in modules:
-        if module.tree is None and module.syntax_error is not None:
-            err = module.syntax_error
-            raw.append(
-                Finding(
-                    rule="syntax-error",
-                    path=module.rel,
-                    line=err.lineno or 1,
-                    message=f"file does not parse: {err.msg}",
-                    snippet=(err.text or "").strip(),
-                    suppressible=False,
-                )
-            )
-        for rule in rules:
-            if rule.scope == "file":
-                raw.extend(rule.check(module, ctx))
+    if jobs is not None and jobs > 1:
+        from repro.runtime.supervisor import raise_on_failures, supervised_map
+
+        items = [
+            (str(m.path), m.rel, None if select is None else tuple(select), str(root))
+            for m in modules
+        ]
+        outcomes = supervised_map(_file_phase_task, items, workers=jobs)
+        raise_on_failures(outcomes, what="lint file")
+        for outcome in outcomes:
+            raw.extend(outcome.value)
+    else:
+        for module in modules:
+            raw.extend(_file_findings(module, rules, ctx))
     for rule in rules:
         if rule.scope == "repo":
             raw.extend(rule.check_repo(ctx))

@@ -7,7 +7,7 @@ import json
 from repro.analysis.cli import main
 
 _DIRTY = "import numpy as np\nx = np.random.rand()\n"
-_CLEAN = "import numpy as np\nrng = np.random.default_rng(42)\n"
+_CLEAN = "import numpy as np\ndef make(seed):\n    return np.random.default_rng(seed)\n"
 
 
 def _repo(make_repo, src_text):

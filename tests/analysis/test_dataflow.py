@@ -1,0 +1,151 @@
+"""Unit tests for the reusable taint engine and the RNG classifiers."""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.core import ImportMap
+from repro.analysis.dataflow import (
+    annotation_mentions_generator,
+    class_rng_fields,
+    rng_call_kind,
+    rng_params,
+    taint_function,
+)
+
+
+def _fn(code: str) -> ast.FunctionDef:
+    tree = ast.parse(code)
+    for node in ast.walk(tree):
+        if isinstance(node, ast.FunctionDef):
+            return node
+    raise AssertionError("no function in snippet")
+
+
+def _cls(code: str) -> tuple[ast.ClassDef, ImportMap]:
+    tree = ast.parse(code)
+    imports = ImportMap(tree)
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef):
+            return node, imports
+    raise AssertionError("no class in snippet")
+
+
+def _source_calls_named(name: str):
+    def is_source(expr: ast.expr):
+        if (
+            isinstance(expr, ast.Call)
+            and isinstance(expr.func, ast.Name)
+            and expr.func.id == name
+        ):
+            return "src"
+        return None
+
+    return is_source
+
+
+class TestTaintFunction:
+    def test_propagates_through_assignments(self):
+        fn = _fn("def f():\n    a = make()\n    b = a\n    c = b\n")
+        env = taint_function(fn, _source_calls_named("make"))
+        assert set(env) == {"a", "b", "c"}
+
+    def test_propagates_through_tuples_and_ifexp(self):
+        fn = _fn(
+            "def f(flag):\n"
+            "    a, b = make(), 1\n"
+            "    c = a if flag else None\n"
+            "    d = (a, 2)\n"
+        )
+        env = taint_function(fn, _source_calls_named("make"))
+        # Tuple unpacking is conservative: both targets taint.
+        assert {"a", "b", "c", "d"} <= set(env)
+
+    def test_method_calls_on_tainted_stay_tainted(self):
+        fn = _fn("def f():\n    rng = make()\n    child = rng.spawn(1)[0]\n")
+        env = taint_function(fn, _source_calls_named("make"))
+        assert "child" in env
+
+    def test_self_attributes_as_pseudo_names(self):
+        fn = _fn("def __init__(self, rng):\n    self._rng = rng\n")
+        env = taint_function(fn, _source_calls_named("never"), seeds={"rng": "param"})
+        assert env["self._rng"] == "param"
+
+    def test_untainted_names_stay_clean(self):
+        fn = _fn("def f():\n    a = make()\n    b = 2\n    c = other()\n")
+        env = taint_function(fn, _source_calls_named("make"))
+        assert "b" not in env and "c" not in env
+
+    def test_seeds_label_preserved_over_source_label(self):
+        fn = _fn("def f(rng):\n    a = rng\n")
+        env = taint_function(fn, _source_calls_named("make"), seeds={"rng": "param"})
+        assert env["a"] == "param"
+
+
+class TestRngCallKind:
+    def _call(self, code: str) -> tuple[ast.Call, ImportMap]:
+        tree = ast.parse(code)
+        imports = ImportMap(tree)
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Call):
+                return node, imports
+        raise AssertionError("no call")
+
+    def test_unseeded(self):
+        call, imports = self._call("import numpy as np\nr = np.random.default_rng()\n")
+        assert rng_call_kind(call, imports) == "unseeded"
+
+    def test_const_seed(self):
+        call, imports = self._call("import numpy as np\nr = np.random.default_rng(42)\n")
+        assert rng_call_kind(call, imports) == "const"
+
+    def test_negative_const_and_tuple_seed(self):
+        call, imports = self._call(
+            "from numpy.random import default_rng\nr = default_rng((-1, 2))\n"
+        )
+        assert rng_call_kind(call, imports) == "const"
+
+    def test_data_seed(self):
+        call, imports = self._call(
+            "import numpy as np\nr = np.random.default_rng(spec['seed'])\n"
+        )
+        assert rng_call_kind(call, imports) == "data"
+
+    def test_non_rng_call_is_none(self):
+        call, imports = self._call("import numpy as np\nr = np.asarray([1])\n")
+        assert rng_call_kind(call, imports) is None
+
+
+class TestRngRecognisers:
+    def test_rng_params_by_name_suffix_and_annotation(self):
+        fn = _fn(
+            "import numpy as np\n"
+            "def f(a, rng, child_rng, g: np.random.Generator, other):\n"
+            "    pass\n"
+        )
+        assert rng_params(fn) == ["rng", "child_rng", "g"]
+
+    def test_string_annotation_recognised(self):
+        fn = _fn("def f(g: 'np.random.Generator'):\n    pass\n")
+        assert rng_params(fn) == ["g"]
+        assert annotation_mentions_generator(ast.parse("'Generator'", mode="eval").body)
+
+    def test_class_rng_fields_annotated_and_init_assigned(self):
+        cls, imports = _cls(
+            "import numpy as np\n"
+            "class Model:\n"
+            "    rng: np.random.Generator\n"
+            "    def __init__(self, seed, child_rng):\n"
+            "        self._rng = np.random.default_rng(seed)\n"
+            "        self._other = child_rng\n"
+            "        self.count = 0\n"
+        )
+        assert class_rng_fields(cls, imports) == ["_other", "_rng", "rng"]
+
+    def test_class_without_rng_state(self):
+        cls, imports = _cls(
+            "class Plain:\n"
+            "    def __init__(self):\n"
+            "        self.n = 0\n"
+        )
+        assert class_rng_fields(cls, imports) == []

@@ -14,9 +14,15 @@ from repro.analysis.runner import build_rules, run_lint
 from repro.registry import names
 
 
-def test_rule_pack_has_at_least_six_rules():
+def test_rule_pack_has_at_least_sixteen_rules():
     pack = names("lint")
-    assert len(pack) >= 6, pack
+    assert len(pack) >= 16, pack
+
+
+def test_whole_program_rules_are_registered():
+    pack = names("lint")
+    for rule in ("rng-taint", "worker-purity", "hook-conformance", "dead-component"):
+        assert rule in pack
 
 
 def test_every_rule_has_name_scope_and_description():

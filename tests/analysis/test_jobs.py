@@ -1,0 +1,94 @@
+"""``repro-lint --jobs``: the parallel file phase must be bit-identical.
+
+The fan-out goes through ``supervised_map`` (dogfooding the repo's own
+pool discipline), and the contract is the same one every other parallel
+surface carries: parallel output == serial output, byte for byte, so
+``--jobs`` can never change what CI gates on.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis.runner import run_lint
+
+#: A fixture tree that actually produces findings — parity on an empty
+#: report would prove nothing.  Mix of file-scope findings (wallclock,
+#: module rng) across several files plus a suppression.
+_FIXTURE = {
+    "src/repro/simulator/a.py": (
+        "import time\n"
+        "def stamp():\n"
+        "    return time.time()\n"
+    ),
+    "src/repro/simulator/b.py": (
+        "import numpy as np\n"
+        "def draw():\n"
+        "    return np.random.rand()\n"
+    ),
+    "src/repro/simulator/c.py": (
+        "import time\n"
+        "def ok():\n"
+        "    return time.time()  # repro-lint: disable=no-wallclock\n"
+    ),
+    "src/repro/traces/d.py": (
+        "import numpy as np\n"
+        "def demo():\n"
+        "    return np.random.default_rng().uniform()\n"
+    ),
+    "src/repro/simulator/broken.py": "def broken(:\n",
+}
+
+
+def _reports(root: Path):
+    serial = run_lint([root / "src"], root=root, baseline_path=None)
+    parallel = run_lint([root / "src"], root=root, baseline_path=None, jobs=2)
+    return serial, parallel
+
+
+def test_jobs_findings_bit_identical(make_repo):
+    root = make_repo(_FIXTURE)
+    serial, parallel = _reports(root)
+    assert serial.findings, "fixture must produce findings for parity to mean anything"
+    assert [f.to_dict() for f in serial.findings] == [
+        f.to_dict() for f in parallel.findings
+    ]
+    assert serial.suppressed == parallel.suppressed
+    assert serial.files == parallel.files
+    assert serial.rules == parallel.rules
+
+
+def test_jobs_includes_syntax_error_findings(make_repo):
+    root = make_repo(_FIXTURE)
+    _, parallel = _reports(root)
+    assert any(f.rule == "syntax-error" for f in parallel.findings)
+
+
+def test_jobs_one_means_serial(make_repo):
+    root = make_repo(_FIXTURE)
+    serial = run_lint([root / "src"], root=root, baseline_path=None)
+    one = run_lint([root / "src"], root=root, baseline_path=None, jobs=1)
+    assert [f.to_dict() for f in serial.findings] == [f.to_dict() for f in one.findings]
+
+
+def test_jobs_respects_select(make_repo):
+    root = make_repo(_FIXTURE)
+    serial = run_lint(
+        [root / "src"], root=root, baseline_path=None, select=["no-wallclock"]
+    )
+    parallel = run_lint(
+        [root / "src"], root=root, baseline_path=None, select=["no-wallclock"], jobs=2
+    )
+    assert [f.to_dict() for f in serial.findings] == [
+        f.to_dict() for f in parallel.findings
+    ]
+    assert all(f.rule in ("no-wallclock", "syntax-error") for f in parallel.findings)
+
+
+def test_jobs_parity_on_real_repo(repo_root):
+    serial = run_lint([repo_root / "src"], root=repo_root, baseline_path=None)
+    parallel = run_lint([repo_root / "src"], root=repo_root, baseline_path=None, jobs=2)
+    assert [f.to_dict() for f in serial.findings] == [
+        f.to_dict() for f in parallel.findings
+    ]
+    assert serial.suppressed == parallel.suppressed

@@ -1,0 +1,178 @@
+"""Unit tests for the whole-program ``ProjectIndex``.
+
+The index is the substrate every repo-scope rule stands on, so its
+degradation modes matter as much as its happy path: import cycles must
+not loop, namespace packages (no ``__init__.py``) must index like any
+other directory, and a module with a syntax error must degrade to a
+*partial* index — skipped and listed, never a crash.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis.core import ModuleSource
+from repro.analysis.project import ClassInfo, FunctionInfo, ProjectIndex, module_name_for
+
+
+def _index(files: dict[str, str]) -> ProjectIndex:
+    modules = [
+        ModuleSource(Path("/fixture") / rel, rel, text=text)
+        for rel, text in sorted(files.items())
+    ]
+    return ProjectIndex(modules)
+
+
+class TestModuleNames:
+    def test_src_prefix_stripped(self):
+        assert module_name_for("src/repro/scenario/sweep.py") == "repro.scenario.sweep"
+
+    def test_init_names_its_package(self):
+        assert module_name_for("src/repro/analysis/__init__.py") == "repro.analysis"
+
+    def test_non_src_paths_get_stable_names(self):
+        assert module_name_for("examples/quickstart.py") == "examples.quickstart"
+
+
+class TestGraphs:
+    def test_import_edges_and_bindings(self):
+        idx = _index(
+            {
+                "src/pkg/a.py": "from pkg.b import helper\nimport pkg.c as c\n",
+                "src/pkg/b.py": "def helper():\n    return 1\n",
+                "src/pkg/c.py": "X = 1\n",
+            }
+        )
+        assert idx.imports["pkg.a"] == {"pkg.b", "pkg.c"}
+        assert idx.bindings["pkg.a"]["helper"] == "pkg.b.helper"
+        assert idx.bindings["pkg.a"]["c"] == "pkg.c"
+
+    def test_import_cycle_does_not_loop(self):
+        idx = _index(
+            {
+                "src/pkg/a.py": "from pkg.b import g\ndef f():\n    return g()\n",
+                "src/pkg/b.py": "from pkg.a import f\ndef g():\n    return f()\n",
+            }
+        )
+        assert idx.imports["pkg.a"] == {"pkg.b"}
+        assert idx.imports["pkg.b"] == {"pkg.a"}
+        # Call graph through the cycle terminates and reaches both sides.
+        order = idx.reachable_from(["pkg.a.f"])
+        assert order == ["pkg.a.f", "pkg.b.g"]
+
+    def test_relative_imports_resolve(self):
+        idx = _index(
+            {
+                "src/pkg/__init__.py": "",
+                "src/pkg/sub/__init__.py": "",
+                "src/pkg/sub/a.py": "from . import b\nfrom ..top import thing\n",
+                "src/pkg/sub/b.py": "def inner():\n    return 0\n",
+                "src/pkg/top.py": "def thing():\n    return 0\n",
+            }
+        )
+        assert idx.bindings["pkg.sub.a"]["b"] == "pkg.sub.b"
+        assert idx.bindings["pkg.sub.a"]["thing"] == "pkg.top.thing"
+
+    def test_namespace_package_indexes_normally(self):
+        # No __init__.py anywhere: still indexed, still resolvable.
+        idx = _index(
+            {
+                "src/ns/mod.py": "from ns.other import f\ndef g():\n    return f()\n",
+                "src/ns/other.py": "def f():\n    return 1\n",
+            }
+        )
+        assert "ns.mod" in idx.modules
+        assert idx.callees("ns.mod.g") == {"ns.other.f"}
+
+
+class TestPartialIndex:
+    def test_syntax_error_module_is_skipped_not_fatal(self):
+        idx = _index(
+            {
+                "src/pkg/ok.py": "def fine():\n    return 1\n",
+                "src/pkg/broken.py": "def broken(:\n",
+            }
+        )
+        assert "pkg.ok" in idx.modules
+        assert "pkg.broken" not in idx.modules
+        assert [m.rel for m in idx.skipped] == ["src/pkg/broken.py"]
+        # Resolution against the missing module degrades to None.
+        assert idx.resolve("pkg.broken.broken") is None
+
+
+class TestSymbols:
+    def test_classes_functions_and_methods(self):
+        idx = _index(
+            {
+                "src/pkg/m.py": (
+                    "class Base:\n"
+                    "    def hook(self):\n"
+                    "        return 0\n"
+                    "class Child(Base):\n"
+                    "    def own(self):\n"
+                    "        return self.hook()\n"
+                )
+            }
+        )
+        assert isinstance(idx.resolve("pkg.m.Child"), ClassInfo)
+        assert isinstance(idx.resolve("pkg.m.Child.own"), FunctionInfo)
+        child = idx.classes["pkg.m.Child"]
+        assert sorted(idx.mro_methods(child)) == ["hook", "own"]
+        assert idx.callees("pkg.m.Child.own") == {"pkg.m.Base.hook"} or idx.callees(
+            "pkg.m.Child.own"
+        ) == {"pkg.m.Child.hook"}
+
+    def test_reexport_resolution(self):
+        idx = _index(
+            {
+                "src/pkg/__init__.py": "from pkg.impl import Thing\n",
+                "src/pkg/impl.py": "class Thing:\n    pass\n",
+                "src/use.py": "from pkg import Thing\nt = Thing()\n",
+            }
+        )
+        resolved = idx.resolve("pkg.Thing")
+        assert isinstance(resolved, ClassInfo)
+        assert resolved.qualname == "pkg.impl.Thing"
+
+    def test_module_globals_collected_at_top_level_only(self):
+        idx = _index(
+            {
+                "src/pkg/m.py": (
+                    "CACHE = {}\n"
+                    "LIMIT: int = 3\n"
+                    "def f():\n"
+                    "    local = {}\n"
+                    "    return local\n"
+                )
+            }
+        )
+        assert sorted(idx.module_globals["pkg.m"]) == ["CACHE", "LIMIT"]
+
+    def test_registrations_carry_decorated_target(self):
+        idx = _index(
+            {
+                "src/pkg/m.py": (
+                    "from repro.registry import register\n"
+                    "@register('policy', 'demo')\n"
+                    "class Demo:\n"
+                    "    pass\n"
+                    "register_happens_once = None\n"
+                )
+            }
+        )
+        regs = [(r.kind, r.name, r.target) for r in idx.registrations]
+        assert regs == [("policy", "demo", "pkg.m.Demo")]
+
+    def test_class_call_resolves_to_constructor(self):
+        idx = _index(
+            {
+                "src/pkg/m.py": (
+                    "class Widget:\n"
+                    "    def __init__(self):\n"
+                    "        self.x = 1\n"
+                    "def build():\n"
+                    "    return Widget()\n"
+                )
+            }
+        )
+        assert idx.callees("pkg.m.build") == {"pkg.m.Widget.__init__"}

@@ -1,0 +1,126 @@
+"""Fixture tests for the ``dead-component`` liveness rule."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis.baseline import write_baseline
+from repro.analysis.runner import run_lint
+
+
+def _lint(root: Path, *, baseline=None):
+    return run_lint(
+        [root / "src"], root=root, select=["dead-component"], baseline_path=baseline
+    )
+
+
+_TWO_COMPONENTS = (
+    "from repro.registry import register\n"
+    "@register('policy', 'used-one')\n"
+    "class Used:\n"
+    "    pass\n"
+    "@register('policy', 'orphan-two')\n"
+    "class Orphan:\n"
+    "    pass\n"
+)
+
+
+class TestPositive:
+    def test_unreferenced_registration_reported(self, make_repo):
+        """The true positive no per-file rule catches: the registration is
+        perfectly well-formed (``registry-call-discipline`` passes, the
+        docs row exists) — only a repo-wide reference scan can tell that
+        nothing ever selects ``orphan-two``."""
+        root = make_repo(
+            {
+                "src/pkg/components.py": _TWO_COMPONENTS,
+                "src/pkg/main.py": "CHOICE = 'used-one'\n",
+            }
+        )
+        report = _lint(root)
+        assert len(report.findings) == 1
+        assert "'orphan-two' is registered but referenced nowhere" in report.findings[0].message
+
+    def test_catalogue_row_alone_does_not_count_as_alive(self, make_repo):
+        # registry-docs *forces* a row in docs/registry.md for every
+        # component, so that file must not vouch for liveness.
+        root = make_repo(
+            {
+                "src/pkg/components.py": _TWO_COMPONENTS,
+                "src/pkg/main.py": "CHOICE = 'used-one'\n",
+                "docs/registry.md": "| `policy` | `used-one`, `orphan-two` | stuff |\n",
+            }
+        )
+        report = _lint(root)
+        assert [f.message.split("'")[1] for f in report.findings] == ["orphan-two"]
+
+
+class TestNegative:
+    def test_scenario_literal_reference(self, make_repo):
+        root = make_repo(
+            {
+                "src/pkg/components.py": _TWO_COMPONENTS,
+                "src/pkg/main.py": "A = 'used-one'\nB = {'policy': 'orphan-two'}\n",
+            }
+        )
+        assert _lint(root).findings == []
+
+    def test_test_file_reference_counts(self, make_repo):
+        root = make_repo(
+            {
+                "src/pkg/components.py": _TWO_COMPONENTS,
+                "src/pkg/main.py": "A = 'used-one'\n",
+                "tests/test_orphan.py": (
+                    "def test_it():\n"
+                    "    assert create('policy', 'orphan-two') is not None\n"
+                ),
+            }
+        )
+        assert _lint(root).findings == []
+
+    def test_docs_mention_outside_catalogue_counts(self, make_repo):
+        root = make_repo(
+            {
+                "src/pkg/components.py": _TWO_COMPONENTS,
+                "src/pkg/main.py": "A = 'used-one'\n",
+                "docs/policies.md": "The `orphan-two` policy handles spillover.\n",
+            }
+        )
+        assert _lint(root).findings == []
+
+    def test_comma_separated_scenario_list_counts(self, make_repo):
+        root = make_repo(
+            {
+                "src/pkg/components.py": _TWO_COMPONENTS,
+                "src/pkg/main.py": "METRICS = 'used-one,orphan-two'\n",
+            }
+        )
+        assert _lint(root).findings == []
+
+
+class TestSuppressionAndBaseline:
+    _BAD = (
+        "from repro.registry import register\n"
+        "@register('policy', 'orphan-two')  {comment}\n"
+        "class Orphan:\n"
+        "    pass\n"
+    )
+
+    def test_same_line_suppression(self, make_repo):
+        root = make_repo(
+            {
+                "src/pkg/components.py": self._BAD.format(
+                    comment="# repro-lint: disable=dead-component"
+                )
+            }
+        )
+        report = _lint(root)
+        assert report.findings == [] and report.suppressed == 1
+
+    def test_baseline_grandfathers_finding(self, make_repo, tmp_path):
+        root = make_repo({"src/pkg/components.py": self._BAD.format(comment="")})
+        baseline = tmp_path / "baseline.json"
+        write_baseline(baseline, _lint(root).findings, {})
+        report = _lint(root, baseline=baseline)
+        assert report.findings == []
+        assert [f.rule for f in report.baselined] == ["dead-component"]

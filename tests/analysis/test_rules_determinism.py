@@ -37,9 +37,12 @@ class TestNoModuleRng:
         code = "from random import randint\nx = randint(0, 3)\n"
         assert len(lint_snippet(code, "no-module-rng")) == 1
 
-    def test_unseeded_default_rng_fires(self, lint_snippet):
+    def test_unseeded_default_rng_fires_outside_taint_paths(self, lint_snippet):
+        # Inside taint-covered paths the whole-program rng-taint rule owns
+        # this check (see test_rules_rng_taint.py); lexically it still
+        # fires everywhere else.
         code = "import numpy as np\nrng = np.random.default_rng()\n"
-        hits = lint_snippet(code, "no-module-rng")
+        hits = lint_snippet(code, "no-module-rng", rel=OUTSIDE)
         assert len(hits) == 1 and "unseeded" in hits[0].message
 
     def test_seeded_default_rng_is_clean(self, lint_snippet):

@@ -1,0 +1,215 @@
+"""Fixture tests for the whole-program ``worker-purity`` race detector."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis.baseline import write_baseline
+from repro.analysis.runner import run_lint
+
+#: A stand-in supervisor module so fixtures resolve ``supervised_map``
+#: the same way real code does (the rule matches the qualified name).
+_SUPERVISOR = (
+    "def supervised_map(fn, items, *, workers=None, initializer=None):\n"
+    "    return [fn(i) for i in items]\n"
+)
+
+
+def _lint(root: Path, *, baseline=None):
+    return run_lint(
+        [root / "src"], root=root, select=["worker-purity"], baseline_path=baseline
+    )
+
+
+def _repo(make_repo, work_py: str, extra: dict | None = None):
+    files = {
+        "src/repro/runtime/supervisor.py": _SUPERVISOR,
+        "src/pkg/work.py": work_py,
+    }
+    files.update(extra or {})
+    return make_repo(files)
+
+
+class TestPositive:
+    def test_worker_appends_to_module_global(self, make_repo):
+        root = _repo(
+            make_repo,
+            "from repro.runtime.supervisor import supervised_map\n"
+            "_SEEN = []\n"
+            "def worker(item):\n"
+            "    _SEEN.append(item)\n"
+            "    return len(_SEEN)\n"
+            "def run(items):\n"
+            "    return supervised_map(worker, items, workers=2)\n",
+        )
+        report = _lint(root)
+        assert len(report.findings) == 1
+        f = report.findings[0]
+        assert f.rule == "worker-purity"
+        assert ".append() on module global pkg.work._SEEN" in f.message
+        assert "worker()" in f.message
+
+    def test_write_reached_transitively_names_the_worker(self, make_repo):
+        """The true positive no per-file rule can catch: the impure write
+        is two modules away from the ``supervised_map`` call site, linked
+        only through the call graph."""
+        root = _repo(
+            make_repo,
+            "from repro.runtime.supervisor import supervised_map\n"
+            "from pkg.helper import record\n"
+            "def worker(item):\n"
+            "    return record(item)\n"
+            "def run(items):\n"
+            "    return supervised_map(worker, items)\n",
+            extra={
+                "src/pkg/helper.py": (
+                    "from pkg.state import CACHE\n"
+                    "def record(item):\n"
+                    "    CACHE[item] = True\n"
+                    "    return item\n"
+                ),
+                "src/pkg/state.py": "CACHE = {}\n",
+            },
+        )
+        report = _lint(root)
+        assert len(report.findings) == 1
+        f = report.findings[0]
+        assert f.path == "src/pkg/helper.py"
+        assert "pkg.state.CACHE" in f.message
+        assert "reached from worker worker()" in f.message
+
+    def test_global_statement_write(self, make_repo):
+        root = _repo(
+            make_repo,
+            "from repro.runtime.supervisor import supervised_map\n"
+            "TOTAL = 0\n"
+            "def worker(item):\n"
+            "    global TOTAL\n"
+            "    TOTAL += 1\n"
+            "    return TOTAL\n"
+            "def run(items):\n"
+            "    return supervised_map(worker, items)\n",
+        )
+        assert any("writes global 'TOTAL'" in f.message for f in _lint(root).findings)
+
+    def test_lambda_worker_flagged(self, make_repo):
+        root = _repo(
+            make_repo,
+            "from repro.runtime.supervisor import supervised_map\n"
+            "def run(items):\n"
+            "    return supervised_map(lambda i: i + 1, items)\n",
+        )
+        assert any("lambda" in f.message for f in _lint(root).findings)
+
+    def test_closure_worker_flagged(self, make_repo):
+        root = _repo(
+            make_repo,
+            "from repro.runtime.supervisor import supervised_map\n"
+            "def run(items, offset):\n"
+            "    def worker(i):\n"
+            "        return i + offset\n"
+            "    return supervised_map(worker, items)\n",
+        )
+        assert any("defined inside another function" in f.message
+                   for f in _lint(root).findings)
+
+    def test_mutable_default_argument_written(self, make_repo):
+        root = _repo(
+            make_repo,
+            "from repro.runtime.supervisor import supervised_map\n"
+            "def worker(item, acc=[]):\n"
+            "    acc.append(item)\n"
+            "    return len(acc)\n"
+            "def run(items):\n"
+            "    return supervised_map(worker, items)\n",
+        )
+        assert any("mutable default argument 'acc'" in f.message
+                   for f in _lint(root).findings)
+
+    def test_impure_initializer_slot_checked(self, make_repo):
+        root = _repo(
+            make_repo,
+            "from repro.runtime.supervisor import supervised_map\n"
+            "STATE = {}\n"
+            "def prime():\n"
+            "    STATE['ready'] = True\n"
+            "def worker(item):\n"
+            "    return item\n"
+            "def run(items):\n"
+            "    return supervised_map(worker, items, initializer=prime)\n",
+        )
+        assert any("pkg.work.STATE" in f.message for f in _lint(root).findings)
+
+
+class TestNegative:
+    def test_pure_worker_is_clean(self, make_repo):
+        root = _repo(
+            make_repo,
+            "from repro.runtime.supervisor import supervised_map\n"
+            "LIMITS = {'max': 10}\n"
+            "def worker(item):\n"
+            "    local = []\n"
+            "    local.append(item)\n"
+            "    return min(item, LIMITS['max'])\n"
+            "def run(items):\n"
+            "    return supervised_map(worker, items)\n",
+        )
+        assert _lint(root).findings == []
+
+    def test_local_shadow_of_global_name_is_clean(self, make_repo):
+        root = _repo(
+            make_repo,
+            "from repro.runtime.supervisor import supervised_map\n"
+            "CACHE = {}\n"
+            "def worker(item):\n"
+            "    CACHE = {}\n"
+            "    CACHE[item] = True\n"
+            "    return CACHE\n"
+            "def run(items):\n"
+            "    return supervised_map(worker, items)\n",
+        )
+        assert _lint(root).findings == []
+
+    def test_parent_side_mutation_not_flagged(self, make_repo):
+        # Mutating shared state *outside* the worker closure (in the
+        # caller, or in on_complete) is the parent's business.
+        root = _repo(
+            make_repo,
+            "from repro.runtime.supervisor import supervised_map\n"
+            "RESULTS = []\n"
+            "def worker(item):\n"
+            "    return item * 2\n"
+            "def run(items):\n"
+            "    out = supervised_map(worker, items)\n"
+            "    RESULTS.extend(out)\n"
+            "    return RESULTS\n",
+        )
+        assert _lint(root).findings == []
+
+
+class TestSuppressionAndBaseline:
+    _BAD = (
+        "from repro.runtime.supervisor import supervised_map\n"
+        "_SEEN = []\n"
+        "def worker(item):\n"
+        "    _SEEN.append(item)  {comment}\n"
+        "    return item\n"
+        "def run(items):\n"
+        "    return supervised_map(worker, items)\n"
+    )
+
+    def test_same_line_suppression(self, make_repo):
+        root = _repo(
+            make_repo,
+            self._BAD.format(comment="# repro-lint: disable=worker-purity"),
+        )
+        report = _lint(root)
+        assert report.findings == [] and report.suppressed == 1
+
+    def test_baseline_grandfathers_finding(self, make_repo, tmp_path):
+        root = _repo(make_repo, self._BAD.format(comment=""))
+        baseline = tmp_path / "baseline.json"
+        write_baseline(baseline, _lint(root).findings, {})
+        report = _lint(root, baseline=baseline)
+        assert report.findings == []
+        assert [f.rule for f in report.baselined] == ["worker-purity"]

@@ -1,0 +1,32 @@
+"""A deliberately impure worker: the exact defect ``worker-purity`` bans.
+
+Tests-only, never shipped.  ``impure_worker`` accumulates into a
+module-level list and reports its length — so its answer depends on how
+much state its *process* has already accumulated.  Run through
+``supervised_map`` that means:
+
+* under ``fork``, workers inherit a copy of the parent interpreter's
+  ``_CALLS``, so any in-process call made before the fan-out shifts
+  every worker's numbers;
+* under ``spawn``, workers import this module fresh and start from an
+  empty list.
+
+The chaos-job regression test demonstrates that live fork/spawn
+divergence, then feeds this same source to the static ``worker-purity``
+rule and asserts the rule would have rejected the worker before any
+process ever ran.
+"""
+
+from __future__ import annotations
+
+_CALLS: list[int] = []
+
+
+def impure_worker(item: int) -> int:
+    """Returns the number of calls *this process* has seen — impure."""
+    _CALLS.append(item)
+    return len(_CALLS)
+
+
+def reset() -> None:
+    _CALLS.clear()

@@ -1,0 +1,90 @@
+"""The ``worker-purity`` rule catches a real, reproduced fork/spawn bug.
+
+The CI chaos job can only catch shared-state workers *probabilistically*
+— the divergence needs the right start method and the right schedule.
+This test pins the divergence down deterministically with the impure
+worker in :mod:`purity_demo`, then runs the static rule over that same
+source and asserts it flags the exact write that caused it.  Marked
+``chaos`` because it deliberately exercises both start methods through
+real worker processes.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+import purity_demo
+from chaos_tools import fork_only
+from repro.analysis.runner import run_lint
+from repro.runtime.supervisor import raise_on_failures, supervised_map
+
+pytestmark = pytest.mark.chaos
+
+
+def _counts(start_method: str) -> list[int]:
+    outcomes = supervised_map(
+        purity_demo.impure_worker,
+        [10, 20, 30, 40],
+        workers=2,
+        start_method=start_method,
+    )
+    raise_on_failures(outcomes, what="purity-demo")
+    return [o.value for o in outcomes]
+
+
+@fork_only
+def test_impure_worker_diverges_between_fork_and_spawn():
+    purity_demo.reset()
+    # Pollute the parent interpreter with one in-process call — the kind
+    # of incidental warm-up a cache fill or an eager import can cause.
+    assert purity_demo.impure_worker(0) == 1
+
+    spawn_counts = _counts("spawn")
+    fork_counts = _counts("fork")
+
+    # Spawn workers import purity_demo fresh: some worker's first item
+    # sees an empty list and reports 1.
+    assert min(spawn_counts) == 1, spawn_counts
+    # Fork workers inherit the parent's polluted list: every count is
+    # shifted by the pre-fan-out call, so no worker can ever report 1.
+    assert min(fork_counts) >= 2, fork_counts
+    # The same scenario, the same seed-free arithmetic, two different
+    # answers: the exact divergence class worker-purity exists to ban.
+    assert fork_counts != spawn_counts
+
+    purity_demo.reset()
+
+
+def test_static_rule_rejects_this_worker_before_any_process_runs(tmp_path):
+    # Feed the *same source file* that just diverged to the lint rule,
+    # wired into a minimal repo with a supervised_map fan-out site.
+    source = (Path(__file__).parent / "purity_demo.py").read_text(encoding="utf-8")
+    files = {
+        "src/repro/runtime/supervisor.py": (
+            "def supervised_map(fn, items, *, workers=None, start_method=None):\n"
+            "    return [fn(i) for i in items]\n"
+        ),
+        "src/pkg/purity_demo.py": source,
+        "src/pkg/driver.py": (
+            "from repro.runtime.supervisor import supervised_map\n"
+            "from pkg.purity_demo import impure_worker\n"
+            "def run(items):\n"
+            "    return supervised_map(impure_worker, items, workers=2)\n"
+        ),
+    }
+    for rel, text in files.items():
+        p = tmp_path / rel
+        p.parent.mkdir(parents=True, exist_ok=True)
+        p.write_text(text, encoding="utf-8")
+
+    report = run_lint(
+        [tmp_path / "src"], root=tmp_path, select=["worker-purity"], baseline_path=None
+    )
+    assert len(report.findings) == 1
+    finding = report.findings[0]
+    assert finding.path == "src/pkg/purity_demo.py"
+    assert "_CALLS" in finding.message
+    assert "worker impure_worker()" in finding.message
+    assert "_CALLS.append(item)" in finding.snippet
